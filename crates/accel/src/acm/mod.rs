@@ -1,0 +1,65 @@
+//! Detailed (micro-architecture level) simulation of the Agile Computation
+//! Module's three execution modes.
+//!
+//! Each sub-module simulates one execution mode of Fig. 7 at block level: it
+//! produces both the functional result of the block product and a cycle
+//! count derived from the datapath structure (systolic dataflow, ISN/DSN
+//! routing with bank conflicts, per-pipeline work imbalance).  The detailed
+//! model is used to validate the Table IV analytic model (see the
+//! `primitives` Criterion bench and the cross-validation tests here) and to
+//! verify the datapath algorithms themselves; the paper-scale experiments run
+//! on the analytic model, exactly as the paper's own Analyzer does.
+
+pub mod gemm;
+pub mod spdmm;
+pub mod spmm;
+
+use serde::{Deserialize, Serialize};
+
+/// Execution mode of the ACM (one per primitive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// The ALU array forms a `psys × psys` output-stationary systolic array.
+    Gemm,
+    /// The ALU array splits into `psys/2` Update Units and `psys/2` Reduce
+    /// Units driven by the scatter-gather paradigm.
+    SpDmm,
+    /// The ALU array forms `psys` Sparse Computation Pipelines executing the
+    /// row-wise product.
+    Spmm,
+}
+
+impl ExecutionMode {
+    /// The mode that executes a given primitive.
+    pub fn for_primitive(p: crate::primitive::Primitive) -> ExecutionMode {
+        match p {
+            crate::primitive::Primitive::Gemm => ExecutionMode::Gemm,
+            crate::primitive::Primitive::SpDmm => ExecutionMode::SpDmm,
+            crate::primitive::Primitive::Spmm => ExecutionMode::Spmm,
+        }
+    }
+}
+
+/// Result of a detailed block-product simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetailedExecution {
+    /// Functional result of the block product.
+    pub result: dynasparse_matrix::DenseMatrix,
+    /// Simulated execution cycles.
+    pub cycles: u64,
+    /// Total multiply-accumulate operations actually performed.
+    pub macs: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive::Primitive;
+
+    #[test]
+    fn mode_for_primitive_is_one_to_one() {
+        assert_eq!(ExecutionMode::for_primitive(Primitive::Gemm), ExecutionMode::Gemm);
+        assert_eq!(ExecutionMode::for_primitive(Primitive::SpDmm), ExecutionMode::SpDmm);
+        assert_eq!(ExecutionMode::for_primitive(Primitive::Spmm), ExecutionMode::Spmm);
+    }
+}

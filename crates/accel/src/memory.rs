@@ -1,0 +1,116 @@
+//! External-memory (DDR) and host-interconnect (PCIe) cost model.
+//!
+//! Every computation task loads its operand partitions from DDR into the
+//! on-chip buffers and writes the output partition back (Algorithm 4).  The
+//! paper overlaps these transfers with computation through double buffering;
+//! the memory model provides the transfer-cycle counts that the overlap logic
+//! in [`crate::core`] compares against the compute cycles.
+
+use crate::config::AcceleratorConfig;
+use serde::{Deserialize, Serialize};
+
+/// DDR/PCIe transfer-time model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    bytes_per_cycle: f64,
+    pcie_bandwidth_gbps: f64,
+    frequency_mhz: f64,
+    /// Fixed DDR access latency charged once per burst (row activation +
+    /// controller pipeline), in cycles.
+    burst_latency_cycles: u64,
+}
+
+impl MemoryModel {
+    /// Builds the model from the accelerator configuration.
+    pub fn from_config(config: &AcceleratorConfig) -> Self {
+        MemoryModel {
+            bytes_per_cycle: config.ddr_bytes_per_cycle(),
+            pcie_bandwidth_gbps: config.pcie_bandwidth_gbps,
+            frequency_mhz: config.frequency_mhz,
+            burst_latency_cycles: 8,
+        }
+    }
+
+    /// Builds a model directly from raw parameters (used by ablations).
+    pub fn new(bytes_per_cycle: f64, pcie_bandwidth_gbps: f64, frequency_mhz: f64) -> Self {
+        MemoryModel {
+            bytes_per_cycle,
+            pcie_bandwidth_gbps,
+            frequency_mhz,
+            burst_latency_cycles: 8,
+        }
+    }
+
+    /// Cycles to stream `bytes` between DDR and the on-chip buffers.
+    pub fn transfer_cycles(&self, bytes: usize) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        (bytes as f64 / self.bytes_per_cycle).ceil() as u64 + self.burst_latency_cycles
+    }
+
+    /// Cycles to load a dense tile of `rows × cols` 32-bit elements.
+    pub fn dense_tile_load_cycles(&self, rows: usize, cols: usize) -> u64 {
+        self.transfer_cycles(rows * cols * 4)
+    }
+
+    /// Cycles to load a sparse (COO) tile with `nnz` non-zeros (12 bytes per
+    /// non-zero: two indices + one value).
+    pub fn sparse_tile_load_cycles(&self, nnz: usize) -> u64 {
+        self.transfer_cycles(nnz * 12)
+    }
+
+    /// Seconds to move `bytes` across PCIe (host memory → FPGA DDR).
+    pub fn pcie_seconds(&self, bytes: usize) -> f64 {
+        bytes as f64 / (self.pcie_bandwidth_gbps * 1e9)
+    }
+
+    /// Milliseconds corresponding to `cycles` at the accelerator clock.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.frequency_mhz * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MemoryModel {
+        MemoryModel::from_config(&AcceleratorConfig::default())
+    }
+
+    #[test]
+    fn transfer_cycles_scale_with_bytes() {
+        let m = model();
+        assert_eq!(m.transfer_cycles(0), 0);
+        let one_kb = m.transfer_cycles(1024);
+        let two_kb = m.transfer_cycles(2048);
+        assert!(two_kb > one_kb);
+        // 308 bytes/cycle at the default config: 3080 bytes ≈ 10 + 8 cycles.
+        assert_eq!(m.transfer_cycles(3080), 10 + 8);
+    }
+
+    #[test]
+    fn dense_and_sparse_tile_costs() {
+        let m = model();
+        // A 128x128 dense tile = 64 KiB.
+        let dense = m.dense_tile_load_cycles(128, 128);
+        assert_eq!(dense, m.transfer_cycles(128 * 128 * 4));
+        // A sparse tile with the same nnz as 10% density costs ~30% of the
+        // dense bytes (12 B vs 4 B per element at 10% occupancy).
+        let sparse = m.sparse_tile_load_cycles(128 * 128 / 10);
+        assert!(sparse < dense);
+    }
+
+    #[test]
+    fn pcie_seconds_matches_bandwidth() {
+        let m = model();
+        assert!((m.pcie_seconds(11_200_000_0) - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cycles_to_ms_uses_core_clock() {
+        let m = model();
+        assert!((m.cycles_to_ms(250_000) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,209 @@
+//! The analytical performance model (Table IV of the paper).
+//!
+//! For a block product `Z = X × Y` with `X ∈ R^{m×n}` (density `α_X`) and
+//! `Y ∈ R^{n×d}` (density `α_Y`) executed on a Computation Core with a
+//! `psys × psys` ALU array:
+//!
+//! | mode  | MACs / cycle | execution cycles                  |
+//! |-------|--------------|-----------------------------------|
+//! | GEMM  | `p²`         | `m·n·d / p²`                      |
+//! | SpDMM | `p²/2`       | `2·α_min·m·n·d / p²`              |
+//! | SPMM  | `p`          | `α_X·α_Y·m·n·d / p`               |
+//!
+//! where `α_min = min(α_X, α_Y)`.  The model also exposes the closed-form
+//! *optimal primitive* regions the paper derives: GEMM when `α_min ≥ 1/2`,
+//! SpDMM when `α_min < 1/2` and `α_max ≥ 2/psys`, SPMM otherwise — the three
+//! regions are disjoint and cover the whole density domain.
+
+use crate::config::AcceleratorConfig;
+use crate::primitive::Primitive;
+use serde::{Deserialize, Serialize};
+
+/// The analytical performance model bound to an accelerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerformanceModel {
+    psys: usize,
+}
+
+impl PerformanceModel {
+    /// Builds the model for a given ALU-array dimension.
+    pub fn new(psys: usize) -> Self {
+        assert!(psys >= 2, "psys must be at least 2");
+        PerformanceModel { psys }
+    }
+
+    /// Builds the model from an accelerator configuration.
+    pub fn from_config(config: &AcceleratorConfig) -> Self {
+        Self::new(config.psys)
+    }
+
+    /// ALU-array dimension.
+    pub fn psys(&self) -> usize {
+        self.psys
+    }
+
+    /// Predicted execution cycles of one block product on one Computation
+    /// Core (Table IV).  Densities are clamped to `[0, 1]`.
+    pub fn execution_cycles(
+        &self,
+        primitive: Primitive,
+        m: usize,
+        n: usize,
+        d: usize,
+        alpha_x: f64,
+        alpha_y: f64,
+    ) -> u64 {
+        let alpha_x = alpha_x.clamp(0.0, 1.0);
+        let alpha_y = alpha_y.clamp(0.0, 1.0);
+        let work = m as f64 * n as f64 * d as f64;
+        if work == 0.0 {
+            return 0;
+        }
+        let p = self.psys as f64;
+        let cycles = match primitive {
+            Primitive::Gemm => work / (p * p),
+            Primitive::SpDmm => {
+                let alpha_min = alpha_x.min(alpha_y);
+                2.0 * alpha_min * work / (p * p)
+            }
+            Primitive::Spmm => alpha_x * alpha_y * work / p,
+        };
+        cycles.ceil() as u64
+    }
+
+    /// The primitive with the least predicted execution time for the given
+    /// densities (the closed-form regions of Section VI-A).  An all-zero
+    /// operand returns `None`: the multiplication is skipped entirely
+    /// (Algorithm 7 line 6).
+    pub fn best_primitive(&self, alpha_x: f64, alpha_y: f64) -> Option<Primitive> {
+        let alpha_min = alpha_x.min(alpha_y).clamp(0.0, 1.0);
+        let alpha_max = alpha_x.max(alpha_y).clamp(0.0, 1.0);
+        if alpha_min <= 0.0 && alpha_max <= 0.0 {
+            return None;
+        }
+        if alpha_min == 0.0 {
+            // One operand is empty: the product is zero; skip it.
+            return None;
+        }
+        Some(if alpha_min >= 0.5 {
+            Primitive::Gemm
+        } else if alpha_max >= 2.0 / self.psys as f64 {
+            Primitive::SpDmm
+        } else {
+            Primitive::Spmm
+        })
+    }
+
+    /// Exhaustive argmin over the three primitives — used by tests to verify
+    /// that the closed-form regions of [`best_primitive`](Self::best_primitive)
+    /// really select the fastest primitive, and by the oracle ablation.
+    pub fn argmin_primitive(
+        &self,
+        m: usize,
+        n: usize,
+        d: usize,
+        alpha_x: f64,
+        alpha_y: f64,
+    ) -> Primitive {
+        Primitive::all()
+            .into_iter()
+            .min_by_key(|&p| self.execution_cycles(p, m, n, d, alpha_x, alpha_y))
+            .expect("three candidates")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PerformanceModel {
+        PerformanceModel::new(16)
+    }
+
+    #[test]
+    fn gemm_cycles_match_closed_form() {
+        let m = model();
+        // 256x256x256 / 16^2 = 65536 cycles regardless of density.
+        assert_eq!(m.execution_cycles(Primitive::Gemm, 256, 256, 256, 0.1, 0.9), 65_536);
+        assert_eq!(m.execution_cycles(Primitive::Gemm, 256, 256, 256, 1.0, 1.0), 65_536);
+    }
+
+    #[test]
+    fn spdmm_cycles_scale_with_minimum_density() {
+        let m = model();
+        let dense = m.execution_cycles(Primitive::SpDmm, 128, 128, 128, 1.0, 1.0);
+        let sparse = m.execution_cycles(Primitive::SpDmm, 128, 128, 128, 0.25, 1.0);
+        assert_eq!(dense, 2 * 128 * 128 * 128 / 256);
+        assert_eq!(sparse, dense / 4);
+        // Density order does not matter.
+        assert_eq!(
+            m.execution_cycles(Primitive::SpDmm, 128, 128, 128, 1.0, 0.25),
+            sparse
+        );
+    }
+
+    #[test]
+    fn spmm_cycles_scale_with_product_of_densities() {
+        let m = model();
+        let c = m.execution_cycles(Primitive::Spmm, 64, 64, 64, 0.1, 0.2);
+        let expect = (0.1f64 * 0.2 * 64.0 * 64.0 * 64.0 / 16.0).ceil() as u64;
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn zero_work_costs_nothing() {
+        let m = model();
+        assert_eq!(m.execution_cycles(Primitive::Gemm, 0, 16, 16, 1.0, 1.0), 0);
+        assert_eq!(m.execution_cycles(Primitive::Spmm, 16, 16, 16, 0.0, 0.5), 0);
+    }
+
+    #[test]
+    fn best_primitive_regions_match_paper_thresholds() {
+        let m = model();
+        // α_min >= 1/2 -> GEMM.
+        assert_eq!(m.best_primitive(0.6, 0.9), Some(Primitive::Gemm));
+        assert_eq!(m.best_primitive(0.5, 0.5), Some(Primitive::Gemm));
+        // α_min < 1/2, α_max >= 2/16 = 0.125 -> SpDMM.
+        assert_eq!(m.best_primitive(0.3, 0.4), Some(Primitive::SpDmm));
+        assert_eq!(m.best_primitive(0.01, 1.0), Some(Primitive::SpDmm));
+        // Both below 2/psys -> SPMM.
+        assert_eq!(m.best_primitive(0.05, 0.1), Some(Primitive::Spmm));
+        // Empty operand -> skip.
+        assert_eq!(m.best_primitive(0.0, 0.7), None);
+        assert_eq!(m.best_primitive(0.0, 0.0), None);
+    }
+
+    #[test]
+    fn closed_form_matches_exhaustive_argmin() {
+        let m = model();
+        let densities = [0.001, 0.01, 0.05, 0.1, 0.124, 0.126, 0.3, 0.49, 0.51, 0.8, 1.0];
+        for &ax in &densities {
+            for &ay in &densities {
+                let closed = m.best_primitive(ax, ay).unwrap();
+                let brute = m.argmin_primitive(256, 256, 128, ax, ay);
+                let c_closed = m.execution_cycles(closed, 256, 256, 128, ax, ay);
+                let c_brute = m.execution_cycles(brute, 256, 256, 128, ax, ay);
+                // The closed form may tie with the brute-force winner but can
+                // never be slower by more than a rounding cycle.
+                assert!(
+                    c_closed <= c_brute + 1,
+                    "ax={ax} ay={ay}: closed {closed:?} ({c_closed}) vs brute {brute:?} ({c_brute})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn psys_8_shifts_the_spdmm_spmm_boundary() {
+        let m = PerformanceModel::new(8);
+        // 2/psys = 0.25: a pair at (0.2, 0.2) now prefers SPMM.
+        assert_eq!(m.best_primitive(0.2, 0.2), Some(Primitive::Spmm));
+        assert_eq!(model().best_primitive(0.2, 0.2), Some(Primitive::SpDmm));
+    }
+
+    #[test]
+    #[should_panic(expected = "psys must be at least 2")]
+    fn tiny_psys_is_rejected() {
+        let _ = PerformanceModel::new(1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Multi-core timeline: the substrate of dynamic task scheduling.
+//!
+//! The runtime system's Scheduler (Algorithm 8) assigns each ready task to an
+//! idle Computation Core; a core raises an interrupt when it finishes and
+//! receives the next task.  Mechanically this is a greedy earliest-idle-core
+//! assignment, which [`CorePool`] implements as an event-driven timeline.
+//! The Scheduler in `dynasparse-runtime` drives this pool; keeping the
+//! timeline here lets accelerator-level tests exercise it in isolation.
+
+use serde::{Deserialize, Serialize};
+
+/// Assignment of one task to one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskAssignment {
+    /// Index of the core the task ran on.
+    pub core: usize,
+    /// Cycle at which the task started.
+    pub start: u64,
+    /// Cycle at which the task finished.
+    pub finish: u64,
+}
+
+/// Outcome of scheduling a batch of tasks onto the pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleOutcome {
+    /// Per-task assignment, in submission order.
+    pub assignments: Vec<TaskAssignment>,
+    /// Cycle at which the last task finished (the kernel's execution time,
+    /// since Algorithm 8 waits for all tasks of a kernel before starting the
+    /// next kernel).
+    pub makespan: u64,
+    /// Sum of busy cycles over all cores.
+    pub busy_cycles: u64,
+}
+
+impl ScheduleOutcome {
+    /// Average core utilization over the makespan.
+    pub fn utilization(&self, num_cores: usize) -> f64 {
+        if self.makespan == 0 || num_cores == 0 {
+            return 0.0;
+        }
+        self.busy_cycles as f64 / (self.makespan as f64 * num_cores as f64)
+    }
+}
+
+/// A pool of Computation Cores with per-core availability times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorePool {
+    available_at: Vec<u64>,
+}
+
+impl CorePool {
+    /// Creates a pool of `num_cores` idle cores.
+    pub fn new(num_cores: usize) -> Self {
+        assert!(num_cores > 0, "the accelerator has at least one core");
+        CorePool {
+            available_at: vec![0; num_cores],
+        }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.available_at.len()
+    }
+
+    /// Cycle at which every core is idle again.
+    pub fn makespan(&self) -> u64 {
+        self.available_at.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Assigns a task of `cycles` duration to the earliest-idle core,
+    /// returning the assignment.  `ready_at` is the earliest cycle the task
+    /// may start (its kernel's start time).
+    pub fn assign(&mut self, cycles: u64, ready_at: u64) -> TaskAssignment {
+        let (core, &avail) = self
+            .available_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("pool is non-empty");
+        let start = avail.max(ready_at);
+        let finish = start + cycles;
+        self.available_at[core] = finish;
+        TaskAssignment {
+            core,
+            start,
+            finish,
+        }
+    }
+
+    /// Schedules a whole batch of task durations (one kernel's tasks), all
+    /// ready at `ready_at`, using longest-task-first order to approximate the
+    /// best greedy makespan.  Returns the per-task assignments in the
+    /// original submission order.
+    pub fn schedule_batch(&mut self, task_cycles: &[u64], ready_at: u64) -> ScheduleOutcome {
+        let mut order: Vec<usize> = (0..task_cycles.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(task_cycles[i]));
+        let mut assignments = vec![
+            TaskAssignment {
+                core: 0,
+                start: ready_at,
+                finish: ready_at,
+            };
+            task_cycles.len()
+        ];
+        let mut busy = 0u64;
+        for &i in &order {
+            let a = self.assign(task_cycles[i], ready_at);
+            busy += task_cycles[i];
+            assignments[i] = a;
+        }
+        ScheduleOutcome {
+            assignments,
+            makespan: self.makespan(),
+            busy_cycles: busy,
+        }
+    }
+
+    /// Resets all cores to idle at cycle 0.
+    pub fn reset(&mut self) {
+        for t in &mut self.available_at {
+            *t = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_serializes_tasks() {
+        let mut pool = CorePool::new(1);
+        let out = pool.schedule_batch(&[10, 20, 30], 0);
+        assert_eq!(out.makespan, 60);
+        assert_eq!(out.busy_cycles, 60);
+        assert!((out.utilization(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_cores_reduce_makespan() {
+        let mut pool = CorePool::new(7);
+        let tasks = vec![100u64; 14];
+        let out = pool.schedule_batch(&tasks, 0);
+        assert_eq!(out.makespan, 200);
+        assert!((out.utilization(7) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longest_task_first_balances_skewed_workloads() {
+        let mut pool = CorePool::new(2);
+        // Greedy LPT on {8, 5, 4, 3, 2} over 2 cores gives makespan 11.
+        let out = pool.schedule_batch(&[3, 8, 5, 4, 2], 0);
+        assert_eq!(out.makespan, 11);
+        // Assignments are returned in submission order.
+        assert_eq!(out.assignments.len(), 5);
+    }
+
+    #[test]
+    fn ready_at_delays_task_start() {
+        let mut pool = CorePool::new(2);
+        pool.schedule_batch(&[50, 50], 0);
+        let a = pool.assign(10, 100);
+        assert_eq!(a.start, 100);
+        assert_eq!(a.finish, 110);
+        assert_eq!(pool.makespan(), 110);
+    }
+
+    #[test]
+    fn makespan_never_beats_the_critical_path_or_the_ideal_split() {
+        let mut pool = CorePool::new(4);
+        let tasks = vec![7, 13, 2, 9, 31, 5, 5, 5, 6];
+        let out = pool.schedule_batch(&tasks, 0);
+        let total: u64 = tasks.iter().sum();
+        let longest = *tasks.iter().max().unwrap();
+        assert!(out.makespan >= longest);
+        assert!(out.makespan >= total.div_ceil(4));
+        assert!(out.makespan <= total);
+    }
+
+    #[test]
+    fn reset_clears_the_timeline() {
+        let mut pool = CorePool::new(3);
+        pool.schedule_batch(&[10, 10, 10, 10], 0);
+        assert!(pool.makespan() > 0);
+        pool.reset();
+        assert_eq!(pool.makespan(), 0);
+        assert_eq!(pool.num_cores(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn empty_pool_is_rejected() {
+        let _ = CorePool::new(0);
+    }
+}

@@ -1,0 +1,61 @@
+//! The three computation primitives and their ACM execution modes.
+
+use serde::{Deserialize, Serialize};
+
+/// Computation primitive a block product can be mapped to (Section III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Primitive {
+    /// Dense × dense matrix multiplication; no zero is skipped.
+    Gemm,
+    /// Sparse × dense multiplication; zeros of the sparser operand skipped.
+    SpDmm,
+    /// Sparse × sparse multiplication; zeros of both operands skipped.
+    Spmm,
+}
+
+impl Primitive {
+    /// All primitives.
+    pub fn all() -> [Primitive; 3] {
+        [Primitive::Gemm, Primitive::SpDmm, Primitive::Spmm]
+    }
+
+    /// Multiply-accumulate operations the ACM sustains per clock cycle in the
+    /// corresponding execution mode (the "MACs per cycle" row of Table IV).
+    pub fn macs_per_cycle(self, psys: usize) -> f64 {
+        let p = psys as f64;
+        match self {
+            Primitive::Gemm => p * p,
+            Primitive::SpDmm => p * p / 2.0,
+            Primitive::Spmm => p,
+        }
+    }
+
+    /// Display label used in reports and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            Primitive::Gemm => "GEMM",
+            Primitive::SpDmm => "SpDMM",
+            Primitive::Spmm => "SPMM",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_per_cycle_match_table_iv() {
+        assert_eq!(Primitive::Gemm.macs_per_cycle(16), 256.0);
+        assert_eq!(Primitive::SpDmm.macs_per_cycle(16), 128.0);
+        assert_eq!(Primitive::Spmm.macs_per_cycle(16), 16.0);
+    }
+
+    #[test]
+    fn labels_match_paper_terminology() {
+        assert_eq!(Primitive::Gemm.label(), "GEMM");
+        assert_eq!(Primitive::SpDmm.label(), "SpDMM");
+        assert_eq!(Primitive::Spmm.label(), "SPMM");
+        assert_eq!(Primitive::all().len(), 3);
+    }
+}

@@ -1,0 +1,105 @@
+//! Soft-processor (MicroBlaze) cost model.
+//!
+//! The runtime system — the Analyzer performing dynamic kernel-to-primitive
+//! mapping (Algorithm 7) and the Scheduler dispatching tasks (Algorithm 8) —
+//! runs on a lightweight soft processor clocked at 370 MHz and sustaining
+//! roughly 500 million instructions per second (Section VII).  Its work is
+//! proportional to the number of block products (one density comparison per
+//! pair) and to the number of tasks (one interrupt + dispatch per task).
+//! Because the runtime system processes kernel `l+1` while the accelerator
+//! executes kernel `l`, the overhead is hidden unless it exceeds the
+//! accelerator's execution time; Fig. 13 reports the ratio.
+
+use crate::config::AcceleratorConfig;
+use serde::{Deserialize, Serialize};
+
+/// Cost model of the runtime system running on the soft processor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SoftProcessorModel {
+    mips: f64,
+    instructions_per_decision: f64,
+    instructions_per_schedule_event: f64,
+}
+
+impl SoftProcessorModel {
+    /// Builds the model from the accelerator configuration.
+    pub fn from_config(config: &AcceleratorConfig) -> Self {
+        SoftProcessorModel {
+            mips: config.soft_processor_mips,
+            instructions_per_decision: config.instructions_per_k2p_decision,
+            instructions_per_schedule_event: config.instructions_per_schedule_event,
+        }
+    }
+
+    /// Seconds spent performing `decisions` kernel-to-primitive decisions
+    /// (one per non-skipped block product, Algorithm 7).
+    pub fn k2p_seconds(&self, decisions: usize) -> f64 {
+        decisions as f64 * self.instructions_per_decision / (self.mips * 1e6)
+    }
+
+    /// Seconds spent on `events` task-scheduling events (Algorithm 8: one
+    /// interrupt service + dispatch per task).
+    pub fn scheduling_seconds(&self, events: usize) -> f64 {
+        events as f64 * self.instructions_per_schedule_event / (self.mips * 1e6)
+    }
+
+    /// Total runtime-system time for one inference.
+    pub fn total_seconds(&self, decisions: usize, schedule_events: usize) -> f64 {
+        self.k2p_seconds(decisions) + self.scheduling_seconds(schedule_events)
+    }
+
+    /// Fraction of the accelerator execution time the runtime system
+    /// represents (the quantity of Fig. 13).  The overhead is *not* added to
+    /// the latency when it is smaller than the execution time, because the
+    /// runtime system pipelines its work one kernel ahead.
+    pub fn overhead_fraction(&self, runtime_seconds: f64, accelerator_seconds: f64) -> f64 {
+        if accelerator_seconds <= 0.0 {
+            return 0.0;
+        }
+        runtime_seconds / accelerator_seconds
+    }
+
+    /// Additional latency the runtime system adds on top of the accelerator
+    /// execution: zero while it stays hidden, the excess otherwise.
+    pub fn exposed_seconds(&self, runtime_seconds: f64, accelerator_seconds: f64) -> f64 {
+        (runtime_seconds - accelerator_seconds).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SoftProcessorModel {
+        SoftProcessorModel::from_config(&AcceleratorConfig::default())
+    }
+
+    #[test]
+    fn decision_cost_matches_mips_budget() {
+        let m = model();
+        // 12 instructions per decision at 500 MIPS = 24 ns.
+        assert!((m.k2p_seconds(1) - 24e-9).abs() < 1e-12);
+        assert!((m.k2p_seconds(1000) - 24e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scheduling_cost_scales_with_events() {
+        let m = model();
+        assert!(m.scheduling_seconds(100) > m.scheduling_seconds(10));
+        assert_eq!(m.scheduling_seconds(0), 0.0);
+    }
+
+    #[test]
+    fn overhead_fraction_and_exposure() {
+        let m = model();
+        let runtime = m.total_seconds(10_000, 100);
+        assert!(runtime > 0.0);
+        // Hidden case: accelerator takes much longer.
+        assert_eq!(m.exposed_seconds(runtime, 1.0), 0.0);
+        assert!(m.overhead_fraction(runtime, 1.0) < 0.01);
+        // Exposed case: accelerator finishes first.
+        let exposed = m.exposed_seconds(runtime, runtime / 2.0);
+        assert!((exposed - runtime / 2.0).abs() < 1e-12);
+        assert_eq!(m.overhead_fraction(runtime, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests of the performance model and the scheduling
+//! substrate: the closed-form primitive-selection regions must always agree
+//! with brute-force minimisation, and the greedy scheduler must respect the
+//! standard makespan bounds.
+
+use dynasparse_accel::{CorePool, PerformanceModel, Primitive};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn closed_form_primitive_choice_is_never_slower_than_brute_force(
+        ax in 0.0f64..=1.0,
+        ay in 0.0f64..=1.0,
+        psys in 4usize..=32,
+    ) {
+        let model = PerformanceModel::new(psys);
+        if let Some(choice) = model.best_primitive(ax, ay) {
+            let brute = model.argmin_primitive(128, 128, 128, ax, ay);
+            let c_choice = model.execution_cycles(choice, 128, 128, 128, ax, ay);
+            let c_brute = model.execution_cycles(brute, 128, 128, 128, ax, ay);
+            prop_assert!(c_choice <= c_brute + 1);
+        } else {
+            // Skipping only happens when an operand is empty.
+            prop_assert!(ax.min(ay) <= 0.0);
+        }
+    }
+
+    #[test]
+    fn execution_cycles_are_monotone_in_density(
+        a1 in 0.0f64..=1.0,
+        a2 in 0.0f64..=1.0,
+        ay in 0.0f64..=1.0,
+    ) {
+        let model = PerformanceModel::new(16);
+        let (lo, hi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
+        for p in [Primitive::SpDmm, Primitive::Spmm] {
+            let c_lo = model.execution_cycles(p, 64, 64, 64, lo, ay);
+            let c_hi = model.execution_cycles(p, 64, 64, 64, hi, ay);
+            prop_assert!(c_lo <= c_hi, "{p:?}: {c_lo} > {c_hi}");
+        }
+        // GEMM is density-insensitive.
+        prop_assert_eq!(
+            model.execution_cycles(Primitive::Gemm, 64, 64, 64, lo, ay),
+            model.execution_cycles(Primitive::Gemm, 64, 64, 64, hi, ay)
+        );
+    }
+
+    #[test]
+    fn gemm_is_an_upper_bound_on_spdmm_only_below_half_density(
+        alpha in 0.0f64..=1.0,
+    ) {
+        let model = PerformanceModel::new(16);
+        let gemm = model.execution_cycles(Primitive::Gemm, 128, 128, 128, alpha, 1.0);
+        let spdmm = model.execution_cycles(Primitive::SpDmm, 128, 128, 128, alpha, 1.0);
+        if alpha < 0.5 {
+            prop_assert!(spdmm <= gemm);
+        } else {
+            prop_assert!(spdmm >= gemm);
+        }
+    }
+
+    #[test]
+    fn greedy_schedule_respects_makespan_bounds(
+        tasks in proptest::collection::vec(1u64..10_000, 1..64),
+        cores in 1usize..=8,
+    ) {
+        let mut pool = CorePool::new(cores);
+        let out = pool.schedule_batch(&tasks, 0);
+        let total: u64 = tasks.iter().sum();
+        let longest = *tasks.iter().max().unwrap();
+        let ideal = total.div_ceil(cores as u64);
+        prop_assert!(out.makespan >= longest);
+        prop_assert!(out.makespan >= ideal);
+        prop_assert!(out.makespan <= total);
+        // Graham's bound for greedy list scheduling: makespan <= total/m + pmax.
+        let bound = ideal + longest;
+        prop_assert!(out.makespan <= bound, "makespan {} > bound {}", out.makespan, bound);
+        prop_assert_eq!(out.busy_cycles, total);
+        prop_assert!(out.utilization(cores) <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! End-to-end latency accounting (Section VIII-D of the paper).
+//!
+//! The paper defines end-to-end latency as the sum of (1) compilation /
+//! preprocessing on the host, (2) CPU→FPGA data movement over PCIe, and
+//! (3) accelerator execution, and reports that the three contribute roughly
+//! 43 % / 27 % / 28 % on average.  This module packages that accounting for
+//! the Dynasparse side and for the CPU/GPU baselines (which have no
+//! preprocessing step, and a PCIe transfer only on the GPU).
+
+use serde::{Deserialize, Serialize};
+
+/// The three end-to-end components, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EndToEndBreakdown {
+    /// Compilation / preprocessing time on the host.
+    pub preprocessing_ms: f64,
+    /// Host-to-device data movement.
+    pub data_movement_ms: f64,
+    /// Device execution time.
+    pub execution_ms: f64,
+}
+
+impl EndToEndBreakdown {
+    /// Total end-to-end latency.
+    pub fn total_ms(&self) -> f64 {
+        self.preprocessing_ms + self.data_movement_ms + self.execution_ms
+    }
+
+    /// Fraction contributed by each component `(preprocessing, movement,
+    /// execution)`.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let total = self.total_ms();
+        if total <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.preprocessing_ms / total,
+            self.data_movement_ms / total,
+            self.execution_ms / total,
+        )
+    }
+}
+
+/// Builder for end-to-end comparisons between Dynasparse and a baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EndToEndModel {
+    /// Dynasparse's breakdown for the workload.
+    pub dynasparse: EndToEndBreakdown,
+    /// The baseline's breakdown for the same workload.
+    pub baseline: EndToEndBreakdown,
+}
+
+impl EndToEndModel {
+    /// Speedup of Dynasparse over the baseline in end-to-end latency.
+    pub fn end_to_end_speedup(&self) -> f64 {
+        let d = self.dynasparse.total_ms();
+        if d <= 0.0 {
+            return 0.0;
+        }
+        self.baseline.total_ms() / d
+    }
+
+    /// Speedup of Dynasparse over the baseline in execution latency only
+    /// (the Fig. 14 metric).
+    pub fn execution_speedup(&self) -> f64 {
+        if self.dynasparse.execution_ms <= 0.0 {
+            return 0.0;
+        }
+        self.baseline.execution_ms / self.dynasparse.execution_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let b = EndToEndBreakdown {
+            preprocessing_ms: 4.0,
+            data_movement_ms: 3.0,
+            execution_ms: 3.0,
+        };
+        assert!((b.total_ms() - 10.0).abs() < 1e-12);
+        let (p, m, e) = b.fractions();
+        assert!((p - 0.4).abs() < 1e-12);
+        assert!((m - 0.3).abs() < 1e-12);
+        assert!((e - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_total_is_handled() {
+        let b = EndToEndBreakdown {
+            preprocessing_ms: 0.0,
+            data_movement_ms: 0.0,
+            execution_ms: 0.0,
+        };
+        assert_eq!(b.fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn speedups_compare_the_right_quantities() {
+        let m = EndToEndModel {
+            dynasparse: EndToEndBreakdown {
+                preprocessing_ms: 4.0,
+                data_movement_ms: 3.0,
+                execution_ms: 3.0,
+            },
+            baseline: EndToEndBreakdown {
+                preprocessing_ms: 0.0,
+                data_movement_ms: 5.0,
+                execution_ms: 45.0,
+            },
+        };
+        assert!((m.end_to_end_speedup() - 5.0).abs() < 1e-12);
+        assert!((m.execution_speedup() - 15.0).abs() < 1e-12);
+        // End-to-end speedup is smaller than execution speedup because the
+        // preprocessing and data movement dilute it — the same effect the
+        // paper reports (306x execution vs 56.9x end-to-end against PyG-CPU).
+        assert!(m.end_to_end_speedup() < m.execution_speedup());
+    }
+}

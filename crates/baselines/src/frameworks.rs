@@ -1,0 +1,320 @@
+//! Analytic latency models of the baseline GNN software frameworks and the
+//! prior GNN accelerators.
+//!
+//! All baselines share one structural property the paper leans on: they
+//! exploit **only the sparsity of the graph structure** (their aggregation is
+//! a CSR SpMM), never the sparsity of the feature matrices or of the pruned
+//! weight matrices.  Their per-kernel work is therefore
+//!
+//! * Aggregate: `2 · nnz(A) · f` FLOPs, streaming the CSR structure and the
+//!   feature matrix;
+//! * Update: `2 · |V| · f_in · f_out` FLOPs of dense GEMM.
+//!
+//! Each baseline is a roofline over the published platform numbers
+//! (Table V), scaled by an achieved-efficiency factor that captures how well
+//! the framework/accelerator uses its platform for these irregular, small
+//! kernels, plus a fixed per-kernel dispatch overhead (framework/kernel
+//! launch).  The efficiency factors are calibrated so the relative ordering
+//! matches the published comparisons; EXPERIMENTS.md records the calibration.
+
+use crate::platforms::PlatformSpec;
+use dynasparse_compiler::{ComputationGraph, KernelKind};
+use serde::{Deserialize, Serialize};
+
+/// Per-kernel workload description used by the baseline models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelWork {
+    /// Aggregate or Update.
+    pub kind: KernelKind,
+    /// FLOPs the baseline performs for this kernel.
+    pub flops: f64,
+    /// Bytes the baseline streams for this kernel.
+    pub bytes: f64,
+}
+
+/// The whole model's workload as a baseline framework sees it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSummary {
+    /// Per-kernel work in execution order.
+    pub kernels: Vec<KernelWork>,
+    /// Bytes of input data (graph + features + weights) the platform must
+    /// ingest before execution.
+    pub input_bytes: f64,
+}
+
+impl WorkloadSummary {
+    /// Builds the workload from a compiled computation graph and the measured
+    /// graph/feature statistics.  `nnz_adjacency` should include self-loops;
+    /// `feature_density` is only used for the input-transfer size (frameworks
+    /// still compute densely).
+    pub fn from_graph(
+        graph: &ComputationGraph,
+        nnz_adjacency: usize,
+        input_feature_dim: usize,
+        feature_density: f64,
+    ) -> Self {
+        let kernels = graph
+            .kernels
+            .iter()
+            .map(|k| match k.kind {
+                KernelKind::Aggregate => {
+                    let flops = 2.0 * nnz_adjacency as f64 * k.output_dim as f64;
+                    let bytes = 8.0 * nnz_adjacency as f64
+                        + 8.0 * k.num_vertices as f64 * k.output_dim as f64;
+                    KernelWork {
+                        kind: k.kind,
+                        flops,
+                        bytes,
+                    }
+                }
+                KernelKind::Update => {
+                    let flops =
+                        2.0 * k.num_vertices as f64 * k.input_dim as f64 * k.output_dim as f64;
+                    let bytes = 4.0
+                        * (k.num_vertices as f64 * (k.input_dim + k.output_dim) as f64
+                            + (k.input_dim * k.output_dim) as f64);
+                    KernelWork {
+                        kind: k.kind,
+                        flops,
+                        bytes,
+                    }
+                }
+            })
+            .collect();
+        let num_vertices = graph
+            .kernels
+            .first()
+            .map(|k| k.num_vertices)
+            .unwrap_or(0) as f64;
+        let input_bytes = 12.0 * nnz_adjacency as f64
+            + 4.0 * num_vertices * input_feature_dim as f64 * feature_density.clamp(0.0, 1.0).max(0.01);
+        WorkloadSummary {
+            kernels,
+            input_bytes,
+        }
+    }
+
+    /// Total FLOPs across kernels.
+    pub fn total_flops(&self) -> f64 {
+        self.kernels.iter().map(|k| k.flops).sum()
+    }
+
+    /// Total bytes streamed across kernels.
+    pub fn total_bytes(&self) -> f64 {
+        self.kernels.iter().map(|k| k.bytes).sum()
+    }
+}
+
+/// Which baseline implementation is being modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameworkKind {
+    /// PyTorch Geometric on the CPU.
+    PygCpu,
+    /// PyTorch Geometric on the GPU.
+    PygGpu,
+    /// Deep Graph Library on the CPU.
+    DglCpu,
+    /// Deep Graph Library on the GPU.
+    DglGpu,
+    /// HyGCN (ASIC accelerator, static mapping).
+    HyGcn,
+    /// BoostGCN (Stratix 10 FPGA accelerator, static mapping).
+    BoostGcn,
+}
+
+impl FrameworkKind {
+    /// The four software frameworks of Fig. 14.
+    pub fn software() -> [FrameworkKind; 4] {
+        [
+            FrameworkKind::PygCpu,
+            FrameworkKind::PygGpu,
+            FrameworkKind::DglCpu,
+            FrameworkKind::DglGpu,
+        ]
+    }
+
+    /// The two prior accelerators of Table X.
+    pub fn accelerators() -> [FrameworkKind; 2] {
+        [FrameworkKind::HyGcn, FrameworkKind::BoostGcn]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameworkKind::PygCpu => "PyG-CPU",
+            FrameworkKind::PygGpu => "PyG-GPU",
+            FrameworkKind::DglCpu => "DGL-CPU",
+            FrameworkKind::DglGpu => "DGL-GPU",
+            FrameworkKind::HyGcn => "HyGCN",
+            FrameworkKind::BoostGcn => "BoostGCN",
+        }
+    }
+
+    /// The platform this baseline runs on.
+    pub fn platform(self) -> PlatformSpec {
+        match self {
+            FrameworkKind::PygCpu | FrameworkKind::DglCpu => PlatformSpec::cpu_ryzen_3990x(),
+            FrameworkKind::PygGpu | FrameworkKind::DglGpu => PlatformSpec::gpu_rtx3090(),
+            FrameworkKind::HyGcn => PlatformSpec::hygcn(),
+            FrameworkKind::BoostGcn => PlatformSpec::boostgcn(),
+        }
+    }
+
+    /// Achieved fraction of peak FLOPS on irregular GNN kernels.
+    ///
+    /// The GPU fractions are deliberately low: full-graph inference on these
+    /// graphs uses small hidden dimensions and sparse scatter/gather
+    /// operations, so the frameworks leave most of the 36 TFLOPS idle.  The
+    /// paper's own relative numbers imply the same (PyG-GPU is only ~19×
+    /// faster than PyG-CPU and DGL-GPU only ~4× faster than DGL-CPU).
+    fn compute_efficiency(self) -> f64 {
+        match self {
+            FrameworkKind::PygCpu => 0.03,
+            FrameworkKind::DglCpu => 0.06,
+            FrameworkKind::PygGpu => 0.012,
+            FrameworkKind::DglGpu => 0.008,
+            // HyGCN's hybrid dataflow under-utilizes badly for the small
+            // hidden dimensions of these models (the paper observes the
+            // same: it loses to BoostGCN despite 7x the peak).
+            FrameworkKind::HyGcn => 0.004,
+            FrameworkKind::BoostGcn => 0.25,
+        }
+    }
+
+    /// Achieved fraction of peak memory bandwidth.
+    fn memory_efficiency(self) -> f64 {
+        match self {
+            FrameworkKind::PygCpu => 0.25,
+            FrameworkKind::DglCpu => 0.4,
+            FrameworkKind::PygGpu => 0.35,
+            FrameworkKind::DglGpu => 0.35,
+            FrameworkKind::HyGcn => 0.4,
+            FrameworkKind::BoostGcn => 0.5,
+        }
+    }
+
+    /// Fixed per-kernel dispatch overhead in seconds (framework call / GPU
+    /// kernel launch / accelerator configuration).
+    fn dispatch_overhead_seconds(self) -> f64 {
+        match self {
+            FrameworkKind::PygCpu | FrameworkKind::DglCpu => 40e-6,
+            FrameworkKind::PygGpu | FrameworkKind::DglGpu => 15e-6,
+            FrameworkKind::HyGcn | FrameworkKind::BoostGcn => 5e-6,
+        }
+    }
+}
+
+/// A baseline bound to a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameworkBaseline {
+    /// Which baseline this is.
+    pub kind: FrameworkKind,
+    /// The workload being executed.
+    pub workload: WorkloadSummary,
+}
+
+impl FrameworkBaseline {
+    /// Creates the baseline model for a workload.
+    pub fn new(kind: FrameworkKind, workload: WorkloadSummary) -> Self {
+        FrameworkBaseline { kind, workload }
+    }
+
+    /// Execution latency (milliseconds) of the workload on this baseline —
+    /// the quantity compared against the accelerator latency in Fig. 14 and
+    /// Table X.
+    pub fn execution_ms(&self) -> f64 {
+        let platform = self.kind.platform();
+        let ce = self.kind.compute_efficiency();
+        let me = self.kind.memory_efficiency();
+        let dispatch = self.kind.dispatch_overhead_seconds();
+        let seconds: f64 = self
+            .workload
+            .kernels
+            .iter()
+            .map(|k| platform.roofline_seconds(k.flops, k.bytes, ce, me) + dispatch)
+            .sum();
+        seconds * 1e3
+    }
+
+    /// Host-to-device input transfer time in milliseconds (zero for CPU
+    /// baselines, PCIe for the GPU, not charged for the fixed-function
+    /// accelerators which the paper also excludes).
+    pub fn input_transfer_ms(&self) -> f64 {
+        self.kind.platform().interconnect_seconds(self.workload.input_bytes) * 1e3
+    }
+
+    /// End-to-end latency: input transfer + execution (software frameworks
+    /// have no compiler preprocessing step).
+    pub fn end_to_end_ms(&self) -> f64 {
+        self.input_transfer_ms() + self.execution_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasparse_model::GnnModel;
+
+    fn cora_workload() -> WorkloadSummary {
+        let model = GnnModel::gcn(1433, 16, 7, 0);
+        let graph = ComputationGraph::from_model(&model, 2708, 5429);
+        WorkloadSummary::from_graph(&graph, 5429 + 2708, 1433, 0.0127)
+    }
+
+    #[test]
+    fn workload_flops_match_hand_computation() {
+        let w = cora_workload();
+        assert_eq!(w.kernels.len(), 4);
+        // First Update: 2 * |V| * 1433 * 16.
+        let expect = 2.0 * 2708.0 * 1433.0 * 16.0;
+        assert!((w.kernels[0].flops - expect).abs() < 1.0);
+        // First Aggregate: 2 * nnz * 16.
+        let expect = 2.0 * (5429.0 + 2708.0) * 16.0;
+        assert!((w.kernels[1].flops - expect).abs() < 1.0);
+        assert!(w.total_flops() > 0.0);
+        assert!(w.total_bytes() > 0.0);
+    }
+
+    #[test]
+    fn cpu_is_slower_than_gpu_for_the_same_framework() {
+        let w = cora_workload();
+        let pyg_cpu = FrameworkBaseline::new(FrameworkKind::PygCpu, w.clone()).execution_ms();
+        let pyg_gpu = FrameworkBaseline::new(FrameworkKind::PygGpu, w).execution_ms();
+        assert!(pyg_cpu > pyg_gpu);
+    }
+
+    #[test]
+    fn dgl_cpu_beats_pyg_cpu() {
+        let w = cora_workload();
+        let pyg = FrameworkBaseline::new(FrameworkKind::PygCpu, w.clone()).execution_ms();
+        let dgl = FrameworkBaseline::new(FrameworkKind::DglCpu, w).execution_ms();
+        assert!(dgl < pyg);
+    }
+
+    #[test]
+    fn boostgcn_beats_hygcn_despite_lower_peak() {
+        // The paper's Table X shows the same inversion.
+        let w = cora_workload();
+        let hygcn = FrameworkBaseline::new(FrameworkKind::HyGcn, w.clone()).execution_ms();
+        let boostgcn = FrameworkBaseline::new(FrameworkKind::BoostGcn, w).execution_ms();
+        assert!(boostgcn < hygcn);
+    }
+
+    #[test]
+    fn gpu_pays_an_input_transfer_cost() {
+        let w = cora_workload();
+        let cpu = FrameworkBaseline::new(FrameworkKind::DglCpu, w.clone());
+        let gpu = FrameworkBaseline::new(FrameworkKind::DglGpu, w);
+        assert_eq!(cpu.input_transfer_ms(), 0.0);
+        assert!(gpu.input_transfer_ms() > 0.0);
+        assert!(gpu.end_to_end_ms() > gpu.execution_ms());
+    }
+
+    #[test]
+    fn framework_name_and_grouping() {
+        assert_eq!(FrameworkKind::software().len(), 4);
+        assert_eq!(FrameworkKind::accelerators().len(), 2);
+        assert_eq!(FrameworkKind::PygCpu.name(), "PyG-CPU");
+        assert_eq!(FrameworkKind::BoostGcn.name(), "BoostGCN");
+    }
+}

@@ -1,0 +1,29 @@
+//! Baseline platform models for the Dynasparse evaluation.
+//!
+//! The paper compares its FPGA design against
+//!
+//! * **CPU / GPU frameworks** — PyTorch Geometric and DGL on an AMD Ryzen
+//!   3990x and an Nvidia RTX3090 (Fig. 14 and the end-to-end discussion of
+//!   Section VIII-D);
+//! * **GNN accelerators** — HyGCN (ASIC) and BoostGCN (Stratix 10 FPGA),
+//!   both of which use static kernel-to-primitive mappings (Table X).
+//!
+//! We cannot run PyG/DGL or the authors' accelerators here, so this crate
+//! models each baseline with a roofline-style analytic model parameterised by
+//! the published platform numbers of Table V (peak FLOPS, memory bandwidth)
+//! and by *which kinds of sparsity the baseline exploits*: the CPU/GPU
+//! frameworks and the prior accelerators exploit only the sparsity of the
+//! graph structure, never the sparsity of feature or weight matrices — that
+//! difference, not the raw peak numbers, is what produces the speedup shape
+//! the paper reports.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod end_to_end;
+pub mod frameworks;
+pub mod platforms;
+
+pub use end_to_end::{EndToEndBreakdown, EndToEndModel};
+pub use frameworks::{FrameworkBaseline, FrameworkKind, WorkloadSummary};
+pub use platforms::PlatformSpec;

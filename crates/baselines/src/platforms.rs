@@ -1,0 +1,147 @@
+//! Platform specifications (Table V of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Peak-performance and memory characteristics of one evaluation platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Human-readable platform name.
+    pub name: &'static str,
+    /// Peak throughput in TFLOPS (single precision).
+    pub peak_tflops: f64,
+    /// Memory bandwidth in GB/s.
+    pub memory_bandwidth_gbps: f64,
+    /// Host-interconnect bandwidth in GB/s (PCIe) used for end-to-end
+    /// accounting; zero when not applicable.
+    pub interconnect_gbps: f64,
+}
+
+impl PlatformSpec {
+    /// AMD Ryzen 3990x (the paper's CPU baseline).
+    pub fn cpu_ryzen_3990x() -> Self {
+        PlatformSpec {
+            name: "AMD Ryzen 3990x",
+            peak_tflops: 3.7,
+            memory_bandwidth_gbps: 107.0,
+            interconnect_gbps: 0.0,
+        }
+    }
+
+    /// Nvidia RTX3090 (the paper's GPU baseline).
+    pub fn gpu_rtx3090() -> Self {
+        PlatformSpec {
+            name: "Nvidia RTX3090",
+            peak_tflops: 36.0,
+            memory_bandwidth_gbps: 936.2,
+            interconnect_gbps: 31.5,
+        }
+    }
+
+    /// HyGCN (ASIC, TSMC 12 nm).
+    pub fn hygcn() -> Self {
+        PlatformSpec {
+            name: "HyGCN",
+            peak_tflops: 4.608,
+            memory_bandwidth_gbps: 256.0,
+            interconnect_gbps: 0.0,
+        }
+    }
+
+    /// BoostGCN (Intel Stratix 10 GX FPGA).
+    pub fn boostgcn() -> Self {
+        PlatformSpec {
+            name: "BoostGCN",
+            peak_tflops: 0.64,
+            memory_bandwidth_gbps: 77.0,
+            interconnect_gbps: 0.0,
+        }
+    }
+
+    /// Dynasparse on the Alveo U250 (for reference comparisons).
+    pub fn dynasparse_u250() -> Self {
+        PlatformSpec {
+            name: "Dynasparse (Alveo U250)",
+            peak_tflops: 0.512,
+            memory_bandwidth_gbps: 77.0,
+            interconnect_gbps: 11.2,
+        }
+    }
+
+    /// Seconds to perform `flops` floating-point operations at an achieved
+    /// efficiency of `efficiency` (0–1] of peak.
+    pub fn compute_seconds(&self, flops: f64, efficiency: f64) -> f64 {
+        let eff = efficiency.clamp(1e-6, 1.0);
+        flops / (self.peak_tflops * 1e12 * eff)
+    }
+
+    /// Seconds to move `bytes` through the memory system at an achieved
+    /// efficiency of `efficiency` of peak bandwidth.
+    pub fn memory_seconds(&self, bytes: f64, efficiency: f64) -> f64 {
+        let eff = efficiency.clamp(1e-6, 1.0);
+        bytes / (self.memory_bandwidth_gbps * 1e9 * eff)
+    }
+
+    /// Roofline execution time: the max of the compute and memory times.
+    pub fn roofline_seconds(
+        &self,
+        flops: f64,
+        bytes: f64,
+        compute_eff: f64,
+        memory_eff: f64,
+    ) -> f64 {
+        self.compute_seconds(flops, compute_eff)
+            .max(self.memory_seconds(bytes, memory_eff))
+    }
+
+    /// Seconds to move `bytes` over the host interconnect (0 if none).
+    pub fn interconnect_seconds(&self, bytes: f64) -> f64 {
+        if self.interconnect_gbps <= 0.0 {
+            0.0
+        } else {
+            bytes / (self.interconnect_gbps * 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_numbers_are_reproduced() {
+        assert_eq!(PlatformSpec::cpu_ryzen_3990x().peak_tflops, 3.7);
+        assert_eq!(PlatformSpec::gpu_rtx3090().peak_tflops, 36.0);
+        assert_eq!(PlatformSpec::hygcn().peak_tflops, 4.608);
+        assert_eq!(PlatformSpec::boostgcn().peak_tflops, 0.64);
+        assert_eq!(PlatformSpec::dynasparse_u250().peak_tflops, 0.512);
+        // The paper notes the CPU and GPU have 7.2x / 70x higher peak
+        // performance than Dynasparse.
+        let dyn_peak = PlatformSpec::dynasparse_u250().peak_tflops;
+        assert!((PlatformSpec::cpu_ryzen_3990x().peak_tflops / dyn_peak - 7.2).abs() < 0.1);
+        assert!((PlatformSpec::gpu_rtx3090().peak_tflops / dyn_peak - 70.3).abs() < 0.5);
+    }
+
+    #[test]
+    fn roofline_is_the_binding_constraint() {
+        let p = PlatformSpec::cpu_ryzen_3990x();
+        // Compute-bound case.
+        let t = p.roofline_seconds(3.7e12, 1e6, 1.0, 1.0);
+        assert!((t - 1.0).abs() < 1e-9);
+        // Memory-bound case.
+        let t = p.roofline_seconds(1e6, 107e9, 1.0, 1.0);
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_scales_times() {
+        let p = PlatformSpec::gpu_rtx3090();
+        assert!(p.compute_seconds(1e12, 0.5) > p.compute_seconds(1e12, 1.0));
+        assert!(p.memory_seconds(1e9, 0.5) > p.memory_seconds(1e9, 1.0));
+    }
+
+    #[test]
+    fn interconnect_time_is_zero_without_a_link() {
+        assert_eq!(PlatformSpec::cpu_ryzen_3990x().interconnect_seconds(1e9), 0.0);
+        assert!(PlatformSpec::gpu_rtx3090().interconnect_seconds(31.5e9) > 0.99);
+    }
+}

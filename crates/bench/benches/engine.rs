@@ -1,0 +1,45 @@
+//! Criterion benchmark of the end-to-end engine (compile + functional
+//! execution + analysis of all three mapping strategies) on a small and a
+//! medium dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynasparse::{Engine, EngineOptions, MappingStrategy};
+use dynasparse_graph::Dataset;
+use dynasparse_model::{GnnModel, GnnModelKind};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_evaluate");
+    group.sample_size(10);
+    let engine = Engine::new(EngineOptions::default());
+
+    let cora = Dataset::Cora.spec().generate_scaled(3, 0.25);
+    let cora_model =
+        GnnModel::standard(GnnModelKind::Gcn, cora.features.dim(), 16, cora.spec.num_classes, 1);
+    group.bench_function("gcn_cora_quarter_scale", |b| {
+        b.iter(|| {
+            engine
+                .evaluate(&cora_model, &cora, &MappingStrategy::paper_strategies())
+                .unwrap()
+        })
+    });
+
+    let pubmed = Dataset::PubMed.spec().generate_scaled(3, 0.1);
+    let pubmed_model = GnnModel::standard(
+        GnnModelKind::GraphSage,
+        pubmed.features.dim(),
+        16,
+        pubmed.spec.num_classes,
+        1,
+    );
+    group.bench_function("graphsage_pubmed_tenth_scale", |b| {
+        b.iter(|| {
+            engine
+                .evaluate(&pubmed_model, &pubmed, &[MappingStrategy::Dynamic])
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

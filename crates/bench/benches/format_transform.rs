@@ -1,0 +1,41 @@
+//! Criterion benchmarks of the Auxiliary Hardware Module's data-preparation
+//! algorithms: the prefix-sum Dense-to-Sparse compaction (Fig. 8), layout
+//! transformation and sparsity profiling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynasparse_matrix::format::{d2s_compact_chunk, dense_to_coo, FormatTransformConfig};
+use dynasparse_matrix::random::random_dense;
+use dynasparse_matrix::{BlockGrid, DensityProfile, Layout};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_d2s(c: &mut Criterion) {
+    let mut group = c.benchmark_group("format_transform");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(3);
+    let tile = random_dense(&mut rng, 256, 256, 0.2);
+    group.bench_function("d2s_chunk_16", |b| {
+        let chunk: Vec<f32> = tile.row(0)[..16].to_vec();
+        b.iter(|| d2s_compact_chunk(&chunk))
+    });
+    group.bench_function("dense_to_coo_256x256", |b| {
+        b.iter(|| dense_to_coo(&tile, FormatTransformConfig::default()))
+    });
+    group.bench_function("layout_transform_256x256", |b| {
+        b.iter(|| tile.to_layout(Layout::ColMajor))
+    });
+    for &block in &[64usize, 128] {
+        group.bench_with_input(
+            BenchmarkId::new("density_profile_256x256", block),
+            &block,
+            |b, &block| {
+                let grid = BlockGrid::new(256, 256, block, block);
+                b.iter(|| DensityProfile::of_dense(&tile, &grid))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_d2s);
+criterion_main!(benches);

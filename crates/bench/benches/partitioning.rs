@@ -1,0 +1,31 @@
+//! Criterion benchmarks of the compiler: partition-size selection, execution
+//! scheme generation and compile-time sparsity profiling (the components of
+//! the Table IX preprocessing time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynasparse_compiler::{choose_partition, compile, CompilerConfig, ComputationGraph};
+use dynasparse_graph::Dataset;
+use dynasparse_model::{GnnModel, GnnModelKind};
+
+fn bench_partition_selection(c: &mut Criterion) {
+    let model = GnnModel::standard(GnnModelKind::Gcn, 500, 128, 7, 0);
+    let graph = ComputationGraph::from_model(&model, 89_250, 899_756);
+    let config = CompilerConfig::default();
+    c.bench_function("choose_partition_flickr_gcn", |b| {
+        b.iter(|| choose_partition(&graph, &config))
+    });
+}
+
+fn bench_full_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(10);
+    let ds = Dataset::Cora.spec().generate_scaled(5, 1.0);
+    let model = GnnModel::standard(GnnModelKind::Gcn, ds.features.dim(), 16, 7, 0);
+    group.bench_function("cora_gcn_full_compile", |b| {
+        b.iter(|| compile(&model, &ds, &CompilerConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition_selection, bench_full_compile);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the three computation primitives
+//! (functional kernels) across operand densities, plus the detailed ACM
+//! simulators.  These support the Table IV trade-off analysis: GEMM is
+//! density-insensitive, SpDMM scales with the sparser operand, SPMM with the
+//! product of densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynasparse_accel::{AcceleratorConfig, ComputationCore, Primitive};
+use dynasparse_matrix::format::FormattedBlock;
+use dynasparse_matrix::ops::{gemm_reference, spdmm_reference, spmm_reference};
+use dynasparse_matrix::random::random_dense;
+use dynasparse_matrix::CooMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SIZE: usize = 128;
+
+fn bench_functional_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional_primitives");
+    group.sample_size(10);
+    for &density in &[0.05, 0.25, 1.0] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = random_dense(&mut rng, SIZE, SIZE, density);
+        let y = random_dense(&mut rng, SIZE, SIZE, density);
+        let x_coo = CooMatrix::from_dense(&x);
+        let y_coo = CooMatrix::from_dense(&y);
+        group.bench_with_input(BenchmarkId::new("gemm", density), &density, |b, _| {
+            b.iter(|| gemm_reference(&x, &y).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("spdmm", density), &density, |b, _| {
+            b.iter(|| spdmm_reference(&x_coo, &y).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("spmm", density), &density, |b, _| {
+            b.iter(|| spmm_reference(&x_coo, &y_coo).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_detailed_acm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detailed_acm");
+    group.sample_size(10);
+    let core = ComputationCore::new(AcceleratorConfig::default());
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = random_dense(&mut rng, SIZE, SIZE, 0.1);
+    let y = random_dense(&mut rng, SIZE, SIZE, 0.5);
+    for primitive in Primitive::all() {
+        group.bench_function(primitive.label(), |b| {
+            b.iter(|| {
+                core.execute_pair_detailed(
+                    primitive,
+                    &FormattedBlock::Dense(x.clone()),
+                    &FormattedBlock::Dense(y.clone()),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_functional_primitives, bench_detailed_acm);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Ablation: quality of the closed-form dynamic kernel-to-primitive mapping.
+//!
+//! 1. Over a grid of operand densities, compare the primitive chosen by the
+//!    Dynamic strategy (the closed-form regions of Section VI-A) against the
+//!    exhaustive per-pair oracle and against the static strategies, in
+//!    predicted cycles.
+//! 2. Validate the analytic Table IV model against the detailed
+//!    micro-architecture simulation on random blocks.
+
+use dynasparse_accel::{AcceleratorConfig, ComputationCore, PerformanceModel, Primitive};
+use dynasparse_bench::print_table;
+use dynasparse_compiler::KernelKind;
+use dynasparse_matrix::format::FormattedBlock;
+use dynasparse_matrix::random::random_dense;
+use dynasparse_runtime::MappingStrategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let perf = PerformanceModel::new(16);
+    let densities = [0.001, 0.01, 0.05, 0.1, 0.125, 0.2, 0.3, 0.5, 0.8, 1.0];
+    let (m, n, d) = (256, 256, 128);
+
+    // Part 1: strategy quality over the density grid.
+    let mut rows = Vec::new();
+    let mut dynamic_total = 0u64;
+    let mut oracle_total = 0u64;
+    let mut s1_total = 0u64;
+    let mut s2_total = 0u64;
+    for &ax in &densities {
+        for &ay in &densities {
+            let cost = |s: MappingStrategy| {
+                let dec = s.decide(KernelKind::Update, ax, ay, &perf);
+                s.pair_cycles(&dec, m, n, d, ax, ay, &perf)
+            };
+            dynamic_total += cost(MappingStrategy::Dynamic);
+            oracle_total += cost(MappingStrategy::Oracle);
+            s1_total += cost(MappingStrategy::Static1);
+            s2_total += cost(MappingStrategy::Static2);
+        }
+    }
+    rows.push(vec![
+        "Update 256x256x128 grid".to_string(),
+        dynamic_total.to_string(),
+        oracle_total.to_string(),
+        s1_total.to_string(),
+        s2_total.to_string(),
+        format!("{:.3}", dynamic_total as f64 / oracle_total as f64),
+    ]);
+    print_table(
+        "Ablation 1: total predicted cycles over the density grid",
+        &["scenario", "Dynamic", "Oracle", "S1", "S2", "Dynamic/Oracle"],
+        &rows,
+    );
+
+    // Part 2: analytic vs detailed model.
+    let core = ComputationCore::new(AcceleratorConfig::default());
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut rows = Vec::new();
+    for &(ax, ay, primitive) in &[
+        (1.0, 1.0, Primitive::Gemm),
+        (0.2, 1.0, Primitive::SpDmm),
+        (0.05, 1.0, Primitive::SpDmm),
+        (0.05, 0.05, Primitive::Spmm),
+        (0.01, 0.02, Primitive::Spmm),
+    ] {
+        let x = random_dense(&mut rng, 128, 128, ax);
+        let y = random_dense(&mut rng, 128, 64, ay);
+        let analytic = perf.execution_cycles(primitive, 128, 128, 64, x.density(), y.density());
+        let detailed = core.execute_pair_detailed(
+            primitive,
+            &FormattedBlock::Dense(x),
+            &FormattedBlock::Dense(y),
+        );
+        rows.push(vec![
+            primitive.label().to_string(),
+            format!("{ax:.2}/{ay:.2}"),
+            analytic.to_string(),
+            detailed.cycles.to_string(),
+            format!("{:.2}", detailed.cycles as f64 / analytic.max(1) as f64),
+        ]);
+    }
+    print_table(
+        "Ablation 2: analytic Table IV model vs detailed micro-architecture simulation (128x128x64 blocks)",
+        &["primitive", "densities", "analytic cycles", "detailed cycles", "ratio"],
+        &rows,
+    );
+}

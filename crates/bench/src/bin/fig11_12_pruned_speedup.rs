@@ -1,0 +1,79 @@
+//! Figs. 11 and 12 — speedup of the Dynamic mapping over S1 (Fig. 11) and
+//! over S2 (Fig. 12) as the GNN weight matrices are pruned to increasing
+//! sparsity.
+//!
+//! `DYNASPARSE_QUICK=1` reduces the sweep (GCN + GIN, four sparsity points)
+//! for fast smoke runs.
+
+use dynasparse_bench::{
+    all_datasets, all_models, fmt_speedup, print_table, quick_mode, run_eval, write_json,
+};
+use dynasparse_model::GnnModelKind;
+use dynasparse_runtime::MappingStrategy;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    model: String,
+    dataset: String,
+    weight_sparsity: f64,
+    so_s1: f64,
+    so_s2: f64,
+    dynamic_ms: f64,
+}
+
+fn main() {
+    let (models, sparsities): (Vec<GnnModelKind>, Vec<f64>) = if quick_mode() {
+        (
+            vec![GnnModelKind::Gcn, GnnModelKind::Gin],
+            vec![0.0, 0.5, 0.9, 0.99],
+        )
+    } else {
+        (
+            all_models().to_vec(),
+            vec![0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.99],
+        )
+    };
+
+    let mut report = Vec::new();
+    for &model in &models {
+        let mut rows_s1 = Vec::new();
+        let mut rows_s2 = Vec::new();
+        for dataset in all_datasets() {
+            let mut cells_s1 = vec![dataset.abbrev().to_string()];
+            let mut cells_s2 = vec![dataset.abbrev().to_string()];
+            for &sparsity in &sparsities {
+                let rec = run_eval(model, dataset, sparsity);
+                let so_s1 = rec.speedup_over(MappingStrategy::Static1);
+                let so_s2 = rec.speedup_over(MappingStrategy::Static2);
+                cells_s1.push(fmt_speedup(so_s1));
+                cells_s2.push(fmt_speedup(so_s2));
+                report.push(SweepPoint {
+                    model: model.name().to_string(),
+                    dataset: dataset.name().to_string(),
+                    weight_sparsity: sparsity,
+                    so_s1,
+                    so_s2,
+                    dynamic_ms: rec.latency_ms(MappingStrategy::Dynamic),
+                });
+            }
+            rows_s1.push(cells_s1);
+            rows_s2.push(cells_s2);
+        }
+        let headers: Vec<String> = std::iter::once("DS".to_string())
+            .chain(sparsities.iter().map(|s| format!("{:.0}%", s * 100.0)))
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        print_table(
+            &format!("Fig. 11 ({}): speedup of Dynamic over S1 vs weight sparsity", model.name()),
+            &header_refs,
+            &rows_s1,
+        );
+        print_table(
+            &format!("Fig. 12 ({}): speedup of Dynamic over S2 vs weight sparsity", model.name()),
+            &header_refs,
+            &rows_s2,
+        );
+    }
+    write_json("fig11_12_pruned_speedup", &report);
+}

@@ -1,0 +1,81 @@
+//! Fig. 14 — speedup of Dynasparse over the CPU/GPU baselines (PyG and DGL on
+//! the Ryzen 3990x and the RTX3090), in accelerator execution latency, for
+//! the unpruned models.
+//!
+//! The baseline latencies come from the analytic roofline models of
+//! `dynasparse-baselines`, fed with the published platform numbers
+//! (Table V) and the *published-scale* workload; the Dynasparse latency is
+//! the simulated dynamic-mapping latency extrapolated to published scale.
+
+use dynasparse_baselines::{FrameworkBaseline, FrameworkKind, WorkloadSummary};
+use dynasparse_bench::{all_datasets, all_models, fmt_speedup, geomean, print_table, run_eval, write_json};
+use dynasparse_compiler::ComputationGraph;
+use dynasparse_model::GnnModel;
+use dynasparse_runtime::MappingStrategy;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig14Row {
+    model: String,
+    dataset: String,
+    dynasparse_ms: f64,
+    baselines_ms: Vec<(String, f64)>,
+    speedups: Vec<(String, f64)>,
+}
+
+fn published_workload(kind: dynasparse_model::GnnModelKind, dataset: dynasparse_graph::Dataset) -> WorkloadSummary {
+    let spec = dataset.spec();
+    let model = GnnModel::standard(kind, spec.feature_dim, spec.hidden_dim, spec.num_classes, 7);
+    let graph = ComputationGraph::from_model(&model, spec.num_vertices, spec.num_edges);
+    WorkloadSummary::from_graph(
+        &graph,
+        spec.num_edges + spec.num_vertices,
+        spec.feature_dim,
+        spec.feature_density,
+    )
+}
+
+fn main() {
+    let mut report = Vec::new();
+    let mut per_baseline_speedups: std::collections::HashMap<&'static str, Vec<f64>> =
+        std::collections::HashMap::new();
+    for model in all_models() {
+        let mut rows = Vec::new();
+        for dataset in all_datasets() {
+            let rec = run_eval(model, dataset, 0.0);
+            let dynasparse_ms = rec.latency_ms(MappingStrategy::Dynamic);
+            let workload = published_workload(model, dataset);
+            let mut cells = vec![dataset.abbrev().to_string(), format!("{dynasparse_ms:.3}")];
+            let mut baselines_ms = Vec::new();
+            let mut speedups = Vec::new();
+            for kind in FrameworkKind::software() {
+                let baseline = FrameworkBaseline::new(kind, workload.clone());
+                let ms = baseline.execution_ms();
+                let speedup = ms / dynasparse_ms;
+                per_baseline_speedups.entry(kind.name()).or_default().push(speedup);
+                cells.push(fmt_speedup(speedup));
+                baselines_ms.push((kind.name().to_string(), ms));
+                speedups.push((kind.name().to_string(), speedup));
+            }
+            rows.push(cells);
+            report.push(Fig14Row {
+                model: model.name().to_string(),
+                dataset: dataset.name().to_string(),
+                dynasparse_ms,
+                baselines_ms,
+                speedups,
+            });
+        }
+        print_table(
+            &format!("Fig. 14 ({}): speedup of Dynasparse over CPU/GPU frameworks", model.name()),
+            &["DS", "Dyna (ms)", "vs PyG-CPU", "vs PyG-GPU", "vs DGL-CPU", "vs DGL-GPU"],
+            &rows,
+        );
+    }
+    println!("\nGeometric-mean speedups across models and datasets:");
+    for kind in FrameworkKind::software() {
+        let speedups = &per_baseline_speedups[kind.name()];
+        println!("  vs {:8}: {:.1}x", kind.name(), geomean(speedups));
+    }
+    write_json("fig14_cpu_gpu", &report);
+}

@@ -1,0 +1,68 @@
+//! Table VII — accelerator execution latency of the three mapping strategies
+//! (S1, S2, Dynamic) on the unpruned GNN models, plus the speedup of Dynamic
+//! over each static strategy (SO-S1 / SO-S2) and the geometric means.
+
+use dynasparse_bench::{
+    all_datasets, all_models, fmt_ms, fmt_speedup, geomean, print_table, run_eval, write_json,
+};
+use dynasparse_runtime::MappingStrategy;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table7Row {
+    model: String,
+    dataset: String,
+    s1_ms: f64,
+    s2_ms: f64,
+    dynamic_ms: f64,
+    so_s1: f64,
+    so_s2: f64,
+}
+
+fn main() {
+    let mut report = Vec::new();
+    let mut so_s1_all = Vec::new();
+    let mut so_s2_all = Vec::new();
+    for model in all_models() {
+        let mut rows = Vec::new();
+        for dataset in all_datasets() {
+            let rec = run_eval(model, dataset, 0.0);
+            let s1 = rec.latency_ms(MappingStrategy::Static1);
+            let s2 = rec.latency_ms(MappingStrategy::Static2);
+            let dynamic = rec.latency_ms(MappingStrategy::Dynamic);
+            let so_s1 = rec.speedup_over(MappingStrategy::Static1);
+            let so_s2 = rec.speedup_over(MappingStrategy::Static2);
+            so_s1_all.push(so_s1);
+            so_s2_all.push(so_s2);
+            rows.push(vec![
+                dataset.abbrev().to_string(),
+                fmt_ms(s1),
+                fmt_ms(s2),
+                fmt_ms(dynamic),
+                fmt_speedup(so_s1),
+                fmt_speedup(so_s2),
+            ]);
+            report.push(Table7Row {
+                model: model.name().to_string(),
+                dataset: dataset.name().to_string(),
+                s1_ms: s1,
+                s2_ms: s2,
+                dynamic_ms: dynamic,
+                so_s1,
+                so_s2,
+            });
+        }
+        print_table(
+            &format!("Table VII ({}): latency (ms) on unpruned models", model.name()),
+            &["DS", "S1", "S2", "Dynamic", "SO-S1", "SO-S2"],
+            &rows,
+        );
+    }
+    println!(
+        "\nGeometric mean speedup: SO-S1 = {:.2}x, SO-S2 = {:.2}x, overall vs static = {:.2}x",
+        geomean(&so_s1_all),
+        geomean(&so_s2_all),
+        geomean(&[geomean(&so_s1_all), geomean(&so_s2_all)])
+    );
+    write_json("table07_unpruned", &report);
+}

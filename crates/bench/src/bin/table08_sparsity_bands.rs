@@ -1,0 +1,76 @@
+//! Table VIII — geometric-mean speedup of Dynamic over S1/S2 per band of
+//! weight sparsity (<50 %, 50–70 %, 70–90 %, >90 %).
+//!
+//! `DYNASPARSE_QUICK=1` uses one sparsity point per band and two models.
+
+use dynasparse_bench::{all_datasets, all_models, geomean, print_table, quick_mode, run_eval, write_json};
+use dynasparse_model::GnnModelKind;
+use dynasparse_runtime::MappingStrategy;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BandRow {
+    band: String,
+    so_s1_geomean: f64,
+    so_s2_geomean: f64,
+    samples: usize,
+}
+
+fn main() {
+    let bands: [(&str, Vec<f64>); 4] = if quick_mode() {
+        [
+            ("<50%", vec![0.3]),
+            ("50-70%", vec![0.6]),
+            ("70-90%", vec![0.8]),
+            (">90%", vec![0.95]),
+        ]
+    } else {
+        [
+            ("<50%", vec![0.2, 0.4]),
+            ("50-70%", vec![0.5, 0.7]),
+            ("70-90%", vec![0.8, 0.9]),
+            (">90%", vec![0.95, 0.99]),
+        ]
+    };
+    let models: Vec<GnnModelKind> = if quick_mode() {
+        vec![GnnModelKind::Gcn, GnnModelKind::Gin]
+    } else {
+        all_models().to_vec()
+    };
+
+    let mut rows = Vec::new();
+    let mut report = Vec::new();
+    for (band, sparsities) in &bands {
+        let mut so_s1 = Vec::new();
+        let mut so_s2 = Vec::new();
+        for &model in &models {
+            for dataset in all_datasets() {
+                for &s in sparsities {
+                    let rec = run_eval(model, dataset, s);
+                    so_s1.push(rec.speedup_over(MappingStrategy::Static1));
+                    so_s2.push(rec.speedup_over(MappingStrategy::Static2));
+                }
+            }
+        }
+        let g1 = geomean(&so_s1);
+        let g2 = geomean(&so_s2);
+        rows.push(vec![
+            band.to_string(),
+            format!("{g1:.2}x"),
+            format!("{g2:.2}x"),
+            so_s1.len().to_string(),
+        ]);
+        report.push(BandRow {
+            band: band.to_string(),
+            so_s1_geomean: g1,
+            so_s2_geomean: g2,
+            samples: so_s1.len(),
+        });
+    }
+    print_table(
+        "Table VIII: geometric-mean speedup per weight-sparsity band",
+        &["band", "SO-S1", "SO-S2", "samples"],
+        &rows,
+    );
+    write_json("table08_sparsity_bands", &report);
+}

@@ -1,0 +1,51 @@
+//! Table IX — preprocessing (compilation) time of the compiler per model and
+//! dataset: IR generation, data partitioning / execution-scheme generation
+//! and compile-time sparsity profiling.
+
+use dynasparse_bench::{all_datasets, all_models, build_model, load_dataset, print_table, write_json};
+use dynasparse_compiler::{compile, CompilerConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PreprocessRow {
+    model: String,
+    dataset: String,
+    total_ms: f64,
+    ir_ms: f64,
+    partition_ms: f64,
+    profiling_ms: f64,
+}
+
+fn main() {
+    let mut report = Vec::new();
+    for model_kind in all_models() {
+        let mut rows = Vec::new();
+        for dataset in all_datasets() {
+            let ds = load_dataset(dataset);
+            let model = build_model(model_kind, &ds);
+            let rep = compile(&model, &ds, &CompilerConfig::default());
+            let row = PreprocessRow {
+                model: model_kind.name().to_string(),
+                dataset: dataset.name().to_string(),
+                total_ms: rep.total_ms(),
+                ir_ms: rep.ir_time.as_secs_f64() * 1e3,
+                partition_ms: rep.partition_time.as_secs_f64() * 1e3,
+                profiling_ms: rep.profiling_time.as_secs_f64() * 1e3,
+            };
+            rows.push(vec![
+                dataset.abbrev().to_string(),
+                format!("{:.3}", row.total_ms),
+                format!("{:.3}", row.ir_ms),
+                format!("{:.3}", row.partition_ms),
+                format!("{:.3}", row.profiling_ms),
+            ]);
+            report.push(row);
+        }
+        print_table(
+            &format!("Table IX ({}): compiler preprocessing time (ms)", model_kind.name()),
+            &["DS", "total", "IR", "partition+schemes", "sparsity profiling"],
+            &rows,
+        );
+    }
+    write_json("table09_preprocessing", &report);
+}

@@ -1,0 +1,79 @@
+//! Table X — comparison of accelerator execution latency with the prior GNN
+//! accelerators HyGCN and BoostGCN, using the GCN model (the only model both
+//! baselines report).
+
+use dynasparse_baselines::{FrameworkBaseline, FrameworkKind, WorkloadSummary};
+use dynasparse_bench::{all_datasets, fmt_ms, fmt_speedup, geomean, print_table, run_eval, write_json};
+use dynasparse_compiler::ComputationGraph;
+use dynasparse_model::{GnnModel, GnnModelKind};
+use dynasparse_runtime::MappingStrategy;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table10Row {
+    dataset: String,
+    boostgcn_ms: f64,
+    hygcn_ms: f64,
+    dynasparse_ms: f64,
+    speedup_vs_boostgcn: f64,
+    speedup_vs_hygcn: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut report = Vec::new();
+    let mut vs_boost = Vec::new();
+    let mut vs_hygcn = Vec::new();
+    for dataset in all_datasets() {
+        let spec = dataset.spec();
+        let model = GnnModel::standard(
+            GnnModelKind::Gcn,
+            spec.feature_dim,
+            spec.hidden_dim,
+            spec.num_classes,
+            7,
+        );
+        let graph = ComputationGraph::from_model(&model, spec.num_vertices, spec.num_edges);
+        let workload = WorkloadSummary::from_graph(
+            &graph,
+            spec.num_edges + spec.num_vertices,
+            spec.feature_dim,
+            spec.feature_density,
+        );
+        let boostgcn = FrameworkBaseline::new(FrameworkKind::BoostGcn, workload.clone()).execution_ms();
+        let hygcn = FrameworkBaseline::new(FrameworkKind::HyGcn, workload).execution_ms();
+        let rec = run_eval(GnnModelKind::Gcn, dataset, 0.0);
+        let dynasparse = rec.latency_ms(MappingStrategy::Dynamic);
+        let s_boost = boostgcn / dynasparse;
+        let s_hygcn = hygcn / dynasparse;
+        vs_boost.push(s_boost);
+        vs_hygcn.push(s_hygcn);
+        rows.push(vec![
+            dataset.abbrev().to_string(),
+            fmt_ms(boostgcn),
+            fmt_ms(hygcn),
+            fmt_ms(dynasparse),
+            fmt_speedup(s_boost),
+            fmt_speedup(s_hygcn),
+        ]);
+        report.push(Table10Row {
+            dataset: dataset.name().to_string(),
+            boostgcn_ms: boostgcn,
+            hygcn_ms: hygcn,
+            dynasparse_ms: dynasparse,
+            speedup_vs_boostgcn: s_boost,
+            speedup_vs_hygcn: s_hygcn,
+        });
+    }
+    print_table(
+        "Table X: GCN latency (ms) vs prior FPGA/ASIC accelerators",
+        &["DS", "BoostGCN", "HyGCN", "Dynasparse", "vs BoostGCN", "vs HyGCN"],
+        &rows,
+    );
+    println!(
+        "\nGeometric-mean speedup: {:.2}x over BoostGCN, {:.1}x over HyGCN",
+        geomean(&vs_boost),
+        geomean(&vs_hygcn)
+    );
+    write_json("table10_fpga_baselines", &report);
+}

@@ -1,0 +1,249 @@
+//! The end-to-end compilation pass: model + graph → optimized IR.
+//!
+//! `compile()` performs the two compilation steps of Section IV-B — parsing
+//! the input into the computation graph, then data partitioning and
+//! execution-scheme generation — plus the compile-time sparsity
+//! preprocessing, and reports how long each step took (the preprocessing
+//! overhead of Table IX).
+
+use crate::config::CompilerConfig;
+use crate::ir::{ComputationGraph, KernelIr};
+use crate::partitioning::choose_partition;
+use crate::schemes::{generate_tasks, TaskDescriptor};
+use crate::sparsity::StaticSparsity;
+use dynasparse_graph::GraphDataset;
+use dynasparse_model::GnnModel;
+use dynasparse_matrix::PartitionSpec;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// One kernel of the optimized IR: its Table II meta data plus its execution
+/// scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledKernel {
+    /// Kernel meta data.
+    pub ir: KernelIr,
+    /// Execution scheme: the independent tasks of the kernel.
+    pub tasks: Vec<TaskDescriptor>,
+}
+
+impl CompiledKernel {
+    /// Total number of block products across all tasks of the kernel.
+    pub fn total_pairs(&self) -> usize {
+        self.tasks.iter().map(|t| t.num_pairs()).sum()
+    }
+}
+
+/// The optimized IR handed to the runtime system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledProgram {
+    /// Kernels in execution order with their execution schemes.
+    pub kernels: Vec<CompiledKernel>,
+    /// The partition sizes chosen by Algorithm 9.
+    pub partition: PartitionSpec,
+    /// Compile-time sparsity information.
+    pub static_sparsity: StaticSparsity,
+    /// Number of GNN layers in the source model.
+    pub num_layers: usize,
+    /// Number of vertices of the compiled graph instance.
+    pub num_vertices: usize,
+    /// Number of edges of the compiled graph instance.
+    pub num_edges: usize,
+    /// Bytes that must be moved from host memory to FPGA external memory
+    /// before execution (processed graph + features + weights + IR), used by
+    /// the end-to-end latency accounting of Section VIII-D.
+    pub data_movement_bytes: usize,
+}
+
+impl CompiledProgram {
+    /// Total number of tasks across all kernels.
+    pub fn total_tasks(&self) -> usize {
+        self.kernels.iter().map(|k| k.tasks.len()).sum()
+    }
+
+    /// Total number of block products across all kernels.
+    pub fn total_pairs(&self) -> usize {
+        self.kernels.iter().map(|k| k.total_pairs()).sum()
+    }
+
+    /// Kernels of GNN layer `layer_id` (1-based).
+    pub fn layer_kernels(&self, layer_id: usize) -> Vec<&CompiledKernel> {
+        self.kernels
+            .iter()
+            .filter(|k| k.ir.layer_id == layer_id)
+            .collect()
+    }
+}
+
+/// Timing breakdown of one compilation (the quantity of Table IX).
+#[derive(Debug, Clone, Serialize)]
+pub struct CompileReport {
+    /// The optimized IR.
+    pub program: CompiledProgram,
+    /// Time spent building the computation graph (IR generation).
+    pub ir_time: Duration,
+    /// Time spent choosing partition sizes and generating execution schemes.
+    pub partition_time: Duration,
+    /// Time spent profiling compile-time data sparsity.
+    pub profiling_time: Duration,
+    /// Total preprocessing time.
+    pub total_time: Duration,
+}
+
+impl CompileReport {
+    /// Total preprocessing time in milliseconds (the unit of Table IX).
+    pub fn total_ms(&self) -> f64 {
+        self.total_time.as_secs_f64() * 1e3
+    }
+}
+
+/// Compiles a model against a dataset: builds the computation graph, chooses
+/// partition sizes, generates execution schemes and profiles static
+/// sparsity.
+pub fn compile(
+    model: &GnnModel,
+    dataset: &GraphDataset,
+    config: &CompilerConfig,
+) -> CompileReport {
+    let start = Instant::now();
+
+    // Step 1: parse the input into the computation graph.
+    let t0 = Instant::now();
+    let graph = ComputationGraph::from_model(
+        model,
+        dataset.graph.num_vertices(),
+        dataset.graph.num_edges(),
+    );
+    let ir_time = t0.elapsed();
+
+    // Step 2: data partitioning + execution-scheme generation.
+    let t1 = Instant::now();
+    let partition = choose_partition(&graph, config);
+    let kernels: Vec<CompiledKernel> = graph
+        .kernels
+        .iter()
+        .map(|ir| CompiledKernel {
+            ir: ir.clone(),
+            tasks: generate_tasks(ir, &partition),
+        })
+        .collect();
+    let partition_time = t1.elapsed();
+
+    // Step 3: compile-time sparsity preprocessing.
+    let t2 = Instant::now();
+    let static_sparsity = StaticSparsity::profile(model, dataset, &partition);
+    let profiling_time = t2.elapsed();
+
+    // Data that must cross PCIe before execution: adjacency (CSR), input
+    // features (their stored representation), all weights (dense) and the IR
+    // (negligible but counted as one record per task).
+    let weights_bytes: usize = model.weights.iter().map(|w| w.size_bytes()).sum();
+    let ir_bytes: usize = kernels.iter().map(|k| 64 + k.tasks.len() * 16).sum();
+    let data_movement_bytes = dataset.graph.adjacency().size_bytes()
+        + dataset.features.size_bytes()
+        + weights_bytes
+        + ir_bytes;
+
+    let program = CompiledProgram {
+        kernels,
+        partition,
+        static_sparsity,
+        num_layers: graph.num_layers,
+        num_vertices: dataset.graph.num_vertices(),
+        num_edges: dataset.graph.num_edges(),
+        data_movement_bytes,
+    };
+    CompileReport {
+        program,
+        ir_time,
+        partition_time,
+        profiling_time,
+        total_time: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasparse_graph::Dataset;
+    use dynasparse_model::{GnnModel, GnnModelKind};
+
+    fn compile_small(kind: GnnModelKind) -> CompileReport {
+        let ds = Dataset::Cora.spec().generate_scaled(5, 0.25);
+        let model = GnnModel::standard(kind, ds.features.dim(), 16, ds.spec.num_classes, 2);
+        compile(&model, &ds, &CompilerConfig::default())
+    }
+
+    #[test]
+    fn compiled_program_covers_every_kernel() {
+        for kind in GnnModelKind::all() {
+            let report = compile_small(kind);
+            let model_kernels = match kind {
+                GnnModelKind::Gcn => 4,
+                GnnModelKind::GraphSage => 6,
+                GnnModelKind::Gin => 6,
+                GnnModelKind::Sgc => 3,
+            };
+            assert_eq!(
+                report.program.kernels.len(),
+                model_kernels,
+                "{}",
+                kind.name()
+            );
+            assert!(report.program.total_tasks() > 0);
+            assert!(report.program.total_pairs() >= report.program.total_tasks());
+        }
+    }
+
+    #[test]
+    fn task_counts_match_partition_formulas() {
+        let report = compile_small(GnnModelKind::Gcn);
+        let p = &report.program;
+        for k in &p.kernels {
+            let expect = match k.ir.kind {
+                crate::ir::KernelKind::Aggregate => p
+                    .partition
+                    .aggregate_tasks(k.ir.num_vertices, k.ir.output_dim),
+                crate::ir::KernelKind::Update => {
+                    p.partition.update_tasks(k.ir.num_vertices, k.ir.output_dim)
+                }
+            };
+            assert_eq!(k.tasks.len(), expect);
+        }
+    }
+
+    #[test]
+    fn timing_breakdown_sums_to_total() {
+        let report = compile_small(GnnModelKind::Gcn);
+        let parts = report.ir_time + report.partition_time + report.profiling_time;
+        assert!(parts <= report.total_time + Duration::from_millis(1));
+        assert!(report.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn data_movement_bytes_accounts_for_all_inputs() {
+        let report = compile_small(GnnModelKind::Gcn);
+        let p = &report.program;
+        assert!(p.data_movement_bytes > 0);
+        // It must at least include the adjacency matrix payload.
+        let ds = Dataset::Cora.spec().generate_scaled(5, 0.25);
+        assert!(p.data_movement_bytes > ds.graph.adjacency().size_bytes());
+    }
+
+    #[test]
+    fn layer_kernels_partition_the_kernel_list() {
+        let report = compile_small(GnnModelKind::GraphSage);
+        let p = &report.program;
+        let per_layer: usize = (1..=p.num_layers).map(|l| p.layer_kernels(l).len()).sum();
+        assert_eq!(per_layer, p.kernels.len());
+    }
+
+    #[test]
+    fn static_sparsity_reflects_the_dataset() {
+        let report = compile_small(GnnModelKind::Gcn);
+        let s = &report.program.static_sparsity;
+        assert!(s.adjacency_density() < 0.05);
+        assert!(s.input_feature_density() < 0.1);
+        assert!(s.weight_density() > 0.99);
+    }
+}

@@ -1,0 +1,108 @@
+//! Compiler configuration: the hardware facts the compiler needs.
+//!
+//! The compiler does not need the full accelerator model — only the number of
+//! Computation Cores (for the load-balance constraint of Algorithm 9), the
+//! per-core on-chip buffer capacity (for the memory-capacity constraint) and
+//! the load-balance factor `η`.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware facts and tuning knobs used during compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompilerConfig {
+    /// Number of Computation Cores in the accelerator (7 on the Alveo U250
+    /// floorplan of Fig. 9).
+    pub num_cores: usize,
+    /// Load-balance factor `η`: each kernel must decompose into at least
+    /// `η · num_cores` tasks (the paper follows GPOP and uses `η = 4`).
+    pub eta: usize,
+    /// On-chip buffer capacity available to one Computation Core, in bytes.
+    /// The Alveo U250 provides ≈45 MB of BRAM+URAM; divided across 7 cores
+    /// and the FPGA shell this leaves ≈5 MB per core.
+    pub per_core_buffer_bytes: usize,
+    /// Hard upper bound on any partition edge (guards against degenerate
+    /// cases where a single kernel is so small that the memory bound alone
+    /// would allow an enormous tile).
+    pub max_partition: usize,
+    /// Hard lower bound on any partition edge; a tile smaller than the
+    /// systolic-array dimension `psys = 16` wastes the ALU array.
+    pub min_partition: usize,
+}
+
+impl Default for CompilerConfig {
+    fn default() -> Self {
+        CompilerConfig {
+            num_cores: 7,
+            eta: 4,
+            per_core_buffer_bytes: 5 * 1024 * 1024,
+            max_partition: 2048,
+            min_partition: 16,
+        }
+    }
+}
+
+impl CompilerConfig {
+    /// Minimum number of tasks each kernel must decompose into.
+    pub fn min_tasks(&self) -> usize {
+        self.eta * self.num_cores
+    }
+
+    /// `g(So)` of Algorithm 9: the largest partition edge whose worst-case
+    /// (dense) tile fits the per-core buffer budget.  Four data buffers are
+    /// double-buffered, so a tile of edge `N` needs `8 · N² · 4` bytes in the
+    /// worst case; the result is rounded down to a power of two.
+    pub fn max_partition_from_memory(&self) -> usize {
+        let budget = self.per_core_buffer_bytes as f64 / 8.0;
+        let n = (budget / 4.0).sqrt().floor() as usize;
+        let n = n.min(self.max_partition).max(self.min_partition);
+        // Round down to a power of two for clean tiling.
+        let mut p = self.min_partition;
+        while p * 2 <= n {
+            p *= 2;
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let c = CompilerConfig::default();
+        assert_eq!(c.num_cores, 7);
+        assert_eq!(c.eta, 4);
+        assert_eq!(c.min_tasks(), 28);
+        assert_eq!(c.min_partition, 16);
+    }
+
+    #[test]
+    fn memory_bound_is_a_power_of_two_within_limits() {
+        let c = CompilerConfig::default();
+        let n = c.max_partition_from_memory();
+        assert!(n.is_power_of_two());
+        assert!(n >= c.min_partition);
+        assert!(n <= c.max_partition);
+        // With 5 MB per core the bound lands at 256.
+        assert_eq!(n, 256);
+    }
+
+    #[test]
+    fn tiny_buffers_clamp_to_min_partition() {
+        let c = CompilerConfig {
+            per_core_buffer_bytes: 1024,
+            ..CompilerConfig::default()
+        };
+        assert_eq!(c.max_partition_from_memory(), c.min_partition);
+    }
+
+    #[test]
+    fn huge_buffers_clamp_to_max_partition() {
+        let c = CompilerConfig {
+            per_core_buffer_bytes: 1 << 34,
+            ..CompilerConfig::default()
+        };
+        assert_eq!(c.max_partition_from_memory(), 2048);
+    }
+}

@@ -1,0 +1,282 @@
+//! Kernel intermediate representation (Table II) and the computation graph.
+//!
+//! The compiler lowers the user-defined GNN model into a computation graph
+//! with `Σ_l k_l` nodes — one per kernel — where an edge denotes a data
+//! dependency between two kernels (Section IV-B, step 1).  Each node carries
+//! the kernel meta data of Table II; after partitioning, the execution-scheme
+//! meta data is attached to produce the optimized IR.
+
+use dynasparse_graph::AggregatorKind;
+use dynasparse_model::{Activation, GnnModel, KernelInput, KernelOp};
+use serde::{Deserialize, Serialize};
+
+/// Kernel type (the "Layer Type" row of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Feature aggregation: `H_out = A × H_in`.
+    Aggregate,
+    /// Feature transformation: `H_out = H_in × W`.
+    Update,
+}
+
+impl KernelKind {
+    /// Table II encodes Aggregate as 0 and Update as 1.
+    pub fn type_code(self) -> u8 {
+        match self {
+            KernelKind::Aggregate => 0,
+            KernelKind::Update => 1,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelKind::Aggregate => "Aggregate",
+            KernelKind::Update => "Update",
+        }
+    }
+}
+
+/// The kernel meta data of Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelIr {
+    /// Global kernel index in execution order (node id in the computation
+    /// graph).
+    pub id: usize,
+    /// Kernel type.
+    pub kind: KernelKind,
+    /// GNN layer this kernel belongs to (1-based, as in Table II).
+    pub layer_id: usize,
+    /// Kernel index within its layer.
+    pub kernel_in_layer: usize,
+    /// Input feature dimension `f_in`.
+    pub input_dim: usize,
+    /// Output feature dimension `f_out`.
+    pub output_dim: usize,
+    /// Number of vertices `|V|`.
+    pub num_vertices: usize,
+    /// Number of edges `|E|` (meaningful for Aggregate kernels).
+    pub num_edges: usize,
+    /// Aggregation operator (for Aggregate kernels).
+    pub aggregator: Option<AggregatorKind>,
+    /// Weight-matrix index (for Update kernels).
+    pub weight: Option<usize>,
+    /// Activation applied to the kernel output.
+    pub activation: Option<Activation>,
+    /// Whether the activation is enabled (Table II's separate flag).
+    pub activation_enabled: bool,
+    /// Whether the kernel output is accumulated into the layer output.
+    pub contributes_to_output: bool,
+    /// Where the kernel reads its feature operand from.
+    pub input: KernelInput,
+    /// IDs of kernels this kernel depends on (its feature operand producer).
+    pub depends_on: Vec<usize>,
+}
+
+impl KernelIr {
+    /// Dense MAC workload of the kernel (`Q[k]` of Algorithm 9): the number
+    /// of output elements, `|V| · f_out`.
+    pub fn workload(&self) -> usize {
+        self.num_vertices * self.output_dim
+    }
+
+    /// Reduction (inner) dimension of the kernel's matrix product: `|V|` for
+    /// Aggregate, `f_in` for Update.
+    pub fn inner_dim(&self) -> usize {
+        match self.kind {
+            KernelKind::Aggregate => self.num_vertices,
+            KernelKind::Update => self.input_dim,
+        }
+    }
+}
+
+/// The computation graph: kernel IRs in execution order plus their
+/// dependencies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputationGraph {
+    /// Kernel nodes in topological (execution) order.
+    pub kernels: Vec<KernelIr>,
+    /// Number of layers in the source model.
+    pub num_layers: usize,
+}
+
+impl ComputationGraph {
+    /// Builds the computation graph from a model and the graph meta data
+    /// (Section IV-B step 1 — "parsing the input").
+    pub fn from_model(model: &GnnModel, num_vertices: usize, num_edges: usize) -> Self {
+        let mut kernels: Vec<KernelIr> = Vec::with_capacity(model.num_kernels());
+        // Global kernel ids of the kernels of the previous layer that
+        // contribute to that layer's output (the producers of H^{l}).
+        let mut prev_layer_outputs: Vec<usize> = Vec::new();
+        let mut layer_in_dim;
+        for (l, layer) in model.layers.iter().enumerate() {
+            layer_in_dim = layer.in_dim;
+            let base = kernels.len();
+            let mut this_layer_outputs = Vec::new();
+            for (ki, spec) in layer.kernels.iter().enumerate() {
+                let id = kernels.len();
+                let (kind, aggregator, weight, out_dim, in_dim) = match spec.op {
+                    KernelOp::Aggregate { aggregator } => {
+                        // Aggregation preserves the feature dimension of its
+                        // input kernel.
+                        let dim = match spec.input {
+                            KernelInput::LayerInput => layer_in_dim,
+                            KernelInput::Kernel(j) => kernels[base + j].output_dim,
+                        };
+                        (KernelKind::Aggregate, Some(aggregator), None, dim, dim)
+                    }
+                    KernelOp::Update { weight } => {
+                        let w = &model.weights[weight];
+                        (
+                            KernelKind::Update,
+                            None,
+                            Some(weight),
+                            w.cols(),
+                            w.rows(),
+                        )
+                    }
+                };
+                let depends_on: Vec<usize> = match spec.input {
+                    KernelInput::LayerInput => prev_layer_outputs.clone(),
+                    KernelInput::Kernel(j) => vec![base + j],
+                };
+                kernels.push(KernelIr {
+                    id,
+                    kind,
+                    layer_id: l + 1,
+                    kernel_in_layer: ki,
+                    input_dim: in_dim,
+                    output_dim: out_dim,
+                    num_vertices,
+                    num_edges,
+                    aggregator,
+                    weight,
+                    activation: spec.activation,
+                    activation_enabled: spec.activation.is_some(),
+                    contributes_to_output: spec.contributes_to_output,
+                    input: spec.input,
+                    depends_on,
+                });
+                if spec.contributes_to_output {
+                    this_layer_outputs.push(id);
+                }
+            }
+            prev_layer_outputs = this_layer_outputs;
+        }
+        ComputationGraph {
+            kernels,
+            num_layers: model.num_layers(),
+        }
+    }
+
+    /// Number of kernel nodes.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// True if the graph has no kernels.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Kernels belonging to layer `layer_id` (1-based).
+    pub fn layer_kernels(&self, layer_id: usize) -> Vec<&KernelIr> {
+        self.kernels
+            .iter()
+            .filter(|k| k.layer_id == layer_id)
+            .collect()
+    }
+
+    /// Checks that dependencies always point to earlier kernels.
+    pub fn is_topologically_ordered(&self) -> bool {
+        self.kernels
+            .iter()
+            .all(|k| k.depends_on.iter().all(|&d| d < k.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasparse_model::{GnnModel, GnnModelKind};
+
+    #[test]
+    fn gcn_graph_has_four_kernels_with_correct_dims() {
+        let m = GnnModel::gcn(128, 16, 7, 0);
+        let g = ComputationGraph::from_model(&m, 1000, 5000);
+        assert_eq!(g.len(), 4);
+        assert!(g.is_topologically_ordered());
+        // Layer 1: Update(128 -> 16), Aggregate(16 -> 16).
+        assert_eq!(g.kernels[0].kind, KernelKind::Update);
+        assert_eq!(g.kernels[0].input_dim, 128);
+        assert_eq!(g.kernels[0].output_dim, 16);
+        assert_eq!(g.kernels[1].kind, KernelKind::Aggregate);
+        assert_eq!(g.kernels[1].input_dim, 16);
+        assert_eq!(g.kernels[1].output_dim, 16);
+        // Layer 2 Update reads the layer-1 output (the aggregate, id 1).
+        assert_eq!(g.kernels[2].depends_on, vec![1]);
+        assert_eq!(g.kernels[3].output_dim, 7);
+    }
+
+    #[test]
+    fn node_count_matches_sum_of_layer_kernels() {
+        for kind in GnnModelKind::all() {
+            let m = GnnModel::standard(kind, 64, 16, 5, 1);
+            let g = ComputationGraph::from_model(&m, 500, 2000);
+            assert_eq!(g.len(), m.num_kernels(), "{}", kind.name());
+            assert!(g.is_topologically_ordered());
+        }
+    }
+
+    #[test]
+    fn graphsage_layer_two_depends_on_both_contributors() {
+        let m = GnnModel::graphsage(32, 16, 4, 2);
+        let g = ComputationGraph::from_model(&m, 100, 400);
+        // Layer 2's aggregate (kernel id 3) reads the layer input, which is
+        // produced by the two contributing updates of layer 1 (ids 1 and 2).
+        assert_eq!(g.kernels[3].depends_on, vec![1, 2]);
+        assert_eq!(g.layer_kernels(1).len(), 3);
+        assert_eq!(g.layer_kernels(2).len(), 3);
+    }
+
+    #[test]
+    fn workload_and_inner_dim_follow_kernel_kind() {
+        let m = GnnModel::gcn(100, 16, 7, 0);
+        let g = ComputationGraph::from_model(&m, 2708, 5429);
+        let upd = &g.kernels[0];
+        assert_eq!(upd.workload(), 2708 * 16);
+        assert_eq!(upd.inner_dim(), 100);
+        let agg = &g.kernels[1];
+        assert_eq!(agg.workload(), 2708 * 16);
+        assert_eq!(agg.inner_dim(), 2708);
+    }
+
+    #[test]
+    fn aggregator_and_weight_metadata_are_recorded() {
+        let m = GnnModel::gin(24, 8, 3, 4);
+        let g = ComputationGraph::from_model(&m, 60, 200);
+        let agg = &g.kernels[0];
+        assert_eq!(agg.aggregator, Some(AggregatorKind::Sum));
+        assert!(agg.weight.is_none());
+        let upd = &g.kernels[1];
+        assert_eq!(upd.weight, Some(0));
+        assert!(upd.aggregator.is_none());
+        assert!(upd.activation_enabled);
+    }
+
+    #[test]
+    fn type_codes_and_labels() {
+        assert_eq!(KernelKind::Aggregate.type_code(), 0);
+        assert_eq!(KernelKind::Update.type_code(), 1);
+        assert_eq!(KernelKind::Aggregate.label(), "Aggregate");
+        assert_eq!(KernelKind::Update.label(), "Update");
+    }
+
+    #[test]
+    fn first_layer_kernels_have_no_dependencies() {
+        let m = GnnModel::gcn(10, 4, 2, 0);
+        let g = ComputationGraph::from_model(&m, 50, 100);
+        assert!(g.kernels[0].depends_on.is_empty());
+        assert!(!g.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! The Dynasparse compiler (Section IV of the paper).
+//!
+//! The compiler runs on the host processor and performs the preprocessing
+//! step of the workflow (Fig. 3 / Fig. 4):
+//!
+//! 1. **Parsing the input** — the user-defined GNN model and the graph meta
+//!    data are lowered into a computation graph whose nodes are kernel IRs
+//!    (Table II) and whose edges are data dependencies ([`ir`]).
+//! 2. **Data partitioning** — each kernel's operands are tiled into blocks /
+//!    fibers / subfibers (Fig. 5) with the partition sizes `(N1, N2)` chosen
+//!    by the load-balance heuristic of Algorithm 9 ([`partitioning`]).
+//! 3. **Execution-scheme generation** — each kernel is decomposed into
+//!    independent computation tasks (Algorithms 2, 3 and 4), one per output
+//!    partition ([`schemes`]).
+//! 4. **Compile-time sparsity preprocessing** — the densities of the
+//!    adjacency matrix, the weight matrices and the input feature matrix are
+//!    profiled per partition ([`sparsity`]); the densities of intermediate
+//!    feature matrices are left to the accelerator's runtime Sparsity
+//!    Profiler.
+//!
+//! The result is an *optimized IR* ([`compile::CompiledProgram`]) that the
+//! runtime system executes.  [`compile::compile`] also reports the
+//! preprocessing wall-clock time, reproducing Table IX.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod compile;
+pub mod config;
+pub mod ir;
+pub mod partitioning;
+pub mod schemes;
+pub mod sparsity;
+
+pub use compile::{compile, CompileReport, CompiledKernel, CompiledProgram};
+pub use config::CompilerConfig;
+pub use ir::{ComputationGraph, KernelIr, KernelKind};
+pub use partitioning::choose_partition;
+pub use schemes::{BlockRef, OperandKind, TaskDescriptor};
+pub use sparsity::StaticSparsity;

@@ -1,0 +1,149 @@
+//! Partition-size selection (Algorithm 9 of the paper).
+//!
+//! The compiler chooses a single `(N1, N2)` pair for the whole model such
+//! that
+//!
+//! * every kernel decomposes into at least `η · N_CC` tasks (keeps all
+//!   Computation Cores busy during dynamic task scheduling),
+//! * a worst-case (dense) partition fits in the per-core on-chip buffers,
+//! * the partitions are as large as possible within those bounds (data
+//!   locality).
+//!
+//! Step 1 fixes `N2` from the Update kernels (`T_u = |V|·f_out / N2²`);
+//! step 2 fixes `N1` from the Aggregate kernels
+//! (`T_a = |V|·f_out / (N1·N2)`), given the already-chosen `N2`.
+
+use crate::config::CompilerConfig;
+use crate::ir::{ComputationGraph, KernelKind};
+use dynasparse_matrix::PartitionSpec;
+
+fn round_down_pow2(n: usize, min: usize) -> usize {
+    let mut p = min;
+    while p * 2 <= n {
+        p *= 2;
+    }
+    p
+}
+
+/// Chooses the partition sizes `(N1, N2)` for a computation graph
+/// (Algorithm 9).  Returns a [`PartitionSpec`] with `N1 ≥ N2`.
+pub fn choose_partition(graph: &ComputationGraph, config: &CompilerConfig) -> PartitionSpec {
+    let n_max = config.max_partition_from_memory();
+    let min_tasks = config.min_tasks().max(1);
+    let n_min = config.min_partition;
+
+    // ---- Step 1: determine N2 from the Update kernels. ----
+    let mut n2 = n_max;
+    for k in graph.kernels.iter().filter(|k| k.kind == KernelKind::Update) {
+        // Largest N' with Q / N'^2 >= min_tasks  =>  N' = sqrt(Q / min_tasks).
+        let q = k.workload() as f64;
+        let n_prime = (q / min_tasks as f64).sqrt().floor() as usize;
+        let n_it = round_down_pow2(n_prime.clamp(n_min, n_max), n_min);
+        n2 = n2.min(n_it);
+    }
+    n2 = n2.clamp(n_min, n_max);
+
+    // ---- Step 2: determine N1 from the Aggregate kernels. ----
+    let mut n1 = n_max;
+    for k in graph
+        .kernels
+        .iter()
+        .filter(|k| k.kind == KernelKind::Aggregate)
+    {
+        // Largest N' with Q / (N' · N2) >= min_tasks  =>  N' = Q / (min_tasks · N2).
+        let q = k.workload() as f64;
+        let n_prime = (q / (min_tasks as f64 * n2 as f64)).floor() as usize;
+        let n_it = round_down_pow2(n_prime.clamp(n_min, n_max), n_min);
+        n1 = n1.min(n_it);
+    }
+    n1 = n1.clamp(n_min, n_max).max(n2);
+
+    PartitionSpec::new(n1, n2).expect("N1 >= N2 > 0 by construction")
+}
+
+/// Reports, for every kernel, how many tasks it decomposes into under `spec`
+/// — used by tests and by the load-balance diagnostics of the harnesses.
+pub fn tasks_per_kernel(graph: &ComputationGraph, spec: &PartitionSpec) -> Vec<usize> {
+    graph
+        .kernels
+        .iter()
+        .map(|k| match k.kind {
+            KernelKind::Aggregate => spec.aggregate_tasks(k.num_vertices, k.output_dim),
+            KernelKind::Update => spec.update_tasks(k.num_vertices, k.output_dim),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasparse_model::{GnnModel, GnnModelKind};
+
+    fn graph_for(kind: GnnModelKind, v: usize, e: usize, f: usize, h: usize, c: usize) -> ComputationGraph {
+        let m = GnnModel::standard(kind, f, h, c, 0);
+        ComputationGraph::from_model(&m, v, e)
+    }
+
+    #[test]
+    fn partition_respects_memory_and_ordering_bounds() {
+        let cfg = CompilerConfig::default();
+        let g = graph_for(GnnModelKind::Gcn, 19_717, 44_338, 500, 16, 3);
+        let spec = choose_partition(&g, &cfg);
+        assert!(spec.n1 >= spec.n2);
+        assert!(spec.n1 <= cfg.max_partition_from_memory());
+        assert!(spec.n2 >= cfg.min_partition);
+        assert!(spec.n1.is_power_of_two());
+        assert!(spec.n2.is_power_of_two());
+    }
+
+    #[test]
+    fn every_kernel_gets_enough_tasks_on_large_graphs() {
+        let cfg = CompilerConfig::default();
+        for kind in GnnModelKind::all() {
+            let g = graph_for(kind, 89_250, 899_756, 500, 128, 7);
+            let spec = choose_partition(&g, &cfg);
+            for (k, &tasks) in tasks_per_kernel(&g, &spec).iter().enumerate() {
+                assert!(
+                    tasks >= cfg.min_tasks(),
+                    "{}: kernel {k} has only {tasks} tasks with N1={} N2={}",
+                    kind.name(),
+                    spec.n1,
+                    spec.n2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_graphs_clamp_to_minimum_partition() {
+        let cfg = CompilerConfig::default();
+        // A graph so small that even the minimum tile cannot give 28 tasks.
+        let g = graph_for(GnnModelKind::Gcn, 64, 128, 32, 8, 4);
+        let spec = choose_partition(&g, &cfg);
+        assert_eq!(spec.n2, cfg.min_partition);
+        assert!(spec.n1 >= spec.n2);
+    }
+
+    #[test]
+    fn larger_graphs_get_larger_partitions() {
+        let cfg = CompilerConfig::default();
+        let small = choose_partition(&graph_for(GnnModelKind::Gcn, 2_708, 5_429, 1433, 16, 7), &cfg);
+        let large = choose_partition(
+            &graph_for(GnnModelKind::Gcn, 232_965, 11_000_000, 602, 128, 41),
+            &cfg,
+        );
+        assert!(large.n1 >= small.n1);
+        assert!(large.n2 >= small.n2);
+    }
+
+    #[test]
+    fn update_task_count_formula_matches_algorithm_3() {
+        let cfg = CompilerConfig::default();
+        let g = graph_for(GnnModelKind::Gcn, 19_717, 44_338, 500, 16, 3);
+        let spec = choose_partition(&g, &cfg);
+        let tasks = tasks_per_kernel(&g, &spec);
+        // Kernel 0 is the first Update: |V|/N2 * f_out/N2.
+        let expect = 19_717usize.div_ceil(spec.n2) * 16usize.div_ceil(spec.n2);
+        assert_eq!(tasks[0], expect);
+    }
+}

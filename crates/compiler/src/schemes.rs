@@ -1,0 +1,240 @@
+//! Execution-scheme generation (Algorithms 2, 3 and 4 of the paper).
+//!
+//! A kernel's execution scheme decomposes it into independent **tasks**, one
+//! per output data partition.  Each task accumulates `K` block-level matrix
+//! products into its output partition (Algorithm 4); the primitive used for
+//! each block product is *not* decided here — that is the runtime system's
+//! dynamic kernel-to-primitive mapping.
+//!
+//! * **Aggregate** (Algorithm 2): output fiber `H_out[i,k]` accumulates
+//!   `A[i,j] × H_in[j,k]` over all `j`; `A` blocks are `N1 × N1`, feature
+//!   fibers are `N1 × N2`.
+//! * **Update** (Algorithm 3): output subfiber `H_out[i,k]` accumulates
+//!   `H_in[i,j] × W[j,k]` over all `j`; feature subfibers and weight blocks
+//!   are `N2 × N2`.
+
+use crate::ir::{KernelIr, KernelKind};
+use dynasparse_matrix::PartitionSpec;
+use serde::{Deserialize, Serialize};
+
+/// Which matrix a block reference points into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperandKind {
+    /// The (normalized) graph adjacency matrix, tiled `N1 × N1`.
+    Adjacency,
+    /// The kernel's input feature matrix.  Aggregate kernels read it at fiber
+    /// granularity (`N1 × N2`); Update kernels at subfiber granularity
+    /// (`N2 × N2`).
+    Features,
+    /// Weight matrix with the given model-level index, tiled `N2 × N2`.
+    Weight(usize),
+}
+
+/// A reference to one data partition of one operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockRef {
+    /// Which operand the block belongs to.
+    pub operand: OperandKind,
+    /// Row of the block in that operand's grid.
+    pub grid_row: usize,
+    /// Column of the block in that operand's grid.
+    pub grid_col: usize,
+}
+
+/// One block-level product `Z += X × Y` inside a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockPair {
+    /// Left operand block.
+    pub x: BlockRef,
+    /// Right operand block.
+    pub y: BlockRef,
+}
+
+/// One computation task (Algorithm 4): the accumulation of an output
+/// partition from `K` block products.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskDescriptor {
+    /// Row of the output partition in the output grid.
+    pub output_row: usize,
+    /// Column of the output partition in the output grid.
+    pub output_col: usize,
+    /// The `K` block products accumulated by this task, in order.
+    pub pairs: Vec<BlockPair>,
+}
+
+impl TaskDescriptor {
+    /// Number of block products (`K`).
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+/// The `(m, n, d)` shape of every block product of a kernel under `spec`
+/// (`X` is `m × n`, `Y` is `n × d`).
+pub fn pair_shape(kind: KernelKind, spec: &PartitionSpec) -> (usize, usize, usize) {
+    match kind {
+        KernelKind::Aggregate => (spec.n1, spec.n1, spec.n2),
+        KernelKind::Update => (spec.n2, spec.n2, spec.n2),
+    }
+}
+
+/// Generates the execution scheme (all task descriptors) of one kernel.
+pub fn generate_tasks(kernel: &KernelIr, spec: &PartitionSpec) -> Vec<TaskDescriptor> {
+    match kernel.kind {
+        KernelKind::Aggregate => generate_aggregate_tasks(kernel, spec),
+        KernelKind::Update => generate_update_tasks(kernel, spec),
+    }
+}
+
+/// Algorithm 2: tasks of an Aggregate kernel.
+fn generate_aggregate_tasks(kernel: &KernelIr, spec: &PartitionSpec) -> Vec<TaskDescriptor> {
+    let v_blocks = kernel.num_vertices.div_ceil(spec.n1);
+    let f_blocks = kernel.output_dim.div_ceil(spec.n2);
+    let mut tasks = Vec::with_capacity(v_blocks * f_blocks);
+    for i in 0..v_blocks {
+        for k in 0..f_blocks {
+            let pairs = (0..v_blocks)
+                .map(|j| BlockPair {
+                    x: BlockRef {
+                        operand: OperandKind::Adjacency,
+                        grid_row: i,
+                        grid_col: j,
+                    },
+                    y: BlockRef {
+                        operand: OperandKind::Features,
+                        grid_row: j,
+                        grid_col: k,
+                    },
+                })
+                .collect();
+            tasks.push(TaskDescriptor {
+                output_row: i,
+                output_col: k,
+                pairs,
+            });
+        }
+    }
+    tasks
+}
+
+/// Algorithm 3: tasks of an Update kernel.
+fn generate_update_tasks(kernel: &KernelIr, spec: &PartitionSpec) -> Vec<TaskDescriptor> {
+    let weight = kernel
+        .weight
+        .expect("Update kernels always reference a weight matrix");
+    let v_blocks = kernel.num_vertices.div_ceil(spec.n2);
+    let out_blocks = kernel.output_dim.div_ceil(spec.n2);
+    let in_blocks = kernel.input_dim.div_ceil(spec.n2);
+    let mut tasks = Vec::with_capacity(v_blocks * out_blocks);
+    for i in 0..v_blocks {
+        for k in 0..out_blocks {
+            let pairs = (0..in_blocks)
+                .map(|j| BlockPair {
+                    x: BlockRef {
+                        operand: OperandKind::Features,
+                        grid_row: i,
+                        grid_col: j,
+                    },
+                    y: BlockRef {
+                        operand: OperandKind::Weight(weight),
+                        grid_row: j,
+                        grid_col: k,
+                    },
+                })
+                .collect();
+            tasks.push(TaskDescriptor {
+                output_row: i,
+                output_col: k,
+                pairs,
+            });
+        }
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ComputationGraph;
+    use dynasparse_model::GnnModel;
+
+    fn gcn_graph() -> ComputationGraph {
+        let m = GnnModel::gcn(500, 16, 3, 0);
+        ComputationGraph::from_model(&m, 1000, 4000)
+    }
+
+    #[test]
+    fn aggregate_task_count_matches_formula() {
+        let g = gcn_graph();
+        let spec = PartitionSpec::new(256, 16).unwrap();
+        let agg = &g.kernels[1];
+        let tasks = generate_tasks(agg, &spec);
+        assert_eq!(tasks.len(), spec.aggregate_tasks(1000, 16));
+        // Every task accumulates |V|/N1 = 4 block products.
+        assert!(tasks.iter().all(|t| t.num_pairs() == 4));
+    }
+
+    #[test]
+    fn update_task_count_matches_formula() {
+        let g = gcn_graph();
+        let spec = PartitionSpec::new(256, 16).unwrap();
+        let upd = &g.kernels[0];
+        let tasks = generate_tasks(upd, &spec);
+        assert_eq!(tasks.len(), spec.update_tasks(1000, 16));
+        // K = f_in / N2 = ceil(500/16) = 32.
+        assert!(tasks.iter().all(|t| t.num_pairs() == 32));
+    }
+
+    #[test]
+    fn aggregate_pairs_walk_the_adjacency_row() {
+        let g = gcn_graph();
+        let spec = PartitionSpec::new(512, 16).unwrap();
+        let agg = &g.kernels[1];
+        let tasks = generate_tasks(agg, &spec);
+        // With N1 = 512 over 1000 vertices and f_out = 16 = N2, the grid is
+        // 2 row-blocks by 1 column-block, so tasks[1] is output block (1, 0).
+        let t = &tasks[1];
+        assert_eq!((t.output_row, t.output_col), (1, 0));
+        for (j, p) in t.pairs.iter().enumerate() {
+            assert_eq!(p.x.operand, OperandKind::Adjacency);
+            assert_eq!((p.x.grid_row, p.x.grid_col), (1, j));
+            assert_eq!(p.y.operand, OperandKind::Features);
+            assert_eq!((p.y.grid_row, p.y.grid_col), (j, 0));
+        }
+    }
+
+    #[test]
+    fn update_pairs_reference_the_right_weight() {
+        let g = gcn_graph();
+        let spec = PartitionSpec::new(128, 32).unwrap();
+        let upd2 = &g.kernels[2]; // second layer update, weight index 1
+        let tasks = generate_tasks(upd2, &spec);
+        for t in &tasks {
+            for p in &t.pairs {
+                assert_eq!(p.x.operand, OperandKind::Features);
+                assert_eq!(p.y.operand, OperandKind::Weight(1));
+                assert_eq!(p.x.grid_col, p.y.grid_row);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_shapes_follow_fig_5() {
+        let spec = PartitionSpec::new(512, 128).unwrap();
+        assert_eq!(pair_shape(KernelKind::Aggregate, &spec), (512, 512, 128));
+        assert_eq!(pair_shape(KernelKind::Update, &spec), (128, 128, 128));
+    }
+
+    #[test]
+    fn tasks_cover_all_output_partitions_exactly_once() {
+        let g = gcn_graph();
+        let spec = PartitionSpec::new(256, 16).unwrap();
+        for kernel in &g.kernels {
+            let tasks = generate_tasks(kernel, &spec);
+            let mut seen = std::collections::HashSet::new();
+            for t in &tasks {
+                assert!(seen.insert((t.output_row, t.output_col)));
+            }
+        }
+    }
+}

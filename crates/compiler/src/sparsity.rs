@@ -1,0 +1,158 @@
+//! Compile-time sparsity preprocessing (workflow step 1-③ of the paper).
+//!
+//! While the compiler performs data partitioning it profiles, with simple
+//! counters, the per-partition densities of everything that is known before
+//! runtime: the graph adjacency matrix `A`, the weight matrices `W_l`, and
+//! the input feature matrix `H⁰`.  The densities of the intermediate feature
+//! matrices `{H¹, …, Hᴸ}` are *not* known here — they are profiled by the
+//! accelerator's Sparsity Profiler at runtime.
+
+use dynasparse_graph::{normalized_adjacency, AggregatorKind, GraphDataset};
+use dynasparse_model::GnnModel;
+use dynasparse_matrix::{DensityProfile, PartitionSpec};
+use serde::{Deserialize, Serialize};
+
+/// Densities of all compile-time-known operands, per data partition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticSparsity {
+    /// Per-block density of the normalized adjacency matrix (`A + I` pattern,
+    /// tiled `N1 × N1`).  The non-zero *pattern* is identical for every
+    /// aggregator normalization, so one profile serves all Aggregate kernels.
+    pub adjacency: DensityProfile,
+    /// Per-block density of each weight matrix (tiled `N2 × N2`), indexed
+    /// like [`GnnModel::weights`].
+    pub weights: Vec<DensityProfile>,
+    /// Per-fiber density of the input feature matrix `H⁰` (`N1 × N2` tiles,
+    /// the granularity of Aggregate kernels).
+    pub input_features_fiber: DensityProfile,
+    /// Per-subfiber density of `H⁰` (`N2 × N2` tiles, the granularity of
+    /// Update kernels).
+    pub input_features_subfiber: DensityProfile,
+}
+
+impl StaticSparsity {
+    /// Profiles every compile-time-known operand of `(model, dataset)` under
+    /// the chosen partition spec.
+    pub fn profile(model: &GnnModel, dataset: &GraphDataset, spec: &PartitionSpec) -> Self {
+        let num_vertices = dataset.graph.num_vertices();
+        // The Aggregate kernels multiply the *normalized* adjacency (which
+        // includes self-loops); its pattern is what matters for density.
+        let normalized = normalized_adjacency(dataset.graph.adjacency(), AggregatorKind::Sum);
+        let adjacency =
+            DensityProfile::of_csr(&normalized, &spec.adjacency_grid(num_vertices));
+
+        let weights = model
+            .weights
+            .iter()
+            .map(|w| DensityProfile::of_dense(w, &spec.weight_grid(w.rows(), w.cols())))
+            .collect();
+
+        let feature_dim = dataset.features.dim();
+        let input_features_fiber = dataset
+            .features
+            .density_profile(&spec.feature_grid(num_vertices, feature_dim));
+        let input_features_subfiber = dataset
+            .features
+            .density_profile(&spec.subfiber_grid(num_vertices, feature_dim));
+
+        StaticSparsity {
+            adjacency,
+            weights,
+            input_features_fiber,
+            input_features_subfiber,
+        }
+    }
+
+    /// Overall density of the adjacency matrix (with self-loops).
+    pub fn adjacency_density(&self) -> f64 {
+        self.adjacency.overall_density()
+    }
+
+    /// Overall density of the input feature matrix.
+    pub fn input_feature_density(&self) -> f64 {
+        self.input_features_fiber.overall_density()
+    }
+
+    /// Average overall density of the weight matrices.
+    pub fn weight_density(&self) -> f64 {
+        if self.weights.is_empty() {
+            return 1.0;
+        }
+        self.weights
+            .iter()
+            .map(|w| w.overall_density())
+            .sum::<f64>()
+            / self.weights.len() as f64
+    }
+
+    /// Total number of per-partition density records the soft processor must
+    /// hold (sizing input for its D-cache discussion in Section VII).
+    pub fn num_partition_records(&self) -> usize {
+        self.adjacency.block_count()
+            + self
+                .weights
+                .iter()
+                .map(|w| w.block_count())
+                .sum::<usize>()
+            + self.input_features_fiber.block_count()
+            + self.input_features_subfiber.block_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasparse_graph::Dataset;
+    use dynasparse_model::{prune_magnitude, GnnModel};
+
+    fn small_setup() -> (GnnModel, GraphDataset, PartitionSpec) {
+        let ds = Dataset::Cora.spec().generate_scaled(3, 0.2);
+        let model = GnnModel::gcn(ds.features.dim(), 16, 7, 1);
+        let spec = PartitionSpec::new(128, 32).unwrap();
+        (model, ds, spec)
+    }
+
+    #[test]
+    fn adjacency_profile_includes_self_loops() {
+        let (model, ds, spec) = small_setup();
+        let s = StaticSparsity::profile(&model, &ds, &spec);
+        // nnz of A + I = |E'| + |V| (no duplicate diagonal in the generator's
+        // collapsed edges apart from rare self-edges).
+        let v = ds.graph.num_vertices();
+        assert!(s.adjacency.total_nnz() >= ds.graph.num_edges());
+        assert!(s.adjacency.total_nnz() <= ds.graph.num_edges() + v);
+        assert!(s.adjacency_density() > ds.graph.adjacency_density());
+    }
+
+    #[test]
+    fn unpruned_weights_profile_as_dense() {
+        let (model, ds, spec) = small_setup();
+        let s = StaticSparsity::profile(&model, &ds, &spec);
+        assert_eq!(s.weights.len(), 2);
+        assert!(s.weight_density() > 0.99);
+    }
+
+    #[test]
+    fn pruned_weights_show_reduced_density() {
+        let (mut model, ds, spec) = small_setup();
+        model.weights = model
+            .weights
+            .iter()
+            .map(|w| prune_magnitude(w, 0.9))
+            .collect();
+        let s = StaticSparsity::profile(&model, &ds, &spec);
+        assert!((s.weight_density() - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn feature_profiles_agree_on_total_nnz_across_granularities() {
+        let (model, ds, spec) = small_setup();
+        let s = StaticSparsity::profile(&model, &ds, &spec);
+        assert_eq!(
+            s.input_features_fiber.total_nnz(),
+            s.input_features_subfiber.total_nnz()
+        );
+        assert!((s.input_feature_density() - ds.feature_density()).abs() < 1e-9);
+        assert!(s.num_partition_records() > 0);
+    }
+}

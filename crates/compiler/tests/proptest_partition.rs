@@ -1,0 +1,77 @@
+//! Property-based tests of the compiler: for arbitrary model/graph sizes the
+//! partition choice must satisfy Algorithm 9's constraints and the generated
+//! execution schemes must tile the output exactly.
+
+use dynasparse_compiler::{choose_partition, CompilerConfig, ComputationGraph};
+use dynasparse_compiler::schemes::{generate_tasks, pair_shape};
+use dynasparse_model::{GnnModel, GnnModelKind};
+use proptest::prelude::*;
+
+fn arbitrary_graph() -> impl Strategy<Value = ComputationGraph> {
+    (
+        prop_oneof![
+            Just(GnnModelKind::Gcn),
+            Just(GnnModelKind::GraphSage),
+            Just(GnnModelKind::Gin),
+            Just(GnnModelKind::Sgc),
+        ],
+        64usize..50_000,   // vertices
+        16usize..2_048,    // input features
+        2usize..256,       // hidden
+        2usize..64,        // classes
+    )
+        .prop_map(|(kind, v, f, h, c)| {
+            let model = GnnModel::standard(kind, f, h, c, 1);
+            let edges = v * 4;
+            ComputationGraph::from_model(&model, v, edges)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn partition_choice_respects_all_constraints(graph in arbitrary_graph()) {
+        let config = CompilerConfig::default();
+        let spec = choose_partition(&graph, &config);
+        prop_assert!(spec.n1 >= spec.n2);
+        prop_assert!(spec.n2 >= config.min_partition);
+        prop_assert!(spec.n1 <= config.max_partition_from_memory());
+        prop_assert!(spec.n1.is_power_of_two());
+        prop_assert!(spec.n2.is_power_of_two());
+    }
+
+    #[test]
+    fn execution_schemes_tile_every_output_partition_once(graph in arbitrary_graph()) {
+        let config = CompilerConfig::default();
+        let spec = choose_partition(&graph, &config);
+        for kernel in &graph.kernels {
+            let tasks = generate_tasks(kernel, &spec);
+            // Expected grid of output partitions.
+            let (rows, cols) = match kernel.kind {
+                dynasparse_compiler::KernelKind::Aggregate => (
+                    kernel.num_vertices.div_ceil(spec.n1),
+                    kernel.output_dim.div_ceil(spec.n2),
+                ),
+                dynasparse_compiler::KernelKind::Update => (
+                    kernel.num_vertices.div_ceil(spec.n2),
+                    kernel.output_dim.div_ceil(spec.n2),
+                ),
+            };
+            prop_assert_eq!(tasks.len(), rows * cols);
+            let mut seen = std::collections::HashSet::new();
+            for t in &tasks {
+                prop_assert!(t.output_row < rows);
+                prop_assert!(t.output_col < cols);
+                prop_assert!(seen.insert((t.output_row, t.output_col)));
+                prop_assert!(!t.pairs.is_empty());
+                // All pairs of a task have a consistent inner index chain.
+                for p in &t.pairs {
+                    prop_assert_eq!(p.x.grid_col, p.y.grid_row);
+                }
+            }
+            let (m, n, d) = pair_shape(kernel.kind, &spec);
+            prop_assert!(m > 0 && n > 0 && d > 0);
+        }
+    }
+}

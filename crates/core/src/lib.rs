@@ -1,0 +1,76 @@
+//! # Dynasparse
+//!
+//! A from-scratch Rust reproduction of **"Dynasparse: Accelerating GNN
+//! Inference through Dynamic Sparsity Exploitation"** (Zhang & Prasanna,
+//! IPDPS 2023).
+//!
+//! Dynasparse accelerates full-graph GNN inference by decoupling the GNN
+//! *kernels* (feature aggregation and feature transformation) from the basic
+//! computation *primitives* (GEMM, SpDMM, SPMM) and choosing the primitive
+//! for every data partition **at runtime**, based on the measured sparsity of
+//! the operands.  The original system is an FPGA (Alveo U250) design; this
+//! reproduction replaces the FPGA with a cycle-level simulator while keeping
+//! every other component — compiler, IR, data partitioning, runtime system,
+//! dynamic kernel-to-primitive mapping, task scheduling — faithful to the
+//! paper.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dynasparse::{Engine, EngineOptions};
+//! use dynasparse_graph::Dataset;
+//! use dynasparse_model::{GnnModel, GnnModelKind};
+//! use dynasparse_runtime::MappingStrategy;
+//!
+//! // A down-scaled Cora instance keeps the example fast.
+//! let dataset = Dataset::Cora.spec().generate_scaled(42, 0.2);
+//! let model = GnnModel::standard(
+//!     GnnModelKind::Gcn,
+//!     dataset.features.dim(),
+//!     16,
+//!     dataset.spec.num_classes,
+//!     7,
+//! );
+//!
+//! let engine = Engine::new(EngineOptions::default());
+//! let eval = engine
+//!     .evaluate(&model, &dataset, &MappingStrategy::paper_strategies())
+//!     .unwrap();
+//!
+//! let dynamic = eval.run(MappingStrategy::Dynamic).unwrap();
+//! let s1 = eval.run(MappingStrategy::Static1).unwrap();
+//! assert!(dynamic.latency_ms <= s1.latency_ms);
+//! println!(
+//!     "Dynamic {:.3} ms vs S1 {:.3} ms ({:.2}x)",
+//!     dynamic.latency_ms,
+//!     s1.latency_ms,
+//!     s1.latency_ms / dynamic.latency_ms
+//! );
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | role |
+//! |---|---|
+//! | `dynasparse-matrix` | dense/COO/CSR matrices, formats, layouts, profiling |
+//! | `dynasparse-graph` | graphs, normalization, synthetic Table VI datasets |
+//! | `dynasparse-model` | GCN / GraphSAGE / GIN / SGC, pruning, reference executor |
+//! | `dynasparse-compiler` | IR, data partitioning (Alg. 9), execution schemes (Alg. 2/3) |
+//! | `dynasparse-accel` | cycle-level accelerator model (ACM, AHM, memory, soft processor) |
+//! | `dynasparse-runtime` | Analyzer (Alg. 7), Scheduler (Alg. 8), S1/S2 baselines |
+//! | `dynasparse` (this crate) | the end-to-end engine: compile → execute → report |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod report;
+
+pub use engine::{Engine, EngineOptions};
+pub use report::{Evaluation, KernelReport, StrategyRun};
+
+// Re-export the pieces a downstream user needs to drive the engine without
+// depending on every sub-crate explicitly.
+pub use dynasparse_compiler::CompilerConfig;
+pub use dynasparse_accel::AcceleratorConfig;
+pub use dynasparse_runtime::MappingStrategy;

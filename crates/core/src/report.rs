@@ -1,0 +1,185 @@
+//! Result types produced by the engine.
+
+use dynasparse_compiler::KernelKind;
+use dynasparse_graph::FeatureMatrix;
+use dynasparse_matrix::PartitionSpec;
+use dynasparse_model::DensityTrace;
+use dynasparse_runtime::{MappingStrategy, PrimitiveMix, RuntimeOverhead};
+use serde::Serialize;
+
+/// Per-kernel execution summary under one mapping strategy.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelReport {
+    /// Kernel id (execution order).
+    pub kernel_id: usize,
+    /// GNN layer the kernel belongs to (1-based).
+    pub layer_id: usize,
+    /// Aggregate or Update.
+    pub kind: KernelKind,
+    /// Accelerator cycles spent on this kernel (its scheduled makespan).
+    pub cycles: u64,
+    /// Core utilization while this kernel ran.
+    pub utilization: f64,
+    /// Kernel-to-primitive decisions made by the soft processor.
+    pub decisions: usize,
+    /// How the kernel's block products were mapped.
+    pub mix: PrimitiveMix,
+    /// Density of the kernel's input feature matrix (measured at runtime).
+    pub input_density: f64,
+    /// Density of the kernel's output feature matrix.
+    pub output_density: f64,
+}
+
+/// Execution summary of one mapping strategy over the whole model.
+#[derive(Debug, Clone, Serialize)]
+pub struct StrategyRun {
+    /// The strategy evaluated.
+    pub strategy: MappingStrategy,
+    /// Per-kernel reports in execution order.
+    pub kernels: Vec<KernelReport>,
+    /// Total accelerator execution cycles (sum of kernel makespans).
+    pub total_cycles: u64,
+    /// Accelerator execution latency in milliseconds — the metric of
+    /// Table VII and Table X.
+    pub latency_ms: f64,
+    /// Runtime-system overhead (Fig. 13).
+    pub overhead: RuntimeOverhead,
+    /// End-to-end latency in milliseconds: preprocessing + CPU→FPGA data
+    /// movement + accelerator execution (Section VIII-D).
+    pub end_to_end_ms: f64,
+    /// Utilization averaged over the run, weighted by kernel duration.
+    pub average_utilization: f64,
+}
+
+impl StrategyRun {
+    /// Total number of kernel-to-primitive decisions across kernels.
+    pub fn total_decisions(&self) -> usize {
+        self.kernels.iter().map(|k| k.decisions).sum()
+    }
+
+    /// Aggregated primitive mix across kernels.
+    pub fn total_mix(&self) -> PrimitiveMix {
+        let mut mix = PrimitiveMix::default();
+        for k in &self.kernels {
+            mix.gemm += k.mix.gemm;
+            mix.spdmm += k.mix.spdmm;
+            mix.spmm += k.mix.spmm;
+            mix.skipped += k.mix.skipped;
+        }
+        mix
+    }
+}
+
+/// Full evaluation of one (model, dataset) pair under several strategies.
+#[derive(Debug, Clone, Serialize)]
+pub struct Evaluation {
+    /// Compilation/preprocessing wall-clock time in milliseconds (Table IX).
+    pub compile_ms: f64,
+    /// Partition sizes chosen by the compiler.
+    pub partition: PartitionSpec,
+    /// CPU→FPGA data-movement time in milliseconds (PCIe model).
+    pub data_movement_ms: f64,
+    /// Densities of the input and of every kernel output (Fig. 2).
+    pub density_trace: DensityTrace,
+    /// One run per requested strategy, in request order.
+    pub runs: Vec<StrategyRun>,
+    /// Final output embeddings of the functional execution.
+    #[serde(skip)]
+    pub output_embeddings: FeatureMatrix,
+}
+
+impl Evaluation {
+    /// The run for `strategy`, if it was requested.
+    pub fn run(&self, strategy: MappingStrategy) -> Option<&StrategyRun> {
+        self.runs.iter().find(|r| r.strategy == strategy)
+    }
+
+    /// Speedup of `fast` over `slow` in accelerator latency
+    /// (the SO-S1 / SO-S2 columns of Table VII).
+    pub fn speedup(&self, slow: MappingStrategy, fast: MappingStrategy) -> Option<f64> {
+        let s = self.run(slow)?;
+        let f = self.run(fast)?;
+        if f.latency_ms <= 0.0 {
+            return None;
+        }
+        Some(s.latency_ms / f.latency_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasparse_matrix::DenseMatrix;
+
+    fn dummy_run(strategy: MappingStrategy, latency_ms: f64) -> StrategyRun {
+        StrategyRun {
+            strategy,
+            kernels: vec![KernelReport {
+                kernel_id: 0,
+                layer_id: 1,
+                kind: KernelKind::Update,
+                cycles: 100,
+                utilization: 0.9,
+                decisions: 4,
+                mix: PrimitiveMix {
+                    gemm: 1,
+                    spdmm: 2,
+                    spmm: 0,
+                    skipped: 1,
+                },
+                input_density: 0.5,
+                output_density: 0.4,
+            }],
+            total_cycles: 100,
+            latency_ms,
+            overhead: RuntimeOverhead {
+                k2p_seconds: 1e-6,
+                scheduling_seconds: 1e-7,
+                accelerator_seconds: latency_ms * 1e-3,
+            },
+            end_to_end_ms: latency_ms + 1.0,
+            average_utilization: 0.9,
+        }
+    }
+
+    fn dummy_eval() -> Evaluation {
+        Evaluation {
+            compile_ms: 0.5,
+            partition: PartitionSpec::new(256, 16).unwrap(),
+            data_movement_ms: 0.5,
+            density_trace: DensityTrace {
+                input_density: 0.1,
+                stages: vec![],
+            },
+            runs: vec![
+                dummy_run(MappingStrategy::Static1, 10.0),
+                dummy_run(MappingStrategy::Dynamic, 2.0),
+            ],
+            output_embeddings: FeatureMatrix::Dense(DenseMatrix::zeros(1, 1)),
+        }
+    }
+
+    #[test]
+    fn run_lookup_and_speedup() {
+        let e = dummy_eval();
+        assert!(e.run(MappingStrategy::Dynamic).is_some());
+        assert!(e.run(MappingStrategy::Static2).is_none());
+        let s = e
+            .speedup(MappingStrategy::Static1, MappingStrategy::Dynamic)
+            .unwrap();
+        assert!((s - 5.0).abs() < 1e-12);
+        assert!(e
+            .speedup(MappingStrategy::Static2, MappingStrategy::Dynamic)
+            .is_none());
+    }
+
+    #[test]
+    fn mix_and_decision_aggregation() {
+        let e = dummy_eval();
+        let run = e.run(MappingStrategy::Dynamic).unwrap();
+        assert_eq!(run.total_decisions(), 4);
+        let mix = run.total_mix();
+        assert_eq!(mix.total(), 4);
+        assert_eq!(mix.spdmm, 2);
+    }
+}

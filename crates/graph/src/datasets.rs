@@ -1,0 +1,345 @@
+//! The six benchmark datasets of the paper (Table VI), generated
+//! synthetically to the published statistics.
+//!
+//! | Dataset  | Vertices | Edges      | Features | Classes | Density A | Density H0 |
+//! |----------|----------|------------|----------|---------|-----------|------------|
+//! | CiteSeer | 3 327    | 4 732      | 3 703    | 6       | 0.08 %    | 0.85 %     |
+//! | Cora     | 2 708    | 5 429      | 1 433    | 7       | 0.14 %    | 1.27 %     |
+//! | PubMed   | 19 717   | 44 338     | 500      | 3       | 0.02 %    | 10.0 %     |
+//! | Flickr   | 89 250   | 899 756    | 500      | 7       | 0.01 %    | 46.4 %     |
+//! | NELL     | 65 755   | 251 550    | 61 278   | 186     | 0.0058 %  | 0.01 %     |
+//! | Reddit   | 232 965  | 1.1 × 10⁸  | 602      | 41      | 0.21 %    | 100.0 %    |
+//!
+//! `generate_scaled` produces a structurally similar graph at a fraction of
+//! the vertex count (used by the functional executor for the largest graphs);
+//! the **full published dimensions** remain available through
+//! [`DatasetSpec::stats`] so latency models always use the true sizes.
+
+use crate::features::FeatureMatrix;
+use crate::generators::{dense_features, power_law_graph, sparse_features, PowerLawConfig};
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one of the paper's benchmark datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// CiteSeer citation network (CI).
+    CiteSeer,
+    /// Cora citation network (CO).
+    Cora,
+    /// PubMed citation network (PU).
+    PubMed,
+    /// Flickr image-relationship graph (FL).
+    Flickr,
+    /// NELL knowledge graph (NE).
+    Nell,
+    /// Reddit post-to-post graph (RE).
+    Reddit,
+}
+
+impl Dataset {
+    /// All six datasets in the order the paper's tables use
+    /// (CI, CO, PU, FL, NE, RE).
+    pub fn all() -> [Dataset; 6] {
+        [
+            Dataset::CiteSeer,
+            Dataset::Cora,
+            Dataset::PubMed,
+            Dataset::Flickr,
+            Dataset::Nell,
+            Dataset::Reddit,
+        ]
+    }
+
+    /// The three small citation graphs (hidden dimension 16 in the paper).
+    pub fn small() -> [Dataset; 3] {
+        [Dataset::CiteSeer, Dataset::Cora, Dataset::PubMed]
+    }
+
+    /// Two-letter abbreviation used in the paper's tables.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Dataset::CiteSeer => "CI",
+            Dataset::Cora => "CO",
+            Dataset::PubMed => "PU",
+            Dataset::Flickr => "FL",
+            Dataset::Nell => "NE",
+            Dataset::Reddit => "RE",
+        }
+    }
+
+    /// Full name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::CiteSeer => "CiteSeer",
+            Dataset::Cora => "Cora",
+            Dataset::PubMed => "PubMed",
+            Dataset::Flickr => "Flickr",
+            Dataset::Nell => "NELL",
+            Dataset::Reddit => "Reddit",
+        }
+    }
+
+    /// Published statistics (Table VI).
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            Dataset::CiteSeer => DatasetSpec {
+                dataset: self,
+                num_vertices: 3_327,
+                num_edges: 4_732,
+                feature_dim: 3_703,
+                num_classes: 6,
+                adjacency_density: 0.0008,
+                feature_density: 0.0085,
+                hidden_dim: 16,
+            },
+            Dataset::Cora => DatasetSpec {
+                dataset: self,
+                num_vertices: 2_708,
+                num_edges: 5_429,
+                feature_dim: 1_433,
+                num_classes: 7,
+                adjacency_density: 0.0014,
+                feature_density: 0.0127,
+                hidden_dim: 16,
+            },
+            Dataset::PubMed => DatasetSpec {
+                dataset: self,
+                num_vertices: 19_717,
+                num_edges: 44_338,
+                feature_dim: 500,
+                num_classes: 3,
+                adjacency_density: 0.0002,
+                feature_density: 0.10,
+                hidden_dim: 16,
+            },
+            Dataset::Flickr => DatasetSpec {
+                dataset: self,
+                num_vertices: 89_250,
+                num_edges: 899_756,
+                feature_dim: 500,
+                num_classes: 7,
+                adjacency_density: 0.0001,
+                feature_density: 0.464,
+                hidden_dim: 128,
+            },
+            Dataset::Nell => DatasetSpec {
+                dataset: self,
+                num_vertices: 65_755,
+                num_edges: 251_550,
+                feature_dim: 61_278,
+                num_classes: 186,
+                adjacency_density: 0.000058,
+                feature_density: 0.0001,
+                hidden_dim: 128,
+            },
+            Dataset::Reddit => DatasetSpec {
+                dataset: self,
+                num_vertices: 232_965,
+                num_edges: 110_000_000,
+                feature_dim: 602,
+                num_classes: 41,
+                adjacency_density: 0.0021,
+                feature_density: 1.0,
+                hidden_dim: 128,
+            },
+        }
+    }
+}
+
+/// Published statistics of one dataset plus the hidden dimension the paper
+/// uses for it (16 for CI/CO/PU, 128 for FL/NE/RE).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Which dataset this spec describes.
+    pub dataset: Dataset,
+    /// Number of vertices `|V|`.
+    pub num_vertices: usize,
+    /// Number of edges `|E|`.
+    pub num_edges: usize,
+    /// Input feature dimension `f0`.
+    pub feature_dim: usize,
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Density of the adjacency matrix (Fig. 1 / Table VI).
+    pub adjacency_density: f64,
+    /// Density of the input feature matrix `H0` (Table VI).
+    pub feature_density: f64,
+    /// Hidden dimension used by the paper's 2-layer GNN configuration.
+    pub hidden_dim: usize,
+}
+
+impl DatasetSpec {
+    /// Whether the input features should be stored sparsely when generated
+    /// (dense storage of NELL's feature matrix would need ≈16 GB).
+    pub fn prefers_sparse_features(&self) -> bool {
+        let dense_bytes = self.num_vertices * self.feature_dim * 4;
+        self.feature_density < 0.05 && dense_bytes > 256 * 1024 * 1024
+    }
+
+    /// Average degree `|E| / |V|`.
+    pub fn average_degree(&self) -> f64 {
+        self.num_edges as f64 / self.num_vertices as f64
+    }
+
+    /// Generates the dataset at full published scale.
+    pub fn generate(&self, seed: u64) -> GraphDataset {
+        self.generate_scaled(seed, 1.0)
+    }
+
+    /// Generates a structurally similar dataset scaled to `scale ∈ (0, 1]` of
+    /// the published vertex count, preserving the average degree, feature
+    /// dimension and feature density.  `scale = 1.0` reproduces the published
+    /// sizes.
+    pub fn generate_scaled(&self, seed: u64, scale: f64) -> GraphDataset {
+        let scale = scale.clamp(1e-6, 1.0);
+        let num_vertices = ((self.num_vertices as f64 * scale).round() as usize).max(16);
+        let num_edges = ((self.num_edges as f64 * scale).round() as usize).max(num_vertices);
+        let graph = power_law_graph(
+            self.dataset.name(),
+            &PowerLawConfig {
+                num_vertices,
+                num_edges,
+                exponent: 2.3,
+                seed,
+            },
+        );
+        let features = if self.prefers_sparse_features() {
+            sparse_features(num_vertices, self.feature_dim, self.feature_density, seed ^ 0xFEED)
+        } else {
+            dense_features(num_vertices, self.feature_dim, self.feature_density, seed ^ 0xFEED)
+        };
+        GraphDataset {
+            spec: *self,
+            scale,
+            graph,
+            features,
+        }
+    }
+}
+
+/// A generated dataset: the graph, the input features and the spec it was
+/// derived from.
+#[derive(Debug, Clone)]
+pub struct GraphDataset {
+    /// Published statistics this instance was generated from.
+    pub spec: DatasetSpec,
+    /// Scale factor actually used (1.0 = published size).
+    pub scale: f64,
+    /// The generated graph.
+    pub graph: Graph,
+    /// The generated input feature matrix `H0`.
+    pub features: FeatureMatrix,
+}
+
+impl GraphDataset {
+    /// Number of vertices of the *generated* instance.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of edges of the *generated* instance.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// True when the instance is smaller than the published dataset.
+    pub fn is_scaled(&self) -> bool {
+        self.scale < 1.0
+    }
+
+    /// Measured adjacency density of the generated instance.
+    pub fn adjacency_density(&self) -> f64 {
+        self.graph.adjacency_density()
+    }
+
+    /// Measured input feature density of the generated instance.
+    pub fn feature_density(&self) -> f64 {
+        self.features.density()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_vi_statistics_are_reproduced() {
+        let spec = Dataset::Cora.spec();
+        assert_eq!(spec.num_vertices, 2708);
+        assert_eq!(spec.num_edges, 5429);
+        assert_eq!(spec.feature_dim, 1433);
+        assert_eq!(spec.num_classes, 7);
+        assert_eq!(spec.hidden_dim, 16);
+        let spec = Dataset::Reddit.spec();
+        assert_eq!(spec.num_vertices, 232_965);
+        assert_eq!(spec.hidden_dim, 128);
+        assert!((spec.feature_density - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn published_density_is_consistent_with_counts() {
+        // |E| / |V|^2 should be within 2x of the published adjacency density
+        // (the paper rounds its density column).
+        for ds in Dataset::all() {
+            let s = ds.spec();
+            let implied = s.num_edges as f64 / (s.num_vertices as f64 * s.num_vertices as f64);
+            let ratio = implied / s.adjacency_density;
+            assert!(
+                (0.4..=2.6).contains(&ratio),
+                "{}: implied {implied:.2e} vs published {:.2e}",
+                ds.name(),
+                s.adjacency_density
+            );
+        }
+    }
+
+    #[test]
+    fn abbreviations_match_paper_order() {
+        let abbrevs: Vec<&str> = Dataset::all().iter().map(|d| d.abbrev()).collect();
+        assert_eq!(abbrevs, vec!["CI", "CO", "PU", "FL", "NE", "RE"]);
+    }
+
+    #[test]
+    fn cora_generation_matches_spec() {
+        let ds = Dataset::Cora.spec().generate(42);
+        assert_eq!(ds.num_vertices(), 2708);
+        assert_eq!(ds.num_edges(), 5429);
+        assert!(!ds.is_scaled());
+        assert!((ds.feature_density() - 0.0127).abs() < 0.004);
+        assert!(!ds.features.is_sparse());
+    }
+
+    #[test]
+    fn nell_features_are_sparse_backed() {
+        assert!(Dataset::Nell.spec().prefers_sparse_features());
+        assert!(!Dataset::Cora.spec().prefers_sparse_features());
+        assert!(!Dataset::Reddit.spec().prefers_sparse_features());
+        // Generate a small-scale NELL and check representation + density.
+        let ds = Dataset::Nell.spec().generate_scaled(1, 0.02);
+        assert!(ds.features.is_sparse());
+        assert!(ds.feature_density() < 0.001);
+    }
+
+    #[test]
+    fn scaling_preserves_average_degree() {
+        let spec = Dataset::PubMed.spec();
+        let ds = spec.generate_scaled(3, 0.25);
+        assert!(ds.is_scaled());
+        let full_avg = spec.average_degree();
+        let got_avg = ds.num_edges() as f64 / ds.num_vertices() as f64;
+        assert!(
+            (got_avg - full_avg).abs() / full_avg < 0.1,
+            "avg degree {got_avg:.2} vs published {full_avg:.2}"
+        );
+        assert_eq!(ds.features.dim(), 500);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = Dataset::Cora.spec().generate_scaled(7, 0.1);
+        let b = Dataset::Cora.spec().generate_scaled(7, 0.1);
+        assert_eq!(a.graph.adjacency(), b.graph.adjacency());
+        assert_eq!(a.features.nnz(), b.features.nnz());
+    }
+}

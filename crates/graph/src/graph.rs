@@ -1,0 +1,159 @@
+//! Core graph structure: a directed graph stored as a CSR adjacency matrix.
+
+use dynasparse_matrix::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A graph `G(V, E)` stored as its adjacency matrix in CSR form.
+///
+/// Row `i` of the adjacency matrix lists the in-neighbours that vertex `i`
+/// aggregates from (so `Hout = A × Hin` is exactly the `Aggregate()` kernel of
+/// Algorithm 1).  Edge values default to `1.0` before normalization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    name: String,
+    adjacency: CsrMatrix,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list `(src, dst)`; duplicate edges are
+    /// collapsed (their weights add up, then are clamped back to 1.0).
+    pub fn from_edges(name: impl Into<String>, num_vertices: usize, edges: &[(u32, u32)]) -> Self {
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
+        let mut triples = Vec::with_capacity(edges.len());
+        for &(src, dst) in edges {
+            if seen.insert((dst, src)) {
+                // Row `dst` aggregates from column `src`.
+                triples.push((dst, src, 1.0));
+            }
+        }
+        let adjacency = CsrMatrix::from_triples(num_vertices, num_vertices, triples)
+            .expect("edge endpoints must be < num_vertices");
+        Graph {
+            name: name.into(),
+            adjacency,
+        }
+    }
+
+    /// Wraps an existing adjacency matrix (must be square).
+    pub fn from_adjacency(name: impl Into<String>, adjacency: CsrMatrix) -> Self {
+        assert_eq!(
+            adjacency.rows(),
+            adjacency.cols(),
+            "adjacency matrix must be square"
+        );
+        Graph {
+            name: name.into(),
+            adjacency,
+        }
+    }
+
+    /// Human-readable name of the graph.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of vertices `|V|`.
+    pub fn num_vertices(&self) -> usize {
+        self.adjacency.rows()
+    }
+
+    /// Number of stored edges `|E|` (after duplicate collapsing).
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.nnz()
+    }
+
+    /// Density of the adjacency matrix (the quantity of Fig. 1).
+    pub fn adjacency_density(&self) -> f64 {
+        self.adjacency.density()
+    }
+
+    /// The adjacency matrix.
+    pub fn adjacency(&self) -> &CsrMatrix {
+        &self.adjacency
+    }
+
+    /// In-degree of vertex `v` (number of neighbours aggregated from).
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.adjacency.row_nnz(v)
+    }
+
+    /// In-degrees of every vertex.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        (0..self.num_vertices()).map(|v| self.in_degree(v)).collect()
+    }
+
+    /// Average in-degree.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Maximum in-degree.
+    pub fn max_degree(&self) -> usize {
+        self.in_degrees().into_iter().max().unwrap_or(0)
+    }
+
+    /// Number of vertices with no in-neighbours.
+    pub fn isolated_vertices(&self) -> usize {
+        self.in_degrees().into_iter().filter(|&d| d == 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> Graph {
+        // 0 -> 1 -> 2 -> 3
+        Graph::from_edges("path", 4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let g = path_graph();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.name(), "path");
+        assert!((g.adjacency_density() - 3.0 / 16.0).abs() < 1e-12);
+        assert!((g.average_degree() - 0.75).abs() < 1e-12);
+        assert_eq!(g.max_degree(), 1);
+        assert_eq!(g.isolated_vertices(), 1); // vertex 0 has no in-edge
+    }
+
+    #[test]
+    fn aggregation_direction_is_dst_row() {
+        let g = path_graph();
+        // Row 1 (vertex 1) should reference column 0 (its in-neighbour).
+        let (cols, vals) = g.adjacency().row(1);
+        assert_eq!(cols, &[0]);
+        assert_eq!(vals, &[1.0]);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.in_degree(1), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_are_collapsed() {
+        let g = Graph::from_edges("dup", 3, &[(0, 1), (0, 1), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+        let (_, vals) = g.adjacency().row(1);
+        assert_eq!(vals, &[1.0]);
+    }
+
+    #[test]
+    fn from_adjacency_round_trips() {
+        let g = path_graph();
+        let g2 = Graph::from_adjacency("copy", g.adjacency().clone());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.num_vertices(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_adjacency_is_rejected() {
+        let rect = CsrMatrix::empty(3, 4);
+        let _ = Graph::from_adjacency("bad", rect);
+    }
+}

@@ -1,0 +1,161 @@
+//! Adjacency-matrix normalization for the message-passing aggregators.
+//!
+//! The paper's IR records an aggregation operator per kernel (Table II: Max,
+//! Sum, Min, Mean).  The matrix formulation of the common aggregators is a
+//! normalized adjacency matrix:
+//!
+//! * **Sum** — `A + I` (GIN-style, self-loop added so the vertex keeps its
+//!   own feature);
+//! * **Mean** — `D⁻¹ (A + I)` (GraphSAGE-style row normalization);
+//! * **GCN (symmetric)** — `D̃⁻¹ᐟ² (A + I) D̃⁻¹ᐟ²` (Kipf & Welling).
+//!
+//! The normalized matrix keeps the sparsity pattern of `A + I`, so the
+//! accelerator treats all aggregators identically — only the edge values
+//! change.
+
+use dynasparse_matrix::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Aggregation operator recorded in the kernel IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggregatorKind {
+    /// Plain sum over neighbours (plus self-loop).
+    Sum,
+    /// Mean over neighbours (plus self-loop): row-normalized adjacency.
+    Mean,
+    /// GCN symmetric normalization.
+    GcnSymmetric,
+}
+
+impl AggregatorKind {
+    /// Short label used in reports and IR dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            AggregatorKind::Sum => "sum",
+            AggregatorKind::Mean => "mean",
+            AggregatorKind::GcnSymmetric => "gcn",
+        }
+    }
+}
+
+/// Builds the normalized adjacency matrix used by the Aggregate kernel.
+///
+/// The input is the raw (unnormalized, no self-loop) adjacency matrix; the
+/// output has self-loops added and values normalized per `kind`.
+pub fn normalized_adjacency(adjacency: &CsrMatrix, kind: AggregatorKind) -> CsrMatrix {
+    let with_loops = adjacency
+        .add_identity()
+        .expect("adjacency matrices are square");
+    match kind {
+        AggregatorKind::Sum => with_loops,
+        AggregatorKind::Mean => {
+            let inv_deg: Vec<f32> = (0..with_loops.rows())
+                .map(|r| {
+                    let (_, vals) = with_loops.row(r);
+                    let deg: f32 = vals.iter().sum();
+                    if deg > 0.0 {
+                        1.0 / deg
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            with_loops
+                .scale_rows(&inv_deg)
+                .expect("factor length equals row count")
+        }
+        AggregatorKind::GcnSymmetric => {
+            let inv_sqrt_deg: Vec<f32> = (0..with_loops.rows())
+                .map(|r| {
+                    let (_, vals) = with_loops.row(r);
+                    let deg: f32 = vals.iter().sum();
+                    if deg > 0.0 {
+                        1.0 / deg.sqrt()
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            with_loops
+                .scale_rows(&inv_sqrt_deg)
+                .and_then(|m| m.scale_cols(&inv_sqrt_deg))
+                .expect("factor lengths equal matrix dimensions")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_adjacency() -> CsrMatrix {
+        // 0 <- 1, 1 <- 0, 1 <- 2 (row = destination)
+        CsrMatrix::from_triples(3, 3, vec![(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn sum_adds_self_loops_only() {
+        let a = normalized_adjacency(&tiny_adjacency(), AggregatorKind::Sum);
+        let d = a.to_dense();
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(1, 1), 1.0);
+        assert_eq!(d.get(2, 2), 1.0);
+        assert_eq!(d.get(0, 1), 1.0);
+        assert_eq!(a.nnz(), 3 + 3);
+    }
+
+    #[test]
+    fn mean_rows_sum_to_one() {
+        let a = normalized_adjacency(&tiny_adjacency(), AggregatorKind::Mean);
+        for r in 0..3 {
+            let (_, vals) = a.row(r);
+            let s: f32 = vals.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn gcn_normalization_is_symmetric_for_symmetric_graphs() {
+        // Symmetric input: edges in both directions.
+        let adj = CsrMatrix::from_triples(
+            3,
+            3,
+            vec![(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)],
+        )
+        .unwrap();
+        let a = normalized_adjacency(&adj, AggregatorKind::GcnSymmetric);
+        let d = a.to_dense();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((d.get(r, c) - d.get(c, r)).abs() < 1e-6);
+            }
+        }
+        // Degree-2 vertex 0: self-loop value is 1/deg = 0.5.
+        assert!((d.get(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalization_preserves_sparsity_pattern() {
+        let adj = tiny_adjacency();
+        let sum = normalized_adjacency(&adj, AggregatorKind::Sum);
+        let mean = normalized_adjacency(&adj, AggregatorKind::Mean);
+        let gcn = normalized_adjacency(&adj, AggregatorKind::GcnSymmetric);
+        assert_eq!(sum.nnz(), mean.nnz());
+        assert_eq!(sum.nnz(), gcn.nnz());
+    }
+
+    #[test]
+    fn isolated_vertices_do_not_produce_nan() {
+        // Vertex 2 has no in-edges; with the self-loop its degree is 1.
+        let adj = CsrMatrix::from_triples(3, 3, vec![(0, 1, 1.0)]).unwrap();
+        let gcn = normalized_adjacency(&adj, AggregatorKind::GcnSymmetric);
+        assert!(gcn.values().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AggregatorKind::Sum.label(), "sum");
+        assert_eq!(AggregatorKind::Mean.label(), "mean");
+        assert_eq!(AggregatorKind::GcnSymmetric.label(), "gcn");
+    }
+}

@@ -1,0 +1,545 @@
+//! Compressed Sparse Row (CSR) matrices.
+//!
+//! CSR is not an on-chip format of the Dynasparse accelerator (which uses COO
+//! per Section V-A), but it is the format that the host-side functional
+//! executor and the CPU/GPU baseline kernels use: the paper's CPU/GPU
+//! baselines (PyG / DGL) perform aggregation as a CSR SpMM that exploits only
+//! the sparsity of the graph structure.
+
+use crate::coo::{CooEntry, CooMatrix};
+use crate::dense::DenseMatrix;
+use crate::error::{MatrixError, Result};
+use crate::is_nonzero;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Sparse matrix in compressed-sparse-row format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// `row_ptr[r]..row_ptr[r+1]` indexes the entries of row `r`.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// An all-zero matrix.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a CSR matrix from unsorted COO-style triples.
+    pub fn from_triples(
+        rows: usize,
+        cols: usize,
+        triples: impl IntoIterator<Item = (u32, u32, f32)>,
+    ) -> Result<Self> {
+        let entries: Vec<CooEntry> = triples
+            .into_iter()
+            .map(|(r, c, v)| CooEntry::new(r, c, v))
+            .collect();
+        let coo = CooMatrix::from_entries(rows, cols, entries)?;
+        Ok(Self::from_coo(&coo))
+    }
+
+    /// Converts a COO matrix (any order) into CSR.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let rows = coo.rows();
+        let cols = coo.cols();
+        let sorted = coo.to_order(crate::layout::Layout::RowMajor);
+        let mut row_ptr = vec![0usize; rows + 1];
+        for e in sorted.entries() {
+            row_ptr[e.row as usize + 1] += 1;
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let mut col_idx = Vec::with_capacity(sorted.nnz());
+        let mut values = Vec::with_capacity(sorted.nnz());
+        for e in sorted.entries() {
+            col_idx.push(e.col);
+            values.push(e.value);
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Extracts the non-zero pattern of a dense matrix.
+    pub fn from_dense(dense: &DenseMatrix) -> Self {
+        let mut row_ptr = vec![0usize; dense.rows() + 1];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..dense.rows() {
+            for c in 0..dense.cols() {
+                let v = dense.get(r, c);
+                if is_nonzero(v) {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr[r + 1] = col_idx.len();
+        }
+        CsrMatrix {
+            rows: dense.rows(),
+            cols: dense.cols(),
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Materialises the matrix as dense storage.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                out.add_assign_at(r, self.col_idx[k] as usize, self.values[k]);
+            }
+        }
+        out
+    }
+
+    /// Converts to COO (row-major order).
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut entries = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                entries.push(CooEntry::new(r as u32, self.col_idx[k], self.values[k]));
+            }
+        }
+        CooMatrix::from_entries(self.rows, self.cols, entries)
+            .expect("CSR indices are always in bounds")
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Density = nnz / (rows*cols).
+    pub fn density(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / total as f64
+        }
+    }
+
+    /// Row pointer array (length `rows + 1`).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index array.
+    #[inline]
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Value array.
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Column indices and values of row `r`.
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of non-zeros in row `r` (the out-degree when the matrix is a
+    /// graph adjacency matrix).
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Sparse × dense product `self * rhs` where `rhs` is dense.
+    ///
+    /// This is the aggregation kernel of the functional executor.  Rows of the
+    /// output are computed independently with rayon; each output row is a
+    /// linear combination of the dense rows selected by the sparse row's
+    /// column indices.
+    pub fn spmm_dense(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.cols != rhs.rows() {
+            return Err(MatrixError::ShapeMismatch {
+                op: "spmm_dense",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let d = rhs.cols();
+        let rhs_rm = rhs.to_layout(crate::layout::Layout::RowMajor);
+        let mut out = vec![0.0f32; self.rows * d];
+        out.par_chunks_mut(d)
+            .enumerate()
+            .for_each(|(r, out_row)| {
+                let (cols, vals) = self.row(r);
+                for (&c, &v) in cols.iter().zip(vals.iter()) {
+                    let src = rhs_rm
+                        .row_slice(c as usize)
+                        .expect("row-major layout guaranteed above");
+                    for (o, &s) in out_row.iter_mut().zip(src.iter()) {
+                        *o += v * s;
+                    }
+                }
+            });
+        DenseMatrix::from_row_major(self.rows, d, out)
+    }
+
+    /// Sparse × sparse product returning a CSR matrix.
+    ///
+    /// Row-wise product formulation (Gustavson): the same formulation the
+    /// SPMM execution mode of the Computation Core implements in hardware.
+    pub fn spgemm(&self, rhs: &CsrMatrix) -> Result<CsrMatrix> {
+        if self.cols != rhs.rows() {
+            return Err(MatrixError::ShapeMismatch {
+                op: "spgemm",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let rows: Vec<Vec<(u32, f32)>> = (0..self.rows)
+            .into_par_iter()
+            .map(|r| {
+                let mut acc: std::collections::BTreeMap<u32, f32> = std::collections::BTreeMap::new();
+                let (cols, vals) = self.row(r);
+                for (&c, &v) in cols.iter().zip(vals.iter()) {
+                    let (rcols, rvals) = rhs.row(c as usize);
+                    for (&rc, &rv) in rcols.iter().zip(rvals.iter()) {
+                        *acc.entry(rc).or_insert(0.0) += v * rv;
+                    }
+                }
+                acc.into_iter().filter(|(_, v)| is_nonzero(*v)).collect()
+            })
+            .collect();
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for (r, row) in rows.iter().enumerate() {
+            for &(c, v) in row {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr[r + 1] = col_idx.len();
+        }
+        Ok(CsrMatrix {
+            rows: self.rows,
+            cols: rhs.cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Sparse matrix–vector product.
+    pub fn spmv(&self, x: &[f32]) -> Result<Vec<f32>> {
+        if x.len() != self.cols {
+            return Err(MatrixError::BufferLength {
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        Ok((0..self.rows)
+            .into_par_iter()
+            .map(|r| {
+                let (cols, vals) = self.row(r);
+                cols.iter()
+                    .zip(vals.iter())
+                    .map(|(&c, &v)| v * x[c as usize])
+                    .sum()
+            })
+            .collect())
+    }
+
+    /// Scales each row `r` by `factors[r]`.
+    pub fn scale_rows(&self, factors: &[f32]) -> Result<CsrMatrix> {
+        if factors.len() != self.rows {
+            return Err(MatrixError::BufferLength {
+                expected: self.rows,
+                actual: factors.len(),
+            });
+        }
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            for v in &mut out.values[lo..hi] {
+                *v *= factors[r];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scales each column `c` by `factors[c]`.
+    pub fn scale_cols(&self, factors: &[f32]) -> Result<CsrMatrix> {
+        if factors.len() != self.cols {
+            return Err(MatrixError::BufferLength {
+                expected: self.cols,
+                actual: factors.len(),
+            });
+        }
+        let mut out = self.clone();
+        for k in 0..out.values.len() {
+            out.values[k] *= factors[out.col_idx[k] as usize];
+        }
+        Ok(out)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut triples = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                triples.push((c, r as u32, v));
+            }
+        }
+        CsrMatrix::from_triples(self.cols, self.rows, triples)
+            .expect("transposed indices remain in bounds")
+    }
+
+    /// Adds the identity matrix (self-loops) to a square matrix.
+    pub fn add_identity(&self) -> Result<CsrMatrix> {
+        if self.rows != self.cols {
+            return Err(MatrixError::ShapeMismatch {
+                op: "add_identity",
+                lhs: self.shape(),
+                rhs: (self.cols, self.rows),
+            });
+        }
+        let mut triples: Vec<(u32, u32, f32)> = Vec::with_capacity(self.nnz() + self.rows);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let mut has_diag = false;
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                let v = if c as usize == r {
+                    has_diag = true;
+                    v + 1.0
+                } else {
+                    v
+                };
+                triples.push((r as u32, c, v));
+            }
+            if !has_diag {
+                triples.push((r as u32, r as u32, 1.0));
+            }
+        }
+        CsrMatrix::from_triples(self.rows, self.cols, triples)
+    }
+
+    /// Number of non-zeros falling inside the block `[r0, r1) x [c0, c1)`.
+    pub fn block_nnz(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> usize {
+        let r1 = r1.min(self.rows);
+        (r0..r1)
+            .map(|r| {
+                let (cols, _) = self.row(r);
+                // Column indices within a CSR row are sorted, so the block
+                // membership can be found with two binary searches.
+                let lo = cols.partition_point(|&c| (c as usize) < c0);
+                let hi = cols.partition_point(|&c| (c as usize) < c1);
+                hi - lo
+            })
+            .sum()
+    }
+
+    /// Extracts the block `[r0, r1) x [c0, c1)` as a COO matrix re-based to
+    /// the block origin (zero padded at the fringe).
+    pub fn block_coo(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> CooMatrix {
+        let rows = r1 - r0;
+        let cols = c1 - c0;
+        let mut entries = Vec::new();
+        let rmax = r1.min(self.rows);
+        for r in r0..rmax {
+            let (rcols, rvals) = self.row(r);
+            let lo = rcols.partition_point(|&c| (c as usize) < c0);
+            let hi = rcols.partition_point(|&c| (c as usize) < c1);
+            for k in lo..hi {
+                entries.push(CooEntry::new(
+                    (r - r0) as u32,
+                    rcols[k] - c0 as u32,
+                    rvals[k],
+                ));
+            }
+        }
+        CooMatrix::from_entries(rows, cols, entries).expect("rebased indices are in bounds")
+    }
+
+    /// Size of the payload in bytes: 4-byte column indices + 4-byte values
+    /// plus the row-pointer array (8 bytes per row on a 64-bit host; the
+    /// accelerator's COO stream is accounted separately in `CooMatrix`).
+    pub fn size_bytes(&self) -> usize {
+        self.col_idx.len() * 4 + self.values.len() * 4 + self.row_ptr.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dense() -> DenseMatrix {
+        DenseMatrix::from_row_major(3, 4, vec![
+            1.0, 0.0, 0.0, 2.0, //
+            0.0, 0.0, 3.0, 0.0, //
+            4.0, 0.0, 0.0, 5.0,
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let d = sample_dense();
+        let csr = CsrMatrix::from_dense(&d);
+        assert_eq!(csr.nnz(), 5);
+        assert!(csr.to_dense().approx_eq(&d, 0.0));
+    }
+
+    #[test]
+    fn coo_round_trip() {
+        let d = sample_dense();
+        let coo = CooMatrix::from_dense(&d);
+        let csr = CsrMatrix::from_coo(&coo);
+        assert!(csr.to_coo().to_dense().approx_eq(&d, 0.0));
+    }
+
+    #[test]
+    fn from_triples_sorts_and_validates() {
+        let csr = CsrMatrix::from_triples(2, 2, vec![(1, 1, 4.0), (0, 0, 1.0)]).unwrap();
+        assert_eq!(csr.row(0), (&[0u32][..], &[1.0f32][..]));
+        assert_eq!(csr.row(1), (&[1u32][..], &[4.0f32][..]));
+        assert!(CsrMatrix::from_triples(2, 2, vec![(5, 0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn spmm_dense_matches_dense_matmul() {
+        let a = sample_dense();
+        let b = DenseMatrix::from_fn(4, 3, |r, c| (r + c) as f32);
+        let csr = CsrMatrix::from_dense(&a);
+        let got = csr.spmm_dense(&b).unwrap();
+        let want = crate::ops::gemm_reference(&a, &b).unwrap();
+        assert!(got.approx_eq(&want, 1e-4));
+    }
+
+    #[test]
+    fn spmm_dense_shape_check() {
+        let csr = CsrMatrix::from_dense(&sample_dense());
+        let bad = DenseMatrix::zeros(3, 3);
+        assert!(csr.spmm_dense(&bad).is_err());
+    }
+
+    #[test]
+    fn spgemm_matches_dense_matmul() {
+        let a = sample_dense();
+        let b = DenseMatrix::from_fn(4, 5, |r, c| if (r + c) % 3 == 0 { (r * c) as f32 + 1.0 } else { 0.0 });
+        let got = CsrMatrix::from_dense(&a)
+            .spgemm(&CsrMatrix::from_dense(&b))
+            .unwrap()
+            .to_dense();
+        let want = crate::ops::gemm_reference(&a, &b).unwrap();
+        assert!(got.approx_eq(&want, 1e-4));
+    }
+
+    #[test]
+    fn spmv_matches_manual() {
+        let csr = CsrMatrix::from_dense(&sample_dense());
+        let y = csr.spmv(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(y, vec![1.0 + 8.0, 9.0, 4.0 + 20.0]);
+        assert!(csr.spmv(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn scaling_rows_and_cols() {
+        let csr = CsrMatrix::from_dense(&sample_dense());
+        let rs = csr.scale_rows(&[2.0, 3.0, 0.5]).unwrap().to_dense();
+        assert_eq!(rs.get(0, 3), 4.0);
+        assert_eq!(rs.get(1, 2), 9.0);
+        assert_eq!(rs.get(2, 0), 2.0);
+        let cs = csr.scale_cols(&[1.0, 1.0, 2.0, 10.0]).unwrap().to_dense();
+        assert_eq!(cs.get(0, 3), 20.0);
+        assert_eq!(cs.get(1, 2), 6.0);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let csr = CsrMatrix::from_dense(&sample_dense());
+        let t = csr.transpose();
+        assert_eq!(t.shape(), (4, 3));
+        assert!(t.transpose().to_dense().approx_eq(&csr.to_dense(), 0.0));
+    }
+
+    #[test]
+    fn add_identity_adds_self_loops() {
+        let a = CsrMatrix::from_triples(3, 3, vec![(0, 1, 1.0), (1, 1, 2.0)]).unwrap();
+        let with_loops = a.add_identity().unwrap();
+        let d = with_loops.to_dense();
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(1, 1), 3.0);
+        assert_eq!(d.get(2, 2), 1.0);
+        assert_eq!(d.get(0, 1), 1.0);
+        assert!(CsrMatrix::empty(2, 3).add_identity().is_err());
+    }
+
+    #[test]
+    fn block_nnz_matches_block_coo() {
+        let csr = CsrMatrix::from_dense(&sample_dense());
+        for (r0, r1, c0, c1) in [(0, 2, 0, 2), (1, 3, 2, 4), (0, 3, 0, 4), (2, 5, 3, 6)] {
+            assert_eq!(
+                csr.block_nnz(r0, r1, c0, c1),
+                csr.block_coo(r0, r1, c0, c1).nnz(),
+                "block ({r0},{r1},{c0},{c1})"
+            );
+        }
+    }
+
+    #[test]
+    fn row_accessors() {
+        let csr = CsrMatrix::from_dense(&sample_dense());
+        assert_eq!(csr.row_nnz(0), 2);
+        assert_eq!(csr.row_nnz(1), 1);
+        let (cols, vals) = csr.row(2);
+        assert_eq!(cols, &[0, 3]);
+        assert_eq!(vals, &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn density_and_size() {
+        let csr = CsrMatrix::from_dense(&sample_dense());
+        assert!((csr.density() - 5.0 / 12.0).abs() < 1e-12);
+        assert_eq!(csr.size_bytes(), 5 * 8 + 4 * 8);
+    }
+}

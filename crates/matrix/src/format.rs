@@ -1,0 +1,363 @@
+//! Data format transformation: Dense-to-Sparse (D2S) and Sparse-to-Dense
+//! (S2D).
+//!
+//! The Auxiliary Hardware Module contains a Format Transformation Module with
+//! a D2S and an S2D unit (Section V-B2 of the paper).  The D2S unit is a
+//! `log2(n)`-stage shift network driven by a prefix sum of the zero flags
+//! (Fig. 8): at stage `i` an element is shifted left by `2^(i-1)` positions if
+//! bit `i-1` of its prefix-sum value is set.  The unit compacts `n` elements
+//! per clock cycle, which is sized to match one DDR4 channel (n = 16 32-bit
+//! words per cycle).
+//!
+//! This module provides both a *behavioural* conversion (what the hardware
+//! produces) and a *stage-accurate* simulation of the shift network that the
+//! accelerator tests use to check the hardware algorithm itself, plus the
+//! cycle-cost helpers used by the accelerator model.
+
+use crate::coo::{CooEntry, CooMatrix};
+use crate::dense::DenseMatrix;
+use crate::is_nonzero;
+use crate::layout::Layout;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Format Transformation Module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FormatTransformConfig {
+    /// Number of elements the module consumes per clock cycle.  The paper
+    /// uses `n = 16` to match a DDR4 channel delivering sixteen 32-bit words
+    /// per cycle.
+    pub elements_per_cycle: usize,
+}
+
+impl Default for FormatTransformConfig {
+    fn default() -> Self {
+        FormatTransformConfig {
+            elements_per_cycle: 16,
+        }
+    }
+}
+
+impl FormatTransformConfig {
+    /// Number of pipeline stages of the D2S shift network: `log2(n)`.
+    pub fn pipeline_stages(&self) -> usize {
+        (self.elements_per_cycle.max(2) as f64).log2().ceil() as usize
+    }
+
+    /// Cycles to stream `total_elements` dense elements through the module
+    /// (throughput-bound; the `log2(n)` fill latency is added once).
+    pub fn d2s_cycles(&self, total_elements: usize) -> u64 {
+        if total_elements == 0 {
+            return 0;
+        }
+        let beats = total_elements.div_ceil(self.elements_per_cycle) as u64;
+        beats + self.pipeline_stages() as u64
+    }
+
+    /// Cycles to expand `nnz` sparse elements back into `total_elements`
+    /// dense positions; the S2D direction is bound by the dense write rate.
+    pub fn s2d_cycles(&self, total_elements: usize) -> u64 {
+        self.d2s_cycles(total_elements)
+    }
+}
+
+/// Result of compacting one dense chunk with the prefix-sum shift network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactedChunk {
+    /// Values of the surviving (non-zero) elements, in their original order.
+    pub values: Vec<f32>,
+    /// Column indices (positions within the chunk) of the surviving elements.
+    pub indices: Vec<u32>,
+}
+
+/// Stage-accurate simulation of the D2S shift network on a single chunk of at
+/// most `elements_per_cycle` elements (Fig. 8 of the paper).
+///
+/// Returns the compacted values together with their original positions.  The
+/// behaviour is identical to a filter, but the implementation mirrors the
+/// hardware: a prefix sum of "zero so far" counts followed by `log2(n)`
+/// conditional shift stages.
+pub fn d2s_compact_chunk(chunk: &[f32]) -> CompactedChunk {
+    let n = chunk.len();
+    // Prefix sum of the number of zeros strictly before each element.
+    let mut prefix = vec![0u32; n];
+    let mut zeros = 0u32;
+    for (i, &v) in chunk.iter().enumerate() {
+        prefix[i] = zeros;
+        if !is_nonzero(v) {
+            zeros += 1;
+        }
+    }
+    // Working arrays: value, original index, shift amount; zero elements are
+    // represented as `None` lanes that later stages may overwrite.
+    let mut lanes: Vec<Option<(f32, u32, u32)>> = chunk
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            if is_nonzero(v) {
+                Some((v, i as u32, prefix[i]))
+            } else {
+                None
+            }
+        })
+        .collect();
+    let stages = if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as u32
+    };
+    for stage in 0..stages {
+        let step = 1usize << stage;
+        for i in 0..n {
+            if let Some((v, idx, shift)) = lanes[i] {
+                if shift & (1 << stage) != 0 {
+                    debug_assert!(i >= step, "shift network never underflows");
+                    lanes[i - step] = Some((v, idx, shift));
+                    lanes[i] = None;
+                }
+            }
+        }
+    }
+    let mut values = Vec::new();
+    let mut indices = Vec::new();
+    for lane in lanes.into_iter().flatten() {
+        values.push(lane.0);
+        indices.push(lane.1);
+    }
+    CompactedChunk { values, indices }
+}
+
+/// Behavioural dense-to-sparse conversion of a whole matrix, streaming it row
+/// by row in chunks of `config.elements_per_cycle` through the shift network.
+pub fn dense_to_coo(dense: &DenseMatrix, config: FormatTransformConfig) -> CooMatrix {
+    let mut entries = Vec::new();
+    for r in 0..dense.rows() {
+        let row = dense.row(r);
+        for (chunk_idx, chunk) in row.chunks(config.elements_per_cycle).enumerate() {
+            let compacted = d2s_compact_chunk(chunk);
+            for (v, local) in compacted.values.iter().zip(compacted.indices.iter()) {
+                let col = chunk_idx * config.elements_per_cycle + *local as usize;
+                entries.push(CooEntry::new(r as u32, col as u32, *v));
+            }
+        }
+    }
+    CooMatrix::from_entries(dense.rows(), dense.cols(), entries)
+        .expect("indices derived from the dense matrix are in bounds")
+}
+
+/// Behavioural sparse-to-dense conversion (the S2D direction of the FTM).
+pub fn coo_to_dense(coo: &CooMatrix) -> DenseMatrix {
+    coo.to_dense()
+}
+
+/// Which format a data partition is currently stored in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataFormat {
+    /// Dense array of all elements.
+    Dense,
+    /// COO triples of the non-zero elements.
+    Sparse,
+}
+
+impl DataFormat {
+    /// Bytes needed to store a `rows × cols` partition with `nnz` non-zeros
+    /// in this format (dense: 4 B/element; sparse COO: 12 B/non-zero).
+    pub fn size_bytes(self, rows: usize, cols: usize, nnz: usize) -> usize {
+        match self {
+            DataFormat::Dense => rows * cols * 4,
+            DataFormat::Sparse => nnz * 12,
+        }
+    }
+
+    /// The more compact of the two formats for the given occupancy.  The
+    /// compiler stores partitions in external memory in whichever format is
+    /// smaller; the FTM converts on the fly when the execution mode needs the
+    /// other one.
+    pub fn preferred(rows: usize, cols: usize, nnz: usize) -> DataFormat {
+        if DataFormat::Sparse.size_bytes(rows, cols, nnz)
+            <= DataFormat::Dense.size_bytes(rows, cols, nnz)
+        {
+            DataFormat::Sparse
+        } else {
+            DataFormat::Dense
+        }
+    }
+}
+
+/// A matrix partition held in either format, with its layout.  This is the
+/// unit of data the accelerator loads into its on-chip buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FormattedBlock {
+    /// Dense representation.
+    Dense(DenseMatrix),
+    /// Sparse (COO) representation.
+    Sparse(CooMatrix),
+}
+
+impl FormattedBlock {
+    /// Shape of the block.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            FormattedBlock::Dense(d) => d.shape(),
+            FormattedBlock::Sparse(s) => s.shape(),
+        }
+    }
+
+    /// Number of non-zeros in the block.
+    pub fn nnz(&self) -> usize {
+        match self {
+            FormattedBlock::Dense(d) => d.nnz(),
+            FormattedBlock::Sparse(s) => s.nnz(),
+        }
+    }
+
+    /// Density of the block.
+    pub fn density(&self) -> f64 {
+        match self {
+            FormattedBlock::Dense(d) => d.density(),
+            FormattedBlock::Sparse(s) => s.density(),
+        }
+    }
+
+    /// Current format tag.
+    pub fn format(&self) -> DataFormat {
+        match self {
+            FormattedBlock::Dense(_) => DataFormat::Dense,
+            FormattedBlock::Sparse(_) => DataFormat::Sparse,
+        }
+    }
+
+    /// Converts to dense, cloning only when needed.
+    pub fn to_dense(&self) -> DenseMatrix {
+        match self {
+            FormattedBlock::Dense(d) => d.clone(),
+            FormattedBlock::Sparse(s) => s.to_dense(),
+        }
+    }
+
+    /// Converts to COO, cloning only when needed.
+    pub fn to_coo(&self) -> CooMatrix {
+        match self {
+            FormattedBlock::Dense(d) => CooMatrix::from_dense(d),
+            FormattedBlock::Sparse(s) => s.clone(),
+        }
+    }
+
+    /// Converts the block to the requested format, using the behavioural FTM.
+    pub fn into_format(self, format: DataFormat, config: FormatTransformConfig) -> FormattedBlock {
+        match (self, format) {
+            (FormattedBlock::Dense(d), DataFormat::Sparse) => {
+                FormattedBlock::Sparse(dense_to_coo(&d, config))
+            }
+            (FormattedBlock::Sparse(s), DataFormat::Dense) => FormattedBlock::Dense(s.to_dense()),
+            (other, _) => other,
+        }
+    }
+
+    /// Bytes occupied by this block in its current format.
+    pub fn size_bytes(&self) -> usize {
+        let (r, c) = self.shape();
+        self.format().size_bytes(r, c, self.nnz())
+    }
+
+    /// Layout of the underlying storage.
+    pub fn layout(&self) -> Layout {
+        match self {
+            FormattedBlock::Dense(d) => d.layout(),
+            FormattedBlock::Sparse(s) => s.order(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_dense;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn compact_chunk_matches_figure_8_example() {
+        // The example array of Fig. 8: [7, 8, 0, 6, 0, 0, 1] (columns 1..7 in
+        // the figure; we use 0-based positions).
+        let chunk = [7.0, 8.0, 0.0, 6.0, 0.0, 0.0, 1.0];
+        let out = d2s_compact_chunk(&chunk);
+        assert_eq!(out.values, vec![7.0, 8.0, 6.0, 1.0]);
+        assert_eq!(out.indices, vec![0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn compact_chunk_handles_degenerate_inputs() {
+        assert_eq!(d2s_compact_chunk(&[]).values.len(), 0);
+        assert_eq!(d2s_compact_chunk(&[0.0, 0.0]).values.len(), 0);
+        let all = d2s_compact_chunk(&[1.0, 2.0, 3.0]);
+        assert_eq!(all.values, vec![1.0, 2.0, 3.0]);
+        assert_eq!(all.indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn compact_chunk_equals_simple_filter() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let m = random_dense(&mut rng, 1, 16, 0.4);
+            let chunk: Vec<f32> = m.row(0);
+            let out = d2s_compact_chunk(&chunk);
+            let expect: Vec<(u32, f32)> = chunk
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0.0)
+                .map(|(i, &v)| (i as u32, v))
+                .collect();
+            let got: Vec<(u32, f32)> = out.indices.iter().copied().zip(out.values).collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn dense_to_coo_round_trips() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = random_dense(&mut rng, 37, 53, 0.17);
+        let coo = dense_to_coo(&d, FormatTransformConfig::default());
+        assert_eq!(coo.nnz(), d.nnz());
+        assert!(coo_to_dense(&coo).approx_eq(&d, 0.0));
+    }
+
+    #[test]
+    fn cycle_model_matches_ddr_channel_sizing() {
+        let cfg = FormatTransformConfig::default();
+        assert_eq!(cfg.pipeline_stages(), 4);
+        assert_eq!(cfg.d2s_cycles(0), 0);
+        // 256 elements at 16 per cycle = 16 beats + 4 stages of fill latency.
+        assert_eq!(cfg.d2s_cycles(256), 20);
+        assert_eq!(cfg.s2d_cycles(256), 20);
+        // Partial final beat still costs a cycle.
+        assert_eq!(cfg.d2s_cycles(17), 2 + 4);
+    }
+
+    #[test]
+    fn preferred_format_picks_the_smaller_encoding() {
+        // 12 B per nnz vs 4 B per element: sparse wins below 1/3 density.
+        assert_eq!(DataFormat::preferred(10, 10, 10), DataFormat::Sparse);
+        assert_eq!(DataFormat::preferred(10, 10, 90), DataFormat::Dense);
+        assert_eq!(
+            DataFormat::Dense.size_bytes(8, 8, 3),
+            8 * 8 * 4
+        );
+        assert_eq!(DataFormat::Sparse.size_bytes(8, 8, 3), 36);
+    }
+
+    #[test]
+    fn formatted_block_conversions_preserve_content() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = random_dense(&mut rng, 12, 12, 0.3);
+        let dense_block = FormattedBlock::Dense(d.clone());
+        let sparse_block = dense_block
+            .clone()
+            .into_format(DataFormat::Sparse, FormatTransformConfig::default());
+        assert_eq!(sparse_block.format(), DataFormat::Sparse);
+        assert_eq!(sparse_block.nnz(), d.nnz());
+        assert!(sparse_block.to_dense().approx_eq(&d, 0.0));
+        let back = sparse_block.into_format(DataFormat::Dense, FormatTransformConfig::default());
+        assert!(back.to_dense().approx_eq(&d, 0.0));
+        assert!((dense_block.density() - d.density()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,101 @@
+//! Data layout (element ordering) of matrices.
+//!
+//! The Dynasparse execution modes require specific layouts for their operands
+//! (Table III of the paper): GEMM wants `X` row-major and `Y` column-major,
+//! SpDMM and SPMM want both operands row-major.  Transforming between the two
+//! layouts is a matrix transposition, performed in hardware by the streaming
+//! Layout Transformation Unit (LTU).  This module defines the [`Layout`] enum
+//! and the index arithmetic shared by the dense and sparse containers.
+
+use serde::{Deserialize, Serialize};
+
+/// Storage order of matrix elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Layout {
+    /// Elements of the same row are contiguous.
+    RowMajor,
+    /// Elements of the same column are contiguous.
+    ColMajor,
+}
+
+impl Layout {
+    /// Returns the opposite layout (the result of a transposition).
+    #[inline]
+    pub fn flipped(self) -> Layout {
+        match self {
+            Layout::RowMajor => Layout::ColMajor,
+            Layout::ColMajor => Layout::RowMajor,
+        }
+    }
+
+    /// Linear offset of element `(row, col)` in a `rows x cols` matrix stored
+    /// with this layout.
+    #[inline]
+    pub fn offset(self, row: usize, col: usize, rows: usize, cols: usize) -> usize {
+        match self {
+            Layout::RowMajor => row * cols + col,
+            Layout::ColMajor => col * rows + row,
+        }
+    }
+
+    /// Short human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Layout::RowMajor => "row-major",
+            Layout::ColMajor => "column-major",
+        }
+    }
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        // The paper stores all partitions of A, H and W in external memory in
+        // row-major order to minimise layout-transformation work.
+        Layout::RowMajor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flipped_is_involutive() {
+        assert_eq!(Layout::RowMajor.flipped(), Layout::ColMajor);
+        assert_eq!(Layout::ColMajor.flipped(), Layout::RowMajor);
+        assert_eq!(Layout::RowMajor.flipped().flipped(), Layout::RowMajor);
+    }
+
+    #[test]
+    fn offsets_cover_the_matrix_exactly_once() {
+        let (rows, cols) = (3, 5);
+        for &layout in &[Layout::RowMajor, Layout::ColMajor] {
+            let mut seen = vec![false; rows * cols];
+            for r in 0..rows {
+                for c in 0..cols {
+                    let off = layout.offset(r, c, rows, cols);
+                    assert!(!seen[off], "offset {off} visited twice for {layout:?}");
+                    seen[off] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn row_major_offset_matches_c_order() {
+        assert_eq!(Layout::RowMajor.offset(1, 2, 4, 7), 1 * 7 + 2);
+        assert_eq!(Layout::ColMajor.offset(1, 2, 4, 7), 2 * 4 + 1);
+    }
+
+    #[test]
+    fn default_layout_is_row_major() {
+        assert_eq!(Layout::default(), Layout::RowMajor);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Layout::RowMajor.label(), "row-major");
+        assert_eq!(Layout::ColMajor.label(), "column-major");
+    }
+}

@@ -1,0 +1,243 @@
+//! Reference functional kernels for the three computation primitives.
+//!
+//! The Dynasparse Computation Core executes `Z = X × Y` in one of three
+//! execution modes (Section V-B1 of the paper):
+//!
+//! * **GEMM** — both operands treated as dense; every element participates.
+//! * **SpDMM** — one operand sparse (COO), zeros in that operand skipped;
+//!   executed with the scatter-gather paradigm (Algorithm 5).
+//! * **SPMM** — both operands sparse (COO, row-major), zeros in both
+//!   skipped; executed with the row-wise product (Algorithm 6).
+//!
+//! All three produce the same mathematical result; they differ only in which
+//! zero-operations they skip (and therefore in execution time on the
+//! accelerator).  The functions here are the software oracles used by the
+//! accelerator simulator's self-checks, by the functional executor and by the
+//! host baselines.  `gemm_parallel` is the rayon-parallel variant used when a
+//! dense product is on the critical path of an experiment harness.
+
+use crate::coo::CooMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::{MatrixError, Result};
+use crate::layout::Layout;
+use rayon::prelude::*;
+
+fn check_shapes(op: &'static str, x: (usize, usize), y: (usize, usize)) -> Result<()> {
+    if x.1 != y.0 {
+        Err(MatrixError::ShapeMismatch { op, lhs: x, rhs: y })
+    } else {
+        Ok(())
+    }
+}
+
+/// Dense × dense reference product (single-threaded, i-k-j loop order).
+pub fn gemm_reference(x: &DenseMatrix, y: &DenseMatrix) -> Result<DenseMatrix> {
+    check_shapes("gemm", x.shape(), y.shape())?;
+    let (m, n) = x.shape();
+    let d = y.cols();
+    let xr = x.to_layout(Layout::RowMajor);
+    let yr = y.to_layout(Layout::RowMajor);
+    let mut out = vec![0.0f32; m * d];
+    for i in 0..m {
+        let xrow = xr.row_slice(i).expect("row-major");
+        let orow = &mut out[i * d..(i + 1) * d];
+        for k in 0..n {
+            let xv = xrow[k];
+            if xv == 0.0 {
+                continue;
+            }
+            let yrow = yr.row_slice(k).expect("row-major");
+            for (o, &yv) in orow.iter_mut().zip(yrow.iter()) {
+                *o += xv * yv;
+            }
+        }
+    }
+    DenseMatrix::from_row_major(m, d, out)
+}
+
+/// Dense × dense product parallelised over output rows with rayon.
+pub fn gemm_parallel(x: &DenseMatrix, y: &DenseMatrix) -> Result<DenseMatrix> {
+    check_shapes("gemm_parallel", x.shape(), y.shape())?;
+    let (m, n) = x.shape();
+    let d = y.cols();
+    let xr = x.to_layout(Layout::RowMajor);
+    let yr = y.to_layout(Layout::RowMajor);
+    let mut out = vec![0.0f32; m * d];
+    out.par_chunks_mut(d).enumerate().for_each(|(i, orow)| {
+        let xrow = xr.row_slice(i).expect("row-major");
+        for k in 0..n {
+            let xv = xrow[k];
+            if xv == 0.0 {
+                continue;
+            }
+            let yrow = yr.row_slice(k).expect("row-major");
+            for (o, &yv) in orow.iter_mut().zip(yrow.iter()) {
+                *o += xv * yv;
+            }
+        }
+    });
+    DenseMatrix::from_row_major(m, d, out)
+}
+
+/// Sparse × dense product with the scatter-gather paradigm of Algorithm 5.
+///
+/// `x` is the sparse operand in COO; `y` is dense.  Every non-zero
+/// `e(i, j, value)` of `x` fetches row `Y[j]` ("scatter"), multiplies it by
+/// `e.value` in an Update Unit and accumulates into `Z[i]` in a Reduce Unit
+/// ("gather").  The function is a faithful software rendering of that data
+/// flow, so the accelerator simulator can reuse it for functional
+/// verification of the SpDMM mode.
+pub fn spdmm_reference(x: &CooMatrix, y: &DenseMatrix) -> Result<DenseMatrix> {
+    check_shapes("spdmm", x.shape(), y.shape())?;
+    let m = x.rows();
+    let d = y.cols();
+    let yr = y.to_layout(Layout::RowMajor);
+    let mut z = DenseMatrix::zeros(m, d);
+    for e in x.entries() {
+        // Scatter: route e to the bank holding Y[e.col] and fetch that row.
+        let yrow = yr.row_slice(e.col as usize).expect("row-major");
+        // Gather: Update multiplies, Reduce accumulates into Z[e.row].
+        for (c, &yv) in yrow.iter().enumerate() {
+            z.add_assign_at(e.row as usize, c, e.value * yv);
+        }
+    }
+    Ok(z)
+}
+
+/// Sparse × sparse product with the row-wise product paradigm of Algorithm 6.
+///
+/// Both operands are COO in row-major order.  Each output row `Z[j]` is the
+/// linear combination `Σ_i X[j][i] · Y[i]` computed by one Sparse Computation
+/// Pipeline; the dense result lands in the Result Buffer.
+pub fn spmm_reference(x: &CooMatrix, y: &CooMatrix) -> Result<DenseMatrix> {
+    check_shapes("spmm", x.shape(), y.shape())?;
+    let m = x.rows();
+    let d = y.cols();
+    let x = x.to_order(Layout::RowMajor);
+    let y = y.to_order(Layout::RowMajor);
+    // Pre-index the rows of Y so that `Y[i]` lookups are O(row nnz).
+    let mut y_rows: Vec<Vec<(u32, f32)>> = vec![Vec::new(); y.rows()];
+    for e in y.entries() {
+        y_rows[e.row as usize].push((e.col, e.value));
+    }
+    let mut z = DenseMatrix::zeros(m, d);
+    for e in x.entries() {
+        for &(c, v) in &y_rows[e.col as usize] {
+            z.add_assign_at(e.row as usize, c as usize, e.value * v);
+        }
+    }
+    Ok(z)
+}
+
+/// Number of multiply-accumulate operations each primitive performs for
+/// `Z = X × Y`, given the operand shapes and densities.  These MAC counts are
+/// the numerators of the Table IV performance model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacCounts {
+    /// GEMM performs every MAC: `m · n · d`.
+    pub gemm: f64,
+    /// SpDMM skips zeros of the sparser operand: `α_min · m · n · d`.
+    pub spdmm: f64,
+    /// SPMM skips zeros of both operands: `α_X · α_Y · m · n · d`.
+    pub spmm: f64,
+}
+
+/// Computes the MAC counts of the three primitives for `X (m×n) × Y (n×d)`
+/// with densities `alpha_x` and `alpha_y`.
+pub fn mac_counts(m: usize, n: usize, d: usize, alpha_x: f64, alpha_y: f64) -> MacCounts {
+    let total = m as f64 * n as f64 * d as f64;
+    let alpha_min = alpha_x.min(alpha_y);
+    MacCounts {
+        gemm: total,
+        spdmm: alpha_min * total,
+        spmm: alpha_x * alpha_y * total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_dense;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dense_pair(seed: u64, dx: f64, dy: f64) -> (DenseMatrix, DenseMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = random_dense(&mut rng, 17, 23, dx);
+        let y = random_dense(&mut rng, 23, 9, dy);
+        (x, y)
+    }
+
+    #[test]
+    fn gemm_identity_is_noop() {
+        let (x, _) = dense_pair(1, 0.7, 1.0);
+        let i = DenseMatrix::identity(23);
+        let z = gemm_reference(&x, &i).unwrap();
+        assert!(z.approx_eq(&x, 1e-5));
+    }
+
+    #[test]
+    fn gemm_parallel_matches_reference() {
+        let (x, y) = dense_pair(2, 0.9, 0.8);
+        let a = gemm_reference(&x, &y).unwrap();
+        let b = gemm_parallel(&x, &y).unwrap();
+        assert!(a.approx_eq(&b, 1e-4));
+    }
+
+    #[test]
+    fn spdmm_matches_gemm() {
+        let (x, y) = dense_pair(3, 0.2, 0.9);
+        let want = gemm_reference(&x, &y).unwrap();
+        let got = spdmm_reference(&CooMatrix::from_dense(&x), &y).unwrap();
+        assert!(got.approx_eq(&want, 1e-4));
+    }
+
+    #[test]
+    fn spmm_matches_gemm() {
+        let (x, y) = dense_pair(4, 0.15, 0.25);
+        let want = gemm_reference(&x, &y).unwrap();
+        let got = spmm_reference(&CooMatrix::from_dense(&x), &CooMatrix::from_dense(&y)).unwrap();
+        assert!(got.approx_eq(&want, 1e-4));
+    }
+
+    #[test]
+    fn spmm_accepts_column_major_input_by_resorting() {
+        let (x, y) = dense_pair(5, 0.3, 0.3);
+        let xc = CooMatrix::from_dense(&x).to_order(Layout::ColMajor);
+        let yc = CooMatrix::from_dense(&y).to_order(Layout::ColMajor);
+        let want = gemm_reference(&x, &y).unwrap();
+        assert!(spmm_reference(&xc, &yc).unwrap().approx_eq(&want, 1e-4));
+    }
+
+    #[test]
+    fn shape_mismatch_is_detected() {
+        let x = DenseMatrix::zeros(3, 4);
+        let y = DenseMatrix::zeros(5, 2);
+        assert!(gemm_reference(&x, &y).is_err());
+        assert!(spdmm_reference(&CooMatrix::from_dense(&x), &y).is_err());
+        assert!(spmm_reference(&CooMatrix::from_dense(&x), &CooMatrix::from_dense(&y)).is_err());
+    }
+
+    #[test]
+    fn empty_sparse_operand_gives_zero_result() {
+        let x = CooMatrix::empty(4, 6);
+        let y = DenseMatrix::from_fn(6, 3, |r, c| (r + c) as f32);
+        let z = spdmm_reference(&x, &y).unwrap();
+        assert_eq!(z.nnz(), 0);
+    }
+
+    #[test]
+    fn mac_counts_follow_table_iv() {
+        let c = mac_counts(10, 20, 30, 0.25, 0.5);
+        let total = 10.0 * 20.0 * 30.0;
+        assert_eq!(c.gemm, total);
+        assert_eq!(c.spdmm, 0.25 * total);
+        assert_eq!(c.spmm, 0.125 * total);
+    }
+
+    #[test]
+    fn mac_counts_spdmm_uses_minimum_density() {
+        let c = mac_counts(4, 4, 4, 0.9, 0.1);
+        assert!((c.spdmm - 0.1 * 64.0).abs() < 1e-9);
+    }
+}

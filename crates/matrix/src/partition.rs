@@ -1,0 +1,299 @@
+//! Data partitioning primitives: blocks, fibers and subfibers (Fig. 5).
+//!
+//! The compiler partitions
+//!
+//! * the adjacency matrix `A (|V| × |V|)` into `N1 × N1` **blocks** `A_ij`,
+//! * the feature matrix `H (|V| × f)` into `N1 × N2` **fibers** `H_ij`, each
+//!   further split into `N2 × N2` **subfibers** `H_ij-k`,
+//! * the weight matrix `W (f1 × f2)` into `N2 × N2` **blocks** `W_ij`.
+//!
+//! This module provides the index arithmetic for those tilings: a
+//! [`PartitionSpec`] carries the `(N1, N2)` choice, and a [`BlockGrid`]
+//! enumerates the blocks of one matrix under a given tile size, padding the
+//! fringe blocks (the accelerator's on-chip buffers always hold full tiles).
+
+use crate::error::{MatrixError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The `(N1, N2)` partition-size pair selected by the compiler (Algorithm 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// Block edge of the adjacency matrix and the row dimension of a feature
+    /// fiber.
+    pub n1: usize,
+    /// Column width of a feature fiber, edge of a weight block and of a
+    /// feature subfiber.
+    pub n2: usize,
+}
+
+impl PartitionSpec {
+    /// Creates a partition spec, validating the paper's structural
+    /// constraint `N1 >= N2 > 0` (a fiber of `N1` rows is cut into `N1/N2`
+    /// subfibers).
+    pub fn new(n1: usize, n2: usize) -> Result<Self> {
+        if n2 == 0 || n1 == 0 {
+            return Err(MatrixError::InvalidPartition {
+                reason: format!("partition sizes must be positive, got N1={n1}, N2={n2}"),
+            });
+        }
+        if n1 < n2 {
+            return Err(MatrixError::InvalidPartition {
+                reason: format!("N1 ({n1}) must be at least N2 ({n2})"),
+            });
+        }
+        Ok(PartitionSpec { n1, n2 })
+    }
+
+    /// Number of subfibers per fiber: `N1 / N2` (rounded up for ragged
+    /// fibers).
+    pub fn subfibers_per_fiber(&self) -> usize {
+        self.n1.div_ceil(self.n2)
+    }
+
+    /// Grid used to tile the adjacency matrix `A (|V| × |V|)`.
+    pub fn adjacency_grid(&self, num_vertices: usize) -> BlockGrid {
+        BlockGrid::new(num_vertices, num_vertices, self.n1, self.n1)
+    }
+
+    /// Grid used to tile a feature matrix `H (|V| × f)` at fiber granularity.
+    pub fn feature_grid(&self, num_vertices: usize, feature_dim: usize) -> BlockGrid {
+        BlockGrid::new(num_vertices, feature_dim, self.n1, self.n2)
+    }
+
+    /// Grid used to tile a feature matrix at subfiber granularity
+    /// (`N2 × N2` tiles), the granularity of the Update kernel.
+    pub fn subfiber_grid(&self, num_vertices: usize, feature_dim: usize) -> BlockGrid {
+        BlockGrid::new(num_vertices, feature_dim, self.n2, self.n2)
+    }
+
+    /// Grid used to tile a weight matrix `W (f1 × f2)`.
+    pub fn weight_grid(&self, f_in: usize, f_out: usize) -> BlockGrid {
+        BlockGrid::new(f_in, f_out, self.n2, self.n2)
+    }
+
+    /// Number of tasks of an Aggregate kernel under this spec
+    /// (`|V|·f1 / (N1·N2)`, Algorithm 2 lines 2-3).
+    pub fn aggregate_tasks(&self, num_vertices: usize, feature_dim: usize) -> usize {
+        num_vertices.div_ceil(self.n1) * feature_dim.div_ceil(self.n2)
+    }
+
+    /// Number of tasks of an Update kernel under this spec
+    /// (`|V|·f2 / (N2·N2)`, Algorithm 3 lines 2-3).
+    pub fn update_tasks(&self, num_vertices: usize, out_dim: usize) -> usize {
+        num_vertices.div_ceil(self.n2) * out_dim.div_ceil(self.n2)
+    }
+}
+
+impl Default for PartitionSpec {
+    fn default() -> Self {
+        // A safe default for unit tests and examples; the compiler normally
+        // chooses (N1, N2) with Algorithm 9.
+        PartitionSpec { n1: 512, n2: 128 }
+    }
+}
+
+/// Index of a block within a [`BlockGrid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockIndex {
+    /// Row of the block in the grid.
+    pub grid_row: usize,
+    /// Column of the block in the grid.
+    pub grid_col: usize,
+    /// First matrix row covered by the block.
+    pub row_start: usize,
+    /// One past the last matrix row covered (before clamping to the matrix;
+    /// the fringe is zero-padded).
+    pub row_end: usize,
+    /// First matrix column covered by the block.
+    pub col_start: usize,
+    /// One past the last matrix column covered.
+    pub col_end: usize,
+}
+
+impl BlockIndex {
+    /// Nominal (padded) number of rows of the block.
+    pub fn rows(&self) -> usize {
+        self.row_end - self.row_start
+    }
+
+    /// Nominal (padded) number of columns of the block.
+    pub fn cols(&self) -> usize {
+        self.col_end - self.col_start
+    }
+
+    /// Nominal number of elements in the block.
+    pub fn area(&self) -> usize {
+        self.rows() * self.cols()
+    }
+}
+
+/// A regular tiling of a `rows × cols` matrix into `block_rows × block_cols`
+/// tiles.  Fringe tiles keep the nominal tile size; the part that falls
+/// outside the matrix is implicitly zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockGrid {
+    rows: usize,
+    cols: usize,
+    block_rows: usize,
+    block_cols: usize,
+    grid_rows: usize,
+    grid_cols: usize,
+    blocks: Vec<BlockIndex>,
+}
+
+impl BlockGrid {
+    /// Builds the tiling.  `block_rows`/`block_cols` must be positive.
+    pub fn new(rows: usize, cols: usize, block_rows: usize, block_cols: usize) -> Self {
+        assert!(block_rows > 0 && block_cols > 0, "tile sizes must be positive");
+        let grid_rows = rows.div_ceil(block_rows).max(if rows == 0 { 0 } else { 1 });
+        let grid_cols = cols.div_ceil(block_cols).max(if cols == 0 { 0 } else { 1 });
+        let mut blocks = Vec::with_capacity(grid_rows * grid_cols);
+        for gr in 0..grid_rows {
+            for gc in 0..grid_cols {
+                blocks.push(BlockIndex {
+                    grid_row: gr,
+                    grid_col: gc,
+                    row_start: gr * block_rows,
+                    row_end: (gr + 1) * block_rows,
+                    col_start: gc * block_cols,
+                    col_end: (gc + 1) * block_cols,
+                });
+            }
+        }
+        BlockGrid {
+            rows,
+            cols,
+            block_rows,
+            block_cols,
+            grid_rows,
+            grid_cols,
+            blocks,
+        }
+    }
+
+    /// Matrix shape being tiled.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Nominal tile rows.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Nominal tile columns.
+    pub fn block_cols(&self) -> usize {
+        self.block_cols
+    }
+
+    /// Number of tile rows in the grid.
+    pub fn grid_rows(&self) -> usize {
+        self.grid_rows
+    }
+
+    /// Number of tile columns in the grid.
+    pub fn grid_cols(&self) -> usize {
+        self.grid_cols
+    }
+
+    /// All blocks, row-major over the grid.
+    pub fn blocks(&self) -> &[BlockIndex] {
+        &self.blocks
+    }
+
+    /// The block at grid position `(gr, gc)`.
+    pub fn block(&self, gr: usize, gc: usize) -> BlockIndex {
+        self.blocks[gr * self.grid_cols + gc]
+    }
+
+    /// Total number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the grid has no blocks (zero-sized matrix).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validation() {
+        assert!(PartitionSpec::new(0, 0).is_err());
+        assert!(PartitionSpec::new(16, 32).is_err());
+        let s = PartitionSpec::new(512, 128).unwrap();
+        assert_eq!(s.subfibers_per_fiber(), 4);
+    }
+
+    #[test]
+    fn grid_counts_and_bounds() {
+        let g = BlockGrid::new(10, 7, 4, 3);
+        assert_eq!(g.grid_rows(), 3);
+        assert_eq!(g.grid_cols(), 3);
+        assert_eq!(g.len(), 9);
+        let last = g.block(2, 2);
+        assert_eq!(last.row_start, 8);
+        assert_eq!(last.row_end, 12);
+        assert_eq!(last.col_start, 6);
+        assert_eq!(last.col_end, 9);
+        assert_eq!(last.rows(), 4);
+        assert_eq!(last.area(), 12);
+    }
+
+    #[test]
+    fn grid_covers_matrix_without_overlap() {
+        let g = BlockGrid::new(10, 7, 4, 3);
+        let mut covered = vec![vec![0u8; 7]; 10];
+        for b in g.blocks() {
+            for r in b.row_start..b.row_end.min(10) {
+                for c in b.col_start..b.col_end.min(7) {
+                    covered[r][c] += 1;
+                }
+            }
+        }
+        assert!(covered.iter().flatten().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn empty_matrix_produces_empty_grid() {
+        let g = BlockGrid::new(0, 5, 4, 4);
+        assert!(g.is_empty());
+        assert_eq!(g.grid_rows(), 0);
+    }
+
+    #[test]
+    fn task_counts_match_algorithms_2_and_3() {
+        let s = PartitionSpec::new(512, 128).unwrap();
+        // Aggregate: (|V|/N1) * (f1/N2)
+        assert_eq!(s.aggregate_tasks(2048, 512), 4 * 4);
+        // Update: (|V|/N2) * (f2/N2)
+        assert_eq!(s.update_tasks(2048, 256), 16 * 2);
+        // Ragged sizes round up.
+        assert_eq!(s.aggregate_tasks(2049, 513), 5 * 5);
+    }
+
+    #[test]
+    fn grids_use_the_right_tile_shapes() {
+        let s = PartitionSpec::new(256, 64).unwrap();
+        let a = s.adjacency_grid(1000);
+        assert_eq!((a.block_rows(), a.block_cols()), (256, 256));
+        let h = s.feature_grid(1000, 500);
+        assert_eq!((h.block_rows(), h.block_cols()), (256, 64));
+        let sub = s.subfiber_grid(1000, 500);
+        assert_eq!((sub.block_rows(), sub.block_cols()), (64, 64));
+        let w = s.weight_grid(500, 16);
+        assert_eq!((w.block_rows(), w.block_cols()), (64, 64));
+        assert_eq!(w.grid_rows(), 8);
+        assert_eq!(w.grid_cols(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile sizes must be positive")]
+    fn zero_tile_size_panics() {
+        let _ = BlockGrid::new(4, 4, 0, 2);
+    }
+}

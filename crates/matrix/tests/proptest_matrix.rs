@@ -1,0 +1,115 @@
+//! Property-based tests of the matrix substrate: format conversions, layout
+//! transformations, block partitioning and the three primitive kernels must
+//! preserve the mathematical content for arbitrary inputs.
+
+use dynasparse_matrix::format::{dense_to_coo, FormatTransformConfig};
+use dynasparse_matrix::ops::{gemm_reference, spdmm_reference, spmm_reference};
+use dynasparse_matrix::{BlockGrid, CooMatrix, CsrMatrix, DenseMatrix, DensityProfile, Layout};
+use proptest::prelude::*;
+
+/// Strategy: a random dense matrix with the given maximum dimensions and a
+/// random per-element zero probability (so we cover very sparse and very
+/// dense cases).
+fn dense_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = DenseMatrix> {
+    (1..=max_rows, 1..=max_cols, 0.0f64..=1.0).prop_flat_map(|(rows, cols, density)| {
+        proptest::collection::vec(
+            prop_oneof![
+                3 => Just(0.0f32),
+                2 => (-5.0f32..5.0).prop_filter("non-zero", move |v| *v != 0.0),
+            ]
+            .prop_map(move |v| if density < 0.05 { 0.0 } else { v }),
+            rows * cols,
+        )
+        .prop_map(move |data| DenseMatrix::from_row_major(rows, cols, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coo_dense_round_trip(m in dense_matrix(20, 20)) {
+        let coo = CooMatrix::from_dense(&m);
+        prop_assert_eq!(coo.nnz(), m.nnz());
+        prop_assert!(coo.to_dense().approx_eq(&m, 0.0));
+        prop_assert!(coo.is_sorted());
+    }
+
+    #[test]
+    fn csr_dense_round_trip(m in dense_matrix(20, 20)) {
+        let csr = CsrMatrix::from_dense(&m);
+        prop_assert_eq!(csr.nnz(), m.nnz());
+        prop_assert!(csr.to_dense().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn layout_transform_is_lossless(m in dense_matrix(16, 24)) {
+        let col = m.to_layout(Layout::ColMajor);
+        prop_assert_eq!(col.nnz(), m.nnz());
+        prop_assert!(col.to_layout(Layout::RowMajor).approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn transpose_is_involutive(m in dense_matrix(16, 16)) {
+        prop_assert!(m.transpose().transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn d2s_hardware_compaction_matches_software_conversion(m in dense_matrix(12, 40)) {
+        let hw = dense_to_coo(&m, FormatTransformConfig::default());
+        let sw = CooMatrix::from_dense(&m);
+        prop_assert_eq!(hw.entries(), sw.entries());
+    }
+
+    #[test]
+    fn density_profile_blocks_sum_to_total_nnz(
+        m in dense_matrix(24, 24),
+        block in 1usize..=8,
+    ) {
+        let grid = BlockGrid::new(m.rows(), m.cols(), block, block);
+        let p = DensityProfile::of_dense(&m, &grid);
+        prop_assert_eq!(p.total_nnz(), m.nnz());
+        prop_assert!(p.overall_density() >= 0.0 && p.overall_density() <= 1.0);
+        prop_assert!(p.max_block_density() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn all_primitives_agree_with_gemm(
+        x in dense_matrix(12, 10),
+        y in dense_matrix(10, 8),
+    ) {
+        // Force compatible inner dimensions by truncating/padding y.
+        let y = y.submatrix_padded(0, x.cols(), 0, y.cols());
+        let want = gemm_reference(&x, &y).unwrap();
+        let spdmm = spdmm_reference(&CooMatrix::from_dense(&x), &y).unwrap();
+        let spmm = spmm_reference(&CooMatrix::from_dense(&x), &CooMatrix::from_dense(&y)).unwrap();
+        prop_assert!(spdmm.approx_eq(&want, 1e-3));
+        prop_assert!(spmm.approx_eq(&want, 1e-3));
+    }
+
+    #[test]
+    fn csr_spmm_dense_matches_gemm(
+        x in dense_matrix(12, 10),
+        y in dense_matrix(10, 6),
+    ) {
+        let y = y.submatrix_padded(0, x.cols(), 0, y.cols());
+        let want = gemm_reference(&x, &y).unwrap();
+        let got = CsrMatrix::from_dense(&x).spmm_dense(&y).unwrap();
+        prop_assert!(got.approx_eq(&want, 1e-3));
+    }
+
+    #[test]
+    fn block_extraction_tiles_reassemble_the_matrix(
+        m in dense_matrix(20, 20),
+        block in 1usize..=7,
+    ) {
+        let grid = BlockGrid::new(m.rows(), m.cols(), block, block);
+        let coo = CooMatrix::from_dense(&m);
+        let mut total = 0usize;
+        for b in grid.blocks() {
+            let sub = coo.submatrix_padded(b.row_start, b.row_end, b.col_start, b.col_end);
+            total += sub.nnz();
+        }
+        prop_assert_eq!(total, m.nnz());
+    }
+}

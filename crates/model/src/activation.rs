@@ -1,0 +1,122 @@
+//! Element-wise activation functions recorded in the kernel IR.
+//!
+//! Table II of the paper lists the activation types the IR supports (ReLU and
+//! PReLU) together with an "activation enabled" flag.  ReLU is what produces
+//! most of the *dynamic* feature sparsity the runtime system exploits: after
+//! `Aggregate()+σ()` roughly half of the activations of a zero-centred input
+//! become exact zeros (Fig. 2).
+
+use dynasparse_graph::FeatureMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Element-wise activation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit: `max(0, x)`.
+    ReLU,
+    /// Parametric ReLU with a fixed negative slope.
+    PReLU {
+        /// Slope applied to negative inputs.
+        negative_slope: f32,
+    },
+}
+
+impl Activation {
+    /// Applies the activation to a scalar.
+    #[inline]
+    pub fn apply_scalar(self, x: f32) -> f32 {
+        match self {
+            Activation::ReLU => x.max(0.0),
+            Activation::PReLU { negative_slope } => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    negative_slope * x
+                }
+            }
+        }
+    }
+
+    /// Applies the activation element-wise to a feature matrix.
+    pub fn apply(self, features: &FeatureMatrix) -> FeatureMatrix {
+        match self {
+            Activation::ReLU => features.relu(),
+            Activation::PReLU { .. } => {
+                let dense = features.to_dense().map(|v| self.apply_scalar(v));
+                FeatureMatrix::Dense(dense)
+            }
+        }
+    }
+
+    /// Whether the activation can introduce new zeros (and therefore new
+    /// sparsity for the runtime system to exploit).
+    pub fn introduces_sparsity(self) -> bool {
+        match self {
+            Activation::ReLU => true,
+            Activation::PReLU { negative_slope } => negative_slope == 0.0,
+        }
+    }
+
+    /// Label used in IR dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            Activation::ReLU => "ReLU",
+            Activation::PReLU { .. } => "PReLU",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasparse_matrix::DenseMatrix;
+
+    #[test]
+    fn relu_scalar_semantics() {
+        assert_eq!(Activation::ReLU.apply_scalar(-2.0), 0.0);
+        assert_eq!(Activation::ReLU.apply_scalar(3.0), 3.0);
+    }
+
+    #[test]
+    fn prelu_scalar_semantics() {
+        let act = Activation::PReLU {
+            negative_slope: 0.25,
+        };
+        assert_eq!(act.apply_scalar(-4.0), -1.0);
+        assert_eq!(act.apply_scalar(4.0), 4.0);
+    }
+
+    #[test]
+    fn relu_matrix_introduces_sparsity() {
+        let m = DenseMatrix::from_row_major(2, 2, vec![-1.0, 2.0, -3.0, 4.0]).unwrap();
+        let f = FeatureMatrix::Dense(m);
+        let out = Activation::ReLU.apply(&f);
+        assert_eq!(out.nnz(), 2);
+        assert!(Activation::ReLU.introduces_sparsity());
+    }
+
+    #[test]
+    fn prelu_keeps_negatives_nonzero() {
+        let m = DenseMatrix::from_row_major(1, 3, vec![-2.0, 0.0, 2.0]).unwrap();
+        let act = Activation::PReLU {
+            negative_slope: 0.1,
+        };
+        let out = act.apply(&FeatureMatrix::Dense(m));
+        assert_eq!(out.nnz(), 2);
+        assert!((out.to_dense().get(0, 0) + 0.2).abs() < 1e-6);
+        assert!(!act.introduces_sparsity());
+        assert!(Activation::PReLU { negative_slope: 0.0 }.introduces_sparsity());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Activation::ReLU.label(), "ReLU");
+        assert_eq!(
+            Activation::PReLU {
+                negative_slope: 0.25
+            }
+            .label(),
+            "PReLU"
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Kernel-level description of a GNN layer.
+//!
+//! A layer is a small DAG of **Aggregate** and **Update** kernels (Fig. 10 of
+//! the paper).  Each kernel reads either the layer's input feature matrix or
+//! the output of an earlier kernel of the same layer, may apply an
+//! element-wise activation to its output (the "activation enabled" flag of
+//! the IR, Table II), and may contribute to the layer output.  The layer
+//! output is the element-wise sum of all contributing kernels followed by an
+//! optional layer-level activation — this is how GraphSAGE's self/neighbour
+//! branches combine without introducing an operation the accelerator does not
+//! support (the summation happens in the Result Buffer accumulation).
+
+use crate::activation::Activation;
+use dynasparse_graph::AggregatorKind;
+use serde::{Deserialize, Serialize};
+
+/// Where a kernel reads its feature-matrix operand from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelInput {
+    /// The feature matrix entering the layer (`H^{l-1}`).
+    LayerInput,
+    /// The output of kernel `i` of the same layer.
+    Kernel(usize),
+}
+
+/// The operation a kernel performs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KernelOp {
+    /// Feature aggregation: `H_out = A × H_in` with the given aggregator's
+    /// normalization of `A`.
+    Aggregate {
+        /// Which normalized adjacency matrix to use.
+        aggregator: AggregatorKind,
+    },
+    /// Feature transformation: `H_out = H_in × W`, where `W` is the model
+    /// weight with the given global index.
+    Update {
+        /// Index into [`crate::GnnModel::weights`].
+        weight: usize,
+    },
+}
+
+impl KernelOp {
+    /// True for Aggregate kernels.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, KernelOp::Aggregate { .. })
+    }
+
+    /// True for Update kernels.
+    pub fn is_update(&self) -> bool {
+        matches!(self, KernelOp::Update { .. })
+    }
+
+    /// The paper's layer-type code: Aggregate = 0, Update = 1 (Table II).
+    pub fn type_code(&self) -> u8 {
+        match self {
+            KernelOp::Aggregate { .. } => 0,
+            KernelOp::Update { .. } => 1,
+        }
+    }
+}
+
+/// One kernel of a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelSpec {
+    /// The operation performed.
+    pub op: KernelOp,
+    /// Which feature matrix the kernel reads.
+    pub input: KernelInput,
+    /// Optional activation applied to the kernel output.
+    pub activation: Option<Activation>,
+    /// Whether the kernel output is added into the layer output.
+    pub contributes_to_output: bool,
+}
+
+impl KernelSpec {
+    /// Aggregate kernel reading the layer input.
+    pub fn aggregate(aggregator: AggregatorKind) -> Self {
+        KernelSpec {
+            op: KernelOp::Aggregate { aggregator },
+            input: KernelInput::LayerInput,
+            activation: None,
+            contributes_to_output: false,
+        }
+    }
+
+    /// Update kernel reading the layer input.
+    pub fn update(weight: usize) -> Self {
+        KernelSpec {
+            op: KernelOp::Update { weight },
+            input: KernelInput::LayerInput,
+            activation: None,
+            contributes_to_output: false,
+        }
+    }
+
+    /// Builder: set the kernel input.
+    pub fn with_input(mut self, input: KernelInput) -> Self {
+        self.input = input;
+        self
+    }
+
+    /// Builder: enable an activation on the kernel output.
+    pub fn with_activation(mut self, activation: Activation) -> Self {
+        self.activation = Some(activation);
+        self
+    }
+
+    /// Builder: mark the kernel as contributing to the layer output.
+    pub fn contributing(mut self) -> Self {
+        self.contributes_to_output = true;
+        self
+    }
+}
+
+/// One GNN layer: its kernels, dimensions and output activation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Kernels of the layer, in execution (topological) order.
+    pub kernels: Vec<KernelSpec>,
+    /// Input feature dimension of the layer.
+    pub in_dim: usize,
+    /// Output feature dimension of the layer.
+    pub out_dim: usize,
+    /// Activation applied to the summed layer output.
+    pub output_activation: Option<Activation>,
+}
+
+impl LayerSpec {
+    /// Validates the intra-layer dataflow: kernel inputs must reference
+    /// earlier kernels, and at least one kernel must contribute to the
+    /// output.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.kernels.is_empty() {
+            return Err("layer has no kernels".into());
+        }
+        for (i, k) in self.kernels.iter().enumerate() {
+            if let KernelInput::Kernel(j) = k.input {
+                if j >= i {
+                    return Err(format!(
+                        "kernel {i} reads kernel {j}, which does not precede it"
+                    ));
+                }
+            }
+        }
+        if !self.kernels.iter().any(|k| k.contributes_to_output) {
+            return Err("no kernel contributes to the layer output".into());
+        }
+        Ok(())
+    }
+
+    /// Number of Aggregate kernels in the layer.
+    pub fn num_aggregates(&self) -> usize {
+        self.kernels.iter().filter(|k| k.op.is_aggregate()).count()
+    }
+
+    /// Number of Update kernels in the layer.
+    pub fn num_updates(&self) -> usize {
+        self.kernels.iter().filter(|k| k.op.is_update()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gcn_like_layer() -> LayerSpec {
+        LayerSpec {
+            kernels: vec![
+                KernelSpec::update(0),
+                KernelSpec::aggregate(AggregatorKind::GcnSymmetric)
+                    .with_input(KernelInput::Kernel(0))
+                    .with_activation(Activation::ReLU)
+                    .contributing(),
+            ],
+            in_dim: 8,
+            out_dim: 4,
+            output_activation: None,
+        }
+    }
+
+    #[test]
+    fn valid_layer_passes_validation() {
+        assert!(gcn_like_layer().validate().is_ok());
+        assert_eq!(gcn_like_layer().num_aggregates(), 1);
+        assert_eq!(gcn_like_layer().num_updates(), 1);
+    }
+
+    #[test]
+    fn forward_reference_is_rejected() {
+        let mut layer = gcn_like_layer();
+        layer.kernels[0].input = KernelInput::Kernel(1);
+        assert!(layer.validate().unwrap_err().contains("does not precede"));
+    }
+
+    #[test]
+    fn empty_layer_and_missing_contributor_are_rejected() {
+        let empty = LayerSpec {
+            kernels: vec![],
+            in_dim: 4,
+            out_dim: 4,
+            output_activation: None,
+        };
+        assert!(empty.validate().is_err());
+
+        let mut layer = gcn_like_layer();
+        layer.kernels[1].contributes_to_output = false;
+        assert!(layer
+            .validate()
+            .unwrap_err()
+            .contains("no kernel contributes"));
+    }
+
+    #[test]
+    fn type_codes_match_table_ii() {
+        assert_eq!(
+            KernelOp::Aggregate {
+                aggregator: AggregatorKind::Sum
+            }
+            .type_code(),
+            0
+        );
+        assert_eq!(KernelOp::Update { weight: 0 }.type_code(), 1);
+    }
+
+    #[test]
+    fn builders_set_flags() {
+        let k = KernelSpec::update(3)
+            .with_input(KernelInput::Kernel(1))
+            .with_activation(Activation::ReLU)
+            .contributing();
+        assert!(k.op.is_update());
+        assert_eq!(k.input, KernelInput::Kernel(1));
+        assert!(k.activation.is_some());
+        assert!(k.contributes_to_output);
+    }
+}

@@ -1,0 +1,374 @@
+//! Builders for the four GNN models the paper evaluates.
+//!
+//! All models follow the paper's 2-layer evaluation configuration
+//! (Section VIII-A): hidden dimension 16 for the citation graphs (Cora,
+//! CiteSeer, PubMed) and 128 for Flickr, NELL and Reddit; the final layer
+//! projects to the number of classes.  The kernel structure per layer follows
+//! Fig. 10:
+//!
+//! * **GCN** — `Update → Aggregate(+ReLU)`.  The Update-first order matches
+//!   the paper's discussion of Fig. 2 ("the FM after the Update() of the
+//!   first GNN layer") and its observation that `Update(H0, W1)` dominates
+//!   GCN execution time, because the first Update contracts the wide, sparse
+//!   input features before aggregation.
+//! * **GraphSAGE** — `Aggregate(mean) → Update(neigh)` plus a parallel
+//!   `Update(self)`, summed, then ReLU.
+//! * **GIN** — `Aggregate(sum) → Update(MLP₁)+ReLU → Update(MLP₂)`, then
+//!   layer ReLU.
+//! * **SGC** — `L` Aggregate hops followed by a single Update.
+
+use crate::activation::Activation;
+use crate::kernel::{KernelInput, KernelSpec, LayerSpec};
+use dynasparse_graph::AggregatorKind;
+use dynasparse_matrix::{random::xavier_uniform, DenseMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's four GNN models a [`GnnModel`] instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GnnModelKind {
+    /// Graph Convolutional Network (Kipf & Welling).
+    Gcn,
+    /// GraphSAGE with mean aggregation.
+    GraphSage,
+    /// Graph Isomorphism Network.
+    Gin,
+    /// Simplified Graph Convolution.
+    Sgc,
+}
+
+impl GnnModelKind {
+    /// All four models, in the order used by the paper's tables.
+    pub fn all() -> [GnnModelKind; 4] {
+        [
+            GnnModelKind::Gcn,
+            GnnModelKind::GraphSage,
+            GnnModelKind::Gin,
+            GnnModelKind::Sgc,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GnnModelKind::Gcn => "GCN",
+            GnnModelKind::GraphSage => "GraphSAGE",
+            GnnModelKind::Gin => "GIN",
+            GnnModelKind::Sgc => "SGC",
+        }
+    }
+}
+
+/// A fully specified GNN model: layer structure plus weight matrices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GnnModel {
+    /// Which architecture this is.
+    pub kind: GnnModelKind,
+    /// Layers in execution order.
+    pub layers: Vec<LayerSpec>,
+    /// All weight matrices, indexed by [`crate::KernelOp::Update`]'s
+    /// `weight` field.
+    pub weights: Vec<DenseMatrix>,
+    /// Input feature dimension.
+    pub input_dim: usize,
+    /// Output (class) dimension.
+    pub output_dim: usize,
+}
+
+impl GnnModel {
+    /// Builds the paper's standard 2-layer configuration of `kind` for a
+    /// dataset with the given dimensions.
+    pub fn standard(
+        kind: GnnModelKind,
+        input_dim: usize,
+        hidden_dim: usize,
+        output_dim: usize,
+        seed: u64,
+    ) -> GnnModel {
+        match kind {
+            GnnModelKind::Gcn => Self::gcn(input_dim, hidden_dim, output_dim, seed),
+            GnnModelKind::GraphSage => Self::graphsage(input_dim, hidden_dim, output_dim, seed),
+            GnnModelKind::Gin => Self::gin(input_dim, hidden_dim, output_dim, seed),
+            GnnModelKind::Sgc => Self::sgc(input_dim, output_dim, 2, seed),
+        }
+    }
+
+    /// 2-layer GCN.
+    pub fn gcn(input_dim: usize, hidden_dim: usize, output_dim: usize, seed: u64) -> GnnModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w1 = xavier_uniform(&mut rng, input_dim, hidden_dim);
+        let w2 = xavier_uniform(&mut rng, hidden_dim, output_dim);
+        let layer = |w: usize, in_dim: usize, out_dim: usize, last: bool| LayerSpec {
+            kernels: vec![
+                KernelSpec::update(w),
+                {
+                    let k = KernelSpec::aggregate(AggregatorKind::GcnSymmetric)
+                        .with_input(KernelInput::Kernel(0))
+                        .contributing();
+                    if last {
+                        k
+                    } else {
+                        k.with_activation(Activation::ReLU)
+                    }
+                },
+            ],
+            in_dim,
+            out_dim,
+            output_activation: None,
+        };
+        GnnModel {
+            kind: GnnModelKind::Gcn,
+            layers: vec![
+                layer(0, input_dim, hidden_dim, false),
+                layer(1, hidden_dim, output_dim, true),
+            ],
+            weights: vec![w1, w2],
+            input_dim,
+            output_dim,
+        }
+    }
+
+    /// 2-layer GraphSAGE (mean aggregator, self + neighbour weights).
+    pub fn graphsage(
+        input_dim: usize,
+        hidden_dim: usize,
+        output_dim: usize,
+        seed: u64,
+    ) -> GnnModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dims = [(input_dim, hidden_dim), (hidden_dim, output_dim)];
+        let mut weights = Vec::new();
+        let mut layers = Vec::new();
+        for (l, &(fin, fout)) in dims.iter().enumerate() {
+            let w_neigh = weights.len();
+            weights.push(xavier_uniform(&mut rng, fin, fout));
+            let w_self = weights.len();
+            weights.push(xavier_uniform(&mut rng, fin, fout));
+            let last = l == dims.len() - 1;
+            layers.push(LayerSpec {
+                kernels: vec![
+                    KernelSpec::aggregate(AggregatorKind::Mean),
+                    KernelSpec::update(w_neigh)
+                        .with_input(KernelInput::Kernel(0))
+                        .contributing(),
+                    KernelSpec::update(w_self).contributing(),
+                ],
+                in_dim: fin,
+                out_dim: fout,
+                output_activation: if last { None } else { Some(Activation::ReLU) },
+            });
+        }
+        GnnModel {
+            kind: GnnModelKind::GraphSage,
+            layers,
+            weights,
+            input_dim,
+            output_dim,
+        }
+    }
+
+    /// 2-layer GIN with a 2-layer MLP per GIN layer.
+    pub fn gin(input_dim: usize, hidden_dim: usize, output_dim: usize, seed: u64) -> GnnModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dims = [(input_dim, hidden_dim), (hidden_dim, output_dim)];
+        let mut weights = Vec::new();
+        let mut layers = Vec::new();
+        for (l, &(fin, fout)) in dims.iter().enumerate() {
+            let w_a = weights.len();
+            weights.push(xavier_uniform(&mut rng, fin, fout));
+            let w_b = weights.len();
+            weights.push(xavier_uniform(&mut rng, fout, fout));
+            let last = l == dims.len() - 1;
+            layers.push(LayerSpec {
+                kernels: vec![
+                    KernelSpec::aggregate(AggregatorKind::Sum),
+                    KernelSpec::update(w_a)
+                        .with_input(KernelInput::Kernel(0))
+                        .with_activation(Activation::ReLU),
+                    KernelSpec::update(w_b)
+                        .with_input(KernelInput::Kernel(1))
+                        .contributing(),
+                ],
+                in_dim: fin,
+                out_dim: fout,
+                output_activation: if last { None } else { Some(Activation::ReLU) },
+            });
+        }
+        GnnModel {
+            kind: GnnModelKind::Gin,
+            layers,
+            weights,
+            input_dim,
+            output_dim,
+        }
+    }
+
+    /// SGC with `hops` aggregation hops and a single Update.
+    pub fn sgc(input_dim: usize, output_dim: usize, hops: usize, seed: u64) -> GnnModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = xavier_uniform(&mut rng, input_dim, output_dim);
+        let hops = hops.max(1);
+        let mut layers = Vec::new();
+        for _ in 0..hops - 1 {
+            layers.push(LayerSpec {
+                kernels: vec![KernelSpec::aggregate(AggregatorKind::GcnSymmetric).contributing()],
+                in_dim: input_dim,
+                out_dim: input_dim,
+                output_activation: None,
+            });
+        }
+        layers.push(LayerSpec {
+            kernels: vec![
+                KernelSpec::aggregate(AggregatorKind::GcnSymmetric),
+                KernelSpec::update(0)
+                    .with_input(KernelInput::Kernel(0))
+                    .contributing(),
+            ],
+            in_dim: input_dim,
+            out_dim: output_dim,
+            output_activation: None,
+        });
+        GnnModel {
+            kind: GnnModelKind::Sgc,
+            layers,
+            weights: vec![w],
+            input_dim,
+            output_dim,
+        }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of kernels across all layers (the node count of the
+    /// computation graph the compiler builds).
+    pub fn num_kernels(&self) -> usize {
+        self.layers.iter().map(|l| l.kernels.len()).sum()
+    }
+
+    /// Average density of all weight matrices (1.0 for unpruned models).
+    pub fn weight_density(&self) -> f64 {
+        if self.weights.is_empty() {
+            return 1.0;
+        }
+        self.weights.iter().map(|w| w.density()).sum::<f64>() / self.weights.len() as f64
+    }
+
+    /// Validates the structural invariants of every layer.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.layers.is_empty() {
+            return Err("model has no layers".into());
+        }
+        for (l, layer) in self.layers.iter().enumerate() {
+            layer
+                .validate()
+                .map_err(|e| format!("layer {l}: {e}"))?;
+            for k in &layer.kernels {
+                if let crate::kernel::KernelOp::Update { weight } = k.op {
+                    if weight >= self.weights.len() {
+                        return Err(format!("layer {l} references missing weight {weight}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_standard_models_validate() {
+        for kind in GnnModelKind::all() {
+            let m = GnnModel::standard(kind, 64, 16, 7, 1);
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            assert_eq!(m.input_dim, 64);
+            assert_eq!(m.output_dim, 7);
+        }
+    }
+
+    #[test]
+    fn gcn_shape_and_kernel_structure() {
+        let m = GnnModel::gcn(100, 16, 7, 0);
+        assert_eq!(m.num_layers(), 2);
+        assert_eq!(m.num_kernels(), 4);
+        assert_eq!(m.weights[0].shape(), (100, 16));
+        assert_eq!(m.weights[1].shape(), (16, 7));
+        // Update first, then Aggregate.
+        assert!(m.layers[0].kernels[0].op.is_update());
+        assert!(m.layers[0].kernels[1].op.is_aggregate());
+        // ReLU after the first layer's aggregate, none after the last.
+        assert!(m.layers[0].kernels[1].activation.is_some());
+        assert!(m.layers[1].kernels[1].activation.is_none());
+    }
+
+    #[test]
+    fn graphsage_has_self_and_neighbour_updates() {
+        let m = GnnModel::graphsage(50, 32, 5, 0);
+        assert_eq!(m.num_kernels(), 6);
+        assert_eq!(m.weights.len(), 4);
+        let l0 = &m.layers[0];
+        assert_eq!(l0.num_aggregates(), 1);
+        assert_eq!(l0.num_updates(), 2);
+        assert_eq!(
+            l0.kernels
+                .iter()
+                .filter(|k| k.contributes_to_output)
+                .count(),
+            2
+        );
+        assert_eq!(l0.output_activation, Some(Activation::ReLU));
+        assert_eq!(m.layers[1].output_activation, None);
+    }
+
+    #[test]
+    fn gin_uses_a_two_layer_mlp() {
+        let m = GnnModel::gin(30, 64, 10, 0);
+        assert_eq!(m.weights.len(), 4);
+        assert_eq!(m.weights[0].shape(), (30, 64));
+        assert_eq!(m.weights[1].shape(), (64, 64));
+        assert_eq!(m.layers[0].num_updates(), 2);
+        // The intermediate MLP activation sits on the first Update kernel.
+        assert!(m.layers[0].kernels[1].activation.is_some());
+    }
+
+    #[test]
+    fn sgc_has_hops_aggregates_and_one_update() {
+        let m = GnnModel::sgc(120, 6, 2, 0);
+        assert_eq!(m.num_layers(), 2);
+        let total_agg: usize = m.layers.iter().map(|l| l.num_aggregates()).sum();
+        let total_upd: usize = m.layers.iter().map(|l| l.num_updates()).sum();
+        assert_eq!(total_agg, 2);
+        assert_eq!(total_upd, 1);
+        assert_eq!(m.weights.len(), 1);
+        assert_eq!(m.weights[0].shape(), (120, 6));
+        // Single-hop SGC still has at least one layer.
+        assert_eq!(GnnModel::sgc(10, 2, 0, 0).num_layers(), 1);
+    }
+
+    #[test]
+    fn unpruned_weight_density_is_one() {
+        let m = GnnModel::gcn(40, 8, 4, 3);
+        assert!(m.weight_density() > 0.99);
+    }
+
+    #[test]
+    fn invalid_weight_reference_is_caught() {
+        let mut m = GnnModel::gcn(10, 4, 2, 0);
+        m.weights.pop();
+        assert!(m.validate().unwrap_err().contains("missing weight"));
+    }
+
+    #[test]
+    fn model_names() {
+        assert_eq!(GnnModelKind::Gcn.name(), "GCN");
+        assert_eq!(GnnModelKind::GraphSage.name(), "GraphSAGE");
+        assert_eq!(GnnModelKind::Gin.name(), "GIN");
+        assert_eq!(GnnModelKind::Sgc.name(), "SGC");
+    }
+}

@@ -1,0 +1,132 @@
+//! Weight pruning.
+//!
+//! The paper's pruned-model experiments (Figs. 11/12, Table VIII) take the
+//! same GNN architectures and prune **all** weight matrices to a common
+//! target sparsity, then measure how much the dynamic kernel-to-primitive
+//! mapping gains over the static strategies as the weights get sparser.  We
+//! implement magnitude pruning — zero out the smallest-magnitude fraction of
+//! each weight matrix — which is the standard unstructured pruning the cited
+//! compression works ([15], [16] in the paper) build on.
+
+use crate::models::GnnModel;
+use dynasparse_matrix::DenseMatrix;
+
+/// Prunes a single weight matrix to the given sparsity (fraction of zeros)
+/// by zeroing its smallest-magnitude elements.  `sparsity` is clamped to
+/// `[0, 1]`; ties are broken by position (stable).
+pub fn prune_magnitude(weight: &DenseMatrix, sparsity: f64) -> DenseMatrix {
+    let sparsity = sparsity.clamp(0.0, 1.0);
+    let total = weight.len();
+    let to_zero = ((total as f64) * sparsity).round() as usize;
+    if to_zero == 0 {
+        return weight.clone();
+    }
+    if to_zero >= total {
+        return DenseMatrix::zeros_with_layout(weight.rows(), weight.cols(), weight.layout());
+    }
+    // Find the magnitude threshold: the `to_zero`-th smallest |value|.
+    let mut magnitudes: Vec<f32> = weight.as_slice().iter().map(|v| v.abs()).collect();
+    magnitudes.sort_by(|a, b| a.partial_cmp(b).expect("weights are finite"));
+    let threshold = magnitudes[to_zero - 1];
+    // Zero all elements strictly below the threshold, then zero elements
+    // equal to the threshold until the exact count is reached (handles ties).
+    let mut out = weight.clone();
+    let mut zeroed = 0usize;
+    {
+        let data = out.as_mut_slice();
+        for v in data.iter_mut() {
+            if v.abs() < threshold {
+                *v = 0.0;
+                zeroed += 1;
+            }
+        }
+        if zeroed < to_zero {
+            for v in data.iter_mut() {
+                if zeroed == to_zero {
+                    break;
+                }
+                if *v != 0.0 && v.abs() == threshold {
+                    *v = 0.0;
+                    zeroed += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Prunes every weight matrix of a model to the same target sparsity,
+/// returning a new model (Figs. 11/12 prune "all the weight matrices in a
+/// GNN model ... to have the same sparsity").
+pub fn prune_model(model: &GnnModel, sparsity: f64) -> GnnModel {
+    let mut pruned = model.clone();
+    pruned.weights = model
+        .weights
+        .iter()
+        .map(|w| prune_magnitude(w, sparsity))
+        .collect();
+    pruned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{GnnModel, GnnModelKind};
+    use dynasparse_matrix::random::xavier_uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pruning_reaches_target_sparsity_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier_uniform(&mut rng, 64, 64);
+        for sparsity in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            let p = prune_magnitude(&w, sparsity);
+            let got = 1.0 - p.density();
+            assert!(
+                (got - sparsity).abs() < 1e-3,
+                "target {sparsity}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_keeps_the_largest_magnitudes() {
+        let w = DenseMatrix::from_row_major(2, 3, vec![0.1, -0.9, 0.3, -0.05, 0.7, 0.2]).unwrap();
+        let p = prune_magnitude(&w, 0.5);
+        assert_eq!(p.nnz(), 3);
+        assert_eq!(p.get(0, 1), -0.9);
+        assert_eq!(p.get(1, 1), 0.7);
+        assert_eq!(p.get(0, 2), 0.3);
+        assert_eq!(p.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn pruning_is_idempotent_at_same_level() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = xavier_uniform(&mut rng, 32, 16);
+        let once = prune_magnitude(&w, 0.7);
+        let twice = prune_magnitude(&once, 0.7);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn pruning_handles_ties() {
+        let w = DenseMatrix::from_row_major(1, 4, vec![0.5, 0.5, 0.5, 0.5]).unwrap();
+        let p = prune_magnitude(&w, 0.5);
+        assert_eq!(p.nnz(), 2);
+    }
+
+    #[test]
+    fn model_pruning_prunes_every_weight() {
+        let m = GnnModel::standard(GnnModelKind::GraphSage, 128, 32, 7, 5);
+        let p = prune_model(&m, 0.8);
+        assert_eq!(p.weights.len(), m.weights.len());
+        for w in &p.weights {
+            assert!((1.0 - w.density() - 0.8).abs() < 0.01);
+        }
+        assert!((p.weight_density() - 0.2).abs() < 0.01);
+        // The architecture is unchanged.
+        assert_eq!(p.layers, m.layers);
+    }
+}

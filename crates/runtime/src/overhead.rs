@@ -1,0 +1,100 @@
+//! Runtime-system overhead accounting (Fig. 13 of the paper).
+//!
+//! The soft processor spends time on the per-pair kernel-to-primitive
+//! decisions (Algorithm 7) and the per-task scheduling events (Algorithm 8).
+//! Because the runtime system performs the mapping for kernel `l+1` while the
+//! accelerator executes kernel `l`, this time is hidden unless it exceeds the
+//! accelerator execution time; the paper reports the *ratio* of the two,
+//! averaging ≈6.8 % on the unpruned models.
+
+use dynasparse_accel::SoftProcessorModel;
+use serde::{Deserialize, Serialize};
+
+/// Overhead of the runtime system for one inference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeOverhead {
+    /// Seconds spent on kernel-to-primitive decisions.
+    pub k2p_seconds: f64,
+    /// Seconds spent on task-scheduling events.
+    pub scheduling_seconds: f64,
+    /// Accelerator execution seconds the overhead is compared against.
+    pub accelerator_seconds: f64,
+}
+
+impl RuntimeOverhead {
+    /// Computes the overhead from decision/event counts.
+    pub fn from_counts(
+        soft: &SoftProcessorModel,
+        decisions: usize,
+        schedule_events: usize,
+        accelerator_seconds: f64,
+    ) -> Self {
+        RuntimeOverhead {
+            k2p_seconds: soft.k2p_seconds(decisions),
+            scheduling_seconds: soft.scheduling_seconds(schedule_events),
+            accelerator_seconds,
+        }
+    }
+
+    /// Total runtime-system seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.k2p_seconds + self.scheduling_seconds
+    }
+
+    /// The quantity Fig. 13 plots: runtime-system time divided by the total
+    /// (accelerator) execution time.
+    pub fn fraction_of_execution(&self) -> f64 {
+        if self.accelerator_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_seconds() / self.accelerator_seconds
+    }
+
+    /// Latency the runtime system adds beyond what pipelining hides.
+    pub fn exposed_seconds(&self) -> f64 {
+        (self.total_seconds() - self.accelerator_seconds).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasparse_accel::AcceleratorConfig;
+
+    fn soft() -> SoftProcessorModel {
+        SoftProcessorModel::from_config(&AcceleratorConfig::default())
+    }
+
+    #[test]
+    fn overhead_is_small_relative_to_a_millisecond_scale_kernel() {
+        // 10 000 decisions + 100 tasks against a 1 ms accelerator run.
+        let o = RuntimeOverhead::from_counts(&soft(), 10_000, 100, 1e-3);
+        assert!(o.total_seconds() > 0.0);
+        assert!(o.fraction_of_execution() < 0.6);
+        assert_eq!(o.exposed_seconds(), 0.0);
+    }
+
+    #[test]
+    fn overhead_fraction_scales_with_decision_count() {
+        let small = RuntimeOverhead::from_counts(&soft(), 1_000, 50, 1e-3);
+        let large = RuntimeOverhead::from_counts(&soft(), 100_000, 50, 1e-3);
+        assert!(large.fraction_of_execution() > small.fraction_of_execution());
+    }
+
+    #[test]
+    fn zero_execution_time_reports_zero_fraction() {
+        let o = RuntimeOverhead::from_counts(&soft(), 100, 10, 0.0);
+        assert_eq!(o.fraction_of_execution(), 0.0);
+    }
+
+    #[test]
+    fn exposure_appears_only_when_overhead_exceeds_execution() {
+        let o = RuntimeOverhead {
+            k2p_seconds: 2e-3,
+            scheduling_seconds: 1e-3,
+            accelerator_seconds: 1e-3,
+        };
+        assert!((o.exposed_seconds() - 2e-3).abs() < 1e-12);
+        assert!(o.fraction_of_execution() > 1.0);
+    }
+}

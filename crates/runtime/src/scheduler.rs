@@ -1,0 +1,167 @@
+//! The Scheduler: dynamic task scheduling across the Computation Cores
+//! (Algorithm 8 of the paper).
+//!
+//! Tasks of a kernel are independent, so the Scheduler dispatches them to
+//! whichever core is idle; kernels execute in order, with a barrier after
+//! each kernel ("wait until all the Tasks in kernel l are executed").  The
+//! makespan of each kernel therefore adds up to the accelerator execution
+//! latency the paper reports.
+
+use crate::analyzer::KernelAnalysis;
+use dynasparse_accel::{CorePool, ScheduleOutcome};
+use serde::{Deserialize, Serialize};
+
+/// Scheduling result for one kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelSchedule {
+    /// Kernel id (index in the compiled program).
+    pub kernel_id: usize,
+    /// Cycle at which the kernel started (after the previous kernel's
+    /// barrier).
+    pub start_cycle: u64,
+    /// Cycle at which the last task of the kernel finished.
+    pub end_cycle: u64,
+    /// Number of tasks scheduled.
+    pub num_tasks: usize,
+    /// Core utilization during this kernel.
+    pub utilization: f64,
+    /// Number of task-dispatch events (interrupt + assignment) handled by
+    /// the soft processor.
+    pub schedule_events: usize,
+}
+
+impl KernelSchedule {
+    /// Kernel execution cycles (makespan of its tasks).
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle - self.start_cycle
+    }
+}
+
+/// The dynamic task scheduler.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    num_cores: usize,
+    current_cycle: u64,
+    kernels: Vec<KernelSchedule>,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for an accelerator with `num_cores` cores.
+    pub fn new(num_cores: usize) -> Self {
+        Scheduler {
+            num_cores,
+            current_cycle: 0,
+            kernels: Vec::new(),
+        }
+    }
+
+    /// Schedules the tasks of one analyzed kernel; the kernel starts at the
+    /// current barrier and the barrier advances to its completion.
+    pub fn schedule_kernel(&mut self, kernel_id: usize, analysis: &KernelAnalysis) -> KernelSchedule {
+        let mut pool = CorePool::new(self.num_cores);
+        let outcome: ScheduleOutcome = pool.schedule_batch(&analysis.task_cycles, 0);
+        let start = self.current_cycle;
+        let end = start + outcome.makespan;
+        let schedule = KernelSchedule {
+            kernel_id,
+            start_cycle: start,
+            end_cycle: end,
+            num_tasks: analysis.task_cycles.len(),
+            utilization: outcome.utilization(self.num_cores),
+            schedule_events: analysis.task_cycles.len(),
+        };
+        self.current_cycle = end;
+        self.kernels.push(schedule.clone());
+        schedule
+    }
+
+    /// Total accelerator execution cycles so far (sum of kernel makespans).
+    pub fn total_cycles(&self) -> u64 {
+        self.current_cycle
+    }
+
+    /// Per-kernel schedules so far.
+    pub fn kernels(&self) -> &[KernelSchedule] {
+        &self.kernels
+    }
+
+    /// Total number of task-dispatch events so far.
+    pub fn total_schedule_events(&self) -> usize {
+        self.kernels.iter().map(|k| k.schedule_events).sum()
+    }
+
+    /// Average utilization weighted by kernel duration.
+    pub fn average_utilization(&self) -> f64 {
+        let total: u64 = self.kernels.iter().map(|k| k.cycles()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.kernels
+            .iter()
+            .map(|k| k.utilization * k.cycles() as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::PrimitiveMix;
+
+    fn analysis(task_cycles: Vec<u64>) -> KernelAnalysis {
+        let total = task_cycles.iter().sum();
+        KernelAnalysis {
+            task_cycles,
+            decisions: 0,
+            mix: PrimitiveMix::default(),
+            total_cycles: total,
+        }
+    }
+
+    #[test]
+    fn kernels_execute_back_to_back_with_barriers() {
+        let mut s = Scheduler::new(2);
+        let k0 = s.schedule_kernel(0, &analysis(vec![10, 10, 10, 10]));
+        assert_eq!(k0.start_cycle, 0);
+        assert_eq!(k0.cycles(), 20);
+        let k1 = s.schedule_kernel(1, &analysis(vec![5, 7]));
+        assert_eq!(k1.start_cycle, 20);
+        assert_eq!(s.total_cycles(), 27);
+        assert_eq!(s.kernels().len(), 2);
+        assert_eq!(s.total_schedule_events(), 6);
+    }
+
+    #[test]
+    fn balanced_tasks_reach_full_utilization() {
+        let mut s = Scheduler::new(7);
+        let k = s.schedule_kernel(0, &analysis(vec![100; 28]));
+        assert!((k.utilization - 1.0).abs() < 1e-9);
+        assert_eq!(k.cycles(), 400);
+    }
+
+    #[test]
+    fn a_single_huge_task_bounds_the_makespan() {
+        let mut s = Scheduler::new(7);
+        let k = s.schedule_kernel(0, &analysis(vec![1000, 1, 1, 1, 1, 1, 1, 1]));
+        assert_eq!(k.cycles(), 1000);
+        assert!(k.utilization < 0.2);
+    }
+
+    #[test]
+    fn average_utilization_weights_by_duration() {
+        let mut s = Scheduler::new(2);
+        s.schedule_kernel(0, &analysis(vec![100, 100])); // utilization 1.0, 100 cycles
+        s.schedule_kernel(1, &analysis(vec![100])); // utilization 0.5, 100 cycles
+        assert!((s.average_utilization() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_kernel_advances_nothing() {
+        let mut s = Scheduler::new(4);
+        let k = s.schedule_kernel(0, &analysis(vec![]));
+        assert_eq!(k.cycles(), 0);
+        assert_eq!(s.total_cycles(), 0);
+        assert_eq!(s.average_utilization(), 0.0);
+    }
+}

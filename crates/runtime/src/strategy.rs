@@ -1,0 +1,255 @@
+//! Kernel-to-primitive mapping strategies.
+//!
+//! * [`MappingStrategy::Dynamic`] — the paper's contribution (Algorithm 7):
+//!   per block product, pick the primitive with the least predicted execution
+//!   time given the measured densities; skip the product entirely when an
+//!   operand partition is empty.
+//! * [`MappingStrategy::Static1`] — the strategy of HyGCN / BoostGCN:
+//!   Aggregate kernels always run as SpDMM treating the adjacency block as
+//!   the sparse operand; Update kernels always run as GEMM.  Feature and
+//!   weight sparsity is never exploited and nothing is skipped.
+//! * [`MappingStrategy::Static2`] — the strategy of AWB-GCN: every kernel
+//!   runs as SpDMM; Aggregate treats `A` as sparse, Update treats the feature
+//!   matrix as sparse.  Weight sparsity is never exploited.
+//! * [`MappingStrategy::Oracle`] — exhaustive argmin over the primitives per
+//!   block product (an upper bound used by the ablation harness; not part of
+//!   the paper's evaluation).
+
+use dynasparse_accel::{PerformanceModel, Primitive};
+use dynasparse_compiler::KernelKind;
+use serde::{Deserialize, Serialize};
+
+/// A kernel-to-primitive mapping policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MappingStrategy {
+    /// Dynamic sparsity-aware mapping (Algorithm 7) — the paper's proposal.
+    Dynamic,
+    /// Static mapping of HyGCN / BoostGCN (S1).
+    Static1,
+    /// Static mapping of AWB-GCN (S2).
+    Static2,
+    /// Per-pair exhaustive argmin (ablation only).
+    Oracle,
+}
+
+impl MappingStrategy {
+    /// The three strategies evaluated in the paper, in table order.
+    pub fn paper_strategies() -> [MappingStrategy; 3] {
+        [
+            MappingStrategy::Static1,
+            MappingStrategy::Static2,
+            MappingStrategy::Dynamic,
+        ]
+    }
+
+    /// Short label used in reports ("S1", "S2", "Dynamic", "Oracle").
+    pub fn label(self) -> &'static str {
+        match self {
+            MappingStrategy::Dynamic => "Dynamic",
+            MappingStrategy::Static1 => "S1",
+            MappingStrategy::Static2 => "S2",
+            MappingStrategy::Oracle => "Oracle",
+        }
+    }
+
+    /// Whether this strategy consults runtime density information (and
+    /// therefore incurs per-pair soft-processor decisions).
+    pub fn uses_runtime_sparsity(self) -> bool {
+        matches!(self, MappingStrategy::Dynamic | MappingStrategy::Oracle)
+    }
+}
+
+/// The decision made for one block product.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairDecision {
+    /// Chosen primitive; `None` means the product is skipped (only the
+    /// dynamic strategies skip).
+    pub primitive: Option<Primitive>,
+    /// Density to charge for the sparse operand of an SpDMM execution.  The
+    /// dynamic strategy uses `min(α_X, α_Y)` (it puts the sparser operand in
+    /// BufferU); the static strategies have a *fixed* sparse role, so a dense
+    /// operand in that role costs full time.
+    pub spdmm_alpha: f64,
+}
+
+impl MappingStrategy {
+    /// Decides the primitive for one block product of a kernel of kind
+    /// `kind`, where the `X` operand has density `alpha_x` and the `Y`
+    /// operand has density `alpha_y` (`X` is the adjacency block for
+    /// Aggregate and the feature block for Update, matching the execution
+    /// schemes of Algorithms 2 and 3).
+    pub fn decide(
+        self,
+        kind: KernelKind,
+        alpha_x: f64,
+        alpha_y: f64,
+        perf: &PerformanceModel,
+    ) -> PairDecision {
+        match self {
+            MappingStrategy::Dynamic => {
+                let primitive = perf.best_primitive(alpha_x, alpha_y);
+                PairDecision {
+                    primitive,
+                    spdmm_alpha: alpha_x.min(alpha_y),
+                }
+            }
+            MappingStrategy::Oracle => {
+                let alpha_min = alpha_x.min(alpha_y);
+                if alpha_min <= 0.0 {
+                    PairDecision {
+                        primitive: None,
+                        spdmm_alpha: 0.0,
+                    }
+                } else {
+                    // Any non-degenerate shape gives the same argmin ordering.
+                    PairDecision {
+                        primitive: Some(perf.argmin_primitive(64, 64, 64, alpha_x, alpha_y)),
+                        spdmm_alpha: alpha_min,
+                    }
+                }
+            }
+            MappingStrategy::Static1 => match kind {
+                KernelKind::Aggregate => PairDecision {
+                    primitive: Some(Primitive::SpDmm),
+                    // A (the X operand) is the designated sparse operand.
+                    spdmm_alpha: alpha_x,
+                },
+                KernelKind::Update => PairDecision {
+                    primitive: Some(Primitive::Gemm),
+                    spdmm_alpha: alpha_x,
+                },
+            },
+            MappingStrategy::Static2 => PairDecision {
+                primitive: Some(Primitive::SpDmm),
+                // Aggregate: A sparse; Update: H sparse — in both execution
+                // schemes that is the X operand.
+                spdmm_alpha: alpha_x,
+            },
+        }
+    }
+
+    /// Predicted execution cycles of one block product under this strategy's
+    /// decision, honouring the fixed sparse-operand role of the static
+    /// strategies.
+    pub fn pair_cycles(
+        self,
+        decision: &PairDecision,
+        m: usize,
+        n: usize,
+        d: usize,
+        alpha_x: f64,
+        alpha_y: f64,
+        perf: &PerformanceModel,
+    ) -> u64 {
+        match decision.primitive {
+            None => 0,
+            Some(Primitive::SpDmm) => {
+                // Charge the designated sparse operand's density: pass it as
+                // one density and 1.0 as the other so that `min` picks it.
+                perf.execution_cycles(Primitive::SpDmm, m, n, d, decision.spdmm_alpha, 1.0)
+            }
+            Some(p) => perf.execution_cycles(p, m, n, d, alpha_x, alpha_y),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perf() -> PerformanceModel {
+        PerformanceModel::new(16)
+    }
+
+    #[test]
+    fn dynamic_follows_algorithm_7_regions() {
+        let p = perf();
+        let d = MappingStrategy::Dynamic.decide(KernelKind::Update, 0.9, 0.8, &p);
+        assert_eq!(d.primitive, Some(Primitive::Gemm));
+        let d = MappingStrategy::Dynamic.decide(KernelKind::Update, 0.05, 0.9, &p);
+        assert_eq!(d.primitive, Some(Primitive::SpDmm));
+        let d = MappingStrategy::Dynamic.decide(KernelKind::Aggregate, 0.01, 0.05, &p);
+        assert_eq!(d.primitive, Some(Primitive::Spmm));
+        let d = MappingStrategy::Dynamic.decide(KernelKind::Aggregate, 0.0, 0.5, &p);
+        assert_eq!(d.primitive, None);
+    }
+
+    #[test]
+    fn static1_never_exploits_feature_or_weight_sparsity() {
+        let p = perf();
+        // Update with an almost-empty feature block still runs as GEMM.
+        let d = MappingStrategy::Static1.decide(KernelKind::Update, 0.001, 1.0, &p);
+        assert_eq!(d.primitive, Some(Primitive::Gemm));
+        let cycles = MappingStrategy::Static1.pair_cycles(&d, 128, 128, 128, 0.001, 1.0, &p);
+        assert_eq!(cycles, p.execution_cycles(Primitive::Gemm, 128, 128, 128, 1.0, 1.0));
+        // Aggregate runs as SpDMM keyed on the adjacency density.
+        let d = MappingStrategy::Static1.decide(KernelKind::Aggregate, 0.01, 0.8, &p);
+        assert_eq!(d.primitive, Some(Primitive::SpDmm));
+        assert!((d.spdmm_alpha - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static2_charges_the_designated_sparse_operand() {
+        let p = perf();
+        // Update(H, W) with dense H: S2 views H as sparse, so it pays the
+        // full 2·m·n·d/p² — twice the GEMM cost.
+        let d = MappingStrategy::Static2.decide(KernelKind::Update, 1.0, 1.0, &p);
+        assert_eq!(d.primitive, Some(Primitive::SpDmm));
+        let s2 = MappingStrategy::Static2.pair_cycles(&d, 128, 128, 128, 1.0, 1.0, &p);
+        let gemm = p.execution_cycles(Primitive::Gemm, 128, 128, 128, 1.0, 1.0);
+        assert_eq!(s2, 2 * gemm);
+        // With a sparse weight matrix S2 gains nothing, because the weight is
+        // the dense-role operand.
+        let d = MappingStrategy::Static2.decide(KernelKind::Update, 1.0, 0.05, &p);
+        let with_sparse_w = MappingStrategy::Static2.pair_cycles(&d, 128, 128, 128, 1.0, 0.05, &p);
+        assert_eq!(with_sparse_w, s2);
+    }
+
+    #[test]
+    fn dynamic_beats_or_matches_static_strategies_everywhere() {
+        let p = perf();
+        let densities = [0.0, 0.01, 0.05, 0.1, 0.2, 0.5, 0.8, 1.0];
+        for kind in [KernelKind::Aggregate, KernelKind::Update] {
+            for &ax in &densities {
+                for &ay in &densities {
+                    let dynamic = MappingStrategy::Dynamic.decide(kind, ax, ay, &p);
+                    let dyn_cycles =
+                        MappingStrategy::Dynamic.pair_cycles(&dynamic, 256, 256, 128, ax, ay, &p);
+                    for s in [MappingStrategy::Static1, MappingStrategy::Static2] {
+                        let sd = s.decide(kind, ax, ay, &p);
+                        let sc = s.pair_cycles(&sd, 256, 256, 128, ax, ay, &p);
+                        assert!(
+                            dyn_cycles <= sc,
+                            "{kind:?} ax={ax} ay={ay}: dynamic {dyn_cycles} vs {} {sc}",
+                            s.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_never_loses_to_dynamic() {
+        let p = perf();
+        for &ax in &[0.01, 0.1, 0.3, 0.6, 1.0] {
+            for &ay in &[0.01, 0.1, 0.3, 0.6, 1.0] {
+                let o = MappingStrategy::Oracle.decide(KernelKind::Update, ax, ay, &p);
+                let d = MappingStrategy::Dynamic.decide(KernelKind::Update, ax, ay, &p);
+                let oc = MappingStrategy::Oracle.pair_cycles(&o, 128, 128, 128, ax, ay, &p);
+                let dc = MappingStrategy::Dynamic.pair_cycles(&d, 128, 128, 128, ax, ay, &p);
+                assert!(oc <= dc + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_and_flags() {
+        assert_eq!(MappingStrategy::Dynamic.label(), "Dynamic");
+        assert_eq!(MappingStrategy::Static1.label(), "S1");
+        assert_eq!(MappingStrategy::Static2.label(), "S2");
+        assert!(MappingStrategy::Dynamic.uses_runtime_sparsity());
+        assert!(!MappingStrategy::Static1.uses_runtime_sparsity());
+        assert_eq!(MappingStrategy::paper_strategies().len(), 3);
+    }
+}

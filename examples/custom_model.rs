@@ -1,0 +1,92 @@
+//! Custom model: build a GNN layer structure by hand (a 3-layer GCN variant
+//! with a PReLU activation) instead of using the standard builders, and run
+//! it through the engine.  This shows the kernel-level API a user would use
+//! to map their own architecture onto Dynasparse.
+//!
+//! ```text
+//! cargo run --release --example custom_model
+//! ```
+
+use dynasparse::{Engine, EngineOptions, MappingStrategy};
+use dynasparse_graph::{AggregatorKind, Dataset};
+use dynasparse_matrix::random::xavier_uniform;
+use dynasparse_model::{Activation, GnnModel, GnnModelKind, KernelInput, KernelSpec, LayerSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let dataset = Dataset::PubMed.spec().generate_scaled(13, 0.25);
+    let f_in = dataset.features.dim();
+    let (h1, h2, classes) = (64, 16, dataset.spec.num_classes);
+
+    // Hand-built 3-layer GCN: Update -> Aggregate per layer, PReLU between
+    // the first two layers, ReLU before the classifier layer.
+    let mut rng = StdRng::seed_from_u64(17);
+    let weights = vec![
+        xavier_uniform(&mut rng, f_in, h1),
+        xavier_uniform(&mut rng, h1, h2),
+        xavier_uniform(&mut rng, h2, classes),
+    ];
+    let layer = |w: usize, fin: usize, fout: usize, act: Option<Activation>| LayerSpec {
+        kernels: vec![
+            KernelSpec::update(w),
+            {
+                let k = KernelSpec::aggregate(AggregatorKind::GcnSymmetric)
+                    .with_input(KernelInput::Kernel(0))
+                    .contributing();
+                match act {
+                    Some(a) => k.with_activation(a),
+                    None => k,
+                }
+            },
+        ],
+        in_dim: fin,
+        out_dim: fout,
+        output_activation: None,
+    };
+    let model = GnnModel {
+        kind: GnnModelKind::Gcn,
+        layers: vec![
+            layer(0, f_in, h1, Some(Activation::PReLU { negative_slope: 0.1 })),
+            layer(1, h1, h2, Some(Activation::ReLU)),
+            layer(2, h2, classes, None),
+        ],
+        weights,
+        input_dim: f_in,
+        output_dim: classes,
+    };
+    model.validate().expect("hand-built model must be valid");
+    println!(
+        "Custom 3-layer GCN: {} kernels over {} layers",
+        model.num_kernels(),
+        model.num_layers()
+    );
+
+    let engine = Engine::new(EngineOptions::default());
+    let eval = engine
+        .evaluate(&model, &dataset, &MappingStrategy::paper_strategies())
+        .expect("evaluation failed");
+
+    println!("\nPer-kernel report (Dynamic strategy):");
+    let run = eval.run(MappingStrategy::Dynamic).unwrap();
+    for k in &run.kernels {
+        println!(
+            "  L{} {:9}: {:>9} cycles, input density {:.3}, output density {:.3}, skipped {} products",
+            k.layer_id,
+            k.kind.label(),
+            k.cycles,
+            k.input_density,
+            k.output_density,
+            k.mix.skipped
+        );
+    }
+    println!(
+        "\nLatency: Dynamic {:.4} ms | S1 {:.4} ms | S2 {:.4} ms",
+        run.latency_ms,
+        eval.run(MappingStrategy::Static1).unwrap().latency_ms,
+        eval.run(MappingStrategy::Static2).unwrap().latency_ms
+    );
+    println!(
+        "Note: the PReLU layer keeps negative activations, so layer-2 features stay denser than with ReLU — the runtime system adapts the mapping accordingly."
+    );
+}

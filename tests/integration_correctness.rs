@@ -1,0 +1,121 @@
+//! Cross-crate functional correctness: the detailed accelerator datapath
+//! simulations, the host reference kernels and the GNN reference executor
+//! must all agree on the numerical result, independent of which primitive a
+//! block product is mapped to.
+
+use dynasparse_accel::{AcceleratorConfig, ComputationCore, Primitive};
+use dynasparse_graph::{generators, normalized_adjacency, AggregatorKind, Dataset, FeatureMatrix};
+use dynasparse_matrix::format::FormattedBlock;
+use dynasparse_matrix::ops::gemm_reference;
+use dynasparse_matrix::random::random_dense;
+use dynasparse_matrix::{CooMatrix, CsrMatrix};
+use dynasparse_model::{GnnModel, GnnModelKind, ReferenceExecutor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn all_primitives_compute_the_same_block_product() {
+    let core = ComputationCore::new(AcceleratorConfig::default());
+    let mut rng = StdRng::seed_from_u64(1);
+    for &(dx, dy) in &[(1.0, 1.0), (0.3, 0.9), (0.05, 0.05), (0.0, 0.5)] {
+        let x = random_dense(&mut rng, 48, 64, dx);
+        let y = random_dense(&mut rng, 64, 40, dy);
+        let want = gemm_reference(&x, &y).unwrap();
+        for primitive in Primitive::all() {
+            let got = core.execute_pair_detailed(
+                primitive,
+                &FormattedBlock::Dense(x.clone()),
+                &FormattedBlock::Dense(y.clone()),
+            );
+            assert!(
+                got.result.approx_eq(&want, 1e-3),
+                "primitive {} disagrees at densities ({dx}, {dy})",
+                primitive.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn block_decomposed_aggregation_matches_monolithic_spmm() {
+    // Execute an Aggregate kernel the way the accelerator does — block by
+    // block with COO partitions — and compare against the CSR executor.
+    let graph = generators::power_law_graph(
+        "it",
+        &generators::PowerLawConfig {
+            num_vertices: 200,
+            num_edges: 900,
+            exponent: 2.3,
+            seed: 5,
+        },
+    );
+    let adj = normalized_adjacency(graph.adjacency(), AggregatorKind::GcnSymmetric);
+    let h = generators::dense_features(200, 24, 0.4, 9).to_dense();
+    let want = adj.spmm_dense(&h).unwrap();
+
+    let n1 = 64;
+    let n2 = 24;
+    let v_blocks = 200usize.div_ceil(n1);
+    let mut got = dynasparse_matrix::DenseMatrix::zeros(v_blocks * n1, n2);
+    for i in 0..v_blocks {
+        for j in 0..v_blocks {
+            let a_block = adj.block_coo(i * n1, (i + 1) * n1, j * n1, (j + 1) * n1);
+            let h_block = h.submatrix_padded(j * n1, (j + 1) * n1, 0, n2);
+            let partial = dynasparse_matrix::ops::spdmm_reference(&a_block, &h_block).unwrap();
+            for r in 0..n1 {
+                for c in 0..n2 {
+                    got.add_assign_at(i * n1 + r, c, partial.get(r, c));
+                }
+            }
+        }
+    }
+    let got = got.submatrix_padded(0, 200, 0, n2);
+    assert!(got.approx_eq(&want, 1e-3));
+}
+
+#[test]
+fn sparse_and_dense_feature_paths_agree_for_the_same_model() {
+    // NELL-style sparse feature storage must not change the inference result.
+    let graph = generators::power_law_graph(
+        "it2",
+        &generators::PowerLawConfig {
+            num_vertices: 80,
+            num_edges: 320,
+            exponent: 2.2,
+            seed: 8,
+        },
+    );
+    let dense_features = generators::dense_features(80, 50, 0.1, 3);
+    let sparse_features = FeatureMatrix::Sparse(CsrMatrix::from_dense(&dense_features.to_dense()));
+    let model = GnnModel::standard(GnnModelKind::Gcn, 50, 8, 4, 2);
+    let exec = ReferenceExecutor::new(&model, &graph);
+    let out_dense = exec.forward(&dense_features).unwrap().to_dense();
+    let out_sparse = exec.forward(&sparse_features).unwrap().to_dense();
+    assert!(out_dense.approx_eq(&out_sparse, 1e-3));
+}
+
+#[test]
+fn dataset_generation_matches_published_statistics_for_small_graphs() {
+    for dataset in [Dataset::Cora, Dataset::CiteSeer] {
+        let spec = dataset.spec();
+        let ds = spec.generate(1);
+        assert_eq!(ds.num_vertices(), spec.num_vertices);
+        assert_eq!(ds.num_edges(), spec.num_edges);
+        let rel_err = (ds.feature_density() - spec.feature_density).abs() / spec.feature_density;
+        assert!(rel_err < 0.25, "{}: feature density off by {rel_err}", dataset.name());
+    }
+}
+
+#[test]
+fn coo_round_trips_preserve_block_products() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let x = random_dense(&mut rng, 32, 32, 0.2);
+    let y = random_dense(&mut rng, 32, 16, 0.6);
+    let want = gemm_reference(&x, &y).unwrap();
+    let x_coo = CooMatrix::from_dense(&x);
+    let got = dynasparse_matrix::ops::spdmm_reference(&x_coo, &y).unwrap();
+    assert!(got.approx_eq(&want, 1e-4));
+    // Round-trip through dense again.
+    let x_back = x_coo.to_dense();
+    assert!(gemm_reference(&x_back, &y).unwrap().approx_eq(&want, 1e-4));
+}
