@@ -63,17 +63,11 @@ mod tests {
         let x = random_dense(&mut rng, 256, 256, 1.0);
         let y = random_dense(&mut rng, 256, 256, 1.0);
         let det = simulate(&x, &y, 16);
-        let analytic = PerformanceModel::new(16).execution_cycles(
-            Primitive::Gemm,
-            256,
-            256,
-            256,
-            1.0,
-            1.0,
-        );
+        let analytic =
+            PerformanceModel::new(16).execution_cycles(Primitive::Gemm, 256, 256, 256, 1.0, 1.0);
         // The detailed model adds only fill/drain overhead: within 15 %.
         let ratio = det.cycles as f64 / analytic as f64;
-        assert!(ratio >= 1.0 && ratio < 1.15, "ratio {ratio}");
+        assert!((1.0..1.15).contains(&ratio), "ratio {ratio}");
     }
 
     #[test]
@@ -82,6 +76,9 @@ mod tests {
         let dense_x = random_dense(&mut rng, 32, 32, 1.0);
         let sparse_x = random_dense(&mut rng, 32, 32, 0.05);
         let y = random_dense(&mut rng, 32, 32, 1.0);
-        assert_eq!(simulate(&dense_x, &y, 16).cycles, simulate(&sparse_x, &y, 16).cycles);
+        assert_eq!(
+            simulate(&dense_x, &y, 16).cycles,
+            simulate(&sparse_x, &y, 16).cycles
+        );
     }
 }

@@ -58,8 +58,17 @@ mod tests {
 
     #[test]
     fn mode_for_primitive_is_one_to_one() {
-        assert_eq!(ExecutionMode::for_primitive(Primitive::Gemm), ExecutionMode::Gemm);
-        assert_eq!(ExecutionMode::for_primitive(Primitive::SpDmm), ExecutionMode::SpDmm);
-        assert_eq!(ExecutionMode::for_primitive(Primitive::Spmm), ExecutionMode::Spmm);
+        assert_eq!(
+            ExecutionMode::for_primitive(Primitive::Gemm),
+            ExecutionMode::Gemm
+        );
+        assert_eq!(
+            ExecutionMode::for_primitive(Primitive::SpDmm),
+            ExecutionMode::SpDmm
+        );
+        assert_eq!(
+            ExecutionMode::for_primitive(Primitive::Spmm),
+            ExecutionMode::Spmm
+        );
     }
 }

@@ -104,7 +104,11 @@ mod tests {
         // the paper reports 0.512 TFLOPS for the design as a whole (it counts
         // only the portion sustained by the memory system); we check the raw
         // number is in the right ballpark (same order of magnitude).
-        assert!(c.peak_tflops() > 0.4 && c.peak_tflops() < 1.2, "{}", c.peak_tflops());
+        assert!(
+            c.peak_tflops() > 0.4 && c.peak_tflops() < 1.2,
+            "{}",
+            c.peak_tflops()
+        );
     }
 
     #[test]

@@ -56,7 +56,8 @@ impl BlockOperand {
 
     /// Bytes occupied in external memory.
     pub fn stored_bytes(&self) -> usize {
-        self.stored_format.size_bytes(self.rows, self.cols, self.nnz)
+        self.stored_format
+            .size_bytes(self.rows, self.cols, self.nnz)
     }
 }
 
@@ -157,14 +158,10 @@ impl ComputationCore {
             };
         };
         debug_assert_eq!(x.cols, y.rows, "inner dimensions must agree");
-        let compute_cycles = self.perf.execution_cycles(
-            primitive,
-            x.rows,
-            x.cols,
-            y.cols,
-            x.density(),
-            y.density(),
-        ) + self.config.mode_switch_cycles;
+        let compute_cycles =
+            self.perf
+                .execution_cycles(primitive, x.rows, x.cols, y.cols, x.density(), y.density())
+                + self.config.mode_switch_cycles;
 
         // Loads: each operand is streamed in its stored format.
         let load = |op: &BlockOperand| match op.stored_format {
@@ -216,10 +213,7 @@ impl ComputationCore {
             // Load the first product's operands, then pipeline.
             total += active[0].load_side_cycles();
             for (t, pair) in active.iter().enumerate() {
-                let next_load = active
-                    .get(t + 1)
-                    .map(|n| n.load_side_cycles())
-                    .unwrap_or(0);
+                let next_load = active.get(t + 1).map(|n| n.load_side_cycles()).unwrap_or(0);
                 total += pair.compute_cycles.max(next_load);
             }
         }

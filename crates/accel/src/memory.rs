@@ -105,7 +105,7 @@ mod tests {
     #[test]
     fn pcie_seconds_matches_bandwidth() {
         let m = model();
-        assert!((m.pcie_seconds(11_200_000_0) - 0.01).abs() < 1e-6);
+        assert!((m.pcie_seconds(112_000_000) - 0.01).abs() < 1e-6);
     }
 
     #[test]

@@ -124,8 +124,14 @@ mod tests {
     fn gemm_cycles_match_closed_form() {
         let m = model();
         // 256x256x256 / 16^2 = 65536 cycles regardless of density.
-        assert_eq!(m.execution_cycles(Primitive::Gemm, 256, 256, 256, 0.1, 0.9), 65_536);
-        assert_eq!(m.execution_cycles(Primitive::Gemm, 256, 256, 256, 1.0, 1.0), 65_536);
+        assert_eq!(
+            m.execution_cycles(Primitive::Gemm, 256, 256, 256, 0.1, 0.9),
+            65_536
+        );
+        assert_eq!(
+            m.execution_cycles(Primitive::Gemm, 256, 256, 256, 1.0, 1.0),
+            65_536
+        );
     }
 
     #[test]
@@ -176,7 +182,9 @@ mod tests {
     #[test]
     fn closed_form_matches_exhaustive_argmin() {
         let m = model();
-        let densities = [0.001, 0.01, 0.05, 0.1, 0.124, 0.126, 0.3, 0.49, 0.51, 0.8, 1.0];
+        let densities = [
+            0.001, 0.01, 0.05, 0.1, 0.124, 0.126, 0.3, 0.49, 0.51, 0.8, 1.0,
+        ];
         for &ax in &densities {
             for &ay in &densities {
                 let closed = m.best_primitive(ax, ay).unwrap();

@@ -81,13 +81,12 @@ impl WorkloadSummary {
                 }
             })
             .collect();
-        let num_vertices = graph
-            .kernels
-            .first()
-            .map(|k| k.num_vertices)
-            .unwrap_or(0) as f64;
+        let num_vertices = graph.kernels.first().map(|k| k.num_vertices).unwrap_or(0) as f64;
         let input_bytes = 12.0 * nnz_adjacency as f64
-            + 4.0 * num_vertices * input_feature_dim as f64 * feature_density.clamp(0.0, 1.0).max(0.01);
+            + 4.0
+                * num_vertices
+                * input_feature_dim as f64
+                * feature_density.clamp(0.0, 1.0).max(0.01);
         WorkloadSummary {
             kernels,
             input_bytes,
@@ -240,7 +239,10 @@ impl FrameworkBaseline {
     /// baselines, PCIe for the GPU, not charged for the fixed-function
     /// accelerators which the paper also excludes).
     pub fn input_transfer_ms(&self) -> f64 {
-        self.kind.platform().interconnect_seconds(self.workload.input_bytes) * 1e3
+        self.kind
+            .platform()
+            .interconnect_seconds(self.workload.input_bytes)
+            * 1e3
     }
 
     /// End-to-end latency: input transfer + execution (software frameworks

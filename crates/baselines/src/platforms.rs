@@ -141,7 +141,10 @@ mod tests {
 
     #[test]
     fn interconnect_time_is_zero_without_a_link() {
-        assert_eq!(PlatformSpec::cpu_ryzen_3990x().interconnect_seconds(1e9), 0.0);
+        assert_eq!(
+            PlatformSpec::cpu_ryzen_3990x().interconnect_seconds(1e9),
+            0.0
+        );
         assert!(PlatformSpec::gpu_rtx3090().interconnect_seconds(31.5e9) > 0.99);
     }
 }

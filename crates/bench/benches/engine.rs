@@ -13,8 +13,13 @@ fn bench_engine(c: &mut Criterion) {
     let engine = Engine::new(EngineOptions::default());
 
     let cora = Dataset::Cora.spec().generate_scaled(3, 0.25);
-    let cora_model =
-        GnnModel::standard(GnnModelKind::Gcn, cora.features.dim(), 16, cora.spec.num_classes, 1);
+    let cora_model = GnnModel::standard(
+        GnnModelKind::Gcn,
+        cora.features.dim(),
+        16,
+        cora.spec.num_classes,
+        1,
+    );
     group.bench_function("gcn_cora_quarter_scale", |b| {
         b.iter(|| {
             engine

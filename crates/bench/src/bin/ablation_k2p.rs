@@ -49,7 +49,14 @@ fn main() {
     ]);
     print_table(
         "Ablation 1: total predicted cycles over the density grid",
-        &["scenario", "Dynamic", "Oracle", "S1", "S2", "Dynamic/Oracle"],
+        &[
+            "scenario",
+            "Dynamic",
+            "Oracle",
+            "S1",
+            "S2",
+            "Dynamic/Oracle",
+        ],
         &rows,
     );
 

@@ -91,7 +91,17 @@ fn main() {
     }
     print_table(
         "End-to-end latency breakdown (GCN) and end-to-end speedup over CPU/GPU",
-        &["DS", "preproc", "movement", "exec", "fractions", "vs PyG-CPU", "vs PyG-GPU", "vs DGL-CPU", "vs DGL-GPU"],
+        &[
+            "DS",
+            "preproc",
+            "movement",
+            "exec",
+            "fractions",
+            "vs PyG-CPU",
+            "vs PyG-GPU",
+            "vs DGL-CPU",
+            "vs DGL-GPU",
+        ],
         &rows,
     );
     let n = all_datasets().len() as f64;
@@ -103,7 +113,11 @@ fn main() {
     );
     println!("Geometric-mean end-to-end speedups:");
     for kind in FrameworkKind::software() {
-        println!("  vs {:8}: {:.2}x", kind.name(), geomean(&e2e_speedups[kind.name()]));
+        println!(
+            "  vs {:8}: {:.2}x",
+            kind.name(),
+            geomean(&e2e_speedups[kind.name()])
+        );
     }
     write_json("end_to_end_breakdown", &report);
 }

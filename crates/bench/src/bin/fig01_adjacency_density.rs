@@ -27,7 +27,14 @@ fn main() {
     }
     print_table(
         "Fig. 1: adjacency-matrix density (generated vs published) and 256x256 block spread",
-        &["DS", "density(A)", "published", "min block", "max block", "empty blocks"],
+        &[
+            "DS",
+            "density(A)",
+            "published",
+            "min block",
+            "max block",
+            "empty blocks",
+        ],
         &rows,
     );
 }

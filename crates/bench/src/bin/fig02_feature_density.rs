@@ -30,10 +30,7 @@ fn main() {
         let mut stages = Vec::new();
         for stage in &trace.stages {
             cells.push(format!("{:.4}", stage.density));
-            stages.push((
-                format!("L{} {}", stage.layer + 1, stage.op),
-                stage.density,
-            ));
+            stages.push((format!("L{} {}", stage.layer + 1, stage.op), stage.density));
         }
         report.push(FeatureDensityRow {
             dataset: dataset.name().to_string(),

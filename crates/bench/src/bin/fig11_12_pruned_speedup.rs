@@ -65,12 +65,18 @@ fn main() {
             .collect();
         let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         print_table(
-            &format!("Fig. 11 ({}): speedup of Dynamic over S1 vs weight sparsity", model.name()),
+            &format!(
+                "Fig. 11 ({}): speedup of Dynamic over S1 vs weight sparsity",
+                model.name()
+            ),
             &header_refs,
             &rows_s1,
         );
         print_table(
-            &format!("Fig. 12 ({}): speedup of Dynamic over S2 vs weight sparsity", model.name()),
+            &format!(
+                "Fig. 12 ({}): speedup of Dynamic over S2 vs weight sparsity",
+                model.name()
+            ),
             &header_refs,
             &rows_s2,
         );

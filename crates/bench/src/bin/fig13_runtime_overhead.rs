@@ -43,7 +43,10 @@ fn main() {
             });
         }
         print_table(
-            &format!("Fig. 13 ({}): runtime-system overhead / execution time", model.name()),
+            &format!(
+                "Fig. 13 ({}): runtime-system overhead / execution time",
+                model.name()
+            ),
             &["DS", "fraction", "K2P (us)", "sched (us)", "decisions"],
             &rows,
         );

@@ -8,7 +8,9 @@
 //! the simulated dynamic-mapping latency extrapolated to published scale.
 
 use dynasparse_baselines::{FrameworkBaseline, FrameworkKind, WorkloadSummary};
-use dynasparse_bench::{all_datasets, all_models, fmt_speedup, geomean, print_table, run_eval, write_json};
+use dynasparse_bench::{
+    all_datasets, all_models, fmt_speedup, geomean, print_table, run_eval, write_json,
+};
 use dynasparse_compiler::ComputationGraph;
 use dynasparse_model::GnnModel;
 use dynasparse_runtime::MappingStrategy;
@@ -23,7 +25,10 @@ struct Fig14Row {
     speedups: Vec<(String, f64)>,
 }
 
-fn published_workload(kind: dynasparse_model::GnnModelKind, dataset: dynasparse_graph::Dataset) -> WorkloadSummary {
+fn published_workload(
+    kind: dynasparse_model::GnnModelKind,
+    dataset: dynasparse_graph::Dataset,
+) -> WorkloadSummary {
     let spec = dataset.spec();
     let model = GnnModel::standard(kind, spec.feature_dim, spec.hidden_dim, spec.num_classes, 7);
     let graph = ComputationGraph::from_model(&model, spec.num_vertices, spec.num_edges);
@@ -52,7 +57,10 @@ fn main() {
                 let baseline = FrameworkBaseline::new(kind, workload.clone());
                 let ms = baseline.execution_ms();
                 let speedup = ms / dynasparse_ms;
-                per_baseline_speedups.entry(kind.name()).or_default().push(speedup);
+                per_baseline_speedups
+                    .entry(kind.name())
+                    .or_default()
+                    .push(speedup);
                 cells.push(fmt_speedup(speedup));
                 baselines_ms.push((kind.name().to_string(), ms));
                 speedups.push((kind.name().to_string(), speedup));
@@ -67,8 +75,18 @@ fn main() {
             });
         }
         print_table(
-            &format!("Fig. 14 ({}): speedup of Dynasparse over CPU/GPU frameworks", model.name()),
-            &["DS", "Dyna (ms)", "vs PyG-CPU", "vs PyG-GPU", "vs DGL-CPU", "vs DGL-GPU"],
+            &format!(
+                "Fig. 14 ({}): speedup of Dynasparse over CPU/GPU frameworks",
+                model.name()
+            ),
+            &[
+                "DS",
+                "Dyna (ms)",
+                "vs PyG-CPU",
+                "vs PyG-GPU",
+                "vs DGL-CPU",
+                "vs DGL-GPU",
+            ],
             &rows,
         );
     }

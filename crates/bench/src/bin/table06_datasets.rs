@@ -29,8 +29,18 @@ fn main() {
     print_table(
         "Table VI: dataset statistics (published | generated instance)",
         &[
-            "DS", "|V|", "|E|", "feat", "cls", "dens(A)", "dens(H0)", "scale", "gen |V|",
-            "gen |E|", "gen dens(A)", "gen dens(H0)",
+            "DS",
+            "|V|",
+            "|E|",
+            "feat",
+            "cls",
+            "dens(A)",
+            "dens(H0)",
+            "scale",
+            "gen |V|",
+            "gen |E|",
+            "gen dens(A)",
+            "gen dens(H0)",
         ],
         &rows,
     );

@@ -53,7 +53,10 @@ fn main() {
             });
         }
         print_table(
-            &format!("Table VII ({}): latency (ms) on unpruned models", model.name()),
+            &format!(
+                "Table VII ({}): latency (ms) on unpruned models",
+                model.name()
+            ),
             &["DS", "S1", "S2", "Dynamic", "SO-S1", "SO-S2"],
             &rows,
         );

@@ -3,7 +3,9 @@
 //!
 //! `DYNASPARSE_QUICK=1` uses one sparsity point per band and two models.
 
-use dynasparse_bench::{all_datasets, all_models, geomean, print_table, quick_mode, run_eval, write_json};
+use dynasparse_bench::{
+    all_datasets, all_models, geomean, print_table, quick_mode, run_eval, write_json,
+};
 use dynasparse_model::GnnModelKind;
 use dynasparse_runtime::MappingStrategy;
 use serde::Serialize;

@@ -2,7 +2,9 @@
 //! dataset: IR generation, data partitioning / execution-scheme generation
 //! and compile-time sparsity profiling.
 
-use dynasparse_bench::{all_datasets, all_models, build_model, load_dataset, print_table, write_json};
+use dynasparse_bench::{
+    all_datasets, all_models, build_model, load_dataset, print_table, write_json,
+};
 use dynasparse_compiler::{compile, CompilerConfig};
 use serde::Serialize;
 
@@ -42,8 +44,17 @@ fn main() {
             report.push(row);
         }
         print_table(
-            &format!("Table IX ({}): compiler preprocessing time (ms)", model_kind.name()),
-            &["DS", "total", "IR", "partition+schemes", "sparsity profiling"],
+            &format!(
+                "Table IX ({}): compiler preprocessing time (ms)",
+                model_kind.name()
+            ),
+            &[
+                "DS",
+                "total",
+                "IR",
+                "partition+schemes",
+                "sparsity profiling",
+            ],
             &rows,
         );
     }

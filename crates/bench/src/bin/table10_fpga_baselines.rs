@@ -3,7 +3,9 @@
 //! baselines report).
 
 use dynasparse_baselines::{FrameworkBaseline, FrameworkKind, WorkloadSummary};
-use dynasparse_bench::{all_datasets, fmt_ms, fmt_speedup, geomean, print_table, run_eval, write_json};
+use dynasparse_bench::{
+    all_datasets, fmt_ms, fmt_speedup, geomean, print_table, run_eval, write_json,
+};
 use dynasparse_compiler::ComputationGraph;
 use dynasparse_model::{GnnModel, GnnModelKind};
 use dynasparse_runtime::MappingStrategy;
@@ -40,7 +42,8 @@ fn main() {
             spec.feature_dim,
             spec.feature_density,
         );
-        let boostgcn = FrameworkBaseline::new(FrameworkKind::BoostGcn, workload.clone()).execution_ms();
+        let boostgcn =
+            FrameworkBaseline::new(FrameworkKind::BoostGcn, workload.clone()).execution_ms();
         let hygcn = FrameworkBaseline::new(FrameworkKind::HyGcn, workload).execution_ms();
         let rec = run_eval(GnnModelKind::Gcn, dataset, 0.0);
         let dynasparse = rec.latency_ms(MappingStrategy::Dynamic);
@@ -67,7 +70,14 @@ fn main() {
     }
     print_table(
         "Table X: GCN latency (ms) vs prior FPGA/ASIC accelerators",
-        &["DS", "BoostGCN", "HyGCN", "Dynasparse", "vs BoostGCN", "vs HyGCN"],
+        &[
+            "DS",
+            "BoostGCN",
+            "HyGCN",
+            "Dynasparse",
+            "vs BoostGCN",
+            "vs HyGCN",
+        ],
         &rows,
     );
     println!(

@@ -18,7 +18,7 @@
 
 #![warn(missing_docs)]
 
-use dynasparse::{Engine, EngineOptions, MappingStrategy};
+use dynasparse::{Engine, EngineOptions, MappingStrategy, Planner};
 use dynasparse_graph::{Dataset, GraphDataset};
 use dynasparse_model::{GnnModel, GnnModelKind};
 use serde::Serialize;
@@ -26,7 +26,10 @@ use serde::Serialize;
 /// Default generation scale per dataset (fraction of the published vertex
 /// count) used by the harnesses.
 pub fn default_scale(dataset: Dataset) -> f64 {
-    if std::env::var("DYNASPARSE_FULL_SCALE").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("DYNASPARSE_FULL_SCALE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         return 1.0;
     }
     match dataset {
@@ -65,6 +68,12 @@ pub fn build_model(kind: GnnModelKind, ds: &GraphDataset) -> GnnModel {
 /// The engine used by every harness (paper-default hardware configuration).
 pub fn engine() -> Engine {
     Engine::new(EngineOptions::default())
+}
+
+/// The planner used by harnesses on the compile-once / serve-many path
+/// (paper-default hardware configuration).
+pub fn planner() -> Planner {
+    Planner::new(EngineOptions::default())
 }
 
 /// The three mapping strategies of Table VII, in paper order.
@@ -152,7 +161,10 @@ pub struct EvalRecord {
 impl EvalRecord {
     /// Extrapolated accelerator latency (ms) of one strategy.
     pub fn latency_ms(&self, strategy: MappingStrategy) -> f64 {
-        self.eval.run(strategy).map(|r| r.latency_ms * self.factor).unwrap_or(f64::NAN)
+        self.eval
+            .run(strategy)
+            .map(|r| r.latency_ms * self.factor)
+            .unwrap_or(f64::NAN)
     }
 
     /// Speedup of Dynamic over `other`.
@@ -171,9 +183,12 @@ pub fn run_eval(kind: GnnModelKind, dataset: Dataset, weight_sparsity: f64) -> E
     if weight_sparsity > 0.0 {
         model = dynasparse_model::prune_model(&model, weight_sparsity);
     }
-    let eval = engine()
-        .evaluate(&model, &ds, &paper_strategies())
-        .expect("engine evaluation failed");
+    // Compile once, serve the (single) harness request from a session; this
+    // is numerically identical to the one-shot Engine::evaluate path.
+    let plan = planner().plan(&model, &ds).expect("planning failed");
+    let mut session = plan.session(&paper_strategies());
+    let report = session.infer(&ds.features).expect("inference failed");
+    let eval = report.into_evaluation(&plan);
     EvalRecord {
         dataset,
         model: kind,
@@ -185,7 +200,9 @@ pub fn run_eval(kind: GnnModelKind, dataset: Dataset, weight_sparsity: f64) -> E
 /// Returns `true` when the harness should run in reduced (quick) mode
 /// (`DYNASPARSE_QUICK=1`).
 pub fn quick_mode() -> bool {
-    std::env::var("DYNASPARSE_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("DYNASPARSE_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// All model kinds in paper order.

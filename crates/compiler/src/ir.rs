@@ -127,13 +127,7 @@ impl ComputationGraph {
                     }
                     KernelOp::Update { weight } => {
                         let w = &model.weights[weight];
-                        (
-                            KernelKind::Update,
-                            None,
-                            Some(weight),
-                            w.cols(),
-                            w.rows(),
-                        )
+                        (KernelKind::Update, None, Some(weight), w.cols(), w.rows())
                     }
                 };
                 let depends_on: Vec<usize> = match spec.input {

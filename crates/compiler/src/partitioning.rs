@@ -34,7 +34,11 @@ pub fn choose_partition(graph: &ComputationGraph, config: &CompilerConfig) -> Pa
 
     // ---- Step 1: determine N2 from the Update kernels. ----
     let mut n2 = n_max;
-    for k in graph.kernels.iter().filter(|k| k.kind == KernelKind::Update) {
+    for k in graph
+        .kernels
+        .iter()
+        .filter(|k| k.kind == KernelKind::Update)
+    {
         // Largest N' with Q / N'^2 >= min_tasks  =>  N' = sqrt(Q / min_tasks).
         let q = k.workload() as f64;
         let n_prime = (q / min_tasks as f64).sqrt().floor() as usize;
@@ -79,7 +83,14 @@ mod tests {
     use super::*;
     use dynasparse_model::{GnnModel, GnnModelKind};
 
-    fn graph_for(kind: GnnModelKind, v: usize, e: usize, f: usize, h: usize, c: usize) -> ComputationGraph {
+    fn graph_for(
+        kind: GnnModelKind,
+        v: usize,
+        e: usize,
+        f: usize,
+        h: usize,
+        c: usize,
+    ) -> ComputationGraph {
         let m = GnnModel::standard(kind, f, h, c, 0);
         ComputationGraph::from_model(&m, v, e)
     }
@@ -127,7 +138,10 @@ mod tests {
     #[test]
     fn larger_graphs_get_larger_partitions() {
         let cfg = CompilerConfig::default();
-        let small = choose_partition(&graph_for(GnnModelKind::Gcn, 2_708, 5_429, 1433, 16, 7), &cfg);
+        let small = choose_partition(
+            &graph_for(GnnModelKind::Gcn, 2_708, 5_429, 1433, 16, 7),
+            &cfg,
+        );
         let large = choose_partition(
             &graph_for(GnnModelKind::Gcn, 232_965, 11_000_000, 602, 128, 41),
             &cfg,

@@ -8,8 +8,8 @@
 //! accelerator's Sparsity Profiler at runtime.
 
 use dynasparse_graph::{normalized_adjacency, AggregatorKind, GraphDataset};
-use dynasparse_model::GnnModel;
 use dynasparse_matrix::{DensityProfile, PartitionSpec};
+use dynasparse_model::GnnModel;
 use serde::{Deserialize, Serialize};
 
 /// Densities of all compile-time-known operands, per data partition.
@@ -38,8 +38,7 @@ impl StaticSparsity {
         // The Aggregate kernels multiply the *normalized* adjacency (which
         // includes self-loops); its pattern is what matters for density.
         let normalized = normalized_adjacency(dataset.graph.adjacency(), AggregatorKind::Sum);
-        let adjacency =
-            DensityProfile::of_csr(&normalized, &spec.adjacency_grid(num_vertices));
+        let adjacency = DensityProfile::of_csr(&normalized, &spec.adjacency_grid(num_vertices));
 
         let weights = model
             .weights
@@ -89,11 +88,7 @@ impl StaticSparsity {
     /// hold (sizing input for its D-cache discussion in Section VII).
     pub fn num_partition_records(&self) -> usize {
         self.adjacency.block_count()
-            + self
-                .weights
-                .iter()
-                .map(|w| w.block_count())
-                .sum::<usize>()
+            + self.weights.iter().map(|w| w.block_count()).sum::<usize>()
             + self.input_features_fiber.block_count()
             + self.input_features_subfiber.block_count()
     }

@@ -2,8 +2,8 @@
 //! partition choice must satisfy Algorithm 9's constraints and the generated
 //! execution schemes must tile the output exactly.
 
-use dynasparse_compiler::{choose_partition, CompilerConfig, ComputationGraph};
 use dynasparse_compiler::schemes::{generate_tasks, pair_shape};
+use dynasparse_compiler::{choose_partition, CompilerConfig, ComputationGraph};
 use dynasparse_model::{GnnModel, GnnModelKind};
 use proptest::prelude::*;
 
@@ -15,10 +15,10 @@ fn arbitrary_graph() -> impl Strategy<Value = ComputationGraph> {
             Just(GnnModelKind::Gin),
             Just(GnnModelKind::Sgc),
         ],
-        64usize..50_000,   // vertices
-        16usize..2_048,    // input features
-        2usize..256,       // hidden
-        2usize..64,        // classes
+        64usize..50_000, // vertices
+        16usize..2_048,  // input features
+        2usize..256,     // hidden
+        2usize..64,      // classes
     )
         .prop_map(|(kind, v, f, h, c)| {
             let model = GnnModel::standard(kind, f, h, c, 1);

@@ -1,34 +1,31 @@
-//! The end-to-end Dynasparse engine.
+//! Engine configuration and the one-shot compatibility wrapper.
 //!
-//! `Engine::evaluate` reproduces the workflow of Fig. 3:
-//!
-//! 1. **Compile** — the compiler builds the computation graph, chooses the
-//!    partition sizes (Algorithm 9), generates the execution schemes
-//!    (Algorithms 2/3) and profiles the compile-time sparsity.
-//! 2. **Execute** — the functional executor computes every kernel's output
-//!    feature matrix (so the intermediate densities the paper can only know
-//!    at runtime are *measured*, not assumed), while, kernel by kernel, the
-//!    Analyzer maps every block product to a primitive and the Scheduler
-//!    distributes the tasks over the Computation Cores of the simulated
-//!    accelerator.  One functional pass prices all requested mapping
-//!    strategies, since the functional result does not depend on the
-//!    mapping.
-//! 3. **Report** — per-strategy accelerator latency, runtime-system
-//!    overhead, end-to-end latency, per-kernel primitive mix and the density
-//!    trace of Fig. 2.
+//! The serving API is [`Planner`] → [`CompiledPlan`] →
+//! [`Session`](crate::Session); see the crate docs for the quickstart.
+//! [`Engine::evaluate`] keeps the pre-session one-shot signature alive by
+//! planning, opening a single-request session and folding the
+//! [`InferenceReport`](crate::InferenceReport) back into an [`Evaluation`] —
+//! it produces cycle-for-cycle the same numbers as a session request over
+//! the same features, just without amortizing the compilation.
 
-use crate::report::{Evaluation, KernelReport, StrategyRun};
-use dynasparse_accel::{cycles_to_ms, AcceleratorConfig, ComputationCore, SoftProcessorModel};
-use dynasparse_compiler::{compile, CompilerConfig, KernelKind};
+use crate::error::DynasparseError;
+use crate::planner::Planner;
+use crate::report::Evaluation;
+use crate::session::Session;
+use dynasparse_accel::AcceleratorConfig;
+use dynasparse_compiler::CompilerConfig;
 use dynasparse_graph::GraphDataset;
-use dynasparse_model::{GnnModel, ReferenceExecutor};
-use dynasparse_runtime::{
-    Analyzer, MappingStrategy, OperandProfiles, RuntimeOverhead, Scheduler,
-};
+use dynasparse_model::GnnModel;
+use dynasparse_runtime::MappingStrategy;
 use serde::{Deserialize, Serialize};
 
 /// Engine configuration: the hardware and compiler parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Construct with [`EngineOptions::builder`] (or `Default` for the paper's
+/// Alveo U250 configuration).  Options are `Clone` but deliberately not
+/// `Copy`: they are cloned into each [`CompiledPlan`] once and borrowed
+/// everywhere else.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct EngineOptions {
     /// Accelerator (hardware) configuration.
     pub accelerator: AcceleratorConfig,
@@ -36,44 +33,43 @@ pub struct EngineOptions {
     pub compiler: CompilerConfig,
 }
 
-impl Default for EngineOptions {
-    fn default() -> Self {
-        EngineOptions {
-            accelerator: AcceleratorConfig::default(),
-            compiler: CompilerConfig::default(),
+impl EngineOptions {
+    /// Starts a builder pre-loaded with the paper-default configuration.
+    pub fn builder() -> EngineOptionsBuilder {
+        EngineOptionsBuilder {
+            options: EngineOptions::default(),
         }
     }
 }
 
-/// Errors produced by the engine.
-#[derive(Debug)]
-pub enum EngineError {
-    /// The model failed structural validation.
-    InvalidModel(String),
-    /// A functional kernel execution failed (shape mismatch between the
-    /// model and the dataset).
-    Execution(dynasparse_matrix::MatrixError),
+/// Builder for [`EngineOptions`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptionsBuilder {
+    options: EngineOptions,
 }
 
-impl std::fmt::Display for EngineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            EngineError::InvalidModel(e) => write!(f, "invalid model: {e}"),
-            EngineError::Execution(e) => write!(f, "execution failed: {e}"),
-        }
+impl EngineOptionsBuilder {
+    /// Sets the accelerator (hardware) configuration.
+    pub fn accelerator(mut self, accelerator: AcceleratorConfig) -> Self {
+        self.options.accelerator = accelerator;
+        self
+    }
+
+    /// Sets the compiler configuration.
+    pub fn compiler(mut self, compiler: CompilerConfig) -> Self {
+        self.options.compiler = compiler;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> EngineOptions {
+        self.options
     }
 }
 
-impl std::error::Error for EngineError {}
-
-impl From<dynasparse_matrix::MatrixError> for EngineError {
-    fn from(e: dynasparse_matrix::MatrixError) -> Self {
-        EngineError::Execution(e)
-    }
-}
-
-/// The Dynasparse engine.
-#[derive(Debug, Clone, Copy)]
+/// The one-shot Dynasparse engine (compatibility wrapper over
+/// [`Planner`] + [`Session`]).
+#[derive(Debug, Clone, Default)]
 pub struct Engine {
     options: EngineOptions,
 }
@@ -91,142 +87,29 @@ impl Engine {
 
     /// Compiles and executes `model` on `dataset`, pricing every strategy in
     /// `strategies` from a single functional pass.
+    ///
+    /// This recompiles on every call.  To serve repeated requests over one
+    /// graph topology, plan once with [`Planner::plan`] and call
+    /// [`Session::infer`] per request instead.
     pub fn evaluate(
         &self,
         model: &GnnModel,
         dataset: &GraphDataset,
         strategies: &[MappingStrategy],
-    ) -> Result<Evaluation, EngineError> {
-        model
-            .validate()
-            .map_err(EngineError::InvalidModel)?;
-
-        // ---- Step 1: compilation / preprocessing. ----
-        let compile_report = compile(model, dataset, &self.options.compiler);
-        let program = &compile_report.program;
-        let spec = program.partition;
-        let num_vertices = dataset.graph.num_vertices();
-
-        // ---- Step 2: functional execution + per-kernel analysis. ----
-        let core = ComputationCore::new(self.options.accelerator);
-        let soft = SoftProcessorModel::from_config(&self.options.accelerator);
-        let executor = ReferenceExecutor::new(model, &dataset.graph);
-
-        struct StrategyState {
-            strategy: MappingStrategy,
-            analyzer: Analyzer,
-            scheduler: Scheduler,
-            kernels: Vec<KernelReport>,
-        }
-        let mut states: Vec<StrategyState> = strategies
-            .iter()
-            .map(|&strategy| StrategyState {
-                strategy,
-                analyzer: Analyzer::new(core, strategy),
-                scheduler: Scheduler::new(self.options.accelerator.num_cores),
-                kernels: Vec::with_capacity(program.kernels.len()),
-            })
-            .collect();
-
-        let mut kernel_counter = 0usize;
-        let mut density_stages = Vec::with_capacity(program.kernels.len());
-        let output = executor.forward_with(&dataset.features, |_layer, _ki, spec_kernel, input, out| {
-            let compiled = &program.kernels[kernel_counter];
-            debug_assert_eq!(
-                compiled.ir.kind == KernelKind::Aggregate,
-                spec_kernel.op.is_aggregate(),
-                "compiled kernel order must match execution order"
-            );
-            // Runtime sparsity profiling of the kernel's input feature matrix
-            // at the granularity its execution scheme uses.
-            let grid = match compiled.ir.kind {
-                KernelKind::Aggregate => spec.feature_grid(num_vertices, input.dim()),
-                KernelKind::Update => spec.subfiber_grid(num_vertices, input.dim()),
-            };
-            let feature_profile = input.density_profile(&grid);
-            let profiles = OperandProfiles {
-                adjacency: &program.static_sparsity.adjacency,
-                weights: &program.static_sparsity.weights,
-                features: &feature_profile,
-            };
-            for state in &mut states {
-                let analysis = state.analyzer.analyze_kernel(compiled, &profiles);
-                let schedule = state
-                    .scheduler
-                    .schedule_kernel(compiled.ir.id, &analysis);
-                state.kernels.push(KernelReport {
-                    kernel_id: compiled.ir.id,
-                    layer_id: compiled.ir.layer_id,
-                    kind: compiled.ir.kind,
-                    cycles: schedule.cycles(),
-                    utilization: schedule.utilization,
-                    decisions: analysis.decisions,
-                    mix: analysis.mix,
-                    input_density: input.density(),
-                    output_density: out.density(),
-                });
-            }
-            density_stages.push(dynasparse_model::StageDensity {
-                layer: compiled.ir.layer_id - 1,
-                kernel: compiled.ir.kernel_in_layer,
-                op: compiled.ir.kind.label().to_string(),
-                density: out.density(),
-            });
-            kernel_counter += 1;
-        })?;
-
-        // ---- Step 3: assemble the reports. ----
-        let freq = self.options.accelerator.frequency_mhz;
-        let compile_ms = compile_report.total_ms();
-        let data_movement_ms = self
-            .options
-            .accelerator
-            .pcie_transfer_seconds(program.data_movement_bytes)
-            * 1e3;
-
-        let runs = states
-            .into_iter()
-            .map(|state| {
-                let total_cycles = state.scheduler.total_cycles();
-                let latency_ms = cycles_to_ms(total_cycles, freq);
-                let decisions: usize = state.kernels.iter().map(|k| k.decisions).sum();
-                let overhead = RuntimeOverhead::from_counts(
-                    &soft,
-                    decisions,
-                    state.scheduler.total_schedule_events(),
-                    latency_ms * 1e-3,
-                );
-                StrategyRun {
-                    strategy: state.strategy,
-                    average_utilization: state.scheduler.average_utilization(),
-                    kernels: state.kernels,
-                    total_cycles,
-                    latency_ms,
-                    end_to_end_ms: compile_ms + data_movement_ms + latency_ms,
-                    overhead,
-                }
-            })
-            .collect();
-
-        Ok(Evaluation {
-            compile_ms,
-            partition: spec,
-            data_movement_ms,
-            density_trace: dynasparse_model::DensityTrace {
-                input_density: dataset.features.density(),
-                stages: density_stages,
-            },
-            runs,
-            output_embeddings: output,
-        })
+    ) -> Result<Evaluation, DynasparseError> {
+        let plan = Planner::new(self.options.clone()).plan(model, dataset)?;
+        let mut session = Session::new(&plan, strategies);
+        let report = session.infer(&dataset.features)?;
+        Ok(report.into_evaluation(&plan))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::DynasparseError;
     use dynasparse_graph::Dataset;
-    use dynasparse_model::{prune_model, GnnModelKind};
+    use dynasparse_model::{prune_model, GnnModelKind, ModelError};
     use dynasparse_runtime::MappingStrategy;
 
     fn small_eval(kind: GnnModelKind, weight_sparsity: f64) -> Evaluation {
@@ -290,7 +173,7 @@ mod tests {
     #[test]
     fn pruning_increases_dynamic_advantage_over_s2() {
         let unpruned = small_eval(GnnModelKind::Gin, 0.0);
-        let pruned = small_eval(GnnModelKind::Gin, 0.9);
+        let pruned = small_eval(GnnModelKind::Gin, 0.95);
         let so_s2_unpruned = unpruned
             .speedup(MappingStrategy::Static2, MappingStrategy::Dynamic)
             .unwrap();
@@ -340,13 +223,36 @@ mod tests {
     }
 
     #[test]
-    fn invalid_model_is_rejected() {
+    fn invalid_model_is_rejected_with_typed_error() {
         let dataset = Dataset::Cora.spec().generate_scaled(1, 0.1);
         let mut model = GnnModel::gcn(dataset.features.dim(), 8, 3, 1);
         model.weights.clear();
         let err = Engine::new(EngineOptions::default())
             .evaluate(&model, &dataset, &[MappingStrategy::Dynamic])
             .unwrap_err();
-        assert!(matches!(err, EngineError::InvalidModel(_)));
+        assert!(matches!(
+            err,
+            DynasparseError::Model(ModelError::MissingWeight {
+                layer: 0,
+                weight: 0,
+                available: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn options_builder_matches_struct_literal() {
+        let built = EngineOptions::builder()
+            .accelerator(AcceleratorConfig::default())
+            .compiler(CompilerConfig::default())
+            .build();
+        assert_eq!(built, EngineOptions::default());
+        let accel = AcceleratorConfig {
+            num_cores: 3,
+            ..Default::default()
+        };
+        let custom = EngineOptions::builder().accelerator(accel).build();
+        assert_eq!(custom.accelerator.num_cores, 3);
+        assert_eq!(custom.compiler, CompilerConfig::default());
     }
 }

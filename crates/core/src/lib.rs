@@ -14,13 +14,29 @@
 //! dynamic kernel-to-primitive mapping, task scheduling — faithful to the
 //! paper.
 //!
+//! ## The compile-once / serve-many API
+//!
+//! The pipeline separates what the paper computes once per (model, graph)
+//! pair from what it computes per inference request:
+//!
+//! 1. [`Planner::plan`] validates the model and runs the one-time work —
+//!    computation-graph construction, partition sizing (Algorithm 9),
+//!    execution-scheme generation (Algorithms 2/3), static sparsity
+//!    profiling and adjacency normalization — into an immutable
+//!    [`CompiledPlan`].
+//! 2. [`CompiledPlan::session`] opens a [`Session`] holding the reusable
+//!    per-strategy Analyzer/Scheduler state and scratch buffers.
+//! 3. [`Session::infer`] (or [`Session::infer_batch`]) serves each request:
+//!    one functional pass measures the runtime-only feature densities
+//!    (Fig. 2) and prices every requested mapping strategy, with **zero
+//!    recompilation**.
+//!
 //! ## Quick start
 //!
 //! ```
-//! use dynasparse::{Engine, EngineOptions};
+//! use dynasparse::{EngineOptions, MappingStrategy, Planner};
 //! use dynasparse_graph::Dataset;
 //! use dynasparse_model::{GnnModel, GnnModelKind};
-//! use dynasparse_runtime::MappingStrategy;
 //!
 //! // A down-scaled Cora instance keeps the example fast.
 //! let dataset = Dataset::Cora.spec().generate_scaled(42, 0.2);
@@ -32,21 +48,62 @@
 //!     7,
 //! );
 //!
-//! let engine = Engine::new(EngineOptions::default());
-//! let eval = engine
-//!     .evaluate(&model, &dataset, &MappingStrategy::paper_strategies())
-//!     .unwrap();
+//! // Compile once...
+//! let planner = Planner::new(EngineOptions::builder().build());
+//! let plan = planner.plan(&model, &dataset).unwrap();
 //!
-//! let dynamic = eval.run(MappingStrategy::Dynamic).unwrap();
-//! let s1 = eval.run(MappingStrategy::Static1).unwrap();
+//! // ...serve many.  Every request reuses the compiled program, the
+//! // partition sizes, the static sparsity profiles and the normalized
+//! // adjacency matrices.
+//! let mut session = plan.session(&MappingStrategy::paper_strategies());
+//! let report = session.infer(&dataset.features).unwrap();
+//!
+//! let dynamic = report.run(MappingStrategy::Dynamic).unwrap();
+//! let s1 = report.run(MappingStrategy::Static1).unwrap();
 //! assert!(dynamic.latency_ms <= s1.latency_ms);
 //! println!(
-//!     "Dynamic {:.3} ms vs S1 {:.3} ms ({:.2}x)",
+//!     "Dynamic {:.3} ms vs S1 {:.3} ms ({:.2}x); amortized request {:.3} ms",
 //!     dynamic.latency_ms,
 //!     s1.latency_ms,
-//!     s1.latency_ms / dynamic.latency_ms
+//!     s1.latency_ms / dynamic.latency_ms,
+//!     report.amortized_ms(MappingStrategy::Dynamic).unwrap(),
 //! );
+//!
+//! // Same topology, new features: no recompilation.
+//! let second = session.infer(&dataset.features).unwrap();
+//! assert_eq!(second.request_index, 1);
 //! ```
+//!
+//! One-shot evaluation (compile + single request) remains available through
+//! the [`Engine`] wrapper, which produces cycle-for-cycle the same numbers:
+//!
+//! ```
+//! use dynasparse::{Engine, EngineOptions, MappingStrategy};
+//! use dynasparse_graph::Dataset;
+//! use dynasparse_model::{GnnModel, GnnModelKind};
+//!
+//! let dataset = Dataset::Cora.spec().generate_scaled(42, 0.2);
+//! let model = GnnModel::standard(
+//!     GnnModelKind::Gcn,
+//!     dataset.features.dim(),
+//!     16,
+//!     dataset.spec.num_classes,
+//!     7,
+//! );
+//! let eval = Engine::new(EngineOptions::default())
+//!     .evaluate(&model, &dataset, &[MappingStrategy::Dynamic])
+//!     .unwrap();
+//! assert!(eval.run(MappingStrategy::Dynamic).unwrap().latency_ms > 0.0);
+//! ```
+//!
+//! ## Errors
+//!
+//! Every fallible call returns the typed [`DynasparseError`]:
+//! [`DynasparseError::Model`] for structural model problems
+//! ([`ModelError`]), [`DynasparseError::Compile`] for plan-time model/graph
+//! mismatches ([`CompileError`]), and [`DynasparseError::Execution`] for
+//! functional failures (`MatrixError`), including requests whose feature
+//! shape does not match the plan.
 //!
 //! ## Crate map
 //!
@@ -58,19 +115,26 @@
 //! | `dynasparse-compiler` | IR, data partitioning (Alg. 9), execution schemes (Alg. 2/3) |
 //! | `dynasparse-accel` | cycle-level accelerator model (ACM, AHM, memory, soft processor) |
 //! | `dynasparse-runtime` | Analyzer (Alg. 7), Scheduler (Alg. 8), S1/S2 baselines |
-//! | `dynasparse` (this crate) | the end-to-end engine: compile → execute → report |
+//! | `dynasparse` (this crate) | Planner → CompiledPlan → Session, one-shot Engine wrapper |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
+pub mod error;
+pub mod planner;
 pub mod report;
+pub mod session;
 
-pub use engine::{Engine, EngineOptions};
-pub use report::{Evaluation, KernelReport, StrategyRun};
+pub use engine::{Engine, EngineOptions, EngineOptionsBuilder};
+pub use error::{CompileError, DynasparseError, EngineError};
+pub use planner::{CompiledPlan, Planner};
+pub use report::{Evaluation, InferenceReport, KernelReport, StrategyRun};
+pub use session::Session;
 
 // Re-export the pieces a downstream user needs to drive the engine without
 // depending on every sub-crate explicitly.
-pub use dynasparse_compiler::CompilerConfig;
 pub use dynasparse_accel::AcceleratorConfig;
+pub use dynasparse_compiler::CompilerConfig;
+pub use dynasparse_model::{LayerError, ModelError};
 pub use dynasparse_runtime::MappingStrategy;

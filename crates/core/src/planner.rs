@@ -1,0 +1,227 @@
+//! The Planner: one-time, input-independent preparation of a serving plan.
+//!
+//! Dynasparse's compile-time artifacts — the computation graph, the partition
+//! sizes of Algorithm 9, the execution schemes of Algorithms 2/3, and the
+//! static adjacency/weight sparsity profiles — do not depend on the input
+//! feature matrix.  [`Planner::plan`] therefore runs them once, producing an
+//! immutable [`CompiledPlan`] that any number of [`Session`]s can serve
+//! inference requests from.  Only the per-request work (the runtime sparsity
+//! profiling and the kernel-to-primitive mapping it drives) happens inside
+//! [`Session::infer`].
+//!
+//! [`Session`]: crate::Session
+//! [`Session::infer`]: crate::Session::infer
+
+use crate::engine::EngineOptions;
+use crate::error::{CompileError, DynasparseError};
+use crate::session::Session;
+use dynasparse_compiler::{compile, CompileReport, CompiledProgram};
+use dynasparse_graph::{AggregatorKind, GraphDataset};
+use dynasparse_matrix::{CsrMatrix, PartitionSpec};
+use dynasparse_model::{prepare_adjacencies, GnnModel};
+use dynasparse_runtime::MappingStrategy;
+use std::collections::HashMap;
+
+/// Validates a model against a dataset and compiles a serving plan.
+#[derive(Debug, Clone, Default)]
+pub struct Planner {
+    options: EngineOptions,
+}
+
+impl Planner {
+    /// Creates a planner with the given engine options.
+    pub fn new(options: EngineOptions) -> Self {
+        Planner { options }
+    }
+
+    /// The options the planner compiles with.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// Validates `model`, checks it against `dataset`'s graph/features, and
+    /// compiles the input-independent artifacts into a [`CompiledPlan`].
+    ///
+    /// The dataset's feature matrix participates only in the *static*
+    /// sparsity profile (`H⁰` densities of Table IX) and in the default
+    /// request of [`Engine::evaluate`](crate::Engine::evaluate); the plan
+    /// itself serves any feature matrix with the same shape.
+    pub fn plan(
+        &self,
+        model: &GnnModel,
+        dataset: &GraphDataset,
+    ) -> Result<CompiledPlan, DynasparseError> {
+        model.validate()?;
+        if dataset.graph.num_vertices() == 0 {
+            return Err(CompileError::EmptyGraph.into());
+        }
+        if dataset.features.dim() != model.input_dim {
+            return Err(CompileError::FeatureDimensionMismatch {
+                model_input_dim: model.input_dim,
+                feature_dim: dataset.features.dim(),
+            }
+            .into());
+        }
+
+        // One-time compilation: computation graph, partition sizes
+        // (Algorithm 9), execution schemes (Algorithms 2/3) and static
+        // sparsity profiling.
+        let report = compile(model, dataset, &self.options.compiler);
+        // One-time graph preprocessing: normalized adjacency per aggregator.
+        let adjacencies = prepare_adjacencies(model, &dataset.graph);
+
+        Ok(CompiledPlan {
+            options: self.options.clone(),
+            model: model.clone(),
+            adjacencies,
+            report,
+        })
+    }
+}
+
+/// The immutable result of planning: everything inference requests share.
+///
+/// A plan owns the compiled program (kernels + execution schemes), the
+/// partition specification, the static sparsity profiles, the normalized
+/// adjacency matrices, the model weights and the one-time data-movement
+/// budget.  Create serving state with [`CompiledPlan::session`]; the plan is
+/// never mutated by inference, so one plan can back many sessions.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    pub(crate) options: EngineOptions,
+    pub(crate) model: GnnModel,
+    pub(crate) adjacencies: HashMap<AggregatorKind, CsrMatrix>,
+    report: CompileReport,
+}
+
+impl CompiledPlan {
+    /// Opens a session that serves inference requests from this plan,
+    /// pricing every strategy in `strategies` on each request.
+    pub fn session(&self, strategies: &[MappingStrategy]) -> Session<'_> {
+        Session::new(self, strategies)
+    }
+
+    /// The engine options the plan was compiled with.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// The model the plan was compiled for.
+    pub fn model(&self) -> &GnnModel {
+        &self.model
+    }
+
+    /// The compiled program (optimized IR).
+    pub fn program(&self) -> &CompiledProgram {
+        &self.report.program
+    }
+
+    /// The full compile report, produced exactly once per plan (Table IX).
+    pub fn compile_report(&self) -> &CompileReport {
+        &self.report
+    }
+
+    /// One-time preprocessing wall-clock time in milliseconds.
+    pub fn compile_ms(&self) -> f64 {
+        self.report.total_ms()
+    }
+
+    /// The partition sizes chosen by Algorithm 9.
+    pub fn partition(&self) -> PartitionSpec {
+        self.report.program.partition
+    }
+
+    /// Number of vertices of the planned graph topology; every request's
+    /// feature matrix must have this many rows.
+    pub fn num_vertices(&self) -> usize {
+        self.report.program.num_vertices
+    }
+
+    /// Input feature dimension every request must match.
+    pub fn input_dim(&self) -> usize {
+        self.model.input_dim
+    }
+
+    /// PCIe milliseconds for the one-time transfer of the static data
+    /// (adjacency + weights + IR).
+    pub fn static_data_movement_ms(&self) -> f64 {
+        self.options
+            .accelerator
+            .pcie_transfer_seconds(self.report.program.static_data_bytes)
+            * 1e3
+    }
+
+    /// PCIe milliseconds for one request moving `feature_bytes` of input
+    /// features, on top of the static transfer.
+    pub fn request_data_movement_ms(&self, feature_bytes: usize) -> f64 {
+        self.options
+            .accelerator
+            .pcie_transfer_seconds(self.report.program.static_data_bytes + feature_bytes)
+            * 1e3
+    }
+
+    /// PCIe milliseconds for `feature_bytes` of input features alone — the
+    /// only transfer a request pays once the plan's static data is resident
+    /// on the accelerator.
+    pub fn feature_movement_ms(&self, feature_bytes: usize) -> f64 {
+        self.options
+            .accelerator
+            .pcie_transfer_seconds(feature_bytes)
+            * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasparse_graph::Dataset;
+    use dynasparse_model::{GnnModelKind, ModelError};
+
+    fn setup() -> (GnnModel, GraphDataset) {
+        let ds = Dataset::Cora.spec().generate_scaled(9, 0.15);
+        let model = GnnModel::standard(
+            GnnModelKind::Gcn,
+            ds.features.dim(),
+            16,
+            ds.spec.num_classes,
+            3,
+        );
+        (model, ds)
+    }
+
+    #[test]
+    fn plan_owns_the_compiled_artifacts() {
+        let (model, ds) = setup();
+        let plan = Planner::default().plan(&model, &ds).unwrap();
+        assert_eq!(plan.program().kernels.len(), model.num_kernels());
+        assert_eq!(plan.num_vertices(), ds.graph.num_vertices());
+        assert_eq!(plan.input_dim(), ds.features.dim());
+        assert!(plan.compile_ms() > 0.0);
+        assert!(plan.partition().n1 >= plan.partition().n2);
+        // Static movement is a strict subset of a full request's movement.
+        let req = plan.request_data_movement_ms(ds.features.size_bytes());
+        assert!(plan.static_data_movement_ms() < req);
+    }
+
+    #[test]
+    fn invalid_model_fails_with_typed_error() {
+        let (mut model, ds) = setup();
+        model.weights.clear();
+        let err = Planner::default().plan(&model, &ds).unwrap_err();
+        assert!(matches!(
+            err,
+            DynasparseError::Model(ModelError::MissingWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_fails_at_plan_time() {
+        let (_, ds) = setup();
+        let model = GnnModel::gcn(ds.features.dim() + 1, 8, ds.spec.num_classes, 1);
+        let err = Planner::default().plan(&model, &ds).unwrap_err();
+        assert!(matches!(
+            err,
+            DynasparseError::Compile(CompileError::FeatureDimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,5 +1,8 @@
-//! Result types produced by the engine.
+//! Result types produced by the engine: the per-request [`InferenceReport`]
+//! of the Planner → Session pipeline and the one-shot [`Evaluation`] the
+//! compatibility wrapper assembles from it.
 
+use crate::planner::CompiledPlan;
 use dynasparse_compiler::KernelKind;
 use dynasparse_graph::FeatureMatrix;
 use dynasparse_matrix::PartitionSpec;
@@ -67,6 +70,73 @@ impl StrategyRun {
             mix.skipped += k.mix.skipped;
         }
         mix
+    }
+}
+
+/// Result of one inference request served by a
+/// [`Session`](crate::Session).
+///
+/// Unlike [`Evaluation`], a report carries only per-request quantities;
+/// the amortized artifacts (compile report, partition, static sparsity)
+/// live on the [`CompiledPlan`] the session serves from.
+#[derive(Debug, Clone, Serialize)]
+pub struct InferenceReport {
+    /// Zero-based index of this request within its session.
+    pub request_index: usize,
+    /// Cold-start PCIe milliseconds for this request: the plan's static data
+    /// (adjacency + weights + IR) plus the request's features.  This is what
+    /// the request costs if nothing is resident on the accelerator yet.
+    pub data_movement_ms: f64,
+    /// PCIe milliseconds for the request's feature matrix alone — the only
+    /// transfer paid once the plan's static data is resident (steady state).
+    pub feature_movement_ms: f64,
+    /// Densities of the request input and of every kernel output (Fig. 2).
+    pub density_trace: DensityTrace,
+    /// One run per session strategy, in session order.
+    pub runs: Vec<StrategyRun>,
+    /// Output embeddings of the functional execution.
+    #[serde(skip)]
+    pub output_embeddings: FeatureMatrix,
+}
+
+impl InferenceReport {
+    /// The run for `strategy`, if the session prices it.
+    pub fn run(&self, strategy: MappingStrategy) -> Option<&StrategyRun> {
+        self.runs.iter().find(|r| r.strategy == strategy)
+    }
+
+    /// Speedup of `fast` over `slow` in accelerator latency.
+    pub fn speedup(&self, slow: MappingStrategy, fast: MappingStrategy) -> Option<f64> {
+        let s = self.run(slow)?;
+        let f = self.run(fast)?;
+        if f.latency_ms <= 0.0 {
+            return None;
+        }
+        Some(s.latency_ms / f.latency_ms)
+    }
+
+    /// Steady-state request latency for `strategy`: feature-matrix movement
+    /// plus accelerator execution, with compilation *and* the one-time
+    /// static transfer amortized away.  This is the number a serving
+    /// deployment observes per request after warm-up, versus
+    /// [`StrategyRun::end_to_end_ms`] which charges the one-time
+    /// preprocessing and full transfer to every call.
+    pub fn amortized_ms(&self, strategy: MappingStrategy) -> Option<f64> {
+        self.run(strategy)
+            .map(|r| self.feature_movement_ms + r.latency_ms)
+    }
+
+    /// Assembles the legacy one-shot [`Evaluation`] from this report and the
+    /// plan it was served from.
+    pub fn into_evaluation(self, plan: &CompiledPlan) -> Evaluation {
+        Evaluation {
+            compile_ms: plan.compile_ms(),
+            partition: plan.partition(),
+            data_movement_ms: self.data_movement_ms,
+            density_trace: self.density_trace,
+            runs: self.runs,
+            output_embeddings: self.output_embeddings,
+        }
     }
 }
 

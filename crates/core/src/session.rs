@@ -1,0 +1,337 @@
+//! The Session: amortized serving of inference requests over one plan.
+//!
+//! A session holds everything reusable across requests for a fixed graph
+//! topology — the functional executor with its pre-normalized adjacency
+//! matrices, one `Analyzer`/`Scheduler` pair per mapping strategy, and the
+//! report scratch buffers — so a request performs **zero recompilation**:
+//! only the runtime work of Fig. 3 runs per request (functional kernel
+//! execution, runtime sparsity profiling, kernel-to-primitive mapping and
+//! task scheduling).  This mirrors the paper's serving model, where the
+//! compiled IR lives on the FPGA and each inference only moves the new
+//! feature matrix across PCIe.
+
+use crate::error::DynasparseError;
+use crate::planner::CompiledPlan;
+use crate::report::{InferenceReport, KernelReport, StrategyRun};
+use dynasparse_accel::{cycles_to_ms, ComputationCore, SoftProcessorModel};
+use dynasparse_compiler::KernelKind;
+use dynasparse_graph::FeatureMatrix;
+use dynasparse_matrix::MatrixError;
+use dynasparse_model::{DensityTrace, ReferenceExecutor, StageDensity};
+use dynasparse_runtime::{Analyzer, MappingStrategy, OperandProfiles, RuntimeOverhead, Scheduler};
+
+/// Reusable per-strategy state: the Analyzer is stateless and the Scheduler
+/// is rewound between requests.  The kernel-report buffer is handed to each
+/// request's report and re-sized ahead of the next request (reports own
+/// their data, so one `Vec` per strategy is allocated per request).
+struct StrategyState {
+    strategy: MappingStrategy,
+    analyzer: Analyzer,
+    scheduler: Scheduler,
+    kernels: Vec<KernelReport>,
+}
+
+/// Serving state bound to one [`CompiledPlan`].
+pub struct Session<'p> {
+    plan: &'p CompiledPlan,
+    executor: ReferenceExecutor<'p>,
+    soft: SoftProcessorModel,
+    states: Vec<StrategyState>,
+    density_scratch: Vec<StageDensity>,
+    requests_served: usize,
+}
+
+impl<'p> Session<'p> {
+    /// Opens a session over `plan`, pricing every strategy in `strategies`
+    /// on each request.  Equivalent to
+    /// [`CompiledPlan::session`](crate::CompiledPlan::session).
+    pub fn new(plan: &'p CompiledPlan, strategies: &[MappingStrategy]) -> Self {
+        let accelerator = plan.options().accelerator;
+        let core = ComputationCore::new(accelerator);
+        let num_kernels = plan.program().kernels.len();
+        let states = strategies
+            .iter()
+            .map(|&strategy| StrategyState {
+                strategy,
+                analyzer: Analyzer::new(core, strategy),
+                scheduler: Scheduler::new(accelerator.num_cores),
+                kernels: Vec::with_capacity(num_kernels),
+            })
+            .collect();
+        Session {
+            plan,
+            executor: ReferenceExecutor::from_prepared(&plan.model, plan.adjacencies.clone()),
+            soft: SoftProcessorModel::from_config(&accelerator),
+            states,
+            density_scratch: Vec::with_capacity(num_kernels),
+            requests_served: 0,
+        }
+    }
+
+    /// The plan this session serves from.
+    pub fn plan(&self) -> &'p CompiledPlan {
+        self.plan
+    }
+
+    /// The strategies priced on every request, in request order.
+    pub fn strategies(&self) -> Vec<MappingStrategy> {
+        self.states.iter().map(|s| s.strategy).collect()
+    }
+
+    /// Number of requests served so far.
+    pub fn requests_served(&self) -> usize {
+        self.requests_served
+    }
+
+    /// Serves one inference request: runs the model functionally on
+    /// `features`, profiles the runtime sparsity kernel by kernel, and prices
+    /// every session strategy from the single functional pass.
+    ///
+    /// The request must match the plan's topology: `features` needs
+    /// [`CompiledPlan::num_vertices`] rows and [`CompiledPlan::input_dim`]
+    /// columns.
+    pub fn infer(&mut self, features: &FeatureMatrix) -> Result<InferenceReport, DynasparseError> {
+        let plan = self.plan;
+        let program = plan.program();
+        let expected = (plan.num_vertices(), plan.input_dim());
+        if features.shape() != expected {
+            return Err(MatrixError::ShapeMismatch {
+                op: "session infer",
+                lhs: features.shape(),
+                rhs: expected,
+            }
+            .into());
+        }
+
+        let spec = program.partition;
+        let num_vertices = plan.num_vertices();
+        let num_kernels = program.kernels.len();
+        // The clears matter on the recovery path: a request that failed
+        // mid-execution leaves partial kernel reports and density stages
+        // behind, which the next request must not inherit.
+        for state in &mut self.states {
+            state.scheduler.reset();
+            state.kernels.clear();
+        }
+        self.density_scratch.clear();
+
+        let states = &mut self.states;
+        let density_stages = &mut self.density_scratch;
+        let mut kernel_counter = 0usize;
+        let output =
+            self.executor
+                .forward_with(features, |_layer, _ki, spec_kernel, input, out| {
+                    let compiled = &program.kernels[kernel_counter];
+                    debug_assert_eq!(
+                        compiled.ir.kind == KernelKind::Aggregate,
+                        spec_kernel.op.is_aggregate(),
+                        "compiled kernel order must match execution order"
+                    );
+                    // Runtime sparsity profiling of the kernel's input feature
+                    // matrix at the granularity its execution scheme uses.
+                    let grid = match compiled.ir.kind {
+                        KernelKind::Aggregate => spec.feature_grid(num_vertices, input.dim()),
+                        KernelKind::Update => spec.subfiber_grid(num_vertices, input.dim()),
+                    };
+                    let feature_profile = input.density_profile(&grid);
+                    let profiles = OperandProfiles {
+                        adjacency: &program.static_sparsity.adjacency,
+                        weights: &program.static_sparsity.weights,
+                        features: &feature_profile,
+                    };
+                    for state in states.iter_mut() {
+                        let analysis = state.analyzer.analyze_kernel(compiled, &profiles);
+                        let schedule = state.scheduler.schedule_kernel(compiled.ir.id, &analysis);
+                        state.kernels.push(KernelReport {
+                            kernel_id: compiled.ir.id,
+                            layer_id: compiled.ir.layer_id,
+                            kind: compiled.ir.kind,
+                            cycles: schedule.cycles(),
+                            utilization: schedule.utilization,
+                            decisions: analysis.decisions,
+                            mix: analysis.mix,
+                            input_density: input.density(),
+                            output_density: out.density(),
+                        });
+                    }
+                    density_stages.push(StageDensity {
+                        layer: compiled.ir.layer_id - 1,
+                        kernel: compiled.ir.kernel_in_layer,
+                        op: compiled.ir.kind.label().to_string(),
+                        density: out.density(),
+                    });
+                    kernel_counter += 1;
+                })?;
+
+        let freq = plan.options().accelerator.frequency_mhz;
+        let compile_ms = plan.compile_ms();
+        let data_movement_ms = plan.request_data_movement_ms(features.size_bytes());
+        let feature_movement_ms = plan.feature_movement_ms(features.size_bytes());
+        let runs = self
+            .states
+            .iter_mut()
+            .map(|state| {
+                let total_cycles = state.scheduler.total_cycles();
+                let latency_ms = cycles_to_ms(total_cycles, freq);
+                let decisions: usize = state.kernels.iter().map(|k| k.decisions).sum();
+                let overhead = RuntimeOverhead::from_counts(
+                    &self.soft,
+                    decisions,
+                    state.scheduler.total_schedule_events(),
+                    latency_ms * 1e-3,
+                );
+                StrategyRun {
+                    strategy: state.strategy,
+                    average_utilization: state.scheduler.average_utilization(),
+                    kernels: std::mem::replace(&mut state.kernels, Vec::with_capacity(num_kernels)),
+                    total_cycles,
+                    latency_ms,
+                    end_to_end_ms: compile_ms + data_movement_ms + latency_ms,
+                    overhead,
+                }
+            })
+            .collect();
+
+        let request_index = self.requests_served;
+        self.requests_served += 1;
+        Ok(InferenceReport {
+            request_index,
+            data_movement_ms,
+            feature_movement_ms,
+            density_trace: DensityTrace {
+                input_density: features.density(),
+                stages: std::mem::replace(
+                    &mut self.density_scratch,
+                    Vec::with_capacity(num_kernels),
+                ),
+            },
+            runs,
+            output_embeddings: output,
+        })
+    }
+
+    /// Serves a batch of requests over the same plan, returning one report
+    /// per request in order.  Compilation, adjacency normalization and
+    /// analyzer/scheduler state are shared across the whole batch.
+    pub fn infer_batch(
+        &mut self,
+        batch: &[FeatureMatrix],
+    ) -> Result<Vec<InferenceReport>, DynasparseError> {
+        batch.iter().map(|features| self.infer(features)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineOptions;
+    use crate::planner::Planner;
+    use dynasparse_graph::Dataset;
+    use dynasparse_model::{GnnModel, GnnModelKind};
+
+    fn plan_fixture() -> (CompiledPlan, FeatureMatrix) {
+        let ds = Dataset::Cora.spec().generate_scaled(21, 0.15);
+        let model = GnnModel::standard(
+            GnnModelKind::Gcn,
+            ds.features.dim(),
+            16,
+            ds.spec.num_classes,
+            3,
+        );
+        let plan = Planner::new(EngineOptions::default())
+            .plan(&model, &ds)
+            .unwrap();
+        (plan, ds.features)
+    }
+
+    #[test]
+    fn repeated_requests_are_identical_and_free_of_recompilation() {
+        let (plan, features) = plan_fixture();
+        let compile_ms = plan.compile_ms();
+        let mut session = plan.session(&MappingStrategy::paper_strategies());
+        let a = session.infer(&features).unwrap();
+        let b = session.infer(&features).unwrap();
+        assert_eq!(session.requests_served(), 2);
+        assert_eq!(a.request_index, 0);
+        assert_eq!(b.request_index, 1);
+        // The plan (and with it the compile report) is untouched by serving.
+        assert_eq!(plan.compile_ms(), compile_ms);
+        // Deterministic serving: identical requests price identically.
+        for (ra, rb) in a.runs.iter().zip(b.runs.iter()) {
+            assert_eq!(ra.strategy, rb.strategy);
+            assert_eq!(ra.total_cycles, rb.total_cycles);
+            assert_eq!(ra.latency_ms, rb.latency_ms);
+            assert_eq!(ra.total_mix(), rb.total_mix());
+        }
+        assert_eq!(
+            a.output_embeddings.to_dense().as_slice(),
+            b.output_embeddings.to_dense().as_slice()
+        );
+        // Steady-state accounting: the amortized request pays the feature
+        // transfer only; the one-time static transfer is plan state.
+        let dynamic = a.run(MappingStrategy::Dynamic).unwrap();
+        let amortized = a.amortized_ms(MappingStrategy::Dynamic).unwrap();
+        assert!(amortized < a.data_movement_ms + dynamic.latency_ms);
+        assert!(
+            (a.feature_movement_ms + plan.static_data_movement_ms() - a.data_movement_ms).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn different_features_change_the_mapping_but_not_the_plan() {
+        let (plan, features) = plan_fixture();
+        let mut session = plan.session(&[MappingStrategy::Dynamic]);
+        let sparse = session.infer(&features).unwrap();
+        // A fully dense request over the same topology.
+        let dense = FeatureMatrix::Dense(dynasparse_matrix::DenseMatrix::from_fn(
+            plan.num_vertices(),
+            plan.input_dim(),
+            |_, _| 1.0,
+        ));
+        let dense_report = session.infer(&dense).unwrap();
+        let s = sparse.run(MappingStrategy::Dynamic).unwrap();
+        let d = dense_report.run(MappingStrategy::Dynamic).unwrap();
+        // Denser input features make the dynamic mapping more expensive.
+        assert!(d.total_cycles > s.total_cycles);
+        assert!(d.total_mix().gemm > s.total_mix().gemm);
+        // Both requests reused one plan: same partition, same kernel count.
+        assert_eq!(s.kernels.len(), d.kernels.len());
+    }
+
+    #[test]
+    fn batched_requests_match_sequential_requests() {
+        let (plan, features) = plan_fixture();
+        let mut sequential = plan.session(&[MappingStrategy::Dynamic]);
+        let s0 = sequential.infer(&features).unwrap();
+        let s1 = sequential.infer(&features).unwrap();
+        let mut batched = plan.session(&[MappingStrategy::Dynamic]);
+        let reports = batched
+            .infer_batch(&[features.clone(), features.clone()])
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        for (seq, bat) in [s0, s1].iter().zip(reports.iter()) {
+            assert_eq!(
+                seq.run(MappingStrategy::Dynamic).unwrap().total_cycles,
+                bat.run(MappingStrategy::Dynamic).unwrap().total_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_request_shape_is_a_typed_execution_error() {
+        let (plan, _) = plan_fixture();
+        let mut session = plan.session(&[MappingStrategy::Dynamic]);
+        let wrong = FeatureMatrix::Dense(dynasparse_matrix::DenseMatrix::zeros(3, 5));
+        let err = session.infer(&wrong).unwrap_err();
+        assert!(matches!(
+            err,
+            DynasparseError::Execution(MatrixError::ShapeMismatch {
+                op: "session infer",
+                ..
+            })
+        ));
+        // A failed request does not count as served.
+        assert_eq!(session.requests_served(), 0);
+    }
+}

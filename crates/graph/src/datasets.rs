@@ -205,9 +205,19 @@ impl DatasetSpec {
             },
         );
         let features = if self.prefers_sparse_features() {
-            sparse_features(num_vertices, self.feature_dim, self.feature_density, seed ^ 0xFEED)
+            sparse_features(
+                num_vertices,
+                self.feature_dim,
+                self.feature_density,
+                seed ^ 0xFEED,
+            )
         } else {
-            dense_features(num_vertices, self.feature_dim, self.feature_density, seed ^ 0xFEED)
+            dense_features(
+                num_vertices,
+                self.feature_dim,
+                self.feature_density,
+                seed ^ 0xFEED,
+            )
         };
         GraphDataset {
             spec: *self,

@@ -7,7 +7,7 @@
 //! data in whichever representation is tractable and exposes the operations
 //! the GNN layers need.
 
-use dynasparse_matrix::{CsrMatrix, DenseMatrix, DensityProfile, BlockGrid};
+use dynasparse_matrix::{BlockGrid, CsrMatrix, DenseMatrix, DensityProfile};
 use serde::{Deserialize, Serialize};
 
 /// A `|V| × f` vertex feature matrix in dense or CSR representation.
@@ -195,7 +195,8 @@ mod tests {
 
     #[test]
     fn aggregate_matches_dense_reference() {
-        let adj = CsrMatrix::from_triples(3, 3, vec![(0, 1, 1.0), (1, 0, 0.5), (2, 2, 2.0)]).unwrap();
+        let adj =
+            CsrMatrix::from_triples(3, 3, vec![(0, 1, 1.0), (1, 0, 0.5), (2, 2, 2.0)]).unwrap();
         let h = small_dense();
         let want = gemm_reference(&adj.to_dense(), &h).unwrap();
         let got_dense = FeatureMatrix::Dense(h.clone()).aggregate(&adj).unwrap();
@@ -212,7 +213,9 @@ mod tests {
         let w = DenseMatrix::from_fn(2, 4, |r, c| (r as f32 + 1.0) * (c as f32 - 1.5));
         let want = gemm_reference(&h, &w).unwrap();
         let got_dense = FeatureMatrix::Dense(h.clone()).update(&w).unwrap();
-        let got_sparse = FeatureMatrix::Sparse(CsrMatrix::from_dense(&h)).update(&w).unwrap();
+        let got_sparse = FeatureMatrix::Sparse(CsrMatrix::from_dense(&h))
+            .update(&w)
+            .unwrap();
         assert!(got_dense.to_dense().approx_eq(&want, 1e-5));
         assert!(got_sparse.to_dense().approx_eq(&want, 1e-5));
     }

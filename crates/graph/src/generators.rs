@@ -7,8 +7,8 @@
 //! prescribed vertex count, edge count and power-law degree skew
 //! (Chung–Lu-style sampling), and feature matrices with a prescribed density.
 
-use crate::graph::Graph;
 use crate::features::FeatureMatrix;
+use crate::graph::Graph;
 use dynasparse_matrix::{CsrMatrix, DenseMatrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -101,17 +101,13 @@ pub fn power_law_graph(name: impl Into<String>, config: &PowerLawConfig) -> Grap
 /// Generates a dense feature matrix of shape `num_vertices × dim` whose
 /// non-zeros appear with probability `density`; values are non-negative
 /// (bag-of-words-like), drawn uniformly from `(0, 1]`.
-pub fn dense_features(
-    num_vertices: usize,
-    dim: usize,
-    density: f64,
-    seed: u64,
-) -> FeatureMatrix {
+pub fn dense_features(num_vertices: usize, dim: usize, density: f64, seed: u64) -> FeatureMatrix {
     let density = density.clamp(0.0, 1.0);
     let rows: Vec<Vec<f32>> = (0..num_vertices)
         .into_par_iter()
         .map(|r| {
-            let mut rng = StdRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             (0..dim)
                 .map(|_| {
                     if rng.gen_bool(density) {
@@ -132,18 +128,14 @@ pub fn dense_features(
 /// Generates a sparse (CSR-backed) feature matrix; use for very
 /// high-dimensional, very sparse inputs such as NELL where a dense buffer
 /// would not fit in memory.
-pub fn sparse_features(
-    num_vertices: usize,
-    dim: usize,
-    density: f64,
-    seed: u64,
-) -> FeatureMatrix {
+pub fn sparse_features(num_vertices: usize, dim: usize, density: f64, seed: u64) -> FeatureMatrix {
     let density = density.clamp(0.0, 1.0);
     let expected_per_row = (density * dim as f64).max(0.0);
     let rows: Vec<Vec<(u32, f32)>> = (0..num_vertices)
         .into_par_iter()
         .map(|r| {
-            let mut rng = StdRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
             // Poisson-ish approximation: sample a count around the expected
             // value, then distinct positions.
             let jitter: f64 = rng.gen_range(0.5..1.5);
@@ -248,7 +240,11 @@ mod tests {
     fn sparse_features_have_requested_density() {
         let f = sparse_features(400, 1000, 0.01, 17);
         assert!(f.is_sparse());
-        assert!((f.density() - 0.01).abs() < 0.005, "density {}", f.density());
+        assert!(
+            (f.density() - 0.01).abs() < 0.005,
+            "density {}",
+            f.density()
+        );
     }
 
     #[test]

@@ -79,7 +79,9 @@ impl Graph {
 
     /// In-degrees of every vertex.
     pub fn in_degrees(&self) -> Vec<usize> {
-        (0..self.num_vertices()).map(|v| self.in_degree(v)).collect()
+        (0..self.num_vertices())
+            .map(|v| self.in_degree(v))
+            .collect()
     }
 
     /// Average in-degree.

@@ -63,8 +63,10 @@ impl CooMatrix {
                 });
             }
         }
-        let mut entries: Vec<CooEntry> =
-            entries.into_iter().filter(|e| is_nonzero(e.value)).collect();
+        let mut entries: Vec<CooEntry> = entries
+            .into_iter()
+            .filter(|e| is_nonzero(e.value))
+            .collect();
         entries.sort_by_key(|e| (e.row, e.col));
         Ok(CooMatrix {
             rows,
@@ -197,7 +199,11 @@ impl CooMatrix {
             let end = self.entries.partition_point(|e| e.row <= r);
             self.entries[start..end].to_vec()
         } else {
-            self.entries.iter().copied().filter(|e| e.row == r).collect()
+            self.entries
+                .iter()
+                .copied()
+                .filter(|e| e.row == r)
+                .collect()
         }
     }
 
@@ -267,11 +273,15 @@ mod tests {
     use super::*;
 
     fn sample_dense() -> DenseMatrix {
-        DenseMatrix::from_row_major(3, 4, vec![
-            1.0, 0.0, 0.0, 2.0, //
-            0.0, 0.0, 3.0, 0.0, //
-            4.0, 0.0, 0.0, 5.0,
-        ])
+        DenseMatrix::from_row_major(
+            3,
+            4,
+            vec![
+                1.0, 0.0, 0.0, 2.0, //
+                0.0, 0.0, 3.0, 0.0, //
+                4.0, 0.0, 0.0, 5.0,
+            ],
+        )
         .unwrap()
     }
 

@@ -207,19 +207,17 @@ impl CsrMatrix {
         let d = rhs.cols();
         let rhs_rm = rhs.to_layout(crate::layout::Layout::RowMajor);
         let mut out = vec![0.0f32; self.rows * d];
-        out.par_chunks_mut(d)
-            .enumerate()
-            .for_each(|(r, out_row)| {
-                let (cols, vals) = self.row(r);
-                for (&c, &v) in cols.iter().zip(vals.iter()) {
-                    let src = rhs_rm
-                        .row_slice(c as usize)
-                        .expect("row-major layout guaranteed above");
-                    for (o, &s) in out_row.iter_mut().zip(src.iter()) {
-                        *o += v * s;
-                    }
+        out.par_chunks_mut(d).enumerate().for_each(|(r, out_row)| {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                let src = rhs_rm
+                    .row_slice(c as usize)
+                    .expect("row-major layout guaranteed above");
+                for (o, &s) in out_row.iter_mut().zip(src.iter()) {
+                    *o += v * s;
                 }
-            });
+            }
+        });
         DenseMatrix::from_row_major(self.rows, d, out)
     }
 
@@ -238,7 +236,8 @@ impl CsrMatrix {
         let rows: Vec<Vec<(u32, f32)>> = (0..self.rows)
             .into_par_iter()
             .map(|r| {
-                let mut acc: std::collections::BTreeMap<u32, f32> = std::collections::BTreeMap::new();
+                let mut acc: std::collections::BTreeMap<u32, f32> =
+                    std::collections::BTreeMap::new();
                 let (cols, vals) = self.row(r);
                 for (&c, &v) in cols.iter().zip(vals.iter()) {
                     let (rcols, rvals) = rhs.row(c as usize);
@@ -297,10 +296,10 @@ impl CsrMatrix {
             });
         }
         let mut out = self.clone();
-        for r in 0..self.rows {
+        for (r, &factor) in factors.iter().enumerate() {
             let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
             for v in &mut out.values[lo..hi] {
-                *v *= factors[r];
+                *v *= factor;
             }
         }
         Ok(out)
@@ -413,11 +412,15 @@ mod tests {
     use super::*;
 
     fn sample_dense() -> DenseMatrix {
-        DenseMatrix::from_row_major(3, 4, vec![
-            1.0, 0.0, 0.0, 2.0, //
-            0.0, 0.0, 3.0, 0.0, //
-            4.0, 0.0, 0.0, 5.0,
-        ])
+        DenseMatrix::from_row_major(
+            3,
+            4,
+            vec![
+                1.0, 0.0, 0.0, 2.0, //
+                0.0, 0.0, 3.0, 0.0, //
+                4.0, 0.0, 0.0, 5.0,
+            ],
+        )
         .unwrap()
     }
 
@@ -465,7 +468,13 @@ mod tests {
     #[test]
     fn spgemm_matches_dense_matmul() {
         let a = sample_dense();
-        let b = DenseMatrix::from_fn(4, 5, |r, c| if (r + c) % 3 == 0 { (r * c) as f32 + 1.0 } else { 0.0 });
+        let b = DenseMatrix::from_fn(4, 5, |r, c| {
+            if (r + c) % 3 == 0 {
+                (r * c) as f32 + 1.0
+            } else {
+                0.0
+            }
+        });
         let got = CsrMatrix::from_dense(&a)
             .spgemm(&CsrMatrix::from_dense(&b))
             .unwrap()

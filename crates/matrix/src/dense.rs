@@ -1,8 +1,8 @@
 //! Dense matrix container with explicit storage layout.
 
 use crate::error::{MatrixError, Result};
-use crate::layout::Layout;
 use crate::is_nonzero;
+use crate::layout::Layout;
 use serde::{Deserialize, Serialize};
 
 /// A dense `f32` matrix.
@@ -325,8 +325,7 @@ impl DenseMatrix {
 
     /// Returns `true` if the two matrices agree element-wise within `tol`.
     pub fn approx_eq(&self, other: &DenseMatrix, tol: f32) -> bool {
-        self.shape() == other.shape()
-            && self.max_abs_diff(other).map(|d| d <= tol).unwrap_or(false)
+        self.shape() == other.shape() && self.max_abs_diff(other).map(|d| d <= tol).unwrap_or(false)
     }
 
     /// Frobenius norm.
@@ -362,7 +361,13 @@ mod tests {
     #[test]
     fn buffer_length_is_validated() {
         let err = DenseMatrix::from_row_major(2, 3, vec![1.0; 5]).unwrap_err();
-        assert!(matches!(err, MatrixError::BufferLength { expected: 6, actual: 5 }));
+        assert!(matches!(
+            err,
+            MatrixError::BufferLength {
+                expected: 6,
+                actual: 5
+            }
+        ));
     }
 
     #[test]

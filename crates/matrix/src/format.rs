@@ -103,7 +103,7 @@ pub fn d2s_compact_chunk(chunk: &[f32]) -> CompactedChunk {
     let stages = if n <= 1 {
         0
     } else {
-        (usize::BITS - (n - 1).leading_zeros()) as u32
+        usize::BITS - (n - 1).leading_zeros()
     };
     for stage in 0..stages {
         let step = 1usize << stage;
@@ -338,10 +338,7 @@ mod tests {
         // 12 B per nnz vs 4 B per element: sparse wins below 1/3 density.
         assert_eq!(DataFormat::preferred(10, 10, 10), DataFormat::Sparse);
         assert_eq!(DataFormat::preferred(10, 10, 90), DataFormat::Dense);
-        assert_eq!(
-            DataFormat::Dense.size_bytes(8, 8, 3),
-            8 * 8 * 4
-        );
+        assert_eq!(DataFormat::Dense.size_bytes(8, 8, 3), 8 * 8 * 4);
         assert_eq!(DataFormat::Sparse.size_bytes(8, 8, 3), 36);
     }
 

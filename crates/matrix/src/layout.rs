@@ -10,9 +10,10 @@
 use serde::{Deserialize, Serialize};
 
 /// Storage order of matrix elements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Layout {
     /// Elements of the same row are contiguous.
+    #[default]
     RowMajor,
     /// Elements of the same column are contiguous.
     ColMajor,
@@ -47,14 +48,6 @@ impl Layout {
     }
 }
 
-impl Default for Layout {
-    fn default() -> Self {
-        // The paper stores all partitions of A, H and W in external memory in
-        // row-major order to minimise layout-transformation work.
-        Layout::RowMajor
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,7 +77,7 @@ mod tests {
 
     #[test]
     fn row_major_offset_matches_c_order() {
-        assert_eq!(Layout::RowMajor.offset(1, 2, 4, 7), 1 * 7 + 2);
+        assert_eq!(Layout::RowMajor.offset(1, 2, 4, 7), 7 + 2);
         assert_eq!(Layout::ColMajor.offset(1, 2, 4, 7), 2 * 4 + 1);
     }
 

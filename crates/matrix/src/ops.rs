@@ -41,8 +41,7 @@ pub fn gemm_reference(x: &DenseMatrix, y: &DenseMatrix) -> Result<DenseMatrix> {
     for i in 0..m {
         let xrow = xr.row_slice(i).expect("row-major");
         let orow = &mut out[i * d..(i + 1) * d];
-        for k in 0..n {
-            let xv = xrow[k];
+        for (k, &xv) in xrow.iter().enumerate().take(n) {
             if xv == 0.0 {
                 continue;
             }
@@ -65,8 +64,7 @@ pub fn gemm_parallel(x: &DenseMatrix, y: &DenseMatrix) -> Result<DenseMatrix> {
     let mut out = vec![0.0f32; m * d];
     out.par_chunks_mut(d).enumerate().for_each(|(i, orow)| {
         let xrow = xr.row_slice(i).expect("row-major");
-        for k in 0..n {
-            let xv = xrow[k];
+        for (k, &xv) in xrow.iter().enumerate().take(n) {
             if xv == 0.0 {
                 continue;
             }

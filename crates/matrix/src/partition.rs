@@ -144,7 +144,10 @@ pub struct BlockGrid {
 impl BlockGrid {
     /// Builds the tiling.  `block_rows`/`block_cols` must be positive.
     pub fn new(rows: usize, cols: usize, block_rows: usize, block_cols: usize) -> Self {
-        assert!(block_rows > 0 && block_cols > 0, "tile sizes must be positive");
+        assert!(
+            block_rows > 0 && block_cols > 0,
+            "tile sizes must be positive"
+        );
         let grid_rows = rows.div_ceil(block_rows).max(if rows == 0 { 0 } else { 1 });
         let grid_cols = cols.div_ceil(block_cols).max(if cols == 0 { 0 } else { 1 });
         let mut blocks = Vec::with_capacity(grid_rows * grid_cols);
@@ -249,9 +252,9 @@ mod tests {
         let g = BlockGrid::new(10, 7, 4, 3);
         let mut covered = vec![vec![0u8; 7]; 10];
         for b in g.blocks() {
-            for r in b.row_start..b.row_end.min(10) {
-                for c in b.col_start..b.col_end.min(7) {
-                    covered[r][c] += 1;
+            for row in covered.iter_mut().take(b.row_end.min(10)).skip(b.row_start) {
+                for cell in row.iter_mut().take(b.col_end.min(7)).skip(b.col_start) {
+                    *cell += 1;
                 }
             }
         }

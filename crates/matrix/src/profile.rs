@@ -202,12 +202,16 @@ mod tests {
 
     #[test]
     fn dense_profile_counts_blocks() {
-        let m = DenseMatrix::from_row_major(4, 4, vec![
-            1.0, 0.0, 0.0, 0.0, //
-            0.0, 2.0, 0.0, 0.0, //
-            0.0, 0.0, 0.0, 0.0, //
-            0.0, 0.0, 0.0, 3.0,
-        ])
+        let m = DenseMatrix::from_row_major(
+            4,
+            4,
+            vec![
+                1.0, 0.0, 0.0, 0.0, //
+                0.0, 2.0, 0.0, 0.0, //
+                0.0, 0.0, 0.0, 0.0, //
+                0.0, 0.0, 0.0, 3.0,
+            ],
+        )
         .unwrap();
         let grid = BlockGrid::new(4, 4, 2, 2);
         let p = DensityProfile::of_dense(&m, &grid);

@@ -37,12 +37,7 @@ pub fn random_coo(rng: &mut impl Rng, rows: usize, cols: usize, density: f64) ->
 /// Generates a sparse matrix with an exact non-zero count `nnz` placed at
 /// distinct uniformly random positions.  Used when a dataset's edge count
 /// must match the paper's Table VI exactly.
-pub fn random_coo_exact_nnz(
-    rng: &mut impl Rng,
-    rows: usize,
-    cols: usize,
-    nnz: usize,
-) -> CooMatrix {
+pub fn random_coo_exact_nnz(rng: &mut impl Rng, rows: usize, cols: usize, nnz: usize) -> CooMatrix {
     let total = rows * cols;
     let nnz = nnz.min(total);
     let mut positions = std::collections::HashSet::with_capacity(nnz);
@@ -83,7 +78,11 @@ mod tests {
     fn random_dense_density_is_close_to_target() {
         let mut rng = StdRng::seed_from_u64(7);
         let m = random_dense(&mut rng, 200, 200, 0.3);
-        assert!((m.density() - 0.3).abs() < 0.02, "density = {}", m.density());
+        assert!(
+            (m.density() - 0.3).abs() < 0.02,
+            "density = {}",
+            m.density()
+        );
     }
 
     #[test]

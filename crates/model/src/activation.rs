@@ -105,7 +105,10 @@ mod tests {
         assert_eq!(out.nnz(), 2);
         assert!((out.to_dense().get(0, 0) + 0.2).abs() < 1e-6);
         assert!(!act.introduces_sparsity());
-        assert!(Activation::PReLU { negative_slope: 0.0 }.introduces_sparsity());
+        assert!(Activation::PReLU {
+            negative_slope: 0.0
+        }
+        .introduces_sparsity());
     }
 
     #[test]

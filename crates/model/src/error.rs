@@ -1,0 +1,134 @@
+//! Typed structural-validation errors for GNN models.
+//!
+//! [`GnnModel::validate`](crate::GnnModel::validate) and
+//! [`LayerSpec::validate`](crate::LayerSpec::validate) used to report
+//! failures as bare `String`s; serving APIs need to match on the failure
+//! kind (reject-with-400 vs retry vs bug), so the conditions are now
+//! enumerated here.  Display output preserves the original wording.
+
+use std::fmt;
+
+/// A structural problem inside one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerError {
+    /// The layer declares no kernels at all.
+    NoKernels,
+    /// A kernel reads the output of a kernel that does not precede it.
+    ForwardReference {
+        /// Index of the offending kernel within the layer.
+        kernel: usize,
+        /// The (non-preceding) kernel index it tries to read.
+        reference: usize,
+    },
+    /// No kernel is marked as contributing to the layer output.
+    NoContributingKernel,
+}
+
+impl fmt::Display for LayerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerError::NoKernels => write!(f, "layer has no kernels"),
+            LayerError::ForwardReference { kernel, reference } => write!(
+                f,
+                "kernel {kernel} reads kernel {reference}, which does not precede it"
+            ),
+            LayerError::NoContributingKernel => {
+                write!(f, "no kernel contributes to the layer output")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayerError {}
+
+/// A structural problem in a whole model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelError {
+    /// The model has no layers.
+    NoLayers,
+    /// A layer failed its own validation.
+    Layer {
+        /// Index of the failing layer.
+        layer: usize,
+        /// What went wrong inside it.
+        error: LayerError,
+    },
+    /// An Update kernel references a weight index the model does not define.
+    MissingWeight {
+        /// Index of the layer containing the reference.
+        layer: usize,
+        /// The missing weight index.
+        weight: usize,
+        /// Number of weights the model actually defines.
+        available: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoLayers => write!(f, "model has no layers"),
+            ModelError::Layer { layer, error } => write!(f, "layer {layer}: {error}"),
+            ModelError::MissingWeight {
+                layer,
+                weight,
+                available,
+            } => write!(
+                f,
+                "layer {layer} references missing weight {weight} (model defines {available})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Layer { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_the_pre_typed_wording() {
+        assert_eq!(LayerError::NoKernels.to_string(), "layer has no kernels");
+        assert!(LayerError::ForwardReference {
+            kernel: 1,
+            reference: 2
+        }
+        .to_string()
+        .contains("does not precede"));
+        assert!(LayerError::NoContributingKernel
+            .to_string()
+            .contains("no kernel contributes"));
+        assert_eq!(ModelError::NoLayers.to_string(), "model has no layers");
+        assert!(ModelError::MissingWeight {
+            layer: 0,
+            weight: 3,
+            available: 2
+        }
+        .to_string()
+        .contains("missing weight 3"));
+        let nested = ModelError::Layer {
+            layer: 4,
+            error: LayerError::NoKernels,
+        };
+        assert!(nested.to_string().starts_with("layer 4:"));
+    }
+
+    #[test]
+    fn layer_errors_surface_through_source() {
+        use std::error::Error;
+        let e = ModelError::Layer {
+            layer: 0,
+            error: LayerError::NoContributingKernel,
+        };
+        assert!(e.source().is_some());
+        assert!(ModelError::NoLayers.source().is_none());
+    }
+}

@@ -11,6 +11,7 @@
 //! support (the summation happens in the Result Buffer accumulation).
 
 use crate::activation::Activation;
+use crate::error::LayerError;
 use dynasparse_graph::AggregatorKind;
 use serde::{Deserialize, Serialize};
 
@@ -130,21 +131,22 @@ impl LayerSpec {
     /// Validates the intra-layer dataflow: kernel inputs must reference
     /// earlier kernels, and at least one kernel must contribute to the
     /// output.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), LayerError> {
         if self.kernels.is_empty() {
-            return Err("layer has no kernels".into());
+            return Err(LayerError::NoKernels);
         }
         for (i, k) in self.kernels.iter().enumerate() {
             if let KernelInput::Kernel(j) = k.input {
                 if j >= i {
-                    return Err(format!(
-                        "kernel {i} reads kernel {j}, which does not precede it"
-                    ));
+                    return Err(LayerError::ForwardReference {
+                        kernel: i,
+                        reference: j,
+                    });
                 }
             }
         }
         if !self.kernels.iter().any(|k| k.contributes_to_output) {
-            return Err("no kernel contributes to the layer output".into());
+            return Err(LayerError::NoContributingKernel);
         }
         Ok(())
     }
@@ -190,7 +192,13 @@ mod tests {
     fn forward_reference_is_rejected() {
         let mut layer = gcn_like_layer();
         layer.kernels[0].input = KernelInput::Kernel(1);
-        assert!(layer.validate().unwrap_err().contains("does not precede"));
+        assert_eq!(
+            layer.validate().unwrap_err(),
+            LayerError::ForwardReference {
+                kernel: 0,
+                reference: 1
+            }
+        );
     }
 
     #[test]
@@ -201,14 +209,14 @@ mod tests {
             out_dim: 4,
             output_activation: None,
         };
-        assert!(empty.validate().is_err());
+        assert_eq!(empty.validate().unwrap_err(), LayerError::NoKernels);
 
         let mut layer = gcn_like_layer();
         layer.kernels[1].contributes_to_output = false;
-        assert!(layer
-            .validate()
-            .unwrap_err()
-            .contains("no kernel contributes"));
+        assert_eq!(
+            layer.validate().unwrap_err(),
+            LayerError::NoContributingKernel
+        );
     }
 
     #[test]

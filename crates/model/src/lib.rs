@@ -24,13 +24,15 @@
 #![warn(rust_2018_idioms)]
 
 pub mod activation;
+pub mod error;
 pub mod kernel;
 pub mod models;
 pub mod pruning;
 pub mod reference;
 
 pub use activation::Activation;
+pub use error::{LayerError, ModelError};
 pub use kernel::{KernelInput, KernelOp, KernelSpec, LayerSpec};
 pub use models::{GnnModel, GnnModelKind};
 pub use pruning::{prune_magnitude, prune_model};
-pub use reference::{DensityTrace, ReferenceExecutor, StageDensity};
+pub use reference::{prepare_adjacencies, DensityTrace, ReferenceExecutor, StageDensity};

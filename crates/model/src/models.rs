@@ -18,6 +18,7 @@
 //! * **SGC** — `L` Aggregate hops followed by a single Update.
 
 use crate::activation::Activation;
+use crate::error::ModelError;
 use crate::kernel::{KernelInput, KernelSpec, LayerSpec};
 use dynasparse_graph::AggregatorKind;
 use dynasparse_matrix::{random::xavier_uniform, DenseMatrix};
@@ -100,19 +101,16 @@ impl GnnModel {
         let w1 = xavier_uniform(&mut rng, input_dim, hidden_dim);
         let w2 = xavier_uniform(&mut rng, hidden_dim, output_dim);
         let layer = |w: usize, in_dim: usize, out_dim: usize, last: bool| LayerSpec {
-            kernels: vec![
-                KernelSpec::update(w),
-                {
-                    let k = KernelSpec::aggregate(AggregatorKind::GcnSymmetric)
-                        .with_input(KernelInput::Kernel(0))
-                        .contributing();
-                    if last {
-                        k
-                    } else {
-                        k.with_activation(Activation::ReLU)
-                    }
-                },
-            ],
+            kernels: vec![KernelSpec::update(w), {
+                let k = KernelSpec::aggregate(AggregatorKind::GcnSymmetric)
+                    .with_input(KernelInput::Kernel(0))
+                    .contributing();
+                if last {
+                    k
+                } else {
+                    k.with_activation(Activation::ReLU)
+                }
+            }],
             in_dim,
             out_dim,
             output_activation: None,
@@ -258,18 +256,22 @@ impl GnnModel {
     }
 
     /// Validates the structural invariants of every layer.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ModelError> {
         if self.layers.is_empty() {
-            return Err("model has no layers".into());
+            return Err(ModelError::NoLayers);
         }
         for (l, layer) in self.layers.iter().enumerate() {
             layer
                 .validate()
-                .map_err(|e| format!("layer {l}: {e}"))?;
+                .map_err(|error| ModelError::Layer { layer: l, error })?;
             for k in &layer.kernels {
                 if let crate::kernel::KernelOp::Update { weight } = k.op {
                     if weight >= self.weights.len() {
-                        return Err(format!("layer {l} references missing weight {weight}"));
+                        return Err(ModelError::MissingWeight {
+                            layer: l,
+                            weight,
+                            available: self.weights.len(),
+                        });
                     }
                 }
             }
@@ -286,7 +288,8 @@ mod tests {
     fn all_standard_models_validate() {
         for kind in GnnModelKind::all() {
             let m = GnnModel::standard(kind, 64, 16, 7, 1);
-            m.validate().unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            m.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
             assert_eq!(m.input_dim, 64);
             assert_eq!(m.output_dim, 7);
         }
@@ -361,7 +364,16 @@ mod tests {
     fn invalid_weight_reference_is_caught() {
         let mut m = GnnModel::gcn(10, 4, 2, 0);
         m.weights.pop();
-        assert!(m.validate().unwrap_err().contains("missing weight"));
+        let err = m.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::MissingWeight {
+                weight: 1,
+                available: 1,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("missing weight"));
     }
 
     #[test]

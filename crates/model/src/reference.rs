@@ -67,16 +67,18 @@ impl<'a> ReferenceExecutor<'a> {
     /// Prepares the executor: pre-computes every normalized adjacency matrix
     /// the model's Aggregate kernels need.
     pub fn new(model: &'a GnnModel, graph: &Graph) -> Self {
-        let mut adjacencies = HashMap::new();
-        for layer in &model.layers {
-            for k in &layer.kernels {
-                if let KernelOp::Aggregate { aggregator } = k.op {
-                    adjacencies
-                        .entry(aggregator)
-                        .or_insert_with(|| normalized_adjacency(graph.adjacency(), aggregator));
-                }
-            }
-        }
+        Self::from_prepared(model, prepare_adjacencies(model, graph))
+    }
+
+    /// Builds an executor from adjacencies normalized ahead of time with
+    /// [`prepare_adjacencies`].  This is the compile-once hook: a serving
+    /// plan normalizes the adjacency matrices once per graph topology and
+    /// clones the map into each executor instead of re-normalizing per
+    /// inference request.
+    pub fn from_prepared(
+        model: &'a GnnModel,
+        adjacencies: HashMap<AggregatorKind, CsrMatrix>,
+    ) -> Self {
         ReferenceExecutor { model, adjacencies }
     }
 
@@ -184,6 +186,23 @@ pub fn default_activation() -> Activation {
     Activation::ReLU
 }
 
+/// Normalizes every adjacency matrix the model's Aggregate kernels need —
+/// the graph-side half of [`ReferenceExecutor::new`], exposed separately so
+/// compile-once callers can keep the result and rebuild executors cheaply.
+pub fn prepare_adjacencies(model: &GnnModel, graph: &Graph) -> HashMap<AggregatorKind, CsrMatrix> {
+    let mut adjacencies = HashMap::new();
+    for layer in &model.layers {
+        for k in &layer.kernels {
+            if let KernelOp::Aggregate { aggregator } = k.op {
+                adjacencies
+                    .entry(aggregator)
+                    .or_insert_with(|| normalized_adjacency(graph.adjacency(), aggregator));
+            }
+        }
+    }
+    adjacencies
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,7 +259,11 @@ mod tests {
         let h1 = gemm_reference(&a_hat, &t1).unwrap().map(|v| v.max(0.0));
         let t2 = gemm_reference(&h1, &m.weights[1]).unwrap();
         let want = gemm_reference(&a_hat, &t2).unwrap();
-        assert!(got.approx_eq(&want, 1e-3), "max diff {}", got.max_abs_diff(&want).unwrap());
+        assert!(
+            got.approx_eq(&want, 1e-3),
+            "max diff {}",
+            got.max_abs_diff(&want).unwrap()
+        );
     }
 
     #[test]
@@ -290,7 +313,10 @@ mod tests {
         let (_, trace) = exec.forward_trace(&h0).unwrap();
         assert_eq!(trace.stages.len(), m.num_kernels());
         assert!((trace.input_density - h0.density()).abs() < 1e-12);
-        assert!(trace.stages.iter().all(|s| (0.0..=1.0).contains(&s.density)));
+        assert!(trace
+            .stages
+            .iter()
+            .all(|s| (0.0..=1.0).contains(&s.density)));
         // The first stage of our GCN is the Update of layer 0.
         assert_eq!(trace.stages[0].op, "Update");
         assert_eq!(trace.stages[1].op, "Aggregate");
@@ -339,8 +365,6 @@ mod tests {
         let out_full = ReferenceExecutor::new(&m, &g).forward(&h0).unwrap();
         let out_pruned = ReferenceExecutor::new(&pruned, &g).forward(&h0).unwrap();
         assert_eq!(out_full.shape(), out_pruned.shape());
-        assert!(!out_full
-            .to_dense()
-            .approx_eq(&out_pruned.to_dense(), 1e-6));
+        assert!(!out_full.to_dense().approx_eq(&out_pruned.to_dense(), 1e-6));
     }
 }

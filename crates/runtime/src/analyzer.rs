@@ -145,9 +145,7 @@ impl Analyzer {
             let (gr, gc) = y_profile.grid_shape();
             (0..gr)
                 .flat_map(|r| (0..gc).map(move |c| (r, c)))
-                .map(|(r, c)| {
-                    BlockOperand::new(br, bc, y_profile.block_nnz(r, c)).stored_bytes()
-                })
+                .map(|(r, c)| BlockOperand::new(br, bc, y_profile.block_nnz(r, c)).stored_bytes())
                 .sum()
         };
         let cache_y = y_total_bytes <= self.core.config().operand_cache_bytes;
@@ -174,9 +172,7 @@ impl Analyzer {
                 mix.record(decision.primitive);
                 // Compute cycles under the strategy's (possibly forced-role)
                 // pricing, then let the core add load/transform costs.
-                let mut exec = self
-                    .core
-                    .execute_pair_analytic(decision.primitive, &x, &y);
+                let mut exec = self.core.execute_pair_analytic(decision.primitive, &x, &y);
                 if decision.primitive == Some(Primitive::SpDmm) {
                     let forced = self.strategy.pair_cycles(
                         &decision,
@@ -309,7 +305,10 @@ mod tests {
         let s2 = analyze(&fix, 0, MappingStrategy::Static2);
         let ratio = s2.total_cycles as f64 / dynamic.total_cycles as f64;
         assert!(ratio >= 1.0, "dynamic should not lose: ratio {ratio}");
-        assert!(ratio < 2.5, "dynamic and S2 should be comparable: ratio {ratio}");
+        assert!(
+            ratio < 2.5,
+            "dynamic and S2 should be comparable: ratio {ratio}"
+        );
     }
 
     #[test]

@@ -55,9 +55,27 @@ impl Scheduler {
         }
     }
 
+    /// Rewinds the scheduler to cycle zero and forgets all kernel schedules,
+    /// keeping the allocated schedule buffer.  A serving session calls this
+    /// between inference requests instead of constructing a new scheduler,
+    /// so repeated requests over one compiled plan do not re-allocate.
+    pub fn reset(&mut self) {
+        self.current_cycle = 0;
+        self.kernels.clear();
+    }
+
+    /// Number of cores this scheduler dispatches over.
+    pub fn num_cores(&self) -> usize {
+        self.num_cores
+    }
+
     /// Schedules the tasks of one analyzed kernel; the kernel starts at the
     /// current barrier and the barrier advances to its completion.
-    pub fn schedule_kernel(&mut self, kernel_id: usize, analysis: &KernelAnalysis) -> KernelSchedule {
+    pub fn schedule_kernel(
+        &mut self,
+        kernel_id: usize,
+        analysis: &KernelAnalysis,
+    ) -> KernelSchedule {
         let mut pool = CorePool::new(self.num_cores);
         let outcome: ScheduleOutcome = pool.schedule_batch(&analysis.task_cycles, 0);
         let start = self.current_cycle;
@@ -154,6 +172,23 @@ mod tests {
         s.schedule_kernel(0, &analysis(vec![100, 100])); // utilization 1.0, 100 cycles
         s.schedule_kernel(1, &analysis(vec![100])); // utilization 0.5, 100 cycles
         assert!((s.average_utilization() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_restores_a_fresh_timeline() {
+        let mut s = Scheduler::new(2);
+        s.schedule_kernel(0, &analysis(vec![10, 10]));
+        s.schedule_kernel(1, &analysis(vec![4]));
+        assert!(s.total_cycles() > 0);
+        s.reset();
+        assert_eq!(s.total_cycles(), 0);
+        assert_eq!(s.kernels().len(), 0);
+        assert_eq!(s.total_schedule_events(), 0);
+        assert_eq!(s.num_cores(), 2);
+        // A rescheduled kernel starts from cycle zero again.
+        let k = s.schedule_kernel(0, &analysis(vec![10, 10]));
+        assert_eq!(k.start_cycle, 0);
+        assert_eq!(k.cycles(), 10);
     }
 
     #[test]

@@ -131,6 +131,7 @@ impl MappingStrategy {
     /// Predicted execution cycles of one block product under this strategy's
     /// decision, honouring the fixed sparse-operand role of the static
     /// strategies.
+    #[allow(clippy::too_many_arguments)]
     pub fn pair_cycles(
         self,
         decision: &PairDecision,
@@ -181,7 +182,10 @@ mod tests {
         let d = MappingStrategy::Static1.decide(KernelKind::Update, 0.001, 1.0, &p);
         assert_eq!(d.primitive, Some(Primitive::Gemm));
         let cycles = MappingStrategy::Static1.pair_cycles(&d, 128, 128, 128, 0.001, 1.0, &p);
-        assert_eq!(cycles, p.execution_cycles(Primitive::Gemm, 128, 128, 128, 1.0, 1.0));
+        assert_eq!(
+            cycles,
+            p.execution_cycles(Primitive::Gemm, 128, 128, 128, 1.0, 1.0)
+        );
         // Aggregate runs as SpDMM keyed on the adjacency density.
         let d = MappingStrategy::Static1.decide(KernelKind::Aggregate, 0.01, 0.8, &p);
         assert_eq!(d.primitive, Some(Primitive::SpDmm));

@@ -7,7 +7,7 @@
 //! cargo run --release --example custom_model
 //! ```
 
-use dynasparse::{Engine, EngineOptions, MappingStrategy};
+use dynasparse::{EngineOptions, MappingStrategy, Planner};
 use dynasparse_graph::{AggregatorKind, Dataset};
 use dynasparse_matrix::random::xavier_uniform;
 use dynasparse_model::{Activation, GnnModel, GnnModelKind, KernelInput, KernelSpec, LayerSpec};
@@ -28,18 +28,15 @@ fn main() {
         xavier_uniform(&mut rng, h2, classes),
     ];
     let layer = |w: usize, fin: usize, fout: usize, act: Option<Activation>| LayerSpec {
-        kernels: vec![
-            KernelSpec::update(w),
-            {
-                let k = KernelSpec::aggregate(AggregatorKind::GcnSymmetric)
-                    .with_input(KernelInput::Kernel(0))
-                    .contributing();
-                match act {
-                    Some(a) => k.with_activation(a),
-                    None => k,
-                }
-            },
-        ],
+        kernels: vec![KernelSpec::update(w), {
+            let k = KernelSpec::aggregate(AggregatorKind::GcnSymmetric)
+                .with_input(KernelInput::Kernel(0))
+                .contributing();
+            match act {
+                Some(a) => k.with_activation(a),
+                None => k,
+            }
+        }],
         in_dim: fin,
         out_dim: fout,
         output_activation: None,
@@ -47,7 +44,14 @@ fn main() {
     let model = GnnModel {
         kind: GnnModelKind::Gcn,
         layers: vec![
-            layer(0, f_in, h1, Some(Activation::PReLU { negative_slope: 0.1 })),
+            layer(
+                0,
+                f_in,
+                h1,
+                Some(Activation::PReLU {
+                    negative_slope: 0.1,
+                }),
+            ),
             layer(1, h1, h2, Some(Activation::ReLU)),
             layer(2, h2, classes, None),
         ],
@@ -62,10 +66,13 @@ fn main() {
         model.num_layers()
     );
 
-    let engine = Engine::new(EngineOptions::default());
-    let eval = engine
-        .evaluate(&model, &dataset, &MappingStrategy::paper_strategies())
-        .expect("evaluation failed");
+    // Planning validates the hand-built structure a second time (with typed
+    // errors) and compiles it once; the session then serves the request.
+    let plan = Planner::new(EngineOptions::default())
+        .plan(&model, &dataset)
+        .expect("planning failed");
+    let mut session = plan.session(&MappingStrategy::paper_strategies());
+    let eval = session.infer(&dataset.features).expect("inference failed");
 
     println!("\nPer-kernel report (Dynamic strategy):");
     let run = eval.run(MappingStrategy::Dynamic).unwrap();

@@ -6,12 +6,14 @@
 //! cargo run --release --example dataset_comparison
 //! ```
 
-use dynasparse::{Engine, EngineOptions, MappingStrategy};
+use dynasparse::{EngineOptions, MappingStrategy, Planner};
 use dynasparse_graph::Dataset;
 use dynasparse_model::{GnnModel, GnnModelKind};
 
 fn main() {
-    let engine = Engine::new(EngineOptions::default());
+    // One planner serves every dataset; each graph topology gets its own
+    // compiled plan and session.
+    let planner = Planner::new(EngineOptions::default());
     println!(
         "{:>10} {:>8} {:>10} {:>10} {:>8} {:>22}",
         "dataset", "dens(H0)", "Dyn (ms)", "S1 (ms)", "SO-S1", "primitive mix (Dynamic)"
@@ -30,9 +32,9 @@ fn main() {
             ds.spec.num_classes,
             9,
         );
-        let eval = engine
-            .evaluate(&model, &ds, &[MappingStrategy::Dynamic, MappingStrategy::Static1])
-            .expect("evaluation failed");
+        let plan = planner.plan(&model, &ds).expect("planning failed");
+        let mut session = plan.session(&[MappingStrategy::Dynamic, MappingStrategy::Static1]);
+        let eval = session.infer(&ds.features).expect("inference failed");
         let dynamic = eval.run(MappingStrategy::Dynamic).unwrap();
         let s1 = eval.run(MappingStrategy::Static1).unwrap();
         let mix = dynamic.total_mix();

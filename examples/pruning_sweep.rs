@@ -6,7 +6,7 @@
 //! cargo run --release --example pruning_sweep
 //! ```
 
-use dynasparse::{Engine, EngineOptions, MappingStrategy};
+use dynasparse::{EngineOptions, MappingStrategy, Planner};
 use dynasparse_graph::Dataset;
 use dynasparse_model::{prune_model, GnnModel, GnnModelKind};
 
@@ -19,19 +19,24 @@ fn main() {
         dataset.spec.num_classes,
         3,
     );
-    let engine = Engine::new(EngineOptions::default());
+    // The weights are compile-time artifacts, so each pruning level is its
+    // own plan; the planner itself is reused across the sweep.
+    let planner = Planner::new(EngineOptions::default());
 
     println!("GIN on CiteSeer-like graph: dynamic-mapping speedup vs weight sparsity\n");
-    println!("{:>10} {:>12} {:>10} {:>10}", "sparsity", "Dynamic (ms)", "SO-S1", "SO-S2");
+    println!(
+        "{:>10} {:>12} {:>10} {:>10}",
+        "sparsity", "Dynamic (ms)", "SO-S1", "SO-S2"
+    );
     for sparsity in [0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.99] {
         let model = if sparsity > 0.0 {
             prune_model(&base_model, sparsity)
         } else {
             base_model.clone()
         };
-        let eval = engine
-            .evaluate(&model, &dataset, &MappingStrategy::paper_strategies())
-            .expect("evaluation failed");
+        let plan = planner.plan(&model, &dataset).expect("planning failed");
+        let mut session = plan.session(&MappingStrategy::paper_strategies());
+        let eval = session.infer(&dataset.features).expect("inference failed");
         let dynamic = eval.run(MappingStrategy::Dynamic).unwrap().latency_ms;
         let so_s1 = eval
             .speedup(MappingStrategy::Static1, MappingStrategy::Dynamic)
@@ -39,7 +44,15 @@ fn main() {
         let so_s2 = eval
             .speedup(MappingStrategy::Static2, MappingStrategy::Dynamic)
             .unwrap();
-        println!("{:>9.0}% {:>12.4} {:>9.2}x {:>9.2}x", sparsity * 100.0, dynamic, so_s1, so_s2);
+        println!(
+            "{:>9.0}% {:>12.4} {:>9.2}x {:>9.2}x",
+            sparsity * 100.0,
+            dynamic,
+            so_s1,
+            so_s2
+        );
     }
-    println!("\nThe speedup over both static mappings grows with weight sparsity, as in Figs. 11/12.");
+    println!(
+        "\nThe speedup over both static mappings grows with weight sparsity, as in Figs. 11/12."
+    );
 }

@@ -1,0 +1,4 @@
+//! Facade for the workspace-level test/example package: re-exports the
+//! public engine API so snippets can `use dynasparse_suite as dynasparse;`.
+
+pub use dynasparse::*;

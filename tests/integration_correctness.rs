@@ -102,7 +102,11 @@ fn dataset_generation_matches_published_statistics_for_small_graphs() {
         assert_eq!(ds.num_vertices(), spec.num_vertices);
         assert_eq!(ds.num_edges(), spec.num_edges);
         let rel_err = (ds.feature_density() - spec.feature_density).abs() / spec.feature_density;
-        assert!(rel_err < 0.25, "{}: feature density off by {rel_err}", dataset.name());
+        assert!(
+            rel_err < 0.25,
+            "{}: feature density off by {rel_err}",
+            dataset.name()
+        );
     }
 }
 

@@ -10,7 +10,13 @@ use dynasparse_model::{GnnModel, GnnModelKind};
 
 fn setup() -> (GnnModel, dynasparse_graph::GraphDataset) {
     let ds = Dataset::PubMed.spec().generate_scaled(17, 0.1);
-    let model = GnnModel::standard(GnnModelKind::Gcn, ds.features.dim(), 16, ds.spec.num_classes, 5);
+    let model = GnnModel::standard(
+        GnnModelKind::Gcn,
+        ds.features.dim(),
+        16,
+        ds.spec.num_classes,
+        5,
+    );
     (model, ds)
 }
 
@@ -61,7 +67,10 @@ fn baseline_workload_uses_the_same_kernel_structure_as_the_compiler() {
     );
     assert_eq!(workload.kernels.len(), graph.len());
     // Every baseline must take strictly positive time on a non-trivial model.
-    for kind in FrameworkKind::software().into_iter().chain(FrameworkKind::accelerators()) {
+    for kind in FrameworkKind::software()
+        .into_iter()
+        .chain(FrameworkKind::accelerators())
+    {
         let b = FrameworkBaseline::new(kind, workload.clone());
         assert!(b.execution_ms() > 0.0, "{}", kind.name());
     }

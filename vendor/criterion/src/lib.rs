@@ -1,0 +1,150 @@
+//! Offline stand-in for `criterion`: runs each benchmark closure a fixed
+//! number of samples, reports mean wall-clock time per iteration, and keeps
+//! the `criterion_group!` / `criterion_main!` entry points so `cargo bench`
+//! works without the registry.  No statistics, plots or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            samples: 10,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        run_bench(&id.to_string(), 10, f);
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_bench(&id.to_string(), self.samples, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value, criterion-style.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&id.to_string(), self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter value.
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as criterion renders it.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up iteration.
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("  {id:40} (no iterations)");
+    } else {
+        let mean = b.total.as_secs_f64() / b.iters as f64;
+        println!(
+            "  {id:40} {:>12.3} ms/iter  ({} samples)",
+            mean * 1e3,
+            b.iters
+        );
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the benchmark.
+pub fn black_box<T>(v: T) -> T {
+    std::hint::black_box(v)
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

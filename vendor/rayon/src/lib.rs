@@ -1,0 +1,86 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The registry is unreachable in this build environment, so the workspace's
+//! `par_iter` / `into_par_iter` / `par_chunks_mut` call sites resolve to
+//! *sequential* standard iterators through the traits below.  Semantics are
+//! identical (rayon's data-parallel operations are pure); only wall-clock
+//! parallel speedup is lost.  Swapping the real rayon back in requires no
+//! source changes.
+
+/// Sequential re-implementations of the rayon prelude traits.
+pub mod prelude {
+    /// `into_par_iter()` — sequential: any `IntoIterator`.
+    pub trait IntoParallelIterator {
+        /// Iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type produced.
+        type Item;
+        /// Returns the (sequential) iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> <Self as IntoIterator>::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` on slices — sequential `slice::iter`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type produced.
+        type Item;
+        /// Returns the (sequential) iterator.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+
+    /// `par_chunks_mut()` on mutable slices — sequential `chunks_mut`.
+    pub trait ParallelSliceMut<T> {
+        /// Returns (sequential) mutable chunks of length `chunk_size`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_par_iter_matches_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let sum: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(sum, 10);
+        let mut buf = vec![0u8; 6];
+        buf.par_chunks_mut(2)
+            .enumerate()
+            .for_each(|(i, c)| c.fill(i as u8));
+        assert_eq!(buf, vec![0, 0, 1, 1, 2, 2]);
+    }
+}

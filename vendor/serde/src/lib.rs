@@ -1,0 +1,233 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the small serde surface it actually uses: `#[derive(Serialize,
+//! Deserialize)]` plus JSON emission through `serde_json`.  [`Serialize`] is a
+//! single-format (JSON) trait rather than serde's visitor architecture; the
+//! derive macro in `serde_derive` generates field-by-field writers that match
+//! serde's externally-tagged data model, so swapping the real serde back in
+//! only requires restoring the registry dependency.
+//!
+//! `Deserialize` is accepted (and ignored) by the derive so existing
+//! `#[derive(Serialize, Deserialize)]` lines compile unchanged; nothing in
+//! the workspace deserializes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON serialization, the single format this workspace emits.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// Convenience: the JSON encoding as an owned string.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+/// Escapes and quotes a string per RFC 8259.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_int_fmt {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                use std::fmt::Write;
+                let _ = write!(out, "{self}");
+            }
+        }
+    )*};
+}
+
+impl_int_fmt!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                use std::fmt::Write;
+                if self.is_finite() {
+                    let _ = write!(out, "{self}");
+                } else {
+                    // serde_json writes null for non-finite floats.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for char {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(&self.to_string(), out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.write_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.write_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl Serialize for std::time::Duration {
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"secs\":{},\"nanos\":{}}}",
+            self.as_secs(),
+            self.subsec_nanos()
+        );
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(k.as_ref(), out);
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_strings() {
+        assert_eq!(1usize.to_json(), "1");
+        assert_eq!((-3i32).to_json(), "-3");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!("a\"b".to_json(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(vec![1u32, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(Some(2u8).to_json(), "2");
+        assert_eq!(Option::<u8>::None.to_json(), "null");
+        assert_eq!((1u8, "x").to_json(), "[1,\"x\"]");
+    }
+
+    #[test]
+    fn duration_matches_serde_shape() {
+        let d = std::time::Duration::new(2, 5);
+        assert_eq!(d.to_json(), "{\"secs\":2,\"nanos\":5}");
+    }
+}

@@ -1,0 +1,436 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! `syn`/`quote` are unavailable offline, so the macros parse the item from
+//! its token-stream text.  This is sufficient for the shapes the workspace
+//! uses: non-generic structs with named fields (plus `#[serde(skip)]`), and
+//! non-generic enums with unit, single-field-tuple and struct variants.  The
+//! generated JSON matches serde's externally-tagged data model, so output is
+//! drop-in compatible with the real serde + serde_json pair.
+
+use proc_macro::TokenStream;
+
+/// `#[derive(Serialize)]` — generates `impl serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let src = input.to_string();
+    match generate_serialize(&src) {
+        Ok(code) => code.parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// `#[derive(Deserialize)]` — accepted and ignored (nothing deserializes).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+fn generate_serialize(src: &str) -> Result<String, String> {
+    let src = strip_comments(src);
+    let (is_enum, name, body) = parse_item(&src)?;
+    let mut w = String::new();
+    w.push_str(&format!("impl ::serde::Serialize for {name} {{\n"));
+    w.push_str("    fn write_json(&self, out: &mut ::std::string::String) {\n");
+    if is_enum {
+        let variants = parse_variants(&body)?;
+        if variants.is_empty() {
+            return Err(format!("cannot derive Serialize for empty enum {name}"));
+        }
+        w.push_str("        match self {\n");
+        for v in &variants {
+            match &v.kind {
+                VariantKind::Unit => {
+                    w.push_str(&format!(
+                        "            {name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n",
+                        v = v.name
+                    ));
+                }
+                VariantKind::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    w.push_str(&format!(
+                        "            {name}::{v}({binds}) => {{\n",
+                        v = v.name,
+                        binds = binds.join(", ")
+                    ));
+                    w.push_str(&format!(
+                        "                out.push_str(\"{{\\\"{v}\\\":\");\n",
+                        v = v.name
+                    ));
+                    if *n == 1 {
+                        w.push_str("                ::serde::Serialize::write_json(__f0, out);\n");
+                    } else {
+                        w.push_str("                out.push('[');\n");
+                        for (i, b) in binds.iter().enumerate() {
+                            if i > 0 {
+                                w.push_str("                out.push(',');\n");
+                            }
+                            w.push_str(&format!(
+                                "                ::serde::Serialize::write_json({b}, out);\n"
+                            ));
+                        }
+                        w.push_str("                out.push(']');\n");
+                    }
+                    w.push_str("                out.push('}');\n            }\n");
+                }
+                VariantKind::Struct(fields) => {
+                    let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                    w.push_str(&format!(
+                        "            {name}::{v} {{ {binds} }} => {{\n",
+                        v = v.name,
+                        binds = binds.join(", ")
+                    ));
+                    w.push_str(&format!(
+                        "                out.push_str(\"{{\\\"{v}\\\":{{\");\n",
+                        v = v.name
+                    ));
+                    let mut first = true;
+                    for f in fields.iter().filter(|f| !f.skip) {
+                        if !first {
+                            w.push_str("                out.push(',');\n");
+                        }
+                        first = false;
+                        w.push_str(&format!(
+                            "                out.push_str(\"\\\"{f}\\\":\");\n",
+                            f = f.name
+                        ));
+                        w.push_str(&format!(
+                            "                ::serde::Serialize::write_json({f}, out);\n",
+                            f = f.name
+                        ));
+                    }
+                    w.push_str("                out.push_str(\"}}\");\n            }\n");
+                }
+            }
+        }
+        w.push_str("        }\n");
+    } else {
+        let fields = parse_fields(&body)?;
+        w.push_str("        out.push('{');\n");
+        let mut first = true;
+        for f in fields.iter().filter(|f| !f.skip) {
+            if !first {
+                w.push_str("        out.push(',');\n");
+            }
+            first = false;
+            w.push_str(&format!(
+                "        out.push_str(\"\\\"{f}\\\":\");\n",
+                f = f.name
+            ));
+            w.push_str(&format!(
+                "        ::serde::Serialize::write_json(&self.{f}, out);\n",
+                f = f.name
+            ));
+        }
+        w.push_str("        out.push('}');\n");
+    }
+    w.push_str("    }\n}\n");
+    Ok(w)
+}
+
+/// Removes `//` and `/* */` comments (TokenStream::to_string renders doc
+/// comments back in their source form).
+fn strip_comments(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut in_str = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if in_str {
+            out.push(c);
+            if c == '\\' && i + 1 < bytes.len() {
+                out.push(bytes[i + 1] as char);
+                i += 2;
+                continue;
+            }
+            if c == '"' {
+                in_str = false;
+            }
+            i += 1;
+        } else if c == '"' {
+            in_str = true;
+            out.push(c);
+            i += 1;
+        } else if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            out.push(' ');
+        } else if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+            out.push(' ');
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Returns `(is_enum, type_name, brace_body)`.
+fn parse_item(src: &str) -> Result<(bool, String, String), String> {
+    let mut rest = src.trim();
+    // Strip outer attributes (doc comments arrive as `#[doc = "..."]`).
+    loop {
+        rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix('#') {
+            rest = skip_bracket_group(r.trim_start())?;
+        } else {
+            break;
+        }
+    }
+    // Strip visibility.
+    if let Some(r) = rest.strip_prefix("pub") {
+        rest = r.trim_start();
+        if rest.starts_with('(') {
+            rest = skip_paren_group(rest)?;
+        }
+    }
+    rest = rest.trim_start();
+    let is_enum = if let Some(r) = rest.strip_prefix("enum") {
+        rest = r;
+        true
+    } else if let Some(r) = rest.strip_prefix("struct") {
+        rest = r;
+        false
+    } else {
+        return Err(format!("expected struct or enum, found: {rest}"));
+    };
+    rest = rest.trim_start();
+    let name_end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    let name = rest[..name_end].to_string();
+    if name.is_empty() {
+        return Err("missing type name".into());
+    }
+    rest = rest[name_end..].trim_start();
+    if rest.starts_with('<') {
+        return Err(format!(
+            "vendored serde derive does not support generic type {name}"
+        ));
+    }
+    let open = rest
+        .find('{')
+        .ok_or_else(|| format!("derive Serialize needs a braced body for {name}"))?;
+    let body = balanced(&rest[open..], '{', '}')?;
+    Ok((is_enum, name, body))
+}
+
+/// Splits a struct body into fields, tracking `#[serde(skip)]`.
+fn parse_fields(body: &str) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for part in split_top_level(body) {
+        let (attrs, decl) = take_attrs(&part)?;
+        let decl = decl.trim();
+        if decl.is_empty() {
+            continue;
+        }
+        let decl = decl
+            .strip_prefix("pub")
+            .map(str::trim_start)
+            .unwrap_or(decl);
+        let decl = if decl.starts_with('(') {
+            skip_paren_group(decl)?.trim_start()
+        } else {
+            decl
+        };
+        let colon = decl
+            .find(':')
+            .ok_or_else(|| format!("expected named field, found: {decl}"))?;
+        fields.push(Field {
+            name: decl[..colon].trim().to_string(),
+            skip: attrs.iter().any(|a| is_skip(a)),
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: &str) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for part in split_top_level(body) {
+        let (_attrs, decl) = take_attrs(&part)?;
+        let decl = decl.trim();
+        if decl.is_empty() {
+            continue;
+        }
+        let name_end = decl
+            .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .unwrap_or(decl.len());
+        let name = decl[..name_end].to_string();
+        let tail = decl[name_end..].trim();
+        let kind = if tail.is_empty() {
+            VariantKind::Unit
+        } else if tail.starts_with('(') {
+            let inner = balanced(tail, '(', ')')?;
+            VariantKind::Tuple(
+                split_top_level(&inner)
+                    .iter()
+                    .filter(|s| !s.trim().is_empty())
+                    .count(),
+            )
+        } else if tail.starts_with('{') {
+            let inner = balanced(tail, '{', '}')?;
+            VariantKind::Struct(parse_fields(&inner)?)
+        } else {
+            return Err(format!("unsupported variant shape: {decl}"));
+        };
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Collects leading `#[...]` attributes of a field/variant declaration.
+fn take_attrs(part: &str) -> Result<(Vec<String>, String), String> {
+    let mut attrs = Vec::new();
+    let mut rest = part.trim_start();
+    while let Some(r) = rest.strip_prefix('#') {
+        let r = r.trim_start();
+        let attr = balanced(r, '[', ']')?;
+        attrs.push(attr.clone());
+        rest = skip_bracket_group(r)?;
+        rest = rest.trim_start();
+    }
+    Ok((attrs, rest.to_string()))
+}
+
+fn is_skip(attr: &str) -> bool {
+    let a: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
+    a.starts_with("serde(")
+        && (a.contains("skip)") || a.contains("skip,") || a.contains("skip_serializing"))
+}
+
+/// Given text starting at an opening delimiter, returns the inner content.
+fn balanced(s: &str, open: char, close: char) -> Result<String, String> {
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            c if c == open => depth += 1,
+            c if c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    let start = s.find(open).unwrap() + open.len_utf8();
+                    return Ok(s[start..i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    Err(format!("unbalanced {open}{close} in: {s}"))
+}
+
+/// Skips over one balanced `[...]` group, returning the remainder.
+fn skip_bracket_group(s: &str) -> Result<&str, String> {
+    skip_group(s, '[', ']')
+}
+
+fn skip_paren_group(s: &str) -> Result<&str, String> {
+    skip_group(s, '(', ')')
+}
+
+fn skip_group(s: &str, open: char, close: char) -> Result<&str, String> {
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            c if c == open => depth += 1,
+            c if c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(&s[i + close.len_utf8()..]);
+                }
+            }
+            _ => {}
+        }
+    }
+    Err(format!("unbalanced {open}{close} in: {s}"))
+}
+
+/// Splits on commas at delimiter depth zero.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0isize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut current = String::new();
+    for c in s.chars() {
+        if in_str {
+            current.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                current.push(c);
+            }
+            '(' | '[' | '{' | '<' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' | ']' | '}' | '>' => {
+                depth -= 1;
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts
+}
