@@ -74,6 +74,41 @@
 //! assert_eq!(second.request_index, 1);
 //! ```
 //!
+//! ## Concurrent serving
+//!
+//! A [`CompiledPlan`] is immutable and `Send + Sync`; wrap it in an `Arc`
+//! and any number of sessions can serve from it concurrently, each on its
+//! own thread, sharing (not copying) the model weights and normalized
+//! adjacencies:
+//!
+//! ```
+//! use dynasparse::{MappingStrategy, OwnedSession, Planner};
+//! use dynasparse_graph::Dataset;
+//! use dynasparse_model::{GnnModel, GnnModelKind};
+//! use std::sync::Arc;
+//!
+//! let dataset = Dataset::Cora.spec().generate_scaled(42, 0.1);
+//! let model = GnnModel::gcn(dataset.features.dim(), 16, dataset.spec.num_classes, 7);
+//! let plan = Planner::default().plan_shared(&model, &dataset).unwrap();
+//!
+//! let threads: Vec<_> = (0..2)
+//!     .map(|_| {
+//!         let mut session: OwnedSession =
+//!             plan.session_shared(&[MappingStrategy::Dynamic]);
+//!         let features = dataset.features.clone();
+//!         std::thread::spawn(move || session.infer(&features).unwrap())
+//!     })
+//!     .collect();
+//! for t in threads {
+//!     assert!(t.join().unwrap().run(MappingStrategy::Dynamic).is_some());
+//! }
+//! ```
+//!
+//! The `dynasparse-serve` crate builds the full serving runtime on this
+//! surface: a plan cache keyed by a structural (model, topology)
+//! fingerprint, a bounded request queue with deadline-driven
+//! micro-batching, a worker thread pool, and serving metrics.
+//!
 //! One-shot evaluation (compile + single request) remains available through
 //! the [`Engine`] wrapper, which produces cycle-for-cycle the same numbers:
 //!
@@ -116,6 +151,7 @@
 //! | `dynasparse-accel` | cycle-level accelerator model (ACM, AHM, memory, soft processor) |
 //! | `dynasparse-runtime` | Analyzer (Alg. 7), Scheduler (Alg. 8), S1/S2 baselines |
 //! | `dynasparse` (this crate) | Planner → CompiledPlan → Session, one-shot Engine wrapper |
+//! | `dynasparse-serve` | plan cache, worker pool, micro-batching, serving metrics |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -130,7 +166,7 @@ pub use engine::{Engine, EngineOptions, EngineOptionsBuilder};
 pub use error::{CompileError, DynasparseError, EngineError};
 pub use planner::{CompiledPlan, Planner};
 pub use report::{Evaluation, InferenceReport, KernelReport, StrategyRun};
-pub use session::Session;
+pub use session::{OwnedSession, Session};
 
 // Re-export the pieces a downstream user needs to drive the engine without
 // depending on every sub-crate explicitly.

@@ -21,6 +21,7 @@ use dynasparse_matrix::{CsrMatrix, PartitionSpec};
 use dynasparse_model::{prepare_adjacencies, GnnModel};
 use dynasparse_runtime::MappingStrategy;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Validates a model against a dataset and compiles a serving plan.
 #[derive(Debug, Clone, Default)]
@@ -68,14 +69,24 @@ impl Planner {
         // sparsity profiling.
         let report = compile(model, dataset, &self.options.compiler);
         // One-time graph preprocessing: normalized adjacency per aggregator.
-        let adjacencies = prepare_adjacencies(model, &dataset.graph);
+        let adjacencies = Arc::new(prepare_adjacencies(model, &dataset.graph));
 
         Ok(CompiledPlan {
             options: self.options.clone(),
-            model: model.clone(),
+            model: Arc::new(model.clone()),
             adjacencies,
             report,
         })
+    }
+
+    /// Like [`Planner::plan`], but returns the plan already wrapped in an
+    /// [`Arc`], ready to be shared across serving threads.
+    pub fn plan_shared(
+        &self,
+        model: &GnnModel,
+        dataset: &GraphDataset,
+    ) -> Result<Arc<CompiledPlan>, DynasparseError> {
+        self.plan(model, dataset).map(Arc::new)
     }
 }
 
@@ -86,19 +97,40 @@ impl Planner {
 /// adjacency matrices, the model weights and the one-time data-movement
 /// budget.  Create serving state with [`CompiledPlan::session`]; the plan is
 /// never mutated by inference, so one plan can back many sessions.
+///
+/// Plans are `Send + Sync` (the model and adjacencies live behind [`Arc`]),
+/// so an `Arc<CompiledPlan>` can be shared across worker threads; each
+/// thread opens its own [`Session`] via [`CompiledPlan::session_shared`]
+/// without copying any compiled state.
 #[derive(Debug, Clone)]
 pub struct CompiledPlan {
     pub(crate) options: EngineOptions,
-    pub(crate) model: GnnModel,
-    pub(crate) adjacencies: HashMap<AggregatorKind, CsrMatrix>,
+    pub(crate) model: Arc<GnnModel>,
+    pub(crate) adjacencies: Arc<HashMap<AggregatorKind, CsrMatrix>>,
     report: CompileReport,
 }
+
+// The serving runtime relies on plans being shareable across threads; keep
+// that guarantee explicit so a non-Send field is a compile error here, not
+// in a downstream crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledPlan>();
+};
 
 impl CompiledPlan {
     /// Opens a session that serves inference requests from this plan,
     /// pricing every strategy in `strategies` on each request.
     pub fn session(&self, strategies: &[MappingStrategy]) -> Session<'_> {
         Session::new(self, strategies)
+    }
+
+    /// Opens a session that co-owns this plan through the [`Arc`], so the
+    /// session has no borrowed lifetime and can be moved onto another
+    /// thread.  This is the entry point concurrent serving runtimes use:
+    /// every worker gets `Session::shared(Arc::clone(&plan), …)`.
+    pub fn session_shared(self: &Arc<Self>, strategies: &[MappingStrategy]) -> Session<'static> {
+        Session::shared(Arc::clone(self), strategies)
     }
 
     /// The engine options the plan was compiled with.

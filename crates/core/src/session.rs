@@ -19,6 +19,7 @@ use dynasparse_graph::FeatureMatrix;
 use dynasparse_matrix::MatrixError;
 use dynasparse_model::{DensityTrace, ReferenceExecutor, StageDensity};
 use dynasparse_runtime::{Analyzer, MappingStrategy, OperandProfiles, RuntimeOverhead, Scheduler};
+use std::sync::Arc;
 
 /// Reusable per-strategy state: the Analyzer is stateless and the Scheduler
 /// is rewound between requests.  The kernel-report buffer is handed to each
@@ -31,24 +32,77 @@ struct StrategyState {
     kernels: Vec<KernelReport>,
 }
 
+/// How a session holds its plan: borrowed from the caller (the classic
+/// single-threaded shape) or co-owned through an [`Arc`] (the serving
+/// shape, where a `Session<'static>` is moved onto a worker thread while
+/// sibling sessions share the same plan).
+enum PlanHandle<'p> {
+    Borrowed(&'p CompiledPlan),
+    Shared(Arc<CompiledPlan>),
+}
+
+impl PlanHandle<'_> {
+    fn get(&self) -> &CompiledPlan {
+        match self {
+            PlanHandle::Borrowed(plan) => plan,
+            PlanHandle::Shared(plan) => plan,
+        }
+    }
+}
+
 /// Serving state bound to one [`CompiledPlan`].
 pub struct Session<'p> {
-    plan: &'p CompiledPlan,
-    executor: ReferenceExecutor<'p>,
+    plan: PlanHandle<'p>,
+    strategies: Vec<MappingStrategy>,
+    executor: ReferenceExecutor,
     soft: SoftProcessorModel,
     states: Vec<StrategyState>,
     density_scratch: Vec<StageDensity>,
     requests_served: usize,
 }
 
+/// A session that co-owns its plan and therefore has no borrowed lifetime;
+/// this is what worker threads of a serving runtime hold.  Produced by
+/// [`Session::shared`] / [`CompiledPlan::session_shared`].
+pub type OwnedSession = Session<'static>;
+
+// Worker threads move owned sessions across thread boundaries.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<OwnedSession>();
+};
+
 impl<'p> Session<'p> {
     /// Opens a session over `plan`, pricing every strategy in `strategies`
     /// on each request.  Equivalent to
     /// [`CompiledPlan::session`](crate::CompiledPlan::session).
     pub fn new(plan: &'p CompiledPlan, strategies: &[MappingStrategy]) -> Self {
-        let accelerator = plan.options().accelerator;
+        let executor = ReferenceExecutor::from_prepared(
+            Arc::clone(&plan.model),
+            Arc::clone(&plan.adjacencies),
+        );
+        Self::build(PlanHandle::Borrowed(plan), executor, strategies)
+    }
+
+    /// Opens a session that co-owns `plan`, so the session can outlive the
+    /// caller's borrow and be moved onto another thread.  Equivalent to
+    /// [`CompiledPlan::session_shared`](crate::CompiledPlan::session_shared).
+    pub fn shared(plan: Arc<CompiledPlan>, strategies: &[MappingStrategy]) -> OwnedSession {
+        let executor = ReferenceExecutor::from_prepared(
+            Arc::clone(&plan.model),
+            Arc::clone(&plan.adjacencies),
+        );
+        Session::<'static>::build(PlanHandle::Shared(plan), executor, strategies)
+    }
+
+    fn build(
+        plan: PlanHandle<'p>,
+        executor: ReferenceExecutor,
+        strategies: &[MappingStrategy],
+    ) -> Session<'p> {
+        let accelerator = plan.get().options().accelerator;
         let core = ComputationCore::new(accelerator);
-        let num_kernels = plan.program().kernels.len();
+        let num_kernels = plan.get().program().kernels.len();
         let states = strategies
             .iter()
             .map(|&strategy| StrategyState {
@@ -60,7 +114,8 @@ impl<'p> Session<'p> {
             .collect();
         Session {
             plan,
-            executor: ReferenceExecutor::from_prepared(&plan.model, plan.adjacencies.clone()),
+            strategies: strategies.to_vec(),
+            executor,
             soft: SoftProcessorModel::from_config(&accelerator),
             states,
             density_scratch: Vec::with_capacity(num_kernels),
@@ -69,13 +124,13 @@ impl<'p> Session<'p> {
     }
 
     /// The plan this session serves from.
-    pub fn plan(&self) -> &'p CompiledPlan {
-        self.plan
+    pub fn plan(&self) -> &CompiledPlan {
+        self.plan.get()
     }
 
     /// The strategies priced on every request, in request order.
-    pub fn strategies(&self) -> Vec<MappingStrategy> {
-        self.states.iter().map(|s| s.strategy).collect()
+    pub fn strategies(&self) -> &[MappingStrategy] {
+        &self.strategies
     }
 
     /// Number of requests served so far.
@@ -91,7 +146,7 @@ impl<'p> Session<'p> {
     /// [`CompiledPlan::num_vertices`] rows and [`CompiledPlan::input_dim`]
     /// columns.
     pub fn infer(&mut self, features: &FeatureMatrix) -> Result<InferenceReport, DynasparseError> {
-        let plan = self.plan;
+        let plan = self.plan.get();
         let program = plan.program();
         let expected = (plan.num_vertices(), plan.input_dim());
         if features.shape() != expected {
@@ -316,6 +371,44 @@ mod tests {
                 bat.run(MappingStrategy::Dynamic).unwrap().total_cycles
             );
         }
+    }
+
+    #[test]
+    fn shared_session_moves_across_threads_and_matches_borrowed() {
+        let (plan, features) = plan_fixture();
+        let mut borrowed = plan.session(&[MappingStrategy::Dynamic]);
+        assert_eq!(borrowed.strategies(), &[MappingStrategy::Dynamic]);
+        let want = borrowed.infer(&features).unwrap();
+
+        let plan = Arc::new(plan);
+        let mut owned: OwnedSession = plan.session_shared(&[MappingStrategy::Dynamic]);
+        let request = features.clone();
+        let got = std::thread::spawn(move || owned.infer(&request).unwrap())
+            .join()
+            .unwrap();
+
+        let w = want.run(MappingStrategy::Dynamic).unwrap();
+        let g = got.run(MappingStrategy::Dynamic).unwrap();
+        assert_eq!(w.total_cycles, g.total_cycles);
+        assert_eq!(w.latency_ms.to_bits(), g.latency_ms.to_bits());
+        assert_eq!(want.output_embeddings, got.output_embeddings);
+        // The plan is still usable here: sessions share it, they don't take it.
+        assert_eq!(plan.num_vertices(), features.num_vertices());
+    }
+
+    #[test]
+    fn opening_sessions_shares_plan_state_instead_of_cloning() {
+        let (plan, _) = plan_fixture();
+        let plan = Arc::new(plan);
+        let sessions: Vec<OwnedSession> = (0..4)
+            .map(|_| plan.session_shared(&[MappingStrategy::Dynamic]))
+            .collect();
+        // 4 sessions + the planner's handle: the adjacency map and model are
+        // reference-counted, not deep-cloned per session.
+        assert_eq!(Arc::strong_count(&plan.adjacencies), 5);
+        assert_eq!(Arc::strong_count(&plan.model), 5);
+        drop(sessions);
+        assert_eq!(Arc::strong_count(&plan.adjacencies), 1);
     }
 
     #[test]

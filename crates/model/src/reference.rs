@@ -22,6 +22,7 @@ use dynasparse_graph::{normalized_adjacency, AggregatorKind, FeatureMatrix, Grap
 use dynasparse_matrix::CsrMatrix;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Density of the feature matrix after one kernel (one bar of Fig. 2).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,27 +58,37 @@ impl DensityTrace {
 }
 
 /// Functional executor bound to one model and one graph.
-pub struct ReferenceExecutor<'a> {
-    model: &'a GnnModel,
+///
+/// The executor holds its model and normalized adjacencies behind [`Arc`],
+/// so it is `Send + Sync` and cheap to construct from a compiled serving
+/// plan: concurrent sessions over one plan share a single copy of the
+/// weights and adjacency matrices instead of deep-cloning them per session.
+pub struct ReferenceExecutor {
+    model: Arc<GnnModel>,
     /// Normalized adjacency matrices, one per aggregator kind the model uses.
-    adjacencies: HashMap<AggregatorKind, CsrMatrix>,
+    adjacencies: Arc<HashMap<AggregatorKind, CsrMatrix>>,
 }
 
-impl<'a> ReferenceExecutor<'a> {
+impl ReferenceExecutor {
     /// Prepares the executor: pre-computes every normalized adjacency matrix
-    /// the model's Aggregate kernels need.
-    pub fn new(model: &'a GnnModel, graph: &Graph) -> Self {
-        Self::from_prepared(model, prepare_adjacencies(model, graph))
+    /// the model's Aggregate kernels need.  The model is cloned into shared
+    /// ownership; callers that already hold `Arc`s should use
+    /// [`ReferenceExecutor::from_prepared`] instead.
+    pub fn new(model: &GnnModel, graph: &Graph) -> Self {
+        Self::from_prepared(
+            Arc::new(model.clone()),
+            Arc::new(prepare_adjacencies(model, graph)),
+        )
     }
 
     /// Builds an executor from adjacencies normalized ahead of time with
     /// [`prepare_adjacencies`].  This is the compile-once hook: a serving
     /// plan normalizes the adjacency matrices once per graph topology and
-    /// clones the map into each executor instead of re-normalizing per
-    /// inference request.
+    /// every executor (one per session) shares them by reference count —
+    /// opening a session performs no deep copy of model or graph state.
     pub fn from_prepared(
-        model: &'a GnnModel,
-        adjacencies: HashMap<AggregatorKind, CsrMatrix>,
+        model: Arc<GnnModel>,
+        adjacencies: Arc<HashMap<AggregatorKind, CsrMatrix>>,
     ) -> Self {
         ReferenceExecutor { model, adjacencies }
     }

@@ -1,0 +1,86 @@
+//! Typed errors of the serving runtime.
+
+use dynasparse::DynasparseError;
+use std::fmt;
+
+/// Any failure of the serving layer, as distinct from the model/compile/
+/// execution failures ([`DynasparseError`]) a request itself can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded request queue is full (backpressure signal of
+    /// [`try_submit`](crate::ServeRuntime::try_submit)).
+    QueueFull {
+        /// Configured queue capacity the submission bounced off.
+        capacity: usize,
+    },
+    /// The runtime is shutting down (or has shut down) and accepts no new
+    /// requests.
+    ShuttingDown,
+    /// The worker serving this request disappeared without replying; its
+    /// thread panicked.  The request may or may not have executed.
+    WorkerLost,
+    /// The request was accepted but inference failed; carries the session's
+    /// typed error.
+    Inference(DynasparseError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "request queue is full (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "serving runtime is shutting down"),
+            ServeError::WorkerLost => write!(f, "worker thread terminated without replying"),
+            ServeError::Inference(e) => write!(f, "inference failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Inference(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DynasparseError> for ServeError {
+    fn from(e: DynasparseError) -> Self {
+        ServeError::Inference(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasparse_matrix::MatrixError;
+
+    #[test]
+    fn display_and_source() {
+        assert!(ServeError::QueueFull { capacity: 8 }
+            .to_string()
+            .contains("capacity 8"));
+        assert!(ServeError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+        let e = ServeError::Inference(
+            MatrixError::BufferLength {
+                expected: 1,
+                actual: 2,
+            }
+            .into(),
+        );
+        assert!(e.to_string().starts_with("inference failed"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(ServeError::WorkerLost.source().is_none());
+    }
+
+    #[test]
+    fn serve_error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

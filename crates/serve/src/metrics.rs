@@ -1,0 +1,248 @@
+//! Serving metrics: per-request samples, percentile summaries, and the
+//! aggregate [`ServeReport`] a runtime hands back at shutdown.
+
+use serde::Serialize;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Summary statistics over one latency dimension, in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median (50th percentile).
+    pub p50_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Largest sample.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes `samples` (order irrelevant); all-zero for no samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        LatencySummary {
+            count: sorted.len(),
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_ms: percentile(&sorted, 0.50),
+            p99_ms: percentile(&sorted, 0.99),
+            max_ms: *sorted.last().unwrap(),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice; `q` in `[0, 1]`.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// One bar of the batch-size histogram: how many batches had `size` items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct BatchBar {
+    /// Batch size (number of requests coalesced into one `infer_batch`).
+    pub size: usize,
+    /// Number of batches of that size.
+    pub batches: u64,
+}
+
+/// Requests served by one worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct WorkerLoad {
+    /// Worker index within the pool.
+    pub worker: usize,
+    /// Requests that worker served.
+    pub requests: u64,
+}
+
+/// Aggregate serving metrics produced by
+/// [`ServeRuntime::shutdown`](crate::ServeRuntime::shutdown).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ServeReport {
+    /// Requests served to completion (successes and typed failures alike).
+    pub requests: u64,
+    /// Batches executed (each one `Session::infer_batch` call).
+    pub batches: u64,
+    /// Wall-clock seconds from runtime start to shutdown.
+    pub wall_seconds: f64,
+    /// Served requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// Time requests spent queued before a worker picked them up.
+    pub queue_wait: LatencySummary,
+    /// Host time spent inside `infer_batch`, attributed per request (each
+    /// request's share of its batch call; excludes modeled device dwell).
+    pub service: LatencySummary,
+    /// End-to-end request latency (enqueue → reply ready), including any
+    /// modeled device dwell.
+    pub turnaround: LatencySummary,
+    /// Distribution of micro-batch sizes, ascending by size.
+    pub batch_histogram: Vec<BatchBar>,
+    /// Per-worker request counts, ascending by worker index.
+    pub worker_loads: Vec<WorkerLoad>,
+}
+
+impl ServeReport {
+    /// Mean batch size over all executed batches (0 if none).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct MetricsInner {
+    queue_wait_ms: Vec<f64>,
+    service_ms: Vec<f64>,
+    turnaround_ms: Vec<f64>,
+    batch_sizes: Vec<u64>,
+    worker_requests: Vec<u64>,
+}
+
+/// Thread-safe collector the worker pool records into.
+#[derive(Default)]
+pub struct MetricsCollector {
+    inner: Mutex<MetricsInner>,
+}
+
+impl MetricsCollector {
+    /// Creates a collector for `workers` worker threads.
+    pub fn new(workers: usize) -> Self {
+        MetricsCollector {
+            inner: Mutex::new(MetricsInner {
+                worker_requests: vec![0; workers],
+                ..MetricsInner::default()
+            }),
+        }
+    }
+
+    /// Records one served request.
+    pub fn record_request(
+        &self,
+        worker: usize,
+        queue_wait: Duration,
+        service: Duration,
+        turnaround: Duration,
+    ) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.queue_wait_ms.push(queue_wait.as_secs_f64() * 1e3);
+        inner.service_ms.push(service.as_secs_f64() * 1e3);
+        inner.turnaround_ms.push(turnaround.as_secs_f64() * 1e3);
+        if worker >= inner.worker_requests.len() {
+            inner.worker_requests.resize(worker + 1, 0);
+        }
+        inner.worker_requests[worker] += 1;
+    }
+
+    /// Records one executed micro-batch of `size` requests.
+    pub fn record_batch(&self, size: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        if size >= inner.batch_sizes.len() {
+            inner.batch_sizes.resize(size + 1, 0);
+        }
+        inner.batch_sizes[size] += 1;
+    }
+
+    /// Snapshots the aggregate report; `wall` is the runtime's lifetime.
+    pub fn report(&self, wall: Duration) -> ServeReport {
+        let inner = self.inner.lock().unwrap();
+        let requests = inner.service_ms.len() as u64;
+        let wall_seconds = wall.as_secs_f64();
+        ServeReport {
+            requests,
+            batches: inner.batch_sizes.iter().sum(),
+            wall_seconds,
+            throughput_rps: if wall_seconds > 0.0 {
+                requests as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            queue_wait: LatencySummary::from_samples(&inner.queue_wait_ms),
+            service: LatencySummary::from_samples(&inner.service_ms),
+            turnaround: LatencySummary::from_samples(&inner.turnaround_ms),
+            batch_histogram: inner
+                .batch_sizes
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(size, &batches)| BatchBar { size, batches })
+                .collect(),
+            worker_loads: inner
+                .worker_requests
+                .iter()
+                .enumerate()
+                .map(|(worker, &requests)| WorkerLoad { worker, requests })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert!((s.mean_ms - 50.5).abs() < 1e-12);
+        assert!((s.p50_ms - 51.0).abs() < 1.0);
+        assert!(s.p99_ms >= 98.0 && s.p99_ms <= 100.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn collector_aggregates_batches_and_workers() {
+        let m = MetricsCollector::new(2);
+        let ms = Duration::from_millis;
+        m.record_batch(2);
+        m.record_request(0, ms(1), ms(10), ms(11));
+        m.record_request(0, ms(2), ms(10), ms(12));
+        m.record_batch(1);
+        m.record_request(1, ms(0), ms(10), ms(10));
+        let r = m.report(Duration::from_secs(2));
+        assert_eq!(r.requests, 3);
+        assert_eq!(r.batches, 2);
+        assert!((r.throughput_rps - 1.5).abs() < 1e-12);
+        assert!((r.mean_batch_size() - 1.5).abs() < 1e-12);
+        assert_eq!(
+            r.batch_histogram,
+            vec![
+                BatchBar {
+                    size: 1,
+                    batches: 1
+                },
+                BatchBar {
+                    size: 2,
+                    batches: 1
+                }
+            ]
+        );
+        assert_eq!(
+            r.worker_loads,
+            vec![
+                WorkerLoad {
+                    worker: 0,
+                    requests: 2
+                },
+                WorkerLoad {
+                    worker: 1,
+                    requests: 1
+                }
+            ]
+        );
+        assert!((r.service.mean_ms - 10.0).abs() < 1e-9);
+    }
+}

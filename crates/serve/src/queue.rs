@@ -1,0 +1,304 @@
+//! A bounded multi-producer/multi-consumer queue with micro-batch draining.
+//!
+//! `std::sync::mpsc` is unbounded and single-consumer, and the vendored
+//! `rayon` stand-in is sequential, so the serving runtime hand-rolls its
+//! queue on `Mutex` + `Condvar`: producers block (or bounce, for
+//! `try_push`) when the queue is at capacity — the backpressure a bounded
+//! serving system needs — and each consumer drains up to `max_batch` items
+//! per wakeup, waiting out a coalescing deadline so short request bursts
+//! ride in one batch.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push did not enqueue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// Queue at capacity (only `try_push` reports this; `push` waits).
+    Full,
+    /// Queue closed; no new items are accepted.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// Monotone sequence number of the next *accepted* push; assigned under
+    /// the queue mutex so accepted items are numbered gaplessly in FIFO
+    /// order even when a `try_push` bounces in between.
+    next_seq: u64,
+}
+
+/// Bounded FIFO shared between request submitters and worker threads.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+                next_seq: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().items.is_empty()
+    }
+
+    /// Enqueues `item`, blocking while the queue is at capacity.
+    pub fn push(&self, item: T) -> Result<(), PushError> {
+        self.push_with(|_| item).map(|_| ())
+    }
+
+    /// Enqueues `item` if there is room, without blocking.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        self.try_push_with(|_| item).map(|_| ())
+    }
+
+    /// Like [`BoundedQueue::push`], but builds the item from its queue
+    /// sequence number — the gapless, FIFO-ordered index of accepted items.
+    /// A rejected push consumes no sequence number.
+    pub fn push_with(&self, make: impl FnOnce(u64) -> T) -> Result<u64, PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        while !inner.closed && inner.items.len() >= self.capacity {
+            inner = self.not_full.wait(inner).unwrap();
+        }
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        Ok(Self::accept(inner, &self.not_empty, make))
+    }
+
+    /// Like [`BoundedQueue::try_push`], but builds the item from its queue
+    /// sequence number; a bounced push consumes no sequence number.
+    pub fn try_push_with(&self, make: impl FnOnce(u64) -> T) -> Result<u64, PushError> {
+        let inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        Ok(Self::accept(inner, &self.not_empty, make))
+    }
+
+    fn accept(
+        mut inner: std::sync::MutexGuard<'_, Inner<T>>,
+        not_empty: &Condvar,
+        make: impl FnOnce(u64) -> T,
+    ) -> u64 {
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let item = make(seq);
+        inner.items.push_back(item);
+        drop(inner);
+        not_empty.notify_one();
+        seq
+    }
+
+    /// Dequeues a micro-batch of up to `max_batch` items.
+    ///
+    /// Blocks until at least one item is available (or the queue is closed
+    /// and drained — then returns `None`, the consumer's shutdown signal).
+    /// After the first item, keeps draining until `max_batch` items are
+    /// held or `deadline` has elapsed since the batch started forming;
+    /// a zero `deadline` takes whatever is immediately available.
+    pub fn pop_batch(&self, max_batch: usize, deadline: Duration) -> Option<Vec<T>> {
+        let max_batch = max_batch.max(1);
+        let mut inner = self.inner.lock().unwrap();
+        while inner.items.is_empty() {
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+        let mut batch = Vec::with_capacity(max_batch);
+        let started = Instant::now();
+        loop {
+            while batch.len() < max_batch {
+                match inner.items.pop_front() {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            if batch.len() >= max_batch || inner.closed {
+                break;
+            }
+            let waited = started.elapsed();
+            if waited >= deadline {
+                break;
+            }
+            let (guard, timeout) = self
+                .not_empty
+                .wait_timeout(inner, deadline - waited)
+                .unwrap();
+            inner = guard;
+            if timeout.timed_out() && inner.items.is_empty() {
+                break;
+            }
+        }
+        drop(inner);
+        // Free the space we just consumed for blocked producers.
+        self.not_full.notify_all();
+        Some(batch)
+    }
+
+    /// Closes the queue: pending items remain poppable, new pushes fail,
+    /// and consumers waiting on an empty queue wake up with `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_capacity_bounce() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.len(), 2);
+        let batch = q.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(batch, vec![1, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn max_batch_splits_the_backlog() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(2, Duration::ZERO).unwrap(), vec![0, 1]);
+        assert_eq!(q.pop_batch(2, Duration::ZERO).unwrap(), vec![2, 3]);
+        assert_eq!(q.pop_batch(2, Duration::ZERO).unwrap(), vec![4]);
+    }
+
+    #[test]
+    fn deadline_coalesces_items_arriving_late() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                q.push(1).unwrap();
+                thread::sleep(Duration::from_millis(20));
+                q.push(2).unwrap();
+            })
+        };
+        // Generous deadline: both items must land in one batch even though
+        // the second arrives 20 ms after the first.
+        let batch = q.pop_batch(2, Duration::from_secs(5)).unwrap();
+        assert_eq!(batch, vec![1, 2]);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn bounced_pushes_consume_no_sequence_number() {
+        let q = BoundedQueue::new(1);
+        assert_eq!(q.try_push_with(|seq| seq).unwrap(), 0);
+        // Bounces: full queue.
+        assert_eq!(q.try_push_with(|seq| seq), Err(PushError::Full));
+        assert_eq!(q.try_push_with(|seq| seq), Err(PushError::Full));
+        assert_eq!(q.pop_batch(1, Duration::ZERO).unwrap(), vec![0]);
+        // The next accepted push continues gaplessly.
+        assert_eq!(q.push_with(|seq| seq).unwrap(), 1);
+        assert_eq!(q.pop_batch(1, Duration::ZERO).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn close_drains_then_signals_shutdown() {
+        let q = BoundedQueue::new(4);
+        q.push(7).unwrap();
+        q.close();
+        assert_eq!(q.push(8), Err(PushError::Closed));
+        assert_eq!(q.try_push(8), Err(PushError::Closed));
+        assert!(q.is_closed());
+        assert_eq!(q.pop_batch(4, Duration::ZERO).unwrap(), vec![7]);
+        assert_eq!(q.pop_batch(4, Duration::ZERO), None);
+    }
+
+    #[test]
+    fn blocked_producer_resumes_after_consumption() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push(2))
+        };
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(q.pop_batch(1, Duration::ZERO).unwrap(), vec![1]);
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop_batch(1, Duration::ZERO).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_no_items() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..25 {
+                        q.push(p * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(batch) = q.pop_batch(8, Duration::from_millis(1)) {
+                    seen.extend(batch);
+                }
+                seen
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut seen = consumer.join().unwrap();
+        seen.sort_unstable();
+        let mut want: Vec<i32> = (0..4)
+            .flat_map(|p| (0..25).map(move |i| p * 100 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(seen, want);
+    }
+}

@@ -1,0 +1,502 @@
+//! The serving runtime: a worker pool draining a bounded request queue.
+//!
+//! [`ServeRuntime::start`] spawns `workers` OS threads, each holding its own
+//! [`Session`] over one shared `Arc<CompiledPlan>` — compiled state is
+//! reference-counted, per-request state is thread-local, so no lock is held
+//! during inference.  Producers [`submit`](ServeRuntime::submit) feature
+//! matrices and get a [`Ticket`] to wait on; workers drain the queue in
+//! deadline-coalesced micro-batches of up to `max_batch` requests, serving
+//! each batch with a single [`Session::infer_batch`] call.
+//!
+//! Because every request is profiled and priced from a freshly reset
+//! analyzer/scheduler, a report does not depend on which worker served the
+//! request or on what was served before it: the runtime's outputs are
+//! bit-identical to a single serial session over the same request stream
+//! (proved by `tests/integration_serve.rs`).
+
+use crate::error::ServeError;
+use crate::metrics::{MetricsCollector, ServeReport};
+use crate::queue::{BoundedQueue, PushError};
+use dynasparse::{CompiledPlan, InferenceReport, MappingStrategy, Session};
+use dynasparse_graph::FeatureMatrix;
+use dynasparse_matrix::MatrixError;
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How a worker models the accelerator's occupancy after computing a batch.
+///
+/// The cycle-level simulator prices a request's accelerator execution but
+/// runs on the host in microseconds of real time.  For wall-clock serving
+/// experiments, `Modeled` makes each worker *occupy* its (virtual)
+/// accelerator lane for the request's modeled steady-state latency — the
+/// feature-transfer plus execution milliseconds the hardware would be busy —
+/// so that measured throughput reflects the deployment the simulator
+/// describes: one accelerator per worker, host-side profiling overlapped
+/// with device occupancy of other lanes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeviceDwell {
+    /// No dwell: workers run as fast as the host simulates (unit tests).
+    None,
+    /// Sleep for the modeled per-request milliseconds of `strategy`
+    /// (falling back to the first priced strategy), times `scale`.
+    Modeled {
+        /// Strategy whose modeled latency the lane occupies.
+        strategy: MappingStrategy,
+        /// Multiplier on the modeled milliseconds (1.0 = faithful).
+        scale: f64,
+    },
+}
+
+/// Configuration of a [`ServeRuntime`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Worker threads (each with its own session and virtual device lane).
+    pub workers: usize,
+    /// Maximum requests coalesced into one `infer_batch` call.
+    pub max_batch: usize,
+    /// How long a worker waits for stragglers once a batch starts forming.
+    pub batch_deadline: Duration,
+    /// Bounded request-queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Mapping strategies every request is priced under.
+    pub strategies: Vec<MappingStrategy>,
+    /// Device-occupancy emulation (see [`DeviceDwell`]).
+    pub device_dwell: DeviceDwell,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            max_batch: 8,
+            batch_deadline: Duration::from_micros(200),
+            queue_capacity: 64,
+            strategies: vec![MappingStrategy::Dynamic],
+            device_dwell: DeviceDwell::None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the number of worker threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the micro-batch size cap.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Sets the micro-batch coalescing deadline.
+    pub fn batch_deadline(mut self, deadline: Duration) -> Self {
+        self.batch_deadline = deadline;
+        self
+    }
+
+    /// Sets the bounded queue capacity.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the strategies priced on every request.
+    pub fn strategies(mut self, strategies: &[MappingStrategy]) -> Self {
+        self.strategies = strategies.to_vec();
+        self
+    }
+
+    /// Sets the device-occupancy emulation mode.
+    pub fn device_dwell(mut self, dwell: DeviceDwell) -> Self {
+        self.device_dwell = dwell;
+        self
+    }
+}
+
+struct Reply {
+    result: Result<InferenceReport, ServeError>,
+}
+
+struct QueuedRequest {
+    id: u64,
+    features: FeatureMatrix,
+    enqueued: Instant,
+    reply: mpsc::Sender<Reply>,
+}
+
+/// Handle to one submitted request; redeem it with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    rx: mpsc::Receiver<Reply>,
+}
+
+impl Ticket {
+    /// Global request id (submission order; also the report's
+    /// `request_index`).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the request's worker replies.
+    pub fn wait(self) -> Result<InferenceReport, ServeError> {
+        match self.rx.recv() {
+            Ok(reply) => reply.result,
+            // Sender dropped without replying: the worker died mid-request.
+            Err(mpsc::RecvError) => Err(ServeError::WorkerLost),
+        }
+    }
+}
+
+/// Multi-threaded serving runtime over one shared [`CompiledPlan`].
+pub struct ServeRuntime {
+    plan: Arc<CompiledPlan>,
+    config: ServeConfig,
+    queue: Arc<BoundedQueue<QueuedRequest>>,
+    metrics: Arc<MetricsCollector>,
+    workers: Vec<thread::JoinHandle<()>>,
+    started: Instant,
+}
+
+impl ServeRuntime {
+    /// Spawns the worker pool and starts accepting requests.
+    pub fn start(plan: Arc<CompiledPlan>, config: ServeConfig) -> Self {
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let metrics = Arc::new(MetricsCollector::new(config.workers.max(1)));
+        let workers = (0..config.workers.max(1))
+            .map(|index| {
+                let plan = Arc::clone(&plan);
+                let queue = Arc::clone(&queue);
+                let metrics = Arc::clone(&metrics);
+                let config = config.clone();
+                thread::Builder::new()
+                    .name(format!("dynasparse-serve-{index}"))
+                    .spawn(move || worker_loop(index, plan, config, queue, metrics))
+                    .expect("failed to spawn serve worker")
+            })
+            .collect();
+        ServeRuntime {
+            plan,
+            config,
+            queue,
+            metrics,
+            workers,
+            started: Instant::now(),
+        }
+    }
+
+    /// The plan every worker serves from.
+    pub fn plan(&self) -> &Arc<CompiledPlan> {
+        &self.plan
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Requests currently queued (excluding those being served).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submits a request, blocking while the queue is at capacity
+    /// (backpressure).  Shape mismatches are rejected immediately with the
+    /// same typed error [`Session::infer`] would produce.
+    pub fn submit(&self, features: FeatureMatrix) -> Result<Ticket, ServeError> {
+        self.submit_inner(features, false)
+    }
+
+    /// Submits a request without blocking; a full queue returns
+    /// [`ServeError::QueueFull`] instead of waiting.
+    pub fn try_submit(&self, features: FeatureMatrix) -> Result<Ticket, ServeError> {
+        self.submit_inner(features, true)
+    }
+
+    fn submit_inner(&self, features: FeatureMatrix, bounce: bool) -> Result<Ticket, ServeError> {
+        let expected = (self.plan.num_vertices(), self.plan.input_dim());
+        if features.shape() != expected {
+            return Err(ServeError::Inference(
+                MatrixError::ShapeMismatch {
+                    op: "serve submit",
+                    lhs: features.shape(),
+                    rhs: expected,
+                }
+                .into(),
+            ));
+        }
+        let (tx, rx) = mpsc::channel();
+        // The queue assigns the request id under its own lock, so accepted
+        // requests are numbered gaplessly in FIFO order: a bounced or
+        // rejected submission consumes no id, and `request_index` matches
+        // what a serial session over the accepted stream would assign.
+        let make = |id: u64| QueuedRequest {
+            id,
+            features,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        let pushed = if bounce {
+            self.queue.try_push_with(make)
+        } else {
+            self.queue.push_with(make)
+        };
+        match pushed {
+            Ok(id) => Ok(Ticket { id, rx }),
+            Err(PushError::Full) => Err(ServeError::QueueFull {
+                capacity: self.queue.capacity(),
+            }),
+            Err(PushError::Closed) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Convenience driver: submits every request (blocking on backpressure)
+    /// and waits for all replies, returned in submission order.
+    pub fn serve_all(
+        &self,
+        requests: impl IntoIterator<Item = FeatureMatrix>,
+    ) -> Vec<Result<InferenceReport, ServeError>> {
+        // Tickets buffer replies through their per-request channels, so
+        // collecting them first cannot deadlock against the bounded queue:
+        // workers never block on a reply send.
+        let tickets: Vec<Result<Ticket, ServeError>> =
+            requests.into_iter().map(|f| self.submit(f)).collect();
+        tickets
+            .into_iter()
+            .map(|t| t.and_then(Ticket::wait))
+            .collect()
+    }
+
+    /// Metrics accumulated so far, without stopping the runtime.
+    pub fn snapshot(&self) -> ServeReport {
+        self.metrics.report(self.started.elapsed())
+    }
+
+    /// Stops accepting requests, drains the queue, joins every worker and
+    /// returns the final aggregate metrics.
+    pub fn shutdown(self) -> ServeReport {
+        self.queue.close();
+        for worker in self.workers {
+            // A panicked worker already surfaced as WorkerLost on its
+            // tickets; the aggregate report is still valid.
+            let _ = worker.join();
+        }
+        self.metrics.report(self.started.elapsed())
+    }
+}
+
+fn worker_loop(
+    index: usize,
+    plan: Arc<CompiledPlan>,
+    config: ServeConfig,
+    queue: Arc<BoundedQueue<QueuedRequest>>,
+    metrics: Arc<MetricsCollector>,
+) {
+    let mut session: Session<'static> = Session::shared(plan, &config.strategies);
+    while let Some(batch) = queue.pop_batch(config.max_batch, config.batch_deadline) {
+        if batch.is_empty() {
+            continue;
+        }
+        let picked = Instant::now();
+        let batch_size = batch.len();
+        metrics.record_batch(batch_size);
+
+        // Take the feature matrices out of the requests (no copies) so the
+        // whole micro-batch is served by one `infer_batch` call.
+        let mut envelopes = Vec::with_capacity(batch_size);
+        let mut features = Vec::with_capacity(batch_size);
+        for request in batch {
+            envelopes.push((request.id, request.enqueued, request.reply));
+            features.push(request.features);
+        }
+
+        // Shapes were validated at submission, so a failure here is systemic
+        // (it would fail every request of the batch identically) and is
+        // replied to all of them.
+        let served = session.infer_batch(&features);
+        let batch_elapsed = picked.elapsed();
+        // Host time attributed to each request: its share of the batch call.
+        let per_request = batch_elapsed / batch_size as u32;
+
+        let results: Vec<Result<InferenceReport, ServeError>> = match served {
+            Ok(reports) => reports
+                .into_iter()
+                .zip(envelopes.iter())
+                .map(|(mut report, &(id, _, _))| {
+                    // Session-local indices are meaningless across a pool;
+                    // stamp the global submission id instead, which is what
+                    // a serial session would have assigned.
+                    report.request_index = id as usize;
+                    Ok(report)
+                })
+                .collect(),
+            Err(e) => envelopes
+                .iter()
+                .map(|_| Err(ServeError::Inference(e.clone())))
+                .collect(),
+        };
+
+        let dwell = match config.device_dwell {
+            DeviceDwell::None => Duration::ZERO,
+            DeviceDwell::Modeled { strategy, scale } => {
+                let ms: f64 = results
+                    .iter()
+                    .filter_map(|r| r.as_ref().ok())
+                    .map(|report| {
+                        report
+                            .amortized_ms(strategy)
+                            .or_else(|| {
+                                report
+                                    .runs
+                                    .first()
+                                    .map(|run| report.feature_movement_ms + run.latency_ms)
+                            })
+                            .unwrap_or(0.0)
+                    })
+                    .sum();
+                Duration::from_secs_f64((ms * scale.max(0.0)) / 1e3)
+            }
+        };
+        if dwell > Duration::ZERO {
+            // The worker's virtual accelerator lane is busy executing the
+            // batch; the host thread parks with no locks held, so sibling
+            // lanes keep draining the queue.
+            thread::sleep(dwell);
+        }
+
+        for ((_, enqueued, reply), result) in envelopes.into_iter().zip(results) {
+            // Service records host time only; the modeled device dwell shows
+            // up in the turnaround (enqueue → reply ready), as it would in a
+            // real deployment where the reply follows device completion.
+            metrics.record_request(
+                index,
+                picked.duration_since(enqueued),
+                per_request,
+                enqueued.elapsed(),
+            );
+            // A dropped ticket (caller gave up) is fine; ignore send errors.
+            let _ = reply.send(Reply { result });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynasparse::{EngineOptions, Planner};
+    use dynasparse_graph::Dataset;
+    use dynasparse_matrix::DenseMatrix;
+    use dynasparse_model::{GnnModel, GnnModelKind};
+
+    fn plan_fixture() -> (Arc<CompiledPlan>, FeatureMatrix) {
+        let ds = Dataset::Cora.spec().generate_scaled(5, 0.08);
+        let model = GnnModel::standard(
+            GnnModelKind::Gcn,
+            ds.features.dim(),
+            8,
+            ds.spec.num_classes,
+            2,
+        );
+        let plan = Planner::new(EngineOptions::default())
+            .plan_shared(&model, &ds)
+            .unwrap();
+        (plan, ds.features)
+    }
+
+    #[test]
+    fn serves_requests_and_reports_metrics() {
+        let (plan, features) = plan_fixture();
+        let runtime = ServeRuntime::start(
+            Arc::clone(&plan),
+            ServeConfig::default().workers(2).max_batch(4),
+        );
+        let results = runtime.serve_all((0..6).map(|_| features.clone()));
+        assert_eq!(results.len(), 6);
+        for r in &results {
+            assert!(r.is_ok());
+        }
+        let report = runtime.shutdown();
+        assert_eq!(report.requests, 6);
+        assert!(report.batches >= 2, "6 requests, max_batch 4 → ≥ 2 batches");
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.mean_batch_size() >= 1.0);
+        assert_eq!(
+            report.worker_loads.iter().map(|w| w.requests).sum::<u64>(),
+            6
+        );
+    }
+
+    #[test]
+    fn request_ids_are_submission_order_and_stamped_into_reports() {
+        let (plan, features) = plan_fixture();
+        let runtime = ServeRuntime::start(plan, ServeConfig::default());
+        let t0 = runtime.submit(features.clone()).unwrap();
+        let t1 = runtime.submit(features).unwrap();
+        assert_eq!((t0.id(), t1.id()), (0, 1));
+        assert_eq!(t0.wait().unwrap().request_index, 0);
+        assert_eq!(t1.wait().unwrap().request_index, 1);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected_at_submission() {
+        let (plan, _) = plan_fixture();
+        let runtime = ServeRuntime::start(plan, ServeConfig::default());
+        let wrong = FeatureMatrix::Dense(DenseMatrix::zeros(3, 5));
+        let err = runtime.submit(wrong).unwrap_err();
+        assert!(matches!(err, ServeError::Inference(_)));
+        let report = runtime.shutdown();
+        assert_eq!(report.requests, 0);
+    }
+
+    #[test]
+    fn try_submit_bounces_when_the_queue_is_full() {
+        let (plan, features) = plan_fixture();
+        // Zero workers is clamped to one; a tiny queue plus a dwell long
+        // enough to park the worker makes the bounce deterministic once the
+        // queue reports full.
+        let runtime = ServeRuntime::start(
+            plan,
+            ServeConfig::default()
+                .workers(1)
+                .max_batch(1)
+                .queue_capacity(1)
+                .device_dwell(DeviceDwell::Modeled {
+                    strategy: MappingStrategy::Dynamic,
+                    scale: 100.0,
+                }),
+        );
+        // Fill: the worker takes one request onto its lane, then the queue
+        // itself can hold one more; keep pushing until it reports full.
+        let mut tickets = Vec::new();
+        let mut bounced = false;
+        for _ in 0..64 {
+            match runtime.try_submit(features.clone()) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    bounced = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(bounced, "a capacity-1 queue must eventually bounce");
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions() {
+        let (plan, features) = plan_fixture();
+        let runtime = ServeRuntime::start(Arc::clone(&plan), ServeConfig::default());
+        runtime.queue.close();
+        assert!(matches!(
+            runtime.submit(features).unwrap_err(),
+            ServeError::ShuttingDown
+        ));
+        runtime.shutdown();
+    }
+}
