@@ -19,6 +19,34 @@ use dynasparse_model::GnnModel;
 use dynasparse_runtime::MappingStrategy;
 use serde::{Deserialize, Serialize};
 
+/// How a session executes the functional kernels on the host.
+///
+/// The dispatching engine (default) routes every kernel to a host primitive
+/// picked from its *runtime* operand densities — the same regions the
+/// accelerator's Analyzer uses — and executes into a reusable
+/// [`KernelArena`](dynasparse_model::KernelArena), performing zero heap
+/// allocations per kernel in steady state.  Disabling it falls back to the
+/// fixed-kernel reference path (one fresh allocation per intermediate),
+/// which exists for A/B benchmarking and as the equivalence oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostExecutionOptions {
+    /// Route host kernels by runtime density through the arena executor.
+    pub dispatch: bool,
+    /// Fan row-parallel kernels out over the persistent thread pool
+    /// (`DYNASPARSE_THREADS` / `available_parallelism`-sized; inline on a
+    /// single-core host).
+    pub parallel: bool,
+}
+
+impl Default for HostExecutionOptions {
+    fn default() -> Self {
+        HostExecutionOptions {
+            dispatch: true,
+            parallel: true,
+        }
+    }
+}
+
 /// Engine configuration: the hardware and compiler parameters.
 ///
 /// Construct with [`EngineOptions::builder`] (or `Default` for the paper's
@@ -31,6 +59,8 @@ pub struct EngineOptions {
     pub accelerator: AcceleratorConfig,
     /// Compiler configuration.
     pub compiler: CompilerConfig,
+    /// Host kernel execution configuration.
+    pub host: HostExecutionOptions,
 }
 
 impl EngineOptions {
@@ -58,6 +88,12 @@ impl EngineOptionsBuilder {
     /// Sets the compiler configuration.
     pub fn compiler(mut self, compiler: CompilerConfig) -> Self {
         self.options.compiler = compiler;
+        self
+    }
+
+    /// Sets the host kernel execution configuration.
+    pub fn host(mut self, host: HostExecutionOptions) -> Self {
+        self.options.host = host;
         self
     }
 

@@ -109,6 +109,44 @@
 //! fingerprint, a bounded request queue with deadline-driven
 //! micro-batching, a worker thread pool, and serving metrics.
 //!
+//! ## The dispatching kernel engine
+//!
+//! By default a session's host execution exploits dynamic sparsity the same
+//! way the modeled accelerator does.  The pieces, and who owns what:
+//!
+//! * **Who picks the mode** — a per-session
+//!   [`KernelDispatcher`](dynasparse_model::KernelDispatcher) inspects the
+//!   runtime density of every kernel's operands (the exact signal the
+//!   Analyzer profiles) and routes the kernel to the blocked dense GEMM,
+//!   the sparse-dense CSR kernel, or the Gustavson sparse-sparse kernel of
+//!   `dynasparse-matrix`; empty operands skip outright, and sparse-sparse
+//!   outputs stay in CSR while their density is below the dispatch
+//!   threshold.
+//! * **Where the thresholds come from** —
+//!   [`DispatchPolicy::from_regions`](dynasparse_matrix::DispatchPolicy)
+//!   instantiates the closed-form regions of the paper's analytical model
+//!   (GEMM iff `α_min ≥ 1/2`, SpDMM iff `α_max ≥ 2/p_sys`, SPMM otherwise)
+//!   from the planned accelerator's ALU dimension `psys`, so the host
+//!   follows the same mapping the Scheduler prices.
+//! * **Arena lifetime rules** — every session owns a plan-sized
+//!   [`KernelArena`](dynasparse_model::KernelArena): one slot per kernel of
+//!   the widest layer plus a ping-pong input/accumulator pair, all sized at
+//!   plan vertex count × widest feature dimension.  Buffers live as long as
+//!   the session, are reshaped (never reallocated) per kernel, and layer
+//!   outputs become the next layer's input by pointer swap — steady-state
+//!   `Session::infer` performs **zero heap allocations on the kernel hot
+//!   path** (verified by `tests/alloc_steady_state.rs`).
+//! * **Intra-request parallelism** — row-parallel kernels fan out over the
+//!   persistent [`ThreadPool`](dynasparse_matrix::ThreadPool) (the vendored
+//!   rayon stand-in is sequential); sized by `DYNASPARSE_THREADS` or
+//!   `available_parallelism`, inline on single-core hosts.
+//!
+//! Disable with [`HostExecutionOptions`] (`EngineOptions::builder()
+//! .host(...)`) to fall back to the fixed-kernel reference path; both paths
+//! are bit-identical (`tests/integration_dispatch.rs`), and
+//! `benches/kernel_dispatch.rs` asserts the dispatched path serves
+//! steady-state requests ≥ 1.5x faster at Cora quarter-scale.
+//!
 //! One-shot evaluation (compile + single request) remains available through
 //! the [`Engine`] wrapper, which produces cycle-for-cycle the same numbers:
 //!
@@ -162,7 +200,7 @@ pub mod planner;
 pub mod report;
 pub mod session;
 
-pub use engine::{Engine, EngineOptions, EngineOptionsBuilder};
+pub use engine::{Engine, EngineOptions, EngineOptionsBuilder, HostExecutionOptions};
 pub use error::{CompileError, DynasparseError, EngineError};
 pub use planner::{CompiledPlan, Planner};
 pub use report::{Evaluation, InferenceReport, KernelReport, StrategyRun};

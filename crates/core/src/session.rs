@@ -16,8 +16,10 @@ use crate::report::{InferenceReport, KernelReport, StrategyRun};
 use dynasparse_accel::{cycles_to_ms, ComputationCore, SoftProcessorModel};
 use dynasparse_compiler::KernelKind;
 use dynasparse_graph::FeatureMatrix;
-use dynasparse_matrix::MatrixError;
-use dynasparse_model::{DensityTrace, ReferenceExecutor, StageDensity};
+use dynasparse_matrix::{DensityProfile, DispatchPolicy, MatrixError};
+use dynasparse_model::{
+    DensityTrace, KernelArena, KernelDispatcher, ReferenceExecutor, StageDensity, StageOp,
+};
 use dynasparse_runtime::{Analyzer, MappingStrategy, OperandProfiles, RuntimeOverhead, Scheduler};
 use std::sync::Arc;
 
@@ -58,6 +60,17 @@ pub struct Session<'p> {
     soft: SoftProcessorModel,
     states: Vec<StrategyState>,
     density_scratch: Vec<StageDensity>,
+    /// The dispatching kernel engine (mode-picked host kernels + arena);
+    /// `None` when `EngineOptions::host.dispatch` is off, in which case
+    /// requests run the fixed-kernel reference path.
+    dispatcher: Option<KernelDispatcher>,
+    /// Plan-sized ping-pong feature buffers reused by every request;
+    /// allocated only when the dispatcher is (legacy sessions never touch
+    /// them, and the buffers are plan-sized).
+    arena: Option<KernelArena>,
+    /// One reusable runtime sparsity profile per compiled kernel, refit in
+    /// place per request (no per-kernel allocation on the dispatch path).
+    profile_scratch: Vec<DensityProfile>,
     requests_served: usize,
 }
 
@@ -101,8 +114,10 @@ impl<'p> Session<'p> {
         strategies: &[MappingStrategy],
     ) -> Session<'p> {
         let accelerator = plan.get().options().accelerator;
+        let host = plan.get().options().host;
         let core = ComputationCore::new(accelerator);
         let num_kernels = plan.get().program().kernels.len();
+        let num_vertices = plan.get().num_vertices();
         let states = strategies
             .iter()
             .map(|&strategy| StrategyState {
@@ -112,6 +127,13 @@ impl<'p> Session<'p> {
                 kernels: Vec::with_capacity(num_kernels),
             })
             .collect();
+        let dispatcher = host.dispatch.then(|| {
+            executor.dispatcher(
+                DispatchPolicy::from_regions(accelerator.psys),
+                host.parallel,
+            )
+        });
+        let arena = dispatcher.is_some().then(|| executor.arena(num_vertices));
         Session {
             plan,
             strategies: strategies.to_vec(),
@@ -119,6 +141,9 @@ impl<'p> Session<'p> {
             soft: SoftProcessorModel::from_config(&accelerator),
             states,
             density_scratch: Vec::with_capacity(num_kernels),
+            dispatcher,
+            arena,
+            profile_scratch: vec![DensityProfile::default(); num_kernels],
             requests_served: 0,
         }
     }
@@ -172,51 +197,82 @@ impl<'p> Session<'p> {
 
         let states = &mut self.states;
         let density_stages = &mut self.density_scratch;
+        let profile_scratch = &mut self.profile_scratch;
+        let executor = &self.executor;
+        let dispatcher = self.dispatcher.as_ref();
+        let arena = self.arena.as_mut();
+        let dispatch_enabled = dispatcher.is_some();
         let mut kernel_counter = 0usize;
-        let output =
-            self.executor
-                .forward_with(features, |_layer, _ki, spec_kernel, input, out| {
-                    let compiled = &program.kernels[kernel_counter];
-                    debug_assert_eq!(
-                        compiled.ir.kind == KernelKind::Aggregate,
-                        spec_kernel.op.is_aggregate(),
-                        "compiled kernel order must match execution order"
-                    );
-                    // Runtime sparsity profiling of the kernel's input feature
-                    // matrix at the granularity its execution scheme uses.
-                    let grid = match compiled.ir.kind {
-                        KernelKind::Aggregate => spec.feature_grid(num_vertices, input.dim()),
-                        KernelKind::Update => spec.subfiber_grid(num_vertices, input.dim()),
-                    };
-                    let feature_profile = input.density_profile(&grid);
-                    let profiles = OperandProfiles {
-                        adjacency: &program.static_sparsity.adjacency,
-                        weights: &program.static_sparsity.weights,
-                        features: &feature_profile,
-                    };
-                    for state in states.iter_mut() {
-                        let analysis = state.analyzer.analyze_kernel(compiled, &profiles);
-                        let schedule = state.scheduler.schedule_kernel(compiled.ir.id, &analysis);
-                        state.kernels.push(KernelReport {
-                            kernel_id: compiled.ir.id,
-                            layer_id: compiled.ir.layer_id,
-                            kind: compiled.ir.kind,
-                            cycles: schedule.cycles(),
-                            utilization: schedule.utilization,
-                            decisions: analysis.decisions,
-                            mix: analysis.mix,
-                            input_density: input.density(),
-                            output_density: out.density(),
-                        });
-                    }
-                    density_stages.push(StageDensity {
-                        layer: compiled.ir.layer_id - 1,
-                        kernel: compiled.ir.kernel_in_layer,
-                        op: compiled.ir.kind.label().to_string(),
-                        density: out.density(),
-                    });
-                    kernel_counter += 1;
+        let mut on_kernel = |_layer: usize,
+                             _ki: usize,
+                             spec_kernel: &dynasparse_model::KernelSpec,
+                             input: &FeatureMatrix,
+                             out: &FeatureMatrix| {
+            let compiled = &program.kernels[kernel_counter];
+            debug_assert_eq!(
+                compiled.ir.kind == KernelKind::Aggregate,
+                spec_kernel.op.is_aggregate(),
+                "compiled kernel order must match execution order"
+            );
+            // Runtime sparsity profiling of the kernel's input feature
+            // matrix at the granularity its execution scheme uses.
+            let grid = match compiled.ir.kind {
+                KernelKind::Aggregate => spec.feature_grid(num_vertices, input.dim()),
+                KernelKind::Update => spec.subfiber_grid(num_vertices, input.dim()),
+            };
+            // The dispatch path refits a per-kernel reusable profile (no
+            // allocation); the legacy path keeps its allocating profiler.
+            let owned_profile;
+            let feature_profile: &DensityProfile = if dispatch_enabled {
+                let slot = &mut profile_scratch[kernel_counter];
+                input.density_profile_into(&grid, slot);
+                slot
+            } else {
+                owned_profile = input.density_profile(&grid);
+                &owned_profile
+            };
+            let profiles = OperandProfiles {
+                adjacency: &program.static_sparsity.adjacency,
+                weights: &program.static_sparsity.weights,
+                features: feature_profile,
+            };
+            for state in states.iter_mut() {
+                let analysis = state.analyzer.analyze_kernel(compiled, &profiles);
+                let schedule = state.scheduler.schedule_kernel(compiled.ir.id, &analysis);
+                state.kernels.push(KernelReport {
+                    kernel_id: compiled.ir.id,
+                    layer_id: compiled.ir.layer_id,
+                    kind: compiled.ir.kind,
+                    cycles: schedule.cycles(),
+                    utilization: schedule.utilization,
+                    decisions: analysis.decisions,
+                    mix: analysis.mix,
+                    input_density: input.density(),
+                    output_density: out.density(),
+                });
+            }
+            density_stages.push(StageDensity {
+                layer: compiled.ir.layer_id - 1,
+                kernel: compiled.ir.kernel_in_layer,
+                op: match compiled.ir.kind {
+                    KernelKind::Aggregate => StageOp::Aggregate,
+                    KernelKind::Update => StageOp::Update,
+                },
+                density: out.density(),
+            });
+            kernel_counter += 1;
+        };
+        let output = match (dispatcher, arena) {
+            (Some(dispatcher), Some(arena)) => {
+                // The dispatching engine: mode-picked host kernels writing
+                // into the session's arena (zero per-kernel allocations).
+                executor.forward_dispatch(features, dispatcher, arena, |l, k, s, i, o| {
+                    on_kernel(l, k, s, i, o)
                 })?;
+                arena.output().clone()
+            }
+            _ => executor.forward_with(features, |l, k, s, i, o| on_kernel(l, k, s, i, o))?,
+        };
 
         let freq = plan.options().accelerator.frequency_mhz;
         let compile_ms = plan.compile_ms();

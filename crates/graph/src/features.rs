@@ -7,7 +7,7 @@
 //! data in whichever representation is tractable and exposes the operations
 //! the GNN layers need.
 
-use dynasparse_matrix::{BlockGrid, CsrMatrix, DenseMatrix, DensityProfile};
+use dynasparse_matrix::{BlockGrid, CsrMatrix, DenseMatrix, DensityProfile, DispatchPolicy};
 use serde::{Deserialize, Serialize};
 
 /// A `|V| × f` vertex feature matrix in dense or CSR representation.
@@ -63,13 +63,36 @@ impl FeatureMatrix {
     }
 
     /// Left-multiplies by a sparse matrix: `A × H` (the Aggregate kernel).
-    /// The result is dense because aggregation densifies the features.
+    ///
+    /// A dense `H` produces a dense result (aggregation densifies dense
+    /// features further).  A sparse `H` runs the Gustavson sparse-sparse
+    /// kernel and keeps the result in CSR form while its density stays below
+    /// the dispatch threshold — very sparse features (NELL-like inputs) no
+    /// longer densify unconditionally on the first Aggregate.
     pub fn aggregate(&self, adjacency: &CsrMatrix) -> dynasparse_matrix::Result<FeatureMatrix> {
-        let dense = match self {
-            FeatureMatrix::Dense(d) => adjacency.spmm_dense(d)?,
-            FeatureMatrix::Sparse(s) => adjacency.spgemm(s)?.to_dense(),
-        };
-        Ok(FeatureMatrix::Dense(dense))
+        self.aggregate_with_policy(adjacency, &DispatchPolicy::default())
+    }
+
+    /// [`FeatureMatrix::aggregate`] with an explicit dispatch policy, so a
+    /// caller that tunes `sparse_output_threshold` (the dispatching engine
+    /// derives its policy from the planned accelerator) keeps this path's
+    /// keep-sparse decision consistent with its own.
+    pub fn aggregate_with_policy(
+        &self,
+        adjacency: &CsrMatrix,
+        policy: &DispatchPolicy,
+    ) -> dynasparse_matrix::Result<FeatureMatrix> {
+        match self {
+            FeatureMatrix::Dense(d) => Ok(FeatureMatrix::Dense(adjacency.spmm_dense(d)?)),
+            FeatureMatrix::Sparse(s) => {
+                let product = adjacency.spgemm(s)?;
+                if policy.keep_sparse_output(product.density()) {
+                    Ok(FeatureMatrix::Sparse(product))
+                } else {
+                    Ok(FeatureMatrix::Dense(product.to_dense()))
+                }
+            }
+        }
     }
 
     /// Right-multiplies by a dense weight matrix: `H × W` (the Update
@@ -88,17 +111,9 @@ impl FeatureMatrix {
         match self {
             FeatureMatrix::Dense(d) => FeatureMatrix::Dense(d.map(|v| v.max(0.0))),
             FeatureMatrix::Sparse(s) => {
-                let triples: Vec<(u32, u32, f32)> = s
-                    .to_coo()
-                    .entries()
-                    .iter()
-                    .filter(|e| e.value > 0.0)
-                    .map(|e| (e.row, e.col, e.value))
-                    .collect();
-                FeatureMatrix::Sparse(
-                    CsrMatrix::from_triples(s.rows(), s.cols(), triples)
-                        .expect("indices unchanged"),
-                )
+                let mut out = s.clone();
+                out.map_retain(|v| v.max(0.0));
+                FeatureMatrix::Sparse(out)
             }
         }
     }
@@ -159,6 +174,17 @@ impl FeatureMatrix {
         match self {
             FeatureMatrix::Dense(d) => DensityProfile::of_dense(d, grid),
             FeatureMatrix::Sparse(s) => DensityProfile::of_csr(s, grid),
+        }
+    }
+
+    /// [`FeatureMatrix::density_profile`] written into a caller-provided
+    /// profile, reusing its counter allocation — the per-kernel runtime
+    /// profiling path of a serving session, which must not allocate per
+    /// kernel in steady state.
+    pub fn density_profile_into(&self, grid: &BlockGrid, profile: &mut DensityProfile) {
+        match self {
+            FeatureMatrix::Dense(d) => profile.refit_dense(d, grid),
+            FeatureMatrix::Sparse(s) => profile.refit_csr(s, grid),
         }
     }
 
@@ -247,6 +273,41 @@ mod tests {
         let pd = FeatureMatrix::Dense(d.clone()).density_profile(&grid);
         let ps = FeatureMatrix::Sparse(CsrMatrix::from_dense(&d)).density_profile(&grid);
         assert_eq!(pd, ps);
+    }
+
+    #[test]
+    fn sparse_aggregate_stays_sparse_below_the_dispatch_threshold() {
+        // A 1-in-16 dense feature matrix aggregated by a near-diagonal
+        // adjacency keeps a very sparse product: the result must remain CSR.
+        let n = 32;
+        let adj = CsrMatrix::from_triples(n, n, (0..n as u32).map(|i| (i, i, 1.0))).unwrap();
+        let h = DenseMatrix::from_fn(n, 16, |r, c| if (r + c) % 16 == 0 { 1.0 } else { 0.0 });
+        let fs = FeatureMatrix::Sparse(CsrMatrix::from_dense(&h));
+        let out = fs.aggregate(&adj).unwrap();
+        assert!(
+            out.is_sparse(),
+            "density {} should stay sparse",
+            out.density()
+        );
+        assert!(out.to_dense().approx_eq(&h, 1e-6));
+        // A dense product over the threshold densifies.
+        let dense_h = DenseMatrix::from_fn(n, 16, |_, _| 1.0);
+        let fd = FeatureMatrix::Sparse(CsrMatrix::from_dense(&dense_h));
+        assert!(!fd.aggregate(&adj).unwrap().is_sparse());
+    }
+
+    #[test]
+    fn density_profile_into_matches_allocating_profile() {
+        let d = small_dense();
+        let grid = BlockGrid::new(3, 2, 2, 2);
+        let mut scratch = DensityProfile::default();
+        for f in [
+            FeatureMatrix::Dense(d.clone()),
+            FeatureMatrix::Sparse(CsrMatrix::from_dense(&d)),
+        ] {
+            f.density_profile_into(&grid, &mut scratch);
+            assert_eq!(scratch, f.density_profile(&grid));
+        }
     }
 
     #[test]

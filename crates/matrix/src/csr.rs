@@ -10,8 +10,65 @@ use crate::coo::{CooEntry, CooMatrix};
 use crate::dense::DenseMatrix;
 use crate::error::{MatrixError, Result};
 use crate::is_nonzero;
+use crate::layout::Layout;
+use crate::pool::ThreadPool;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Reusable workspace of the Gustavson [`CsrMatrix::spgemm_with`] kernel.
+///
+/// Holds the dense accumulator + epoch-tagged scatter list (sized by the
+/// right-hand operand's column count) and the output CSR buffers.  Reusing
+/// one scratch across products makes the sparse-sparse route allocation-free
+/// in steady state: the output buffers are moved into the produced
+/// [`CsrMatrix`] and can be handed back with [`SpGemmScratch::reclaim`].
+#[derive(Debug, Default)]
+pub struct SpGemmScratch {
+    /// Dense accumulator, one slot per output column.
+    acc: Vec<f32>,
+    /// Epoch tag per output column; `tag == epoch` means "touched this row".
+    touched: Vec<u32>,
+    epoch: u32,
+    /// Columns touched while accumulating the current row (sorted before
+    /// emission — the scatter list).
+    cols: Vec<u32>,
+    /// Reusable output buffers (moved into the result, returned by
+    /// [`SpGemmScratch::reclaim`]).
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SpGemmScratch {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        SpGemmScratch::default()
+    }
+
+    /// Returns the buffers of a previously produced product so the next
+    /// [`CsrMatrix::spgemm_with`] call can reuse their capacity.
+    pub fn reclaim(&mut self, parts: (Vec<usize>, Vec<u32>, Vec<f32>)) {
+        self.row_ptr = parts.0;
+        self.col_idx = parts.1;
+        self.values = parts.2;
+    }
+
+    /// Sizes the accumulator for `cols` output columns and starts a new
+    /// epoch (no clearing of the accumulator payload needed).
+    fn prepare(&mut self, cols: usize) {
+        if self.acc.len() < cols {
+            self.acc.resize(cols, 0.0);
+            self.touched.resize(cols, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: stale tags could collide with the fresh epoch.
+            self.touched.fill(0);
+            self.epoch = 1;
+        }
+        self.cols.clear();
+    }
+}
 
 /// Sparse matrix in compressed-sparse-row format.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -104,12 +161,79 @@ impl CsrMatrix {
     /// Materialises the matrix as dense storage.
     pub fn to_dense(&self) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        self.to_dense_into(&mut out);
+        out
+    }
+
+    /// Materialises the matrix into a caller-provided dense buffer, reusing
+    /// its allocation (the arena path of sparse kernel outputs).
+    pub fn to_dense_into(&self, out: &mut DenseMatrix) {
+        out.reset(self.rows, self.cols);
+        let cols = self.cols;
+        let data = out.as_mut_slice();
         for r in 0..self.rows {
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
-                out.add_assign_at(r, self.col_idx[k] as usize, self.values[k]);
+                data[r * cols + self.col_idx[k] as usize] += self.values[k];
             }
         }
-        out
+    }
+
+    /// Builds a CSR matrix directly from its component arrays.
+    ///
+    /// The invariants (monotone `row_ptr` of length `rows + 1`, in-bounds
+    /// sorted column indices per row, `col_idx.len() == values.len()`) are
+    /// debug-asserted, not validated: this is the zero-copy constructor the
+    /// kernel scratch buffers use.  Use [`CsrMatrix::from_triples`] for
+    /// untrusted data.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), rows + 1);
+        debug_assert_eq!(col_idx.len(), values.len());
+        debug_assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len());
+        debug_assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(col_idx.iter().all(|&c| (c as usize) < cols.max(1)));
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Decomposes the matrix into `(row_ptr, col_idx, values)` so their
+    /// allocations can be recycled (see [`SpGemmScratch::reclaim`]).
+    pub fn into_parts(self) -> (Vec<usize>, Vec<u32>, Vec<f32>) {
+        (self.row_ptr, self.col_idx, self.values)
+    }
+
+    /// Applies `f` to every stored value in place, dropping entries whose
+    /// mapped value is (numerically) zero — the sparse analogue of
+    /// `DenseMatrix::map_inplace`, used to apply activations to sparse
+    /// kernel outputs without rebuilding the matrix.
+    pub fn map_retain(&mut self, f: impl Fn(f32) -> f32) {
+        let mut write = 0usize;
+        let mut read_base = self.row_ptr[0];
+        for r in 0..self.rows {
+            let (lo, hi) = (read_base, self.row_ptr[r + 1]);
+            read_base = hi;
+            for k in lo..hi {
+                let v = f(self.values[k]);
+                if is_nonzero(v) {
+                    self.col_idx[write] = self.col_idx[k];
+                    self.values[write] = v;
+                    write += 1;
+                }
+            }
+            self.row_ptr[r + 1] = write;
+        }
+        self.col_idx.truncate(write);
+        self.values.truncate(write);
     }
 
     /// Converts to COO (row-major order).
@@ -197,6 +321,36 @@ impl CsrMatrix {
     /// linear combination of the dense rows selected by the sparse row's
     /// column indices.
     pub fn spmm_dense(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(0, 0);
+        self.spmm_dense_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`CsrMatrix::spmm_dense`] writing into a caller-provided output
+    /// matrix, reusing its allocation — the SpDMM host kernel of the
+    /// dispatching executor.  A row-major `rhs` is consumed in place (no
+    /// layout copy); column-major falls back to an internal copy.
+    pub fn spmm_dense_into(&self, rhs: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
+        self.spmm_dense_into_with(None, rhs, out)
+    }
+
+    /// [`CsrMatrix::spmm_dense_into`] with output rows fanned out over a
+    /// [`ThreadPool`].
+    pub fn spmm_dense_into_pooled(
+        &self,
+        pool: &ThreadPool,
+        rhs: &DenseMatrix,
+        out: &mut DenseMatrix,
+    ) -> Result<()> {
+        self.spmm_dense_into_with(Some(pool), rhs, out)
+    }
+
+    fn spmm_dense_into_with(
+        &self,
+        pool: Option<&ThreadPool>,
+        rhs: &DenseMatrix,
+        out: &mut DenseMatrix,
+    ) -> Result<()> {
         if self.cols != rhs.rows() {
             return Err(MatrixError::ShapeMismatch {
                 op: "spmm_dense",
@@ -205,27 +359,64 @@ impl CsrMatrix {
             });
         }
         let d = rhs.cols();
-        let rhs_rm = rhs.to_layout(crate::layout::Layout::RowMajor);
-        let mut out = vec![0.0f32; self.rows * d];
-        out.par_chunks_mut(d).enumerate().for_each(|(r, out_row)| {
-            let (cols, vals) = self.row(r);
-            for (&c, &v) in cols.iter().zip(vals.iter()) {
-                let src = rhs_rm
-                    .row_slice(c as usize)
-                    .expect("row-major layout guaranteed above");
-                for (o, &s) in out_row.iter_mut().zip(src.iter()) {
-                    *o += v * s;
+        out.reset(self.rows, d);
+        if self.rows == 0 || d == 0 {
+            return Ok(());
+        }
+        let rhs_rm;
+        let ys = if rhs.layout() == Layout::RowMajor {
+            rhs.as_slice()
+        } else {
+            rhs_rm = rhs.to_layout(Layout::RowMajor);
+            rhs_rm.as_slice()
+        };
+        let fill_rows = |out_rows: &mut [f32], row0: usize| {
+            let rows = out_rows.len() / d;
+            for i in 0..rows {
+                let (cols, vals) = self.row(row0 + i);
+                let out_row = &mut out_rows[i * d..(i + 1) * d];
+                for (&c, &v) in cols.iter().zip(vals.iter()) {
+                    let src = &ys[c as usize * d..(c as usize + 1) * d];
+                    for (o, &s) in out_row.iter_mut().zip(src.iter()) {
+                        *o += v * s;
+                    }
                 }
             }
-        });
-        DenseMatrix::from_row_major(self.rows, d, out)
+        };
+        let out_slice = out.as_mut_slice();
+        match pool {
+            Some(pool) if !pool.is_inline() => {
+                let chunk_rows = pool.chunk_rows(self.rows);
+                pool.for_each_chunk_mut(out_slice, chunk_rows * d, |ci, chunk| {
+                    fill_rows(chunk, ci * chunk_rows);
+                });
+            }
+            _ => fill_rows(out_slice, 0),
+        }
+        Ok(())
     }
 
     /// Sparse × sparse product returning a CSR matrix.
     ///
     /// Row-wise product formulation (Gustavson): the same formulation the
     /// SPMM execution mode of the Computation Core implements in hardware.
+    /// Internally allocates a fresh workspace; hot paths should hold a
+    /// [`SpGemmScratch`] and call [`CsrMatrix::spgemm_with`] instead.
     pub fn spgemm(&self, rhs: &CsrMatrix) -> Result<CsrMatrix> {
+        self.spgemm_with(rhs, &mut SpGemmScratch::new())
+    }
+
+    /// Gustavson sparse × sparse product using a caller-provided workspace.
+    ///
+    /// Each output row is accumulated into a dense accumulator indexed by
+    /// output column, with an epoch-tagged scatter list recording which
+    /// columns were touched; the list is sorted and the non-zero values
+    /// emitted in column order.  This replaces the former per-row `BTreeMap`
+    /// (no per-entry tree nodes, no per-row map allocation) while producing
+    /// bit-identical results: contributions to one output element are added
+    /// in the same `k`-increasing order, and emission is column-sorted
+    /// either way.
+    pub fn spgemm_with(&self, rhs: &CsrMatrix, scratch: &mut SpGemmScratch) -> Result<CsrMatrix> {
         if self.cols != rhs.rows() {
             return Err(MatrixError::ShapeMismatch {
                 op: "spgemm",
@@ -233,30 +424,136 @@ impl CsrMatrix {
                 rhs: rhs.shape(),
             });
         }
-        let rows: Vec<Vec<(u32, f32)>> = (0..self.rows)
-            .into_par_iter()
-            .map(|r| {
-                let mut acc: std::collections::BTreeMap<u32, f32> =
-                    std::collections::BTreeMap::new();
-                let (cols, vals) = self.row(r);
-                for (&c, &v) in cols.iter().zip(vals.iter()) {
-                    let (rcols, rvals) = rhs.row(c as usize);
-                    for (&rc, &rv) in rcols.iter().zip(rvals.iter()) {
-                        *acc.entry(rc).or_insert(0.0) += v * rv;
+        let mut row_ptr = std::mem::take(&mut scratch.row_ptr);
+        let mut col_idx = std::mem::take(&mut scratch.col_idx);
+        let mut values = std::mem::take(&mut scratch.values);
+        row_ptr.clear();
+        row_ptr.resize(self.rows + 1, 0);
+        col_idx.clear();
+        values.clear();
+        self.gustavson_rows(
+            rhs,
+            0,
+            self.rows,
+            scratch,
+            &mut row_ptr[1..],
+            &mut col_idx,
+            &mut values,
+        );
+        Ok(CsrMatrix {
+            rows: self.rows,
+            cols: rhs.cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// The Gustavson row loop shared by the serial and pooled sparse-sparse
+    /// products: computes output rows `[r0, r1)`, appending column-sorted
+    /// non-zero entries to `col_idx`/`values` and writing the cumulative
+    /// entry count of each row into `row_end[r - r0]`.  Keeping one copy of
+    /// the accumulate-sort-emit rule is what guarantees the pooled product
+    /// stays bit-identical to the serial oracle.
+    #[allow(clippy::too_many_arguments)]
+    fn gustavson_rows(
+        &self,
+        rhs: &CsrMatrix,
+        r0: usize,
+        r1: usize,
+        scratch: &mut SpGemmScratch,
+        row_end: &mut [usize],
+        col_idx: &mut Vec<u32>,
+        values: &mut Vec<f32>,
+    ) {
+        debug_assert_eq!(row_end.len(), r1 - r0);
+        for r in r0..r1 {
+            scratch.prepare(rhs.cols);
+            let epoch = scratch.epoch;
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                let (rcols, rvals) = rhs.row(c as usize);
+                for (&rc, &rv) in rcols.iter().zip(rvals.iter()) {
+                    let rc_us = rc as usize;
+                    if scratch.touched[rc_us] != epoch {
+                        scratch.touched[rc_us] = epoch;
+                        scratch.acc[rc_us] = 0.0;
+                        scratch.cols.push(rc);
                     }
+                    scratch.acc[rc_us] += v * rv;
                 }
-                acc.into_iter().filter(|(_, v)| is_nonzero(*v)).collect()
-            })
-            .collect();
-        let mut row_ptr = vec![0usize; self.rows + 1];
+            }
+            scratch.cols.sort_unstable();
+            for &c in &scratch.cols {
+                let v = scratch.acc[c as usize];
+                if is_nonzero(v) {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_end[r - r0] = col_idx.len();
+        }
+    }
+
+    /// [`CsrMatrix::spgemm`] with row ranges fanned out over a
+    /// [`ThreadPool`]; each worker runs the Gustavson kernel with its own
+    /// workspace and the per-range results are stitched in row order, so the
+    /// output is identical to the serial product.
+    pub fn spgemm_pooled(&self, pool: &ThreadPool, rhs: &CsrMatrix) -> Result<CsrMatrix> {
+        if self.cols != rhs.rows() {
+            return Err(MatrixError::ShapeMismatch {
+                op: "spgemm",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if pool.is_inline() || self.rows < 2 {
+            return self.spgemm(rhs);
+        }
+        let chunk_rows = pool.chunk_rows(self.rows);
+        let chunks = self.rows.div_ceil(chunk_rows);
+        let segments: Vec<std::sync::Mutex<Option<CsrMatrix>>> =
+            (0..chunks).map(|_| std::sync::Mutex::new(None)).collect();
+        pool.run(chunks, &|ci| {
+            let r0 = ci * chunk_rows;
+            let r1 = (r0 + chunk_rows).min(self.rows);
+            let mut scratch = SpGemmScratch::new();
+            let mut seg_row_ptr = vec![0usize; r1 - r0 + 1];
+            let mut seg_cols = Vec::new();
+            let mut seg_vals = Vec::new();
+            self.gustavson_rows(
+                rhs,
+                r0,
+                r1,
+                &mut scratch,
+                &mut seg_row_ptr[1..],
+                &mut seg_cols,
+                &mut seg_vals,
+            );
+            *segments[ci].lock().expect("segment lock") = Some(CsrMatrix {
+                rows: r1 - r0,
+                cols: rhs.cols,
+                row_ptr: seg_row_ptr,
+                col_idx: seg_cols,
+                values: seg_vals,
+            });
+        });
+        // Stitch the row ranges back together in order.
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        row_ptr.push(0);
         let mut col_idx = Vec::new();
         let mut values = Vec::new();
-        for (r, row) in rows.iter().enumerate() {
-            for &(c, v) in row {
-                col_idx.push(c);
-                values.push(v);
+        for seg in segments {
+            let seg = seg
+                .into_inner()
+                .expect("segment lock")
+                .expect("every chunk index produced a segment");
+            let base = col_idx.len();
+            for w in seg.row_ptr.windows(2) {
+                row_ptr.push(base + w[1]);
             }
-            row_ptr[r + 1] = col_idx.len();
+            col_idx.extend_from_slice(&seg.col_idx);
+            values.extend_from_slice(&seg.values);
         }
         Ok(CsrMatrix {
             rows: self.rows,
@@ -481,6 +778,118 @@ mod tests {
             .to_dense();
         let want = crate::ops::gemm_reference(&a, &b).unwrap();
         assert!(got.approx_eq(&want, 1e-4));
+    }
+
+    #[test]
+    fn spmm_dense_into_reuses_the_buffer_and_matches() {
+        let a = sample_dense();
+        let b = DenseMatrix::from_fn(4, 3, |r, c| (r + c) as f32 - 1.5);
+        let csr = CsrMatrix::from_dense(&a);
+        let want = crate::ops::gemm_reference(&a, &b).unwrap();
+        let mut out = DenseMatrix::zeros(0, 0);
+        csr.spmm_dense_into(&b, &mut out).unwrap();
+        assert_eq!(out.as_slice(), want.as_slice());
+        // Second product into the same buffer overwrites cleanly.
+        csr.spmm_dense_into(&b, &mut out).unwrap();
+        assert_eq!(out.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn spmm_dense_into_pooled_matches_serial_bitwise() {
+        let pool = ThreadPool::new(3);
+        let dense = DenseMatrix::from_fn(40, 25, |r, c| {
+            if (r * 7 + c) % 5 == 0 {
+                (r + 1) as f32 * 0.3 - c as f32 * 0.1
+            } else {
+                0.0
+            }
+        });
+        let csr = CsrMatrix::from_dense(&dense);
+        let rhs = DenseMatrix::from_fn(25, 13, |r, c| (r as f32 - c as f32) * 0.25);
+        let mut serial = DenseMatrix::zeros(0, 0);
+        let mut pooled = DenseMatrix::zeros(0, 0);
+        csr.spmm_dense_into(&rhs, &mut serial).unwrap();
+        csr.spmm_dense_into_pooled(&pool, &rhs, &mut pooled)
+            .unwrap();
+        assert_eq!(serial.as_slice(), pooled.as_slice());
+    }
+
+    #[test]
+    fn spgemm_with_scratch_reuse_matches_fresh_product() {
+        let a = CsrMatrix::from_dense(&sample_dense());
+        let b = CsrMatrix::from_dense(&DenseMatrix::from_fn(4, 6, |r, c| {
+            if (r + 2 * c) % 3 == 0 {
+                1.0 + (r * c) as f32
+            } else {
+                0.0
+            }
+        }));
+        let want = a.spgemm(&b).unwrap();
+        let mut scratch = SpGemmScratch::new();
+        let first = a.spgemm_with(&b, &mut scratch).unwrap();
+        assert_eq!(first, want);
+        // Recycle the output buffers and run again: same result.
+        scratch.reclaim(first.into_parts());
+        let second = a.spgemm_with(&b, &mut scratch).unwrap();
+        assert_eq!(second, want);
+    }
+
+    #[test]
+    fn spgemm_pooled_matches_serial() {
+        let pool = ThreadPool::new(3);
+        let a = CsrMatrix::from_dense(&DenseMatrix::from_fn(37, 29, |r, c| {
+            if (r + c) % 4 == 0 {
+                (r as f32 + 1.0) / (c as f32 + 2.0)
+            } else {
+                0.0
+            }
+        }));
+        let b = CsrMatrix::from_dense(&DenseMatrix::from_fn(29, 31, |r, c| {
+            if (2 * r + c) % 5 == 0 {
+                0.5 - (r * c % 7) as f32
+            } else {
+                0.0
+            }
+        }));
+        let serial = a.spgemm(&b).unwrap();
+        let pooled = a.spgemm_pooled(&pool, &b).unwrap();
+        assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn map_retain_applies_and_compacts_in_place() {
+        let mut csr = CsrMatrix::from_dense(
+            &DenseMatrix::from_row_major(2, 3, vec![-1.0, 2.0, 0.0, 3.0, -4.0, 5.0]).unwrap(),
+        );
+        csr.map_retain(|v| v.max(0.0)); // ReLU
+        let d = csr.to_dense();
+        assert_eq!(d.get(0, 0), 0.0);
+        assert_eq!(d.get(0, 1), 2.0);
+        assert_eq!(d.get(1, 0), 3.0);
+        assert_eq!(d.get(1, 1), 0.0);
+        assert_eq!(d.get(1, 2), 5.0);
+        assert_eq!(csr.nnz(), 3);
+        // Scaling keeps every entry.
+        csr.map_retain(|v| v * 2.0);
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.to_dense().get(1, 2), 10.0);
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let csr = CsrMatrix::from_dense(&sample_dense());
+        let want = csr.clone();
+        let (rp, ci, vs) = csr.into_parts();
+        let back = CsrMatrix::from_parts(3, 4, rp, ci, vs);
+        assert_eq!(back, want);
+    }
+
+    #[test]
+    fn to_dense_into_reuses_buffer() {
+        let csr = CsrMatrix::from_dense(&sample_dense());
+        let mut out = DenseMatrix::zeros(7, 9);
+        csr.to_dense_into(&mut out);
+        assert!(out.approx_eq(&sample_dense(), 0.0));
     }
 
     #[test]

@@ -4,6 +4,22 @@ use crate::error::{MatrixError, Result};
 use crate::is_nonzero;
 use crate::layout::Layout;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Sentinel for "nnz not computed yet / invalidated".
+///
+/// The cache stores `nnz + 1`, so the sentinel is 0 — deliberately the value
+/// a `#[serde(skip)]`-ped field defaults to under a real (registry) serde
+/// build: a deserialized matrix starts with an *unknown* count rather than
+/// silently claiming zero non-zeros (which the dispatcher would turn into
+/// skipped kernels and all-zero outputs).
+const NNZ_UNKNOWN: usize = 0;
+
+/// Encodes a known nnz value for the cache.
+#[inline]
+const fn encode_nnz(nnz: usize) -> usize {
+    nnz + 1
+}
 
 /// A dense `f32` matrix.
 ///
@@ -11,12 +27,42 @@ use serde::{Deserialize, Serialize};
 /// accessors hide the layout so that algorithmic code can be written once.
 /// The layout matters for the accelerator model, which charges Layout
 /// Transformation Unit cycles when an execution mode needs the other order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The non-zero count is cached after the first [`DenseMatrix::nnz`] /
+/// [`DenseMatrix::density`] call and invalidated by every mutating accessor,
+/// so repeated density queries (the Analyzer asks per kernel per strategy)
+/// cost one atomic load instead of a full buffer scan.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct DenseMatrix {
     rows: usize,
     cols: usize,
     layout: Layout,
     data: Vec<f32>,
+    /// Cached non-zero count; `NNZ_UNKNOWN` when stale.  Atomic (not `Cell`)
+    /// so the matrix stays `Send + Sync` for plan sharing.
+    #[serde(skip)]
+    nnz_cache: AtomicUsize,
+}
+
+impl Clone for DenseMatrix {
+    fn clone(&self) -> Self {
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            layout: self.layout,
+            data: self.data.clone(),
+            nnz_cache: AtomicUsize::new(self.nnz_cache.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for DenseMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.layout == other.layout
+            && self.data == other.data
+    }
 }
 
 impl DenseMatrix {
@@ -27,6 +73,7 @@ impl DenseMatrix {
             cols,
             layout: Layout::RowMajor,
             data: vec![0.0; rows * cols],
+            nnz_cache: AtomicUsize::new(encode_nnz(0)),
         }
     }
 
@@ -37,6 +84,7 @@ impl DenseMatrix {
             cols,
             layout,
             data: vec![0.0; rows * cols],
+            nnz_cache: AtomicUsize::new(encode_nnz(0)),
         }
     }
 
@@ -53,6 +101,7 @@ impl DenseMatrix {
             cols,
             layout: Layout::RowMajor,
             data,
+            nnz_cache: AtomicUsize::new(NNZ_UNKNOWN),
         })
     }
 
@@ -69,7 +118,40 @@ impl DenseMatrix {
             cols,
             layout,
             data,
+            nnz_cache: AtomicUsize::new(NNZ_UNKNOWN),
         })
+    }
+
+    /// Marks the cached non-zero count stale; every mutating accessor calls
+    /// this.
+    #[inline]
+    fn invalidate_nnz(&self) {
+        self.nnz_cache.store(NNZ_UNKNOWN, Ordering::Relaxed);
+    }
+
+    /// Reshapes this matrix in place to a zero-filled `rows × cols` row-major
+    /// matrix, reusing the backing allocation when its capacity suffices.
+    /// This is the arena-reuse primitive: steady-state kernel outputs are
+    /// `reset` (no allocation) and then written by an `_into` kernel.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.layout = Layout::RowMajor;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.nnz_cache.store(encode_nnz(0), Ordering::Relaxed);
+    }
+
+    /// Overwrites this matrix with the contents of `other`, reusing the
+    /// backing allocation when possible (a shape-preserving `clone_from`).
+    pub fn copy_from(&mut self, other: &DenseMatrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.layout = other.layout;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+        self.nnz_cache
+            .store(other.nnz_cache.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Builds a matrix by evaluating `f(row, col)` for every element.
@@ -133,6 +215,7 @@ impl DenseMatrix {
     /// Mutable raw backing buffer (in `self.layout()` order).
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        self.invalidate_nnz();
         &mut self.data
     }
 
@@ -162,6 +245,7 @@ impl DenseMatrix {
         debug_assert!(row < self.rows && col < self.cols);
         let off = self.layout.offset(row, col, self.rows, self.cols);
         self.data[off] = value;
+        self.invalidate_nnz();
     }
 
     /// Adds `value` to element `(row, col)`.
@@ -169,6 +253,7 @@ impl DenseMatrix {
     pub fn add_assign_at(&mut self, row: usize, col: usize, value: f32) {
         let off = self.layout.offset(row, col, self.rows, self.cols);
         self.data[off] += value;
+        self.invalidate_nnz();
     }
 
     /// Copies a row into a freshly allocated vector (works for any layout).
@@ -189,9 +274,17 @@ impl DenseMatrix {
         (0..self.rows).map(|r| self.get(r, col)).collect()
     }
 
-    /// Number of non-zero elements.
+    /// Number of non-zero elements (cached after the first call).
     pub fn nnz(&self) -> usize {
-        self.data.iter().filter(|&&v| is_nonzero(v)).count()
+        let cached = self.nnz_cache.load(Ordering::Relaxed);
+        if cached != NNZ_UNKNOWN {
+            return cached - 1;
+        }
+        let nnz = self.data.iter().filter(|&&v| is_nonzero(v)).count();
+        // A racing writer may store NNZ_UNKNOWN concurrently; both outcomes
+        // are valid (either the fresh count or a re-scan on the next call).
+        self.nnz_cache.store(encode_nnz(nnz), Ordering::Relaxed);
+        nnz
     }
 
     /// Density = nnz / (rows * cols); an empty matrix has density 0.
@@ -255,6 +348,7 @@ impl DenseMatrix {
             cols: self.cols,
             layout: self.layout,
             data: self.data.iter().map(|&v| f(v)).collect(),
+            nnz_cache: AtomicUsize::new(NNZ_UNKNOWN),
         }
     }
 
@@ -263,6 +357,7 @@ impl DenseMatrix {
         for v in &mut self.data {
             *v = f(*v);
         }
+        self.invalidate_nnz();
     }
 
     /// Element-wise sum of two matrices.
@@ -297,6 +392,7 @@ impl DenseMatrix {
                 self.add_assign_at(r, c, other.get(r, c));
             }
         }
+        self.invalidate_nnz();
         Ok(())
     }
 
@@ -465,6 +561,44 @@ mod tests {
     #[test]
     fn size_bytes_counts_dense_payload() {
         assert_eq!(sample().size_bytes(), 6 * 4);
+    }
+
+    #[test]
+    fn nnz_cache_tracks_mutation() {
+        let mut m = sample();
+        assert_eq!(m.nnz(), 3);
+        // Cached value is used and stays correct after mutation.
+        m.set(0, 1, 7.0);
+        assert_eq!(m.nnz(), 4);
+        m.add_assign_at(0, 1, -7.0);
+        assert_eq!(m.nnz(), 3);
+        m.map_inplace(|_| 0.0);
+        assert_eq!(m.nnz(), 0);
+        m.as_mut_slice()[0] = 5.0;
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn reset_reuses_capacity_and_zeroes() {
+        let mut m = DenseMatrix::from_row_major(4, 4, vec![1.0; 16]).unwrap();
+        let ptr = m.as_slice().as_ptr();
+        m.reset(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.layout(), Layout::RowMajor);
+        assert_eq!(m.nnz(), 0);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        // Shrinking reuses the allocation.
+        assert_eq!(m.as_slice().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let src = sample().to_layout(Layout::ColMajor);
+        let mut dst = DenseMatrix::zeros(9, 9);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.layout(), Layout::ColMajor);
+        assert_eq!(dst.nnz(), src.nnz());
     }
 
     #[test]

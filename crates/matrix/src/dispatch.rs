@@ -1,0 +1,135 @@
+//! Host-side kernel dispatch policy: densities → execution mode.
+//!
+//! The paper's Analyzer picks the execution primitive of every block product
+//! from the *runtime-measured* operand densities using the closed-form
+//! regions of Table IV: GEMM when `min(α_X, α_Y) ≥ 1/2`, SpDMM when the
+//! denser operand clears `2 / p_sys`, SPMM otherwise, and *skip* when an
+//! operand is empty.  [`DispatchPolicy`] applies the same regions to the
+//! host executor's whole-kernel products, so the strategy the runtime system
+//! models for the accelerator also changes which *host* kernel actually
+//! runs: the blocked dense GEMM, the sparse-dense row kernel, or the
+//! Gustavson sparse-sparse kernel (see `dynasparse-model`'s dispatching
+//! executor).
+
+use serde::{Deserialize, Serialize};
+
+/// The host execution mode chosen for one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HostPrimitive {
+    /// Dense × dense: blocked register-tiled GEMM.
+    Gemm,
+    /// Sparse × dense: CSR row kernel (scatter-gather paradigm).
+    SpDmm,
+    /// Sparse × sparse: Gustavson row-wise product.
+    Spmm,
+    /// An operand is empty; the kernel output is all zeros.
+    Skip,
+}
+
+impl HostPrimitive {
+    /// Stable lowercase label for logs and bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            HostPrimitive::Gemm => "gemm",
+            HostPrimitive::SpDmm => "spdmm",
+            HostPrimitive::Spmm => "spmm",
+            HostPrimitive::Skip => "skip",
+        }
+    }
+}
+
+/// The density thresholds of the dispatch decision (Table IV regions).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DispatchPolicy {
+    /// GEMM wins when `min(α_X, α_Y)` is at least this (paper: 1/2).
+    pub gemm_min_density: f64,
+    /// SpDMM wins when `max(α_X, α_Y)` is at least this (paper: 2/p_sys);
+    /// below it both operands are sparse enough for SPMM.
+    pub spdmm_max_density: f64,
+    /// A sparse-sparse product keeps its output in CSR form when the output
+    /// density stays below this; denser outputs are materialised into the
+    /// dense arena buffer.
+    pub sparse_output_threshold: f64,
+}
+
+impl DispatchPolicy {
+    /// The regions of the paper's analytical model for an ALU array of
+    /// dimension `psys` (Section VI-A): GEMM iff `α_min ≥ 1/2`, SpDMM iff
+    /// `α_max ≥ 2/psys`, SPMM otherwise.
+    pub fn from_regions(psys: usize) -> Self {
+        DispatchPolicy {
+            gemm_min_density: 0.5,
+            spdmm_max_density: 2.0 / psys.max(2) as f64,
+            sparse_output_threshold: 0.25,
+        }
+    }
+
+    /// Picks the host execution mode for one kernel-level product `X × Y`
+    /// with operand densities `alpha_x` and `alpha_y`.
+    pub fn decide(&self, alpha_x: f64, alpha_y: f64) -> HostPrimitive {
+        let alpha_min = alpha_x.min(alpha_y).clamp(0.0, 1.0);
+        let alpha_max = alpha_x.max(alpha_y).clamp(0.0, 1.0);
+        if alpha_min <= 0.0 {
+            HostPrimitive::Skip
+        } else if alpha_min >= self.gemm_min_density {
+            HostPrimitive::Gemm
+        } else if alpha_max >= self.spdmm_max_density {
+            HostPrimitive::SpDmm
+        } else {
+            HostPrimitive::Spmm
+        }
+    }
+
+    /// Whether a sparse-sparse output of the given density should stay in
+    /// CSR form.
+    pub fn keep_sparse_output(&self, output_density: f64) -> bool {
+        output_density < self.sparse_output_threshold
+    }
+}
+
+impl Default for DispatchPolicy {
+    /// The paper's default accelerator has a 16×16 ALU array.
+    fn default() -> Self {
+        DispatchPolicy::from_regions(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_match_the_analytical_model() {
+        let p = DispatchPolicy::from_regions(16);
+        assert_eq!(p.decide(0.9, 0.8), HostPrimitive::Gemm);
+        assert_eq!(p.decide(0.5, 0.5), HostPrimitive::Gemm);
+        assert_eq!(p.decide(0.05, 0.9), HostPrimitive::SpDmm);
+        assert_eq!(p.decide(0.9, 0.05), HostPrimitive::SpDmm);
+        assert_eq!(p.decide(0.01, 0.05), HostPrimitive::Spmm);
+        assert_eq!(p.decide(0.0, 0.5), HostPrimitive::Skip);
+        assert_eq!(p.decide(0.5, 0.0), HostPrimitive::Skip);
+    }
+
+    #[test]
+    fn psys_moves_the_spdmm_boundary() {
+        let wide = DispatchPolicy::from_regions(64); // 2/64 = 0.03125
+        assert_eq!(wide.decide(0.02, 0.04), HostPrimitive::SpDmm);
+        let narrow = DispatchPolicy::from_regions(4); // 2/4 = 0.5
+        assert_eq!(narrow.decide(0.02, 0.04), HostPrimitive::Spmm);
+    }
+
+    #[test]
+    fn sparse_output_retention_uses_the_threshold() {
+        let p = DispatchPolicy::default();
+        assert!(p.keep_sparse_output(0.1));
+        assert!(!p.keep_sparse_output(0.3));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(HostPrimitive::Gemm.label(), "gemm");
+        assert_eq!(HostPrimitive::SpDmm.label(), "spdmm");
+        assert_eq!(HostPrimitive::Spmm.label(), "spmm");
+        assert_eq!(HostPrimitive::Skip.label(), "skip");
+    }
+}

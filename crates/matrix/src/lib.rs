@@ -34,20 +34,24 @@
 pub mod coo;
 pub mod csr;
 pub mod dense;
+pub mod dispatch;
 pub mod error;
 pub mod format;
 pub mod layout;
 pub mod ops;
 pub mod partition;
+pub mod pool;
 pub mod profile;
 pub mod random;
 
 pub use coo::{CooEntry, CooMatrix};
-pub use csr::CsrMatrix;
+pub use csr::{CsrMatrix, SpGemmScratch};
 pub use dense::DenseMatrix;
+pub use dispatch::{DispatchPolicy, HostPrimitive};
 pub use error::{MatrixError, Result};
 pub use layout::Layout;
 pub use partition::{BlockGrid, BlockIndex, PartitionSpec};
+pub use pool::ThreadPool;
 pub use profile::{density, DensityProfile};
 
 /// Canonical zero tolerance: an element whose absolute value is below this

@@ -20,6 +20,7 @@ use crate::coo::CooMatrix;
 use crate::dense::DenseMatrix;
 use crate::error::{MatrixError, Result};
 use crate::layout::Layout;
+use crate::pool::ThreadPool;
 use rayon::prelude::*;
 
 fn check_shapes(op: &'static str, x: (usize, usize), y: (usize, usize)) -> Result<()> {
@@ -75,6 +76,107 @@ pub fn gemm_parallel(x: &DenseMatrix, y: &DenseMatrix) -> Result<DenseMatrix> {
         }
     });
     DenseMatrix::from_row_major(m, d, out)
+}
+
+/// Register-tile width of the blocked GEMM: one output-row tile of this many
+/// columns is accumulated on the stack while the `k` dimension streams by.
+const GEMM_TILE: usize = 32;
+
+/// The blocked i-k-j GEMM inner kernel over raw row-major buffers.
+///
+/// Computes output rows `[row0, row0 + out_rows.len() / d)` of `Z = X × Y`
+/// into `out_rows`.  The output row is tiled into [`GEMM_TILE`]-wide register
+/// blocks; for each tile the `k` loop streams the corresponding slice of
+/// `Y`'s rows while the partial sums stay in a stack-resident accumulator.
+/// Zero elements of `X` are skipped, so per-element accumulation order (and
+/// with it the floating-point result) is bit-identical to
+/// [`gemm_reference`] — the blocking only changes *when* each tile is
+/// computed, never the `k`-order within an output element.
+fn gemm_block_rm(x: &[f32], y: &[f32], out_rows: &mut [f32], row0: usize, n: usize, d: usize) {
+    debug_assert_eq!(out_rows.len() % d.max(1), 0);
+    let rows = out_rows.len().checked_div(d).unwrap_or(0);
+    for i in 0..rows {
+        let xrow = &x[(row0 + i) * n..(row0 + i + 1) * n];
+        let orow = &mut out_rows[i * d..(i + 1) * d];
+        let mut j0 = 0;
+        while j0 < d {
+            let jw = GEMM_TILE.min(d - j0);
+            let mut acc = [0.0f32; GEMM_TILE];
+            for (k, &xv) in xrow.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                let yrow = &y[k * d + j0..k * d + j0 + jw];
+                for (a, &yv) in acc[..jw].iter_mut().zip(yrow.iter()) {
+                    *a += xv * yv;
+                }
+            }
+            orow[j0..j0 + jw].copy_from_slice(&acc[..jw]);
+            j0 += jw;
+        }
+    }
+}
+
+/// Dense × dense product written into a caller-provided output matrix.
+///
+/// `out` is reshaped in place (reusing its allocation when the capacity
+/// suffices) — the zero-allocation building block of the arena executor.
+/// Both operands are consumed through a row-major fast path; a column-major
+/// operand falls back to an internal layout copy (cold path, allocates).
+/// The result is bit-identical to [`gemm_reference`].
+pub fn gemm_into(x: &DenseMatrix, y: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
+    gemm_into_with(None, x, y, out)
+}
+
+/// [`gemm_into`] with output rows fanned out over a [`ThreadPool`].
+pub fn gemm_into_pooled(
+    pool: &ThreadPool,
+    x: &DenseMatrix,
+    y: &DenseMatrix,
+    out: &mut DenseMatrix,
+) -> Result<()> {
+    gemm_into_with(Some(pool), x, y, out)
+}
+
+fn gemm_into_with(
+    pool: Option<&ThreadPool>,
+    x: &DenseMatrix,
+    y: &DenseMatrix,
+    out: &mut DenseMatrix,
+) -> Result<()> {
+    check_shapes("gemm_into", x.shape(), y.shape())?;
+    let (m, n) = x.shape();
+    let d = y.cols();
+    out.reset(m, d);
+    if m == 0 || d == 0 {
+        return Ok(());
+    }
+    // Row-major fast path; column-major operands take a one-off copy.
+    let x_rm;
+    let xs = if x.layout() == Layout::RowMajor {
+        x.as_slice()
+    } else {
+        x_rm = x.to_layout(Layout::RowMajor);
+        x_rm.as_slice()
+    };
+    let y_rm;
+    let ys = if y.layout() == Layout::RowMajor {
+        y.as_slice()
+    } else {
+        y_rm = y.to_layout(Layout::RowMajor);
+        y_rm.as_slice()
+    };
+    let out_slice = out.as_mut_slice();
+    match pool {
+        Some(pool) if !pool.is_inline() => {
+            let chunk_rows = pool.chunk_rows(m);
+            pool.for_each_chunk_mut(out_slice, chunk_rows * d, |ci, chunk| {
+                gemm_block_rm(xs, ys, chunk, ci * chunk_rows, n, d);
+            });
+        }
+        _ => gemm_block_rm(xs, ys, out_slice, 0, n, d),
+    }
+    Ok(())
 }
 
 /// Sparse × dense product with the scatter-gather paradigm of Algorithm 5.
@@ -172,6 +274,63 @@ mod tests {
         let i = DenseMatrix::identity(23);
         let z = gemm_reference(&x, &i).unwrap();
         assert!(z.approx_eq(&x, 1e-5));
+    }
+
+    #[test]
+    fn gemm_into_is_bit_identical_to_reference() {
+        for (seed, dx, dy) in [(7, 1.0, 1.0), (8, 0.3, 0.9), (9, 0.05, 0.5)] {
+            let (x, y) = dense_pair(seed, dx, dy);
+            let want = gemm_reference(&x, &y).unwrap();
+            let mut out = DenseMatrix::zeros(0, 0);
+            gemm_into(&x, &y, &mut out).unwrap();
+            assert_eq!(out.as_slice(), want.as_slice(), "seed {seed}");
+            // Reuse the buffer: a second product must overwrite, not mix.
+            gemm_into(&y.transpose(), &x.transpose(), &mut out).unwrap();
+            let want_t = gemm_reference(&y.transpose(), &x.transpose()).unwrap();
+            assert_eq!(out.as_slice(), want_t.as_slice());
+        }
+    }
+
+    #[test]
+    fn gemm_into_handles_column_major_operands() {
+        let (x, y) = dense_pair(10, 0.6, 0.7);
+        let xc = x.to_layout(Layout::ColMajor);
+        let yc = y.to_layout(Layout::ColMajor);
+        let want = gemm_reference(&x, &y).unwrap();
+        let mut out = DenseMatrix::zeros(0, 0);
+        gemm_into(&xc, &yc, &mut out).unwrap();
+        assert!(out.approx_eq(&want, 1e-5));
+    }
+
+    #[test]
+    fn gemm_into_pooled_matches_serial_bitwise() {
+        let pool = crate::pool::ThreadPool::new(3);
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = random_dense(&mut rng, 67, 45, 0.4);
+        let y = random_dense(&mut rng, 45, 33, 0.8);
+        let mut serial = DenseMatrix::zeros(0, 0);
+        let mut pooled = DenseMatrix::zeros(0, 0);
+        gemm_into(&x, &y, &mut serial).unwrap();
+        gemm_into_pooled(&pool, &x, &y, &mut pooled).unwrap();
+        assert_eq!(serial.as_slice(), pooled.as_slice());
+    }
+
+    #[test]
+    fn gemm_into_wide_output_exercises_tiling() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let x = random_dense(&mut rng, 9, 40, 0.5);
+        let y = random_dense(&mut rng, 40, 3 * GEMM_TILE + 5, 0.9);
+        let want = gemm_reference(&x, &y).unwrap();
+        let mut out = DenseMatrix::zeros(0, 0);
+        gemm_into(&x, &y, &mut out).unwrap();
+        assert_eq!(out.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn gemm_into_shape_mismatch_is_detected() {
+        let x = DenseMatrix::zeros(3, 4);
+        let y = DenseMatrix::zeros(5, 2);
+        assert!(gemm_into(&x, &y, &mut DenseMatrix::zeros(0, 0)).is_err());
     }
 
     #[test]

@@ -1,0 +1,386 @@
+//! A small persistent thread pool for row-parallel host kernels.
+//!
+//! The vendored offline `rayon` stand-in is sequential, so data parallelism
+//! inside one kernel needs its own mechanism.  [`ThreadPool`] hand-rolls the
+//! same pattern the serving runtime (`dynasparse-serve`) uses for
+//! request-level parallelism — plain `std::thread` workers parked on a
+//! condvar — but at the *kernel* level: a [`ThreadPool::run`] call fans a
+//! closure out over a range of task indices (typically contiguous chunks of
+//! output rows), the caller participates in the work, and the call returns
+//! only when every index has been executed.
+//!
+//! Design points:
+//!
+//! * **Persistent** — workers are spawned once and reused across kernel
+//!   invocations, so the steady-state hot path performs no thread spawns and
+//!   no heap allocation beyond one `Arc` per `run` call.
+//! * **Borrow-friendly** — the closure may borrow the caller's stack (the
+//!   output buffer of an `_into` kernel); `run` does not return while any
+//!   worker can still observe the closure, which is what makes the internal
+//!   lifetime transmute sound.
+//! * **Degenerate-safe** — a pool of size 1 (or a `run` over 0 or 1 tasks)
+//!   executes inline on the caller's thread with no synchronization at all,
+//!   so single-core containers pay nothing for the abstraction.
+//!
+//! The process-wide pool used by the dispatching kernels is
+//! [`ThreadPool::global`], sized from `std::thread::available_parallelism`
+//! and overridable with the `DYNASPARSE_THREADS` environment variable
+//! (useful to exercise the pooled code paths deterministically in tests).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// One fanned-out kernel invocation: a closure plus the claim/completion
+/// counters that let every participating thread pull task indices until the
+/// range is exhausted.
+struct Job {
+    /// The user closure, as a raw pointer because workers may hold the
+    /// `Arc<Job>` slightly past the owning [`ThreadPool::run`] call (a raw
+    /// pointer may dangle; a reference may not).  Soundness of dereferencing
+    /// comes from `run` blocking until `remaining` hits zero, i.e. until no
+    /// thread will touch `f` again.
+    f: *const (dyn Fn(usize) + Sync),
+    /// Next unclaimed task index.
+    next: AtomicUsize,
+    /// Total number of task indices.
+    total: usize,
+    /// Task executions not yet finished; `run` returns at zero.
+    remaining: AtomicUsize,
+    /// First captured panic payload; re-raised on the caller so the original
+    /// assertion message/location is preserved.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+// SAFETY: the closure behind `f` is `Sync` (shared execution is safe) and is
+// only dereferenced while the owning `run` call keeps it alive (see `work`);
+// the counters are atomics.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and executes task indices until the range is exhausted.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return;
+            }
+            // SAFETY: an index below `total` was claimed, so `remaining` has
+            // not reached zero yet and the owning `run` call is still
+            // blocked, keeping the closure alive.
+            let f = unsafe { &*self.f };
+            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
+                let mut slot = self.panic.lock().expect("panic slot");
+                slot.get_or_insert(payload);
+            }
+            self.remaining.fetch_sub(1, Ordering::Release);
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+}
+
+struct Shared {
+    /// Jobs waiting for (or being drained by) workers.  A job stays in the
+    /// queue until some thread observes its index range exhausted.
+    queue: Mutex<Vec<Arc<Job>>>,
+    /// Signals workers that the queue changed or the pool is shutting down.
+    bell: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A persistent pool of worker threads executing row-parallel kernel bodies.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(pos) = queue
+                    .iter()
+                    .position(|j| j.next.load(Ordering::Relaxed) < j.total)
+                {
+                    break Some(Arc::clone(&queue[pos]));
+                }
+                // Drop exhausted jobs so their (transmuted) closures cannot
+                // outlive the `run` call that owns them longer than needed.
+                queue.retain(|j| !j.done());
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    break None;
+                }
+                queue = shared.bell.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        match job {
+            Some(job) => job.work(),
+            None => return,
+        }
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool that executes `run` bodies on `threads` threads in
+    /// total: `threads - 1` background workers plus the calling thread.
+    /// `threads <= 1` creates a pool that always runs inline.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Vec::new()),
+            bell: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dynasparse-kernel-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("failed to spawn kernel pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// The process-wide pool the dispatching kernels use, sized from
+    /// `DYNASPARSE_THREADS` (if set) or `available_parallelism`.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let threads = std::env::var("DYNASPARSE_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&t| t >= 1)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|p| p.get())
+                        .unwrap_or(1)
+                });
+            ThreadPool::new(threads)
+        })
+    }
+
+    /// Number of threads that participate in a `run` (workers + caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when `run` executes everything inline on the caller.
+    pub fn is_inline(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Executes `f(0..tasks)` across the pool, returning when every index
+    /// has been executed.  The closure may borrow the caller's stack; it is
+    /// never observed after `run` returns.  Panics in `f` are surfaced as a
+    /// panic on the caller once all indices finish.
+    pub fn run(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        if self.workers.is_empty() || tasks == 1 {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+        // `run` does not return before `remaining == 0`, i.e. before the
+        // last `f(i)` call has finished; workers holding the Arc afterwards
+        // only read the atomic counters, never the (then dangling) pointer.
+        // SAFETY (lifetime erasure): the pointer is only dereferenced while
+        // this call keeps the closure alive (see `Job::work`).
+        let f_erased: *const (dyn Fn(usize) + Sync + 'static) =
+            unsafe { std::mem::transmute(f as *const (dyn Fn(usize) + Sync)) };
+        let job = Arc::new(Job {
+            f: f_erased,
+            next: AtomicUsize::new(0),
+            total: tasks,
+            remaining: AtomicUsize::new(tasks),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            queue.push(Arc::clone(&job));
+        }
+        self.shared.bell.notify_all();
+        // The caller is a full participant: it claims indices like any
+        // worker, then spin-waits the (short) tail where other workers are
+        // finishing their last claimed index.
+        job.work();
+        let mut spins = 0u32;
+        while !job.done() {
+            // Short spin for the common sub-microsecond tail, then yield so
+            // an oversubscribed host (serve workers sharing this pool) hands
+            // the core to the worker still finishing its last chunk.
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        let payload = job.panic.lock().expect("panic slot").take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Rows per parallel chunk for a row-parallel kernel over `rows` output
+    /// rows: small enough to balance skewed rows across workers, large
+    /// enough to amortize dispatch.  Shared by every pooled `_into` kernel
+    /// so the chunking heuristic lives in one place.
+    pub fn chunk_rows(&self, rows: usize) -> usize {
+        rows.div_ceil(self.threads.max(1) * 4).max(8)
+    }
+
+    /// Splits `data` into contiguous chunks of `chunk_len` elements and runs
+    /// `f(chunk_index, chunk)` for each across the pool.  This is the shape
+    /// every row-parallel `_into` kernel uses: `data` is the row-major output
+    /// buffer and `chunk_len` a multiple of the row width, so chunks are
+    /// disjoint row ranges.
+    pub fn for_each_chunk_mut<F>(&self, data: &mut [f32], chunk_len: usize, f: F)
+    where
+        F: Fn(usize, &mut [f32]) + Sync,
+    {
+        let chunk_len = chunk_len.max(1);
+        let chunks = data.len().div_ceil(chunk_len);
+        if chunks <= 1 || self.workers.is_empty() {
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        let base = data.as_mut_ptr() as usize;
+        let len = data.len();
+        self.run(chunks, &|i| {
+            let lo = i * chunk_len;
+            let hi = (lo + chunk_len).min(len);
+            // SAFETY: chunk ranges [lo, hi) are disjoint per index and within
+            // `len`; the underlying buffer outlives `run` (it is borrowed by
+            // the caller across the call).
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut((base as *mut f32).add(lo), hi - lo) };
+            f(i, chunk);
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.bell.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_pool_runs_everything_on_the_caller() {
+        let pool = ThreadPool::new(1);
+        assert!(pool.is_inline());
+        let hits = AtomicUsize::new(0);
+        pool.run(17, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 17);
+    }
+
+    #[test]
+    fn pooled_run_executes_each_index_exactly_once() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let counts: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..10 {
+            pool.run(counts.len(), &|i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 10);
+        }
+    }
+
+    #[test]
+    fn chunked_run_covers_the_buffer_disjointly() {
+        let pool = ThreadPool::new(3);
+        let mut data = vec![0.0f32; 1003];
+        pool.for_each_chunk_mut(&mut data, 64, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1.0 + i as f32;
+            }
+        });
+        for (k, &v) in data.iter().enumerate() {
+            assert_eq!(v, 1.0 + (k / 64) as f32, "element {k}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_runs() {
+        let pool = ThreadPool::new(2);
+        let total = AtomicUsize::new(0);
+        for round in 0..100 {
+            pool.run(round % 7, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let expected: usize = (0..100).map(|r| r % 7).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn task_panics_propagate_with_their_payload() {
+        let pool = ThreadPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 3 {
+                    panic!("task 3 exploded");
+                }
+            });
+        }))
+        .expect_err("the task panic must surface on the caller");
+        let msg = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| caught.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("task 3 exploded"), "payload lost: {msg:?}");
+        // The pool survives a panicked job.
+        let hits = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = ThreadPool::global() as *const ThreadPool;
+        let b = ThreadPool::global() as *const ThreadPool;
+        assert_eq!(a, b);
+    }
+}

@@ -27,7 +27,7 @@ pub fn density(values: &[f32]) -> f64 {
 /// Density profile of a matrix over a block grid: the density of every block
 /// plus aggregate statistics.  The profile is the information the runtime
 /// system consumes for its kernel-to-primitive decisions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DensityProfile {
     rows: usize,
     cols: usize,
@@ -80,6 +80,69 @@ impl DensityProfile {
             .map(|b| m.block_nnz(b.row_start, b.row_end, b.col_start, b.col_end))
             .collect();
         DensityProfile::from_parts(m.shape(), grid, block_nnz)
+    }
+
+    /// Recomputes this profile in place for a dense matrix, reusing the
+    /// per-block counter allocation (zero-allocation once the counters have
+    /// grown to the largest grid seen).  Unlike [`DensityProfile::of_dense`],
+    /// which visits block by block through the layout-generic accessor, this
+    /// makes a single pass over the rows through the row-major fast path —
+    /// it is the per-kernel runtime Sparsity Profiler of the serving hot
+    /// path.  The resulting profile is identical to `of_dense`.
+    pub fn refit_dense(&mut self, m: &DenseMatrix, grid: &BlockGrid) {
+        self.refit_header(m.shape(), grid);
+        let gc = self.grid_cols;
+        let bc = self.block_cols.max(1);
+        let br = self.block_rows.max(1);
+        for r in 0..m.rows() {
+            let base = (r / br) * gc;
+            match m.row_slice(r) {
+                Some(row) => {
+                    // One count per block-column segment: the branch-free
+                    // per-chunk count vectorizes, and the block index needs
+                    // no per-element division.
+                    for (bi, chunk) in row.chunks(bc).enumerate() {
+                        let cnt = chunk.iter().filter(|&&v| is_nonzero(v)).count();
+                        self.block_nnz[base + bi] += cnt;
+                    }
+                }
+                None => {
+                    for c in 0..m.cols() {
+                        if is_nonzero(m.get(r, c)) {
+                            self.block_nnz[base + c / bc] += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recomputes this profile in place for a CSR matrix (see
+    /// [`DensityProfile::refit_dense`]); one pass over the stored entries,
+    /// identical to [`DensityProfile::of_csr`].
+    pub fn refit_csr(&mut self, m: &CsrMatrix, grid: &BlockGrid) {
+        self.refit_header(m.shape(), grid);
+        let gc = self.grid_cols;
+        let bc = self.block_cols.max(1);
+        let br = self.block_rows.max(1);
+        for r in 0..m.rows() {
+            let base = (r / br) * gc;
+            let (cols, _) = m.row(r);
+            for &c in cols {
+                self.block_nnz[base + c as usize / bc] += 1;
+            }
+        }
+    }
+
+    fn refit_header(&mut self, shape: (usize, usize), grid: &BlockGrid) {
+        self.rows = shape.0;
+        self.cols = shape.1;
+        self.block_rows = grid.block_rows();
+        self.block_cols = grid.block_cols();
+        self.grid_rows = grid.grid_rows();
+        self.grid_cols = grid.grid_cols();
+        self.block_nnz.clear();
+        self.block_nnz.resize(self.grid_rows * self.grid_cols, 0);
     }
 
     fn from_parts(shape: (usize, usize), grid: &BlockGrid, block_nnz: Vec<usize>) -> Self {

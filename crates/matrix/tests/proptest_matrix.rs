@@ -3,9 +3,21 @@
 //! preserve the mathematical content for arbitrary inputs.
 
 use dynasparse_matrix::format::{dense_to_coo, FormatTransformConfig};
-use dynasparse_matrix::ops::{gemm_reference, spdmm_reference, spmm_reference};
-use dynasparse_matrix::{BlockGrid, CooMatrix, CsrMatrix, DenseMatrix, DensityProfile, Layout};
+use dynasparse_matrix::ops::{
+    gemm_into, gemm_into_pooled, gemm_reference, spdmm_reference, spmm_reference,
+};
+use dynasparse_matrix::{
+    BlockGrid, CooMatrix, CsrMatrix, DenseMatrix, DensityProfile, Layout, ThreadPool,
+};
 use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A shared multi-threaded pool so the pooled kernel routes are exercised
+/// even on single-core hosts.
+fn test_pool() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| ThreadPool::new(3))
+}
 
 /// Strategy: a random dense matrix with the given maximum dimensions and a
 /// random per-element zero probability (so we cover very sparse and very
@@ -96,6 +108,55 @@ proptest! {
         let want = gemm_reference(&x, &y).unwrap();
         let got = CsrMatrix::from_dense(&x).spmm_dense(&y).unwrap();
         prop_assert!(got.approx_eq(&want, 1e-3));
+    }
+
+    #[test]
+    fn all_dispatch_routes_agree_with_gemm_reference(
+        x in dense_matrix(14, 11),
+        y in dense_matrix(11, 9),
+    ) {
+        // Random (m, n, d, alpha_x, alpha_y): the dense-matrix strategy
+        // already randomises shapes and densities (including empty
+        // operands). Force compatible inner dimensions, then check every
+        // host dispatch route — dense, sparse-dense, sparse-sparse, their
+        // `_into` variants, serial and pooled — against the reference GEMM.
+        let y = y.submatrix_padded(0, x.cols(), 0, y.cols());
+        let want = gemm_reference(&x, &y).unwrap();
+        let xs = CsrMatrix::from_dense(&x);
+        let ys = CsrMatrix::from_dense(&y);
+        let pool = test_pool();
+
+        // Dense route (blocked GEMM), serial + pooled.
+        let mut out = DenseMatrix::zeros(0, 0);
+        gemm_into(&x, &y, &mut out).unwrap();
+        prop_assert!(out.approx_eq(&want, 1e-4));
+        gemm_into_pooled(pool, &x, &y, &mut out).unwrap();
+        prop_assert!(out.approx_eq(&want, 1e-4));
+
+        // Sparse-dense route (host SpDMM), serial + pooled.
+        xs.spmm_dense_into(&y, &mut out).unwrap();
+        prop_assert!(out.approx_eq(&want, 1e-4));
+        xs.spmm_dense_into_pooled(pool, &y, &mut out).unwrap();
+        prop_assert!(out.approx_eq(&want, 1e-4));
+
+        // Sparse-sparse route (Gustavson SPMM), serial + pooled.
+        prop_assert!(xs.spgemm(&ys).unwrap().to_dense().approx_eq(&want, 1e-4));
+        prop_assert!(xs.spgemm_pooled(pool, &ys).unwrap().to_dense().approx_eq(&want, 1e-4));
+    }
+
+    #[test]
+    fn refit_profiles_match_allocating_profiles(
+        m in dense_matrix(24, 24),
+        block_rows in 1usize..=8,
+        block_cols in 1usize..=8,
+    ) {
+        let grid = BlockGrid::new(m.rows(), m.cols(), block_rows, block_cols);
+        let mut scratch = DensityProfile::default();
+        scratch.refit_dense(&m, &grid);
+        prop_assert_eq!(&scratch, &DensityProfile::of_dense(&m, &grid));
+        let csr = CsrMatrix::from_dense(&m);
+        scratch.refit_csr(&csr, &grid);
+        prop_assert_eq!(&scratch, &DensityProfile::of_csr(&csr, &grid));
     }
 
     #[test]

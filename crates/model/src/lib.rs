@@ -24,6 +24,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod activation;
+pub mod arena;
 pub mod error;
 pub mod kernel;
 pub mod models;
@@ -31,8 +32,9 @@ pub mod pruning;
 pub mod reference;
 
 pub use activation::Activation;
+pub use arena::{KernelArena, KernelDispatcher};
 pub use error::{LayerError, ModelError};
 pub use kernel::{KernelInput, KernelOp, KernelSpec, LayerSpec};
 pub use models::{GnnModel, GnnModelKind};
 pub use pruning::{prune_magnitude, prune_model};
-pub use reference::{prepare_adjacencies, DensityTrace, ReferenceExecutor, StageDensity};
+pub use reference::{prepare_adjacencies, DensityTrace, ReferenceExecutor, StageDensity, StageOp};

@@ -24,6 +24,41 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// The kernel kind of a density-trace stage.
+///
+/// A `Copy` enum rather than a `String` so recording a stage allocates
+/// nothing; the serde names are the exact strings (`"Aggregate"` /
+/// `"Update"`) the former `String` field serialized to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageOp {
+    /// An Aggregate kernel (`A × H`).
+    Aggregate,
+    /// An Update kernel (`H × W`).
+    Update,
+}
+
+impl StageOp {
+    /// Stable display label, identical to the serialized name.
+    pub fn label(self) -> &'static str {
+        match self {
+            StageOp::Aggregate => "Aggregate",
+            StageOp::Update => "Update",
+        }
+    }
+}
+
+impl std::fmt::Display for StageOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl PartialEq<&str> for StageOp {
+    fn eq(&self, other: &&str) -> bool {
+        self.label() == *other
+    }
+}
+
 /// Density of the feature matrix after one kernel (one bar of Fig. 2).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StageDensity {
@@ -31,8 +66,8 @@ pub struct StageDensity {
     pub layer: usize,
     /// Kernel index within the layer.
     pub kernel: usize,
-    /// `"Aggregate"` or `"Update"`.
-    pub op: String,
+    /// Which kernel kind produced the stage.
+    pub op: StageOp,
     /// Density of the kernel's output feature matrix (after its activation).
     pub density: f64,
 }
@@ -96,6 +131,11 @@ impl ReferenceExecutor {
     /// The normalized adjacency matrix for `aggregator`, if the model uses it.
     pub fn adjacency(&self, aggregator: AggregatorKind) -> Option<&CsrMatrix> {
         self.adjacencies.get(&aggregator)
+    }
+
+    /// The model this executor runs.
+    pub fn model(&self) -> &GnnModel {
+        &self.model
     }
 
     /// Executes a single kernel on `input`, returning its activated output.
@@ -175,9 +215,9 @@ impl ReferenceExecutor {
                 layer,
                 kernel,
                 op: if spec.op.is_aggregate() {
-                    "Aggregate".to_string()
+                    StageOp::Aggregate
                 } else {
-                    "Update".to_string()
+                    StageOp::Update
                 },
                 density: out.density(),
             });

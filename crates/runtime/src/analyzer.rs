@@ -149,8 +149,11 @@ impl Analyzer {
                 .sum()
         };
         let cache_y = y_total_bytes <= self.core.config().operand_cache_bytes;
-        let mut y_loaded: std::collections::HashSet<(usize, usize)> =
-            std::collections::HashSet::new();
+        // Residency map of the stationary operand's blocks: a flat bitmap
+        // indexed by grid position (a hash set per kernel costs a SipHash
+        // per block product on the serving hot path).
+        let (y_grid_rows, y_grid_cols) = y_profile.grid_shape();
+        let mut y_loaded = vec![false; y_grid_rows * y_grid_cols];
 
         // Output partition shape: rows from the X operand tiling, cols from
         // the Y operand tiling.
@@ -186,14 +189,16 @@ impl Analyzer {
                     // Preserve the mode-switch cycle the core added.
                     exec.compute_cycles = forced + 1;
                 }
-                if decision.primitive.is_some()
-                    && cache_y
-                    && !y_loaded.insert((pair.y.grid_row, pair.y.grid_col))
-                {
-                    // Stationary operand already resident on-chip.
-                    exec.load_cycles = exec
-                        .load_cycles
-                        .saturating_sub(self.core.operand_load_cycles(&y));
+                if decision.primitive.is_some() && cache_y {
+                    let slot = &mut y_loaded[pair.y.grid_row * y_grid_cols + pair.y.grid_col];
+                    if *slot {
+                        // Stationary operand already resident on-chip.
+                        exec.load_cycles = exec
+                            .load_cycles
+                            .saturating_sub(self.core.operand_load_cycles(&y));
+                    } else {
+                        *slot = true;
+                    }
                 }
                 pair_execs.push(exec);
             }

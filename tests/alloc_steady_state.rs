@@ -1,0 +1,145 @@
+//! Allocation accounting of the serving hot path.
+//!
+//! The dispatching executor's contract is that a steady-state request — one
+//! whose arena has already served the same topology — performs **zero** heap
+//! allocations inside the kernel hot path: kernels write into reused arena
+//! buffers, activations apply in place, layer outputs move by pointer swap
+//! and runtime profiles are refit into per-kernel scratch.  This test
+//! instruments the global allocator and proves it, then checks that a full
+//! `Session::infer` allocates only its constant per-request bookkeeping
+//! (reports, output clone, analyzer pricing) — the same count every request,
+//! and strictly less than the fixed-kernel legacy path spends.
+//!
+//! Everything runs in a single `#[test]` because the counter is global.
+
+use dynasparse::{EngineOptions, HostExecutionOptions, MappingStrategy, Planner};
+use dynasparse_graph::Dataset;
+use dynasparse_matrix::DispatchPolicy;
+use dynasparse_model::{GnnModel, GnnModelKind, ReferenceExecutor};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn count_allocs(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn steady_state_kernel_hot_path_is_allocation_free() {
+    let dataset = Dataset::Cora.spec().generate_scaled(3, 0.25);
+    let features = dataset.features.clone();
+
+    // --- The executor-level guarantee: zero allocations per request. ---
+    for kind in GnnModelKind::all() {
+        let model = GnnModel::standard(
+            kind,
+            dataset.features.dim(),
+            16,
+            dataset.spec.num_classes,
+            5,
+        );
+        let exec = ReferenceExecutor::new(&model, &dataset.graph);
+        let dispatcher = exec.dispatcher(DispatchPolicy::from_regions(16), false);
+        let mut arena = exec.arena(dataset.graph.num_vertices());
+        // Warm up: the first requests size every buffer for this topology.
+        for _ in 0..2 {
+            exec.forward_dispatch(&features, &dispatcher, &mut arena, |_, _, _, _, _| {})
+                .unwrap();
+        }
+        let allocs = count_allocs(|| {
+            exec.forward_dispatch(&features, &dispatcher, &mut arena, |_, _, _, _, _| {})
+                .unwrap();
+        });
+        assert_eq!(
+            allocs,
+            0,
+            "{}: steady-state dispatched forward must not allocate",
+            kind.name()
+        );
+    }
+
+    // --- The session-level budget: constant per request, below legacy. ---
+    let model = GnnModel::standard(
+        GnnModelKind::Gcn,
+        dataset.features.dim(),
+        16,
+        dataset.spec.num_classes,
+        5,
+    );
+    let strategies = [MappingStrategy::Dynamic];
+
+    let plan = Planner::new(EngineOptions::default())
+        .plan(&model, &dataset)
+        .unwrap();
+    let mut session = plan.session(&strategies);
+    for _ in 0..2 {
+        session.infer(&features).unwrap();
+    }
+    let run = |session: &mut dynasparse::Session<'_>| {
+        count_allocs(|| {
+            session.infer(&features).unwrap();
+        })
+    };
+    let a = run(&mut session);
+    let b = run(&mut session);
+    let c = run(&mut session);
+    assert_eq!(a, b, "steady-state infer allocation count must be constant");
+    assert_eq!(b, c, "steady-state infer allocation count must be constant");
+
+    let legacy_plan = Planner::new(
+        EngineOptions::builder()
+            .host(HostExecutionOptions {
+                dispatch: false,
+                parallel: false,
+            })
+            .build(),
+    )
+    .plan(&model, &dataset)
+    .unwrap();
+    let mut legacy = legacy_plan.session(&strategies);
+    for _ in 0..2 {
+        legacy.infer(&features).unwrap();
+    }
+    let legacy_allocs = run(&mut legacy);
+    assert!(
+        a < legacy_allocs,
+        "dispatch path ({a} allocs/request) must allocate less than the \
+         fixed-kernel path ({legacy_allocs} allocs/request)"
+    );
+    // The per-request budget must not scale with the kernel count times
+    // matrix size — it is report bookkeeping only.  Give it generous slack
+    // over the measured ~dozens so the assertion stays robust.
+    assert!(
+        a < 2_000,
+        "steady-state infer spent {a} allocations; the kernel hot path is leaking into the heap"
+    );
+}
