@@ -24,7 +24,10 @@ use dynasparse::{EngineOptions, HostExecutionOptions, MappingStrategy, Planner, 
 use dynasparse_graph::Dataset;
 use dynasparse_matrix::ops::{gemm_into, gemm_reference};
 use dynasparse_matrix::random::random_dense;
-use dynasparse_matrix::{CsrMatrix, DenseMatrix, DispatchPolicy};
+use dynasparse_matrix::{
+    CalibratedPolicy, CostModel, CsrMatrix, DenseMatrix, DispatchPolicy, HostCalibration,
+    ProductShape,
+};
 use dynasparse_model::{GnnModel, GnnModelKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,6 +55,7 @@ fn time_min_ms(reps: usize, mut f: impl FnMut()) -> f64 {
 
 fn kernel_sweep() {
     let policy = DispatchPolicy::from_regions(16);
+    let calibrated = HostCalibration::shared().map(|c| CalibratedPolicy::new(c, policy));
     let (m, n, d) = (512usize, 512usize, 64usize);
     let mut rng = StdRng::seed_from_u64(42);
     for &(ax, ay) in &[
@@ -73,7 +77,13 @@ fn kernel_sweep() {
         let spmm_ms = time_min_ms(3, || {
             xs.spgemm(&ys).unwrap();
         });
-        let picked = policy.decide(xs.density(), ys.density());
+        // The regions pick (accelerator oracle) and what a session actually
+        // dispatches (measured host calibration, falling back to regions).
+        let picked_regions = policy.decide(xs.density(), ys.density());
+        let picked = calibrated
+            .as_ref()
+            .map(|p| p.decide(ProductShape::new(m, n, d), xs.density(), ys.density()))
+            .unwrap_or(picked_regions);
         // Sanity: every mode computes the same product.
         let want = gemm_reference(&x, &y).unwrap();
         xs.spmm_dense_into(&y, &mut out).unwrap();
@@ -84,8 +94,9 @@ fn kernel_sweep() {
             "{{\"bench\":\"kernel_dispatch\",\"m\":{m},\"n\":{n},\"d\":{d},\
              \"alpha_x\":{ax},\"alpha_y\":{ay},\"gemm_ms\":{gemm_ms:.3},\
              \"spdmm_ms\":{spdmm_ms:.3},\"spmm_ms\":{spmm_ms:.3},\
-             \"picked\":\"{}\"}}",
-            picked.label()
+             \"picked\":\"{}\",\"picked_regions\":\"{}\"}}",
+            picked.label(),
+            picked_regions.label()
         );
     }
 }
@@ -124,6 +135,7 @@ fn measure_paths(which: (bool, bool)) -> ([f64; 2], usize) {
                 .host(HostExecutionOptions {
                     dispatch: path == 1,
                     parallel: path == 1,
+                    ..Default::default()
                 })
                 .build();
             (path, Planner::new(options).plan(&model, &dataset).unwrap())

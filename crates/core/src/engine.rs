@@ -19,11 +19,30 @@ use dynasparse_model::GnnModel;
 use dynasparse_runtime::MappingStrategy;
 use serde::{Deserialize, Serialize};
 
+/// Which cost model picks the host primitive of every dispatched kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CostModelKind {
+    /// Argmin over per-primitive cost curves measured on the actual host:
+    /// a one-time micro-calibration (at most once per process, shared by
+    /// `Arc` across plans and worker sessions) times the three `_into`
+    /// kernels over a fixed-seed density × shape grid and fits
+    /// GEMM ∝ `m·n·d`, SpDMM ∝ `nnz·d`, Gustavson ∝ flop-proportional nnz
+    /// work.  Overridable via `DYNASPARSE_CALIBRATION` (`off` → regions
+    /// only; a path → load the persisted fit instead of measuring).
+    #[default]
+    Calibrated,
+    /// The paper's Table IV closed-form regions of the modeled 16×16 ALU
+    /// accelerator — the accelerator-side oracle.  On the host this is
+    /// known to mispick (see `BENCH_kernels.json`, α = 0.1 × 0.1); it is
+    /// kept for A/B comparison and as the calibrated model's fallback.
+    Regions,
+}
+
 /// How a session executes the functional kernels on the host.
 ///
 /// The dispatching engine (default) routes every kernel to a host primitive
-/// picked from its *runtime* operand densities — the same regions the
-/// accelerator's Analyzer uses — and executes into a reusable
+/// picked from its *runtime* operand densities — the same signal the
+/// accelerator's Analyzer profiles — and executes into a reusable
 /// [`KernelArena`](dynasparse_model::KernelArena), performing zero heap
 /// allocations per kernel in steady state.  Disabling it falls back to the
 /// fixed-kernel reference path (one fresh allocation per intermediate),
@@ -36,6 +55,9 @@ pub struct HostExecutionOptions {
     /// (`DYNASPARSE_THREADS` / `available_parallelism`-sized; inline on a
     /// single-core host).
     pub parallel: bool,
+    /// Cost model behind every dispatch decision (measured host calibration
+    /// by default; the Table IV regions for A/B comparison).
+    pub cost_model: CostModelKind,
 }
 
 impl Default for HostExecutionOptions {
@@ -43,6 +65,7 @@ impl Default for HostExecutionOptions {
         HostExecutionOptions {
             dispatch: true,
             parallel: true,
+            cost_model: CostModelKind::Calibrated,
         }
     }
 }

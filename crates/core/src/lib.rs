@@ -122,20 +122,47 @@
 //!   `dynasparse-matrix`; empty operands skip outright, and sparse-sparse
 //!   outputs stay in CSR while their density is below the dispatch
 //!   threshold.
-//! * **Where the thresholds come from** —
+//! * **Where the costs come from** — by default
+//!   ([`CostModelKind::Calibrated`]) from a **measured host calibration**:
+//!   [`Planner::plan`] obtains the process-wide
+//!   [`HostCalibration`](dynasparse_matrix::HostCalibration), which times
+//!   the three `_into` kernels over a small fixed-seed density × shape grid
+//!   on the actual host (at most once per process, ~tens of ms) and fits
+//!   per-primitive cost curves (GEMM ∝ `m·n·d`, SpDMM ∝ `nnz(X)·d`,
+//!   Gustavson ∝ its flop-proportional nnz work).  The dispatcher's
+//!   `decide` is then an argmin over predicted milliseconds.  Calibration
+//!   provenance: it runs inside the first `Planner::plan` of the process
+//!   (never on the request path), the fit is serde-able JSON
+//!   (`HostCalibration::save`/`load`), and the `DYNASPARSE_CALIBRATION`
+//!   environment variable overrides it — `off` (or `regions`) disables
+//!   calibration, any other value is a path to a persisted fit loaded
+//!   instead of measuring, which keeps CI deterministic.  Every plan holds
+//!   the fit behind an `Arc`, so all sessions — including every serving
+//!   worker of `dynasparse-serve` — share one calibration with no
+//!   re-measurement.
+//! * **Where the accelerator's regions went** —
 //!   [`DispatchPolicy::from_regions`](dynasparse_matrix::DispatchPolicy)
-//!   instantiates the closed-form regions of the paper's analytical model
-//!   (GEMM iff `α_min ≥ 1/2`, SpDMM iff `α_max ≥ 2/p_sys`, SPMM otherwise)
-//!   from the planned accelerator's ALU dimension `psys`, so the host
-//!   follows the same mapping the Scheduler prices.
+//!   still instantiates the closed-form Table IV regions (GEMM iff
+//!   `α_min ≥ 1/2`, SpDMM iff `α_max ≥ 2/p_sys`, SPMM otherwise) from the
+//!   planned accelerator's ALU dimension `psys`.  They remain the mapping
+//!   the Scheduler prices *for the accelerator*, the host dispatcher's
+//!   fallback for degenerate predictions, and the A/B oracle
+//!   ([`CostModelKind::Regions`]) — but they model a 16×16 ALU array, not
+//!   the host CPU, and measurably mispick on the host (recorded in
+//!   `BENCH_kernels.json`: SPMM chosen at α = 0.1 × 0.1 where SpDMM is
+//!   ~4x faster), which is why measured calibration is the default.
 //! * **Arena lifetime rules** — every session owns a plan-sized
 //!   [`KernelArena`](dynasparse_model::KernelArena): one slot per kernel of
 //!   the widest layer plus a ping-pong input/accumulator pair, all sized at
 //!   plan vertex count × widest feature dimension.  Buffers live as long as
 //!   the session, are reshaped (never reallocated) per kernel, and layer
-//!   outputs become the next layer's input by pointer swap — steady-state
-//!   `Session::infer` performs **zero heap allocations on the kernel hot
-//!   path** (verified by `tests/alloc_steady_state.rs`).
+//!   outputs become the next layer's input by pointer swap.  Slots are
+//!   **dual-representation**: a slot whose output flips between CSR and
+//!   dense across requests retains the inactive representation's buffer
+//!   beside the active one, so even oscillating-density traffic keeps
+//!   steady-state `Session::infer` at **zero heap allocations on the
+//!   kernel hot path** (verified by `tests/alloc_steady_state.rs`,
+//!   including a representation-flip workload).
 //! * **Intra-request parallelism** — row-parallel kernels fan out over the
 //!   persistent [`ThreadPool`](dynasparse_matrix::ThreadPool) (the vendored
 //!   rayon stand-in is sequential); sized by `DYNASPARSE_THREADS` or
@@ -200,7 +227,9 @@ pub mod planner;
 pub mod report;
 pub mod session;
 
-pub use engine::{Engine, EngineOptions, EngineOptionsBuilder, HostExecutionOptions};
+pub use engine::{
+    CostModelKind, Engine, EngineOptions, EngineOptionsBuilder, HostExecutionOptions,
+};
 pub use error::{CompileError, DynasparseError, EngineError};
 pub use planner::{CompiledPlan, Planner};
 pub use report::{Evaluation, InferenceReport, KernelReport, StrategyRun};

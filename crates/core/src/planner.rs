@@ -12,12 +12,12 @@
 //! [`Session`]: crate::Session
 //! [`Session::infer`]: crate::Session::infer
 
-use crate::engine::EngineOptions;
+use crate::engine::{CostModelKind, EngineOptions};
 use crate::error::{CompileError, DynasparseError};
 use crate::session::Session;
 use dynasparse_compiler::{compile, CompileReport, CompiledProgram};
 use dynasparse_graph::{AggregatorKind, GraphDataset};
-use dynasparse_matrix::{CsrMatrix, PartitionSpec};
+use dynasparse_matrix::{CsrMatrix, HostCalibration, PartitionSpec};
 use dynasparse_model::{prepare_adjacencies, GnnModel};
 use dynasparse_runtime::MappingStrategy;
 use std::collections::HashMap;
@@ -70,11 +70,20 @@ impl Planner {
         let report = compile(model, dataset, &self.options.compiler);
         // One-time graph preprocessing: normalized adjacency per aggregator.
         let adjacencies = Arc::new(prepare_adjacencies(model, &dataset.graph));
+        // One-time host micro-calibration (measured at most once per
+        // process; `DYNASPARSE_CALIBRATION` overrides): every session of
+        // this plan — including all serving workers — shares the fit by
+        // `Arc`.
+        let calibration = match (self.options.host.dispatch, self.options.host.cost_model) {
+            (true, CostModelKind::Calibrated) => HostCalibration::shared(),
+            _ => None,
+        };
 
         Ok(CompiledPlan {
             options: self.options.clone(),
             model: Arc::new(model.clone()),
             adjacencies,
+            calibration,
             report,
         })
     }
@@ -107,6 +116,10 @@ pub struct CompiledPlan {
     pub(crate) options: EngineOptions,
     pub(crate) model: Arc<GnnModel>,
     pub(crate) adjacencies: Arc<HashMap<AggregatorKind, CsrMatrix>>,
+    /// The measured host kernel cost model every session dispatches with;
+    /// `None` when dispatch is off, the regions model was requested, or
+    /// `DYNASPARSE_CALIBRATION=off`.
+    pub(crate) calibration: Option<Arc<HostCalibration>>,
     report: CompileReport,
 }
 
@@ -141,6 +154,13 @@ impl CompiledPlan {
     /// The model the plan was compiled for.
     pub fn model(&self) -> &GnnModel {
         &self.model
+    }
+
+    /// The measured host kernel cost model sessions of this plan dispatch
+    /// with, if calibration is active (see
+    /// [`CostModelKind`](crate::CostModelKind)).
+    pub fn calibration(&self) -> Option<&Arc<HostCalibration>> {
+        self.calibration.as_ref()
     }
 
     /// The compiled program (optimized IR).

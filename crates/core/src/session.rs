@@ -16,7 +16,7 @@ use crate::report::{InferenceReport, KernelReport, StrategyRun};
 use dynasparse_accel::{cycles_to_ms, ComputationCore, SoftProcessorModel};
 use dynasparse_compiler::KernelKind;
 use dynasparse_graph::FeatureMatrix;
-use dynasparse_matrix::{DensityProfile, DispatchPolicy, MatrixError};
+use dynasparse_matrix::{BlockGrid, DensityProfile, DispatchPolicy, MatrixError};
 use dynasparse_model::{
     DensityTrace, KernelArena, KernelDispatcher, ReferenceExecutor, StageDensity, StageOp,
 };
@@ -71,6 +71,11 @@ pub struct Session<'p> {
     /// One reusable runtime sparsity profile per compiled kernel, refit in
     /// place per request (no per-kernel allocation on the dispatch path).
     profile_scratch: Vec<DensityProfile>,
+    /// One cached profiling grid per compiled kernel: the grid depends only
+    /// on the plan topology and the kernel's input width, so it is derived
+    /// on the first request and reused by every later request (and by every
+    /// request of a batch) instead of being re-derived per kernel call.
+    grid_scratch: Vec<Option<BlockGrid>>,
     requests_served: usize,
 }
 
@@ -128,8 +133,12 @@ impl<'p> Session<'p> {
             })
             .collect();
         let dispatcher = host.dispatch.then(|| {
-            executor.dispatcher(
+            // Calibrated when the plan carries a measured host fit; the
+            // accelerator's Table IV regions otherwise (they also stay the
+            // sparse-output threshold and degenerate-prediction fallback).
+            executor.dispatcher_calibrated(
                 DispatchPolicy::from_regions(accelerator.psys),
+                plan.get().calibration.clone(),
                 host.parallel,
             )
         });
@@ -144,6 +153,7 @@ impl<'p> Session<'p> {
             dispatcher,
             arena,
             profile_scratch: vec![DensityProfile::default(); num_kernels],
+            grid_scratch: (0..num_kernels).map(|_| None).collect(),
             requests_served: 0,
         }
     }
@@ -171,18 +181,36 @@ impl<'p> Session<'p> {
     /// [`CompiledPlan::num_vertices`] rows and [`CompiledPlan::input_dim`]
     /// columns.
     pub fn infer(&mut self, features: &FeatureMatrix) -> Result<InferenceReport, DynasparseError> {
+        self.validate_request(features, "session infer")?;
+        self.infer_validated(features)
+    }
+
+    /// Checks one request's shape against the plan topology.
+    fn validate_request(
+        &self,
+        features: &FeatureMatrix,
+        op: &'static str,
+    ) -> Result<(), DynasparseError> {
         let plan = self.plan.get();
-        let program = plan.program();
         let expected = (plan.num_vertices(), plan.input_dim());
         if features.shape() != expected {
             return Err(MatrixError::ShapeMismatch {
-                op: "session infer",
+                op,
                 lhs: features.shape(),
                 rhs: expected,
             }
             .into());
         }
+        Ok(())
+    }
 
+    /// Serves one already-validated request (see [`Session::infer`]).
+    fn infer_validated(
+        &mut self,
+        features: &FeatureMatrix,
+    ) -> Result<InferenceReport, DynasparseError> {
+        let plan = self.plan.get();
+        let program = plan.program();
         let spec = program.partition;
         let num_vertices = plan.num_vertices();
         let num_kernels = program.kernels.len();
@@ -198,6 +226,7 @@ impl<'p> Session<'p> {
         let states = &mut self.states;
         let density_stages = &mut self.density_scratch;
         let profile_scratch = &mut self.profile_scratch;
+        let grid_scratch = &mut self.grid_scratch;
         let executor = &self.executor;
         let dispatcher = self.dispatcher.as_ref();
         let arena = self.arena.as_mut();
@@ -215,20 +244,27 @@ impl<'p> Session<'p> {
                 "compiled kernel order must match execution order"
             );
             // Runtime sparsity profiling of the kernel's input feature
-            // matrix at the granularity its execution scheme uses.
-            let grid = match compiled.ir.kind {
-                KernelKind::Aggregate => spec.feature_grid(num_vertices, input.dim()),
-                KernelKind::Update => spec.subfiber_grid(num_vertices, input.dim()),
-            };
+            // matrix at the granularity its execution scheme uses.  The
+            // grid depends only on the (fixed) topology and kernel input
+            // width, so it is fit once and reused by every later request.
+            let grid_slot = &mut grid_scratch[kernel_counter];
+            let input_shape = (num_vertices, input.dim());
+            if grid_slot.as_ref().map(BlockGrid::shape) != Some(input_shape) {
+                *grid_slot = Some(match compiled.ir.kind {
+                    KernelKind::Aggregate => spec.feature_grid(num_vertices, input.dim()),
+                    KernelKind::Update => spec.subfiber_grid(num_vertices, input.dim()),
+                });
+            }
+            let grid = grid_slot.as_ref().expect("grid fit above");
             // The dispatch path refits a per-kernel reusable profile (no
             // allocation); the legacy path keeps its allocating profiler.
             let owned_profile;
             let feature_profile: &DensityProfile = if dispatch_enabled {
                 let slot = &mut profile_scratch[kernel_counter];
-                input.density_profile_into(&grid, slot);
+                input.density_profile_into(grid, slot);
                 slot
             } else {
-                owned_profile = input.density_profile(&grid);
+                owned_profile = input.density_profile(grid);
                 &owned_profile
             };
             let profiles = OperandProfiles {
@@ -322,13 +358,26 @@ impl<'p> Session<'p> {
     }
 
     /// Serves a batch of requests over the same plan, returning one report
-    /// per request in order.  Compilation, adjacency normalization and
-    /// analyzer/scheduler state are shared across the whole batch.
+    /// per request in order.  Compilation, adjacency normalization,
+    /// analyzer/scheduler state, the arena and the per-kernel
+    /// profile/grid scratch are shared across the whole batch.
+    ///
+    /// **Every** request's shape is validated before **any** request runs:
+    /// a shape-mismatched matrix anywhere in the batch fails the whole call
+    /// up front (typed [`MatrixError::ShapeMismatch`], `op = "session
+    /// infer_batch"`) instead of erroring midway with earlier requests
+    /// already served.
     pub fn infer_batch(
         &mut self,
         batch: &[FeatureMatrix],
     ) -> Result<Vec<InferenceReport>, DynasparseError> {
-        batch.iter().map(|features| self.infer(features)).collect()
+        for features in batch {
+            self.validate_request(features, "session infer_batch")?;
+        }
+        batch
+            .iter()
+            .map(|features| self.infer_validated(features))
+            .collect()
     }
 }
 
@@ -465,6 +514,46 @@ mod tests {
         assert_eq!(Arc::strong_count(&plan.model), 5);
         drop(sessions);
         assert_eq!(Arc::strong_count(&plan.adjacencies), 1);
+    }
+
+    #[test]
+    fn batch_with_a_bad_shape_fails_before_serving_anything() {
+        // A mismatched matrix anywhere in the batch must be caught by the
+        // up-front validation pass: no request of the batch runs, instead
+        // of earlier requests being served and a mid-batch error leaving
+        // the caller with partial results.
+        let (plan, features) = plan_fixture();
+        let mut session = plan.session(&[MappingStrategy::Dynamic]);
+        let wrong = FeatureMatrix::Dense(dynasparse_matrix::DenseMatrix::zeros(3, 5));
+        let err = session
+            .infer_batch(&[features.clone(), wrong, features.clone()])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DynasparseError::Execution(MatrixError::ShapeMismatch {
+                op: "session infer_batch",
+                ..
+            })
+        ));
+        assert_eq!(
+            session.requests_served(),
+            0,
+            "no request of an invalid batch may execute"
+        );
+        // The session stays healthy for the next (valid) batch.
+        let reports = session.infer_batch(&[features.clone(), features]).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(session.requests_served(), 2);
+    }
+
+    #[test]
+    fn default_plan_dispatches_with_a_shared_calibration() {
+        let (plan, _) = plan_fixture();
+        match plan.calibration() {
+            Some(calibration) => assert!(calibration.is_valid()),
+            // Only when the environment disables calibration explicitly.
+            None => assert!(std::env::var("DYNASPARSE_CALIBRATION").is_ok()),
+        }
     }
 
     #[test]

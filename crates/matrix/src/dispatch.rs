@@ -13,6 +13,23 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Clamps a measured operand density into `[0, 1]`, mapping the non-finite
+/// values a degenerate operand produces (`0/0 = NaN` for an empty-dimension
+/// matrix) to `0.0` — i.e. "empty", which every policy turns into
+/// [`HostPrimitive::Skip`].  A plain `NaN.clamp(0.0, 1.0)` would propagate
+/// the NaN and make every threshold comparison false, silently falling
+/// through to the most expensive sparse-sparse route.
+#[inline]
+pub fn sanitize_density(alpha: f64) -> f64 {
+    if alpha.is_finite() {
+        alpha.clamp(0.0, 1.0)
+    } else if alpha == f64::INFINITY {
+        1.0
+    } else {
+        0.0
+    }
+}
+
 /// The host execution mode chosen for one kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum HostPrimitive {
@@ -56,19 +73,26 @@ impl DispatchPolicy {
     /// The regions of the paper's analytical model for an ALU array of
     /// dimension `psys` (Section VI-A): GEMM iff `α_min ≥ 1/2`, SpDMM iff
     /// `α_max ≥ 2/psys`, SPMM otherwise.
+    ///
+    /// The SpDMM *threshold* (not `psys` itself) is clamped into `(0, 1]`:
+    /// for tiny arrays (`psys ≤ 2`) the closed form `2/psys` exceeds 1,
+    /// which would leave the SpDMM region empty even at full density.
     pub fn from_regions(psys: usize) -> Self {
         DispatchPolicy {
             gemm_min_density: 0.5,
-            spdmm_max_density: 2.0 / psys.max(2) as f64,
+            spdmm_max_density: (2.0 / psys.max(1) as f64).clamp(f64::MIN_POSITIVE, 1.0),
             sparse_output_threshold: 0.25,
         }
     }
 
     /// Picks the host execution mode for one kernel-level product `X × Y`
-    /// with operand densities `alpha_x` and `alpha_y`.
+    /// with operand densities `alpha_x` and `alpha_y`.  Non-finite densities
+    /// (the `0/0` of a degenerate empty-dimension operand) are treated as
+    /// empty and Skip.
     pub fn decide(&self, alpha_x: f64, alpha_y: f64) -> HostPrimitive {
-        let alpha_min = alpha_x.min(alpha_y).clamp(0.0, 1.0);
-        let alpha_max = alpha_x.max(alpha_y).clamp(0.0, 1.0);
+        let (alpha_x, alpha_y) = (sanitize_density(alpha_x), sanitize_density(alpha_y));
+        let alpha_min = alpha_x.min(alpha_y);
+        let alpha_max = alpha_x.max(alpha_y);
         if alpha_min <= 0.0 {
             HostPrimitive::Skip
         } else if alpha_min >= self.gemm_min_density {
@@ -123,6 +147,50 @@ mod tests {
         let p = DispatchPolicy::default();
         assert!(p.keep_sparse_output(0.1));
         assert!(!p.keep_sparse_output(0.3));
+    }
+
+    #[test]
+    fn non_finite_densities_skip_instead_of_falling_through_to_spmm() {
+        // 0/0 densities from degenerate empty-dimension matrices are NaN;
+        // a NaN.clamp would propagate and fail every region comparison,
+        // silently dispatching the most expensive route.
+        let p = DispatchPolicy::from_regions(16);
+        assert_eq!(p.decide(f64::NAN, 0.9), HostPrimitive::Skip);
+        assert_eq!(p.decide(0.9, f64::NAN), HostPrimitive::Skip);
+        assert_eq!(p.decide(f64::NAN, f64::NAN), HostPrimitive::Skip);
+        assert_eq!(p.decide(f64::NEG_INFINITY, 0.9), HostPrimitive::Skip);
+        // +inf saturates to full density rather than Skip.
+        assert_eq!(p.decide(f64::INFINITY, 1.0), HostPrimitive::Gemm);
+    }
+
+    #[test]
+    fn tiny_arrays_clamp_the_threshold_not_psys() {
+        // Regression: psys <= 2 used to be clamped to 2, and psys = 0/1
+        // produced a threshold above 1 — in both cases the SpDMM region
+        // must survive as "reachable at full density", i.e. the threshold
+        // itself is clamped into (0, 1].
+        for psys in [0, 1, 2] {
+            let p = DispatchPolicy::from_regions(psys);
+            assert_eq!(p.spdmm_max_density, 1.0, "psys = {psys}");
+            assert!(p.spdmm_max_density.is_finite());
+            assert_eq!(
+                p.decide(0.3, 1.0),
+                HostPrimitive::SpDmm,
+                "full-density operand must reach SpDMM at psys = {psys}"
+            );
+        }
+        // Larger arrays keep the closed form untouched.
+        assert_eq!(DispatchPolicy::from_regions(16).spdmm_max_density, 0.125);
+    }
+
+    #[test]
+    fn sanitize_density_maps_non_finite_to_empty() {
+        assert_eq!(sanitize_density(f64::NAN), 0.0);
+        assert_eq!(sanitize_density(f64::NEG_INFINITY), 0.0);
+        assert_eq!(sanitize_density(f64::INFINITY), 1.0);
+        assert_eq!(sanitize_density(-0.5), 0.0);
+        assert_eq!(sanitize_density(1.5), 1.0);
+        assert_eq!(sanitize_density(0.25), 0.25);
     }
 
     #[test]

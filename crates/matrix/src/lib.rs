@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod calibrate;
 pub mod coo;
 pub mod csr;
 pub mod dense;
@@ -44,10 +45,14 @@ pub mod pool;
 pub mod profile;
 pub mod random;
 
+pub use calibrate::{
+    CalibratedPolicy, CalibrationConfig, CostModel, HostCalibration, PrimitiveFit, ProductShape,
+    RegionPolicy,
+};
 pub use coo::{CooEntry, CooMatrix};
 pub use csr::{CsrMatrix, SpGemmScratch};
 pub use dense::DenseMatrix;
-pub use dispatch::{DispatchPolicy, HostPrimitive};
+pub use dispatch::{sanitize_density, DispatchPolicy, HostPrimitive};
 pub use error::{MatrixError, Result};
 pub use layout::Layout;
 pub use partition::{BlockGrid, BlockIndex, PartitionSpec};

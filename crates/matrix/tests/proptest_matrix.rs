@@ -174,3 +174,60 @@ proptest! {
         prop_assert_eq!(total, m.nnz());
     }
 }
+
+/// The calibrated argmin and the Table IV regions describe different cost
+/// surfaces, but they must agree at the extremes: a dense-dense product is
+/// GEMM under both, and an empty (or degenerate-NaN) operand is Skip under
+/// both.  Uses the deterministic reference fit so the property holds on any
+/// machine.
+mod cost_model_extremes {
+    use super::*;
+    use dynasparse_matrix::{
+        CalibratedPolicy, CostModel, DispatchPolicy, HostCalibration, HostPrimitive, ProductShape,
+        RegionPolicy,
+    };
+    use std::sync::Arc;
+
+    fn policies() -> (CalibratedPolicy, RegionPolicy) {
+        let regions = DispatchPolicy::from_regions(16);
+        (
+            CalibratedPolicy::new(Arc::new(HostCalibration::reference()), regions),
+            RegionPolicy::new(regions),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn gemm_extreme_agrees(
+            m in 1usize..=2048,
+            n in 1usize..=2048,
+            d in 1usize..=512,
+            ax in 0.5f64..=1.0,
+            ay in 0.5f64..=1.0,
+        ) {
+            let (calibrated, regions) = policies();
+            let shape = ProductShape::new(m, n, d);
+            prop_assert_eq!(regions.decide(shape, ax, ay), HostPrimitive::Gemm);
+            prop_assert_eq!(calibrated.decide(shape, ax, ay), HostPrimitive::Gemm);
+        }
+
+        #[test]
+        fn skip_extreme_agrees(
+            m in 0usize..=2048,
+            n in 0usize..=2048,
+            d in 0usize..=512,
+            alive in 0.0f64..=1.0,
+            zero_side in 0usize..=1,
+            not_a_number in 0usize..=1,
+        ) {
+            let (calibrated, regions) = policies();
+            let shape = ProductShape::new(m, n, d);
+            let dead = if not_a_number == 1 { f64::NAN } else { 0.0 };
+            let (ax, ay) = if zero_side == 1 { (dead, alive) } else { (alive, dead) };
+            prop_assert_eq!(regions.decide(shape, ax, ay), HostPrimitive::Skip);
+            prop_assert_eq!(calibrated.decide(shape, ax, ay), HostPrimitive::Skip);
+        }
+    }
+}

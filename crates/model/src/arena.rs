@@ -9,15 +9,21 @@
 //! * [`KernelDispatcher`] inspects the *runtime* operand densities of every
 //!   kernel — the same signal the paper's Analyzer profiles — and routes the
 //!   host execution to the blocked dense GEMM, the sparse-dense CSR kernel
-//!   or the Gustavson sparse-sparse kernel, using the closed-form regions of
-//!   the analytical model ([`DispatchPolicy`]).  Sparse-sparse outputs stay
-//!   in CSR form while their density is below the dispatch threshold.
-//! * [`KernelArena`] owns plan-sized ping-pong feature buffers (one slot per
-//!   kernel of the widest layer, plus the layer input/output pair and a
-//!   densify scratch), so the steady-state forward pass performs **zero heap
-//!   allocations**: kernels write into reused buffers via the `_into`
-//!   kernels of `dynasparse-matrix`, activations apply in place, and layer
-//!   outputs become the next layer's input by pointer swap.
+//!   or the Gustavson sparse-sparse kernel.  The decision comes from a
+//!   [`CostModel`]: by default the measured host calibration
+//!   ([`CalibratedPolicy`] — argmin over predicted milliseconds of each
+//!   primitive), with the closed-form Table IV regions ([`RegionPolicy`] /
+//!   [`DispatchPolicy`]) retained as the accelerator-side oracle and
+//!   fallback.  Sparse-sparse outputs stay in CSR form while their density
+//!   is below the dispatch threshold.
+//! * [`KernelArena`] owns plan-sized ping-pong feature buffers (one
+//!   dual-representation slot per kernel of the widest layer, plus the layer
+//!   input/output pair and a densify scratch), so the steady-state forward
+//!   pass performs **zero heap allocations**: kernels write into reused
+//!   buffers via the `_into` kernels of `dynasparse-matrix`, activations
+//!   apply in place, layer outputs become the next layer's input by pointer
+//!   swap, and a slot that flips between CSR and dense across requests
+//!   reuses its retained counterpart buffer instead of reallocating.
 //! * Row-parallel kernels run over the persistent
 //!   [`ThreadPool`](dynasparse_matrix::ThreadPool) when the dispatcher is
 //!   built with `parallel = true` (the vendored rayon stand-in is
@@ -35,50 +41,113 @@ use crate::reference::ReferenceExecutor;
 use dynasparse_graph::FeatureMatrix;
 use dynasparse_matrix::ops::{gemm_into, gemm_into_pooled};
 use dynasparse_matrix::{
-    CsrMatrix, DenseMatrix, DispatchPolicy, HostPrimitive, SpGemmScratch, ThreadPool,
+    CalibratedPolicy, CostModel, CsrMatrix, DenseMatrix, DispatchPolicy, HostCalibration,
+    HostPrimitive, ProductShape, RegionPolicy, SpGemmScratch, ThreadPool,
 };
+use std::sync::Arc;
+
+/// Which cost model a dispatcher decides with: the measured host calibration
+/// (argmin over predicted milliseconds) or the Table IV regions of the
+/// modeled accelerator (the oracle and fallback).
+#[derive(Debug)]
+enum DispatchCostModel {
+    Regions(RegionPolicy),
+    Calibrated(CalibratedPolicy),
+}
 
 /// Runtime kernel-to-host-primitive dispatcher for one model.
 ///
-/// Holds the dispatch thresholds plus the per-model caches the routes need:
-/// a CSR copy of every SPMM-eligible weight matrix (density below the SpDMM
-/// boundary, i.e. a weight the sparse-sparse route can ever be chosen for),
-/// built once when the dispatcher is created.
+/// Holds the cost model that picks the primitive of every kernel-level
+/// product plus the per-model caches the routes need: a CSR copy of every
+/// SPMM-eligible weight matrix (a weight sparse enough that the
+/// sparse-sparse route can ever be chosen for it), built once when the
+/// dispatcher is created.
 #[derive(Debug)]
 pub struct KernelDispatcher {
     policy: DispatchPolicy,
+    cost: DispatchCostModel,
     parallel: bool,
     /// CSR forms of SPMM-eligible weights, indexed like `model.weights`.
     weight_csr: Vec<Option<CsrMatrix>>,
 }
 
 impl KernelDispatcher {
-    /// Builds a dispatcher for `model`.  `policy` supplies the density
-    /// regions (usually [`DispatchPolicy::from_regions`] of the accelerator's
-    /// ALU dimension); `parallel` routes row-parallel kernels over the global
-    /// [`ThreadPool`].
+    /// Builds a region-model dispatcher for `model`.  `policy` supplies the
+    /// density regions (usually [`DispatchPolicy::from_regions`] of the
+    /// accelerator's ALU dimension); `parallel` routes row-parallel kernels
+    /// over the global [`ThreadPool`].
     pub fn new(model: &GnnModel, policy: DispatchPolicy, parallel: bool) -> Self {
+        Self::with_calibration(model, policy, None, parallel)
+    }
+
+    /// Builds a dispatcher that decides with the measured host `calibration`
+    /// when one is supplied, and with `policy`'s Table IV regions otherwise
+    /// (the regions also remain the fallback for degenerate predictions and
+    /// keep owning the sparse-output retention threshold).
+    pub fn with_calibration(
+        model: &GnnModel,
+        policy: DispatchPolicy,
+        calibration: Option<Arc<HostCalibration>>,
+        parallel: bool,
+    ) -> Self {
+        // Cache a CSR for any weight either cost model could route
+        // sparse-sparse: the calibrated argmin is not bounded by the
+        // accelerator's SpDMM threshold, so the gate is the (wider) GEMM
+        // boundary.  An uncached weight simply forces the sparse-dense
+        // route, so widening the gate never changes results.
+        let csr_bound = policy.gemm_min_density.max(policy.spdmm_max_density);
         let weight_csr = model
             .weights
             .iter()
             .map(|w| {
-                if w.density() < policy.spdmm_max_density {
+                if w.density() < csr_bound {
                     Some(CsrMatrix::from_dense(w))
                 } else {
                     None
                 }
             })
             .collect();
+        let cost = match calibration {
+            Some(calibration) => {
+                DispatchCostModel::Calibrated(CalibratedPolicy::new(calibration, policy))
+            }
+            None => DispatchCostModel::Regions(RegionPolicy::new(policy)),
+        };
         KernelDispatcher {
             policy,
+            cost,
             parallel,
             weight_csr,
         }
     }
 
-    /// The dispatch thresholds in use.
+    /// The dispatch thresholds in use (sparse-output retention + region
+    /// fallback).
     pub fn policy(&self) -> &DispatchPolicy {
         &self.policy
+    }
+
+    /// Whether decisions come from a measured host calibration (as opposed
+    /// to the accelerator's Table IV regions).
+    pub fn is_calibrated(&self) -> bool {
+        matches!(self.cost, DispatchCostModel::Calibrated(_))
+    }
+
+    /// The shared calibration the dispatcher decides with, if any.
+    pub fn calibration(&self) -> Option<&Arc<HostCalibration>> {
+        match &self.cost {
+            DispatchCostModel::Calibrated(c) => Some(c.calibration()),
+            DispatchCostModel::Regions(_) => None,
+        }
+    }
+
+    /// Picks the host primitive for one kernel-level product through the
+    /// active cost model.
+    pub fn decide(&self, shape: ProductShape, alpha_x: f64, alpha_y: f64) -> HostPrimitive {
+        match &self.cost {
+            DispatchCostModel::Regions(r) => r.decide(shape, alpha_x, alpha_y),
+            DispatchCostModel::Calibrated(c) => c.decide(shape, alpha_x, alpha_y),
+        }
     }
 
     /// Whether kernels fan out over the global thread pool.
@@ -97,6 +166,35 @@ impl KernelDispatcher {
     }
 }
 
+/// One arena slot with **dual representations**: the active value consumers
+/// read, plus the retained dense buffer of the inactive representation.
+///
+/// A kernel whose output density straddles the `sparse_output_threshold`
+/// flips the slot between CSR and dense across requests; without the spare
+/// buffer every flip dropped one representation's allocation and re-grew it
+/// on the next flip.  Keeping the dense buffer beside the CSR (whose own
+/// buffers cycle through the [`SpGemmScratch`] reclaim pool) restores the
+/// zero-allocation contract under oscillating densities.
+#[derive(Debug)]
+struct ArenaSlot {
+    /// The representation the last kernel wrote (what consumers read).
+    value: FeatureMatrix,
+    /// Retained dense capacity while `value` is sparse; empty otherwise
+    /// (the capacity migrates between `value` and here on each flip).
+    spare_dense: DenseMatrix,
+}
+
+impl ArenaSlot {
+    fn with_capacity(num_vertices: usize, max_dim: usize) -> Self {
+        let mut m = DenseMatrix::zeros(num_vertices, max_dim);
+        m.reset(0, 0); // keep the capacity, drop the shape
+        ArenaSlot {
+            value: FeatureMatrix::Dense(m),
+            spare_dense: DenseMatrix::zeros(0, 0),
+        }
+    }
+}
+
 /// Plan-sized reusable buffers for the dispatched forward pass.
 ///
 /// Lifetime rules: an arena belongs to one session (it is `Send`, not
@@ -108,11 +206,11 @@ impl KernelDispatcher {
 #[derive(Debug)]
 pub struct KernelArena {
     /// One slot per kernel of the widest layer (kernel outputs).
-    slots: Vec<FeatureMatrix>,
+    slots: Vec<ArenaSlot>,
     /// The current layer's input features (`H^{l-1}`).
-    input: FeatureMatrix,
+    input: ArenaSlot,
     /// The layer-output accumulator; swapped with `input` at layer end.
-    acc: FeatureMatrix,
+    acc: ArenaSlot,
     /// Dense scratch for densifying a sparse operand on the GEMM/SpDMM
     /// routes.
     densify: DenseMatrix,
@@ -139,15 +237,12 @@ impl KernelArena {
             .map(|l| l.kernels.len())
             .max()
             .unwrap_or(0);
-        let fresh = || {
-            let mut m = DenseMatrix::zeros(num_vertices, max_dim);
-            m.reset(0, 0); // keep the capacity, drop the shape
-            FeatureMatrix::Dense(m)
-        };
         KernelArena {
-            slots: (0..max_kernels).map(|_| fresh()).collect(),
-            input: fresh(),
-            acc: fresh(),
+            slots: (0..max_kernels)
+                .map(|_| ArenaSlot::with_capacity(num_vertices, max_dim))
+                .collect(),
+            input: ArenaSlot::with_capacity(num_vertices, max_dim),
+            acc: ArenaSlot::with_capacity(num_vertices, max_dim),
             densify: {
                 let mut m = DenseMatrix::zeros(num_vertices, max_dim);
                 m.reset(0, 0);
@@ -159,38 +254,36 @@ impl KernelArena {
 
     /// The final embeddings of the last dispatched forward pass.
     pub fn output(&self) -> &FeatureMatrix {
-        &self.input
+        &self.input.value
     }
 }
 
 /// Reshapes `slot` into a writable dense matrix, reusing its allocation.  A
-/// slot currently holding a sparse matrix donates its CSR buffers to the
-/// spgemm workspace before flipping kind.  Note the zero-allocation
-/// guarantee assumes route-stable traffic (same topology, kernel densities
-/// on the same side of every threshold): a workload whose output density
-/// straddles `sparse_output_threshold` flips the slot's representation and
-/// pays an allocation per flip — correct, just not free.
-fn slot_as_dense<'s>(
-    slot: &'s mut FeatureMatrix,
-    spgemm: &mut SpGemmScratch,
-) -> &'s mut DenseMatrix {
-    if let FeatureMatrix::Sparse(_) = slot {
-        let old = std::mem::replace(slot, FeatureMatrix::Dense(DenseMatrix::zeros(0, 0)));
+/// slot currently holding a sparse matrix flips to its retained spare dense
+/// buffer (dual representation — no allocation once the spare has served
+/// this topology) and donates its CSR buffers to the spgemm workspace.
+fn slot_as_dense<'s>(slot: &'s mut ArenaSlot, spgemm: &mut SpGemmScratch) -> &'s mut DenseMatrix {
+    if let FeatureMatrix::Sparse(_) = &slot.value {
+        let dense = std::mem::replace(&mut slot.spare_dense, DenseMatrix::zeros(0, 0));
+        let old = std::mem::replace(&mut slot.value, FeatureMatrix::Dense(dense));
         if let FeatureMatrix::Sparse(csr) = old {
             spgemm.reclaim(csr.into_parts());
         }
     }
-    match slot {
+    match &mut slot.value {
         FeatureMatrix::Dense(d) => d,
         FeatureMatrix::Sparse(_) => unreachable!("slot was just made dense"),
     }
 }
 
-/// Stores `csr` into `slot`, recycling the slot's previous sparse buffers.
-fn slot_set_sparse(slot: &mut FeatureMatrix, csr: CsrMatrix, spgemm: &mut SpGemmScratch) {
-    let old = std::mem::replace(slot, FeatureMatrix::Sparse(csr));
-    if let FeatureMatrix::Sparse(old_csr) = old {
-        spgemm.reclaim(old_csr.into_parts());
+/// Stores `csr` into `slot`.  A previously sparse slot recycles its old CSR
+/// buffers through the spgemm workspace; a previously dense slot retains its
+/// dense buffer as the spare so a later flip back to dense is free.
+fn slot_set_sparse(slot: &mut ArenaSlot, csr: CsrMatrix, spgemm: &mut SpGemmScratch) {
+    let old = std::mem::replace(&mut slot.value, FeatureMatrix::Sparse(csr));
+    match old {
+        FeatureMatrix::Sparse(old_csr) => spgemm.reclaim(old_csr.into_parts()),
+        FeatureMatrix::Dense(d) => slot.spare_dense = d,
     }
 }
 
@@ -222,9 +315,22 @@ fn add_csr_into_dense(acc: &mut DenseMatrix, csr: &CsrMatrix) {
 }
 
 impl ReferenceExecutor {
-    /// Builds the runtime dispatcher for this executor's model.
+    /// Builds the runtime dispatcher for this executor's model, deciding
+    /// with `policy`'s Table IV regions.
     pub fn dispatcher(&self, policy: DispatchPolicy, parallel: bool) -> KernelDispatcher {
         KernelDispatcher::new(self.model(), policy, parallel)
+    }
+
+    /// Builds the runtime dispatcher for this executor's model, deciding by
+    /// argmin over the measured host `calibration` when one is supplied
+    /// (`policy` stays the region fallback and sparse-output threshold).
+    pub fn dispatcher_calibrated(
+        &self,
+        policy: DispatchPolicy,
+        calibration: Option<Arc<HostCalibration>>,
+        parallel: bool,
+    ) -> KernelDispatcher {
+        KernelDispatcher::with_calibration(self.model(), policy, calibration, parallel)
     }
 
     /// Builds an arena sized for this executor's model at `num_vertices`.
@@ -265,15 +371,15 @@ impl ReferenceExecutor {
                 let kin: &FeatureMatrix = match spec.input {
                     KernelInput::LayerInput => match external_input {
                         Some(ext) => ext,
-                        None => &*input_slot,
+                        None => &input_slot.value,
                     },
-                    KernelInput::Kernel(j) => &read[j],
+                    KernelInput::Kernel(j) => &read[j].value,
                 };
                 self.execute_kernel_dispatch(spec, kin, out_slot, dispatcher, densify, spgemm)?;
                 if let Some(act) = spec.activation {
-                    apply_activation_inplace(out_slot, act);
+                    apply_activation_inplace(&mut out_slot.value, act);
                 }
-                on_kernel(l, ki, spec, kin, out_slot);
+                on_kernel(l, ki, spec, kin, &out_slot.value);
             }
 
             // Combine the contributing kernels into the layer output.
@@ -296,7 +402,7 @@ impl ReferenceExecutor {
                     .iter()
                     .zip(layer.kernels.iter())
                     .find(|(_, k)| k.contributes_to_output)
-                    .map(|(s, _)| s.shape())
+                    .map(|(s, _)| s.value.shape())
                     .expect("validated layers have a contributing kernel");
                 let acc_dense = slot_as_dense(acc, spgemm);
                 let mut first = true;
@@ -305,7 +411,7 @@ impl ReferenceExecutor {
                         continue;
                     }
                     if first {
-                        match slot {
+                        match &slot.value {
                             FeatureMatrix::Dense(d) => acc_dense.copy_from(d),
                             FeatureMatrix::Sparse(s) => {
                                 acc_dense.reset(rows, cols);
@@ -314,7 +420,7 @@ impl ReferenceExecutor {
                         }
                         first = false;
                     } else {
-                        match slot {
+                        match &slot.value {
                             FeatureMatrix::Dense(d) => acc_dense.add_assign(d)?,
                             FeatureMatrix::Sparse(s) => add_csr_into_dense(acc_dense, s),
                         }
@@ -322,7 +428,7 @@ impl ReferenceExecutor {
                 }
             }
             if let Some(act) = layer.output_activation {
-                apply_activation_inplace(acc, act);
+                apply_activation_inplace(&mut acc.value, act);
             }
             std::mem::swap(input_slot, acc);
             external_input = None;
@@ -335,7 +441,7 @@ impl ReferenceExecutor {
         &self,
         spec: &KernelSpec,
         kin: &FeatureMatrix,
-        out_slot: &mut FeatureMatrix,
+        out_slot: &mut ArenaSlot,
         dispatcher: &KernelDispatcher,
         densify: &mut DenseMatrix,
         spgemm: &mut SpGemmScratch,
@@ -360,7 +466,8 @@ impl ReferenceExecutor {
                         }
                     }
                     FeatureMatrix::Sparse(h) => {
-                        match policy.decide(adj.density(), h.density()) {
+                        let shape = ProductShape::new(adj.rows(), adj.cols(), h.cols());
+                        match dispatcher.decide(shape, adj.density(), h.density()) {
                             HostPrimitive::Skip => {
                                 slot_as_dense(out_slot, spgemm).reset(adj.rows(), h.cols());
                             }
@@ -410,7 +517,8 @@ impl ReferenceExecutor {
                         }
                     }
                     FeatureMatrix::Sparse(h) => {
-                        let decision = policy.decide(h.density(), w.density());
+                        let shape = ProductShape::new(h.rows(), h.cols(), w.cols());
+                        let decision = dispatcher.decide(shape, h.density(), w.density());
                         match (decision, dispatcher.weight_csr[weight].as_ref()) {
                             (HostPrimitive::Skip, _) => {
                                 slot_as_dense(out_slot, spgemm).reset(h.rows(), w.cols());
@@ -567,6 +675,80 @@ mod tests {
         let h0 = dense_features(48, 24, 0.6, 31);
         let model = GnnModel::gcn(24, 8, 5, 37);
         check_dispatch_matches_reference(&model, &h0, true);
+    }
+
+    #[test]
+    fn calibrated_dispatcher_matches_the_reference_executor() {
+        let h0_dense = dense_features(48, 24, 0.04, 10);
+        let h0 = FeatureMatrix::Sparse(CsrMatrix::from_dense(&h0_dense.to_dense()));
+        for sparsity in [0.0, 0.95] {
+            let model = prune_model(&GnnModel::gcn(24, 8, 5, 17), sparsity);
+            let exec = ReferenceExecutor::new(&model, &small_graph());
+            let want = exec.forward(&h0).unwrap();
+            let dispatcher = exec.dispatcher_calibrated(
+                DispatchPolicy::from_regions(16),
+                Some(std::sync::Arc::new(HostCalibration::reference())),
+                false,
+            );
+            assert!(dispatcher.is_calibrated());
+            assert!(dispatcher.calibration().is_some());
+            let mut arena = exec.arena(h0.num_vertices());
+            exec.forward_dispatch(&h0, &dispatcher, &mut arena, |_, _, _, _, _| {})
+                .unwrap();
+            assert_eq!(
+                arena.output().to_dense().as_slice(),
+                want.to_dense().as_slice(),
+                "calibrated dispatch must stay bit-identical (sparsity {sparsity})"
+            );
+        }
+    }
+
+    #[test]
+    fn oscillating_output_density_flips_representations_and_stays_correct() {
+        // Two request classes whose sparse-sparse kernel outputs land on
+        // opposite sides of the retention threshold: the same arena slot
+        // must flip CSR ↔ dense across requests and keep exact results.
+        let model = prune_model(&GnnModel::gcn(24, 8, 5, 17), 0.98);
+        let exec = ReferenceExecutor::new(&model, &small_graph());
+        let policy = DispatchPolicy {
+            gemm_min_density: 0.5,
+            spdmm_max_density: 2.0 / 64.0,
+            // Between the measured aggregate-output densities of the two
+            // request classes (0.0052 and 0.0208), so the slot flips.
+            sparse_output_threshold: 0.015,
+        };
+        let dispatcher = exec.dispatcher(policy, false);
+        let mut arena = exec.arena(48);
+        let sparse_req = FeatureMatrix::Sparse(CsrMatrix::from_dense(
+            &dense_features(48, 24, 0.01, 3).to_dense(),
+        ));
+        let dense_req = FeatureMatrix::Sparse(CsrMatrix::from_dense(
+            &dense_features(48, 24, 0.06, 4).to_dense(),
+        ));
+        let want_sparse = exec.forward(&sparse_req).unwrap().to_dense();
+        let want_dense = exec.forward(&dense_req).unwrap().to_dense();
+        let mut kinds: Vec<Vec<bool>> = Vec::new();
+        for _ in 0..2 {
+            for (req, want) in [(&sparse_req, &want_sparse), (&dense_req, &want_dense)] {
+                let mut pass = Vec::new();
+                exec.forward_dispatch(req, &dispatcher, &mut arena, |_, _, _, _, out| {
+                    pass.push(out.is_sparse());
+                })
+                .unwrap();
+                assert_eq!(arena.output().to_dense().as_slice(), want.as_slice());
+                kinds.push(pass);
+            }
+        }
+        // The workload genuinely oscillates: at least one kernel's output
+        // representation differs between the two request classes.
+        assert_ne!(
+            kinds[0], kinds[1],
+            "request classes must straddle the sparse-output threshold \
+             (kinds {kinds:?}) — retune the test densities otherwise"
+        );
+        // And the oscillation is stable request over request.
+        assert_eq!(kinds[0], kinds[2]);
+        assert_eq!(kinds[1], kinds[3]);
     }
 
     #[test]

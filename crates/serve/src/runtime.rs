@@ -3,7 +3,10 @@
 //! [`ServeRuntime::start`] spawns `workers` OS threads, each holding its own
 //! [`Session`] over one shared `Arc<CompiledPlan>` — compiled state is
 //! reference-counted, per-request state is thread-local, so no lock is held
-//! during inference.  Producers [`submit`](ServeRuntime::submit) feature
+//! during inference.  That sharing includes the plan's measured host kernel
+//! calibration ([`CompiledPlan::calibration`]): the micro-calibration runs
+//! at most once per process (inside planning, never on the serving path)
+//! and every worker session dispatches through the same `Arc`'d fit.  Producers [`submit`](ServeRuntime::submit) feature
 //! matrices and get a [`Ticket`] to wait on; workers drain the queue in
 //! deadline-coalesced micro-batches of up to `max_batch` requests, serving
 //! each batch with a single [`Session::infer_batch`] call.

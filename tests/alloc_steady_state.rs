@@ -13,9 +13,10 @@
 //! Everything runs in a single `#[test]` because the counter is global.
 
 use dynasparse::{EngineOptions, HostExecutionOptions, MappingStrategy, Planner};
-use dynasparse_graph::Dataset;
-use dynasparse_matrix::DispatchPolicy;
-use dynasparse_model::{GnnModel, GnnModelKind, ReferenceExecutor};
+use dynasparse_graph::generators::{dense_features, power_law_graph, PowerLawConfig};
+use dynasparse_graph::{Dataset, FeatureMatrix};
+use dynasparse_matrix::{CsrMatrix, DispatchPolicy};
+use dynasparse_model::{prune_model, GnnModel, GnnModelKind, ReferenceExecutor};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -87,6 +88,67 @@ fn steady_state_kernel_hot_path_is_allocation_free() {
         );
     }
 
+    // --- Oscillating densities: representation flips must stay free. ---
+    //
+    // Two request classes whose sparse-sparse kernel output straddles the
+    // sparse-output threshold flip an arena slot between CSR and dense on
+    // every request.  The dual-representation slots retain the inactive
+    // buffer, so once both phases have warmed up, the flip costs zero heap
+    // allocations (before this fix every flip dropped one representation
+    // and re-grew it on the next).
+    {
+        let graph = power_law_graph(
+            "alloc-oscillate",
+            &PowerLawConfig {
+                num_vertices: 48,
+                num_edges: 180,
+                exponent: 2.2,
+                seed: 3,
+            },
+        );
+        let model = prune_model(&GnnModel::gcn(24, 8, 5, 17), 0.98);
+        let exec = ReferenceExecutor::new(&model, &graph);
+        let policy = DispatchPolicy {
+            gemm_min_density: 0.5,
+            spdmm_max_density: 2.0 / 64.0,
+            // Between the two classes' aggregate-output densities.
+            sparse_output_threshold: 0.015,
+        };
+        let dispatcher = exec.dispatcher(policy, false);
+        let mut arena = exec.arena(48);
+        let sparse_req = FeatureMatrix::Sparse(CsrMatrix::from_dense(
+            &dense_features(48, 24, 0.01, 3).to_dense(),
+        ));
+        let dense_req = FeatureMatrix::Sparse(CsrMatrix::from_dense(
+            &dense_features(48, 24, 0.06, 4).to_dense(),
+        ));
+        // Warm up both phases of the oscillation (and prove it oscillates).
+        let mut kinds = Vec::new();
+        for req in [&sparse_req, &dense_req, &sparse_req, &dense_req] {
+            let mut pass = Vec::new();
+            exec.forward_dispatch(req, &dispatcher, &mut arena, |_, _, _, _, out| {
+                pass.push(out.is_sparse());
+            })
+            .unwrap();
+            kinds.push(pass);
+        }
+        assert_ne!(
+            kinds[0], kinds[1],
+            "workload must flip a slot's representation between request classes"
+        );
+        for (label, req) in [("sparse", &sparse_req), ("dense", &dense_req)] {
+            let allocs = count_allocs(|| {
+                exec.forward_dispatch(req, &dispatcher, &mut arena, |_, _, _, _, _| {})
+                    .unwrap();
+            });
+            assert_eq!(
+                allocs, 0,
+                "oscillating {label}-phase forward must not allocate \
+                 (dual-representation slots must retain both buffers)"
+            );
+        }
+    }
+
     // --- The session-level budget: constant per request, below legacy. ---
     let model = GnnModel::standard(
         GnnModelKind::Gcn,
@@ -120,6 +182,7 @@ fn steady_state_kernel_hot_path_is_allocation_free() {
             .host(HostExecutionOptions {
                 dispatch: false,
                 parallel: false,
+                ..Default::default()
             })
             .build(),
     )

@@ -1,0 +1,146 @@
+//! Regression tests of the measured host cost model (the PR that replaced
+//! the modeled Table IV regions in the host dispatcher).
+//!
+//! The recorded `BENCH_kernels.json` shows the bug this guards against: at
+//! α = 0.1 × 0.1 over the 512 × 512 × 64 bench shape the region policy picks
+//! SPMM (1.195 ms measured) while SpDMM measures 0.249 ms — a ~4.8x mispick
+//! in the density band GCN aggregations live in.  The calibrated policy must
+//! pick SpDMM there, and plans must share one process-wide fit by `Arc`.
+
+use dynasparse::{CostModelKind, EngineOptions, HostExecutionOptions, MappingStrategy, Planner};
+use dynasparse_graph::Dataset;
+use dynasparse_matrix::{
+    CalibratedPolicy, CalibrationConfig, CostModel, DispatchPolicy, HostCalibration, HostPrimitive,
+    ProductShape,
+};
+use dynasparse_model::GnnModel;
+use std::sync::Arc;
+
+/// The shape and densities of the recorded mispick.
+fn bench_point() -> (ProductShape, f64, f64) {
+    (ProductShape::new(512, 512, 64), 0.1, 0.1)
+}
+
+/// Measures `[gemm, spdmm, spmm]` milliseconds at one grid point through
+/// the calibration's own grid walk (same fixed seed as the sweep bench).
+fn measure_point(shape: ProductShape, ax: f64, ay: f64) -> [f64; 3] {
+    let config = CalibrationConfig {
+        shapes: vec![(shape.m, shape.n, shape.d)],
+        densities: vec![(ax, ay)],
+        reps: 3,
+        seed: 42,
+    };
+    let sample = HostCalibration::measure_grid(&config)[0];
+    [sample.gemm_ms, sample.spdmm_ms, sample.spmm_ms]
+}
+
+#[test]
+fn calibrated_policy_fixes_the_recorded_spmm_mispick() {
+    let Some(calibration) = HostCalibration::shared() else {
+        // DYNASPARSE_CALIBRATION=off: nothing to calibrate against.
+        return;
+    };
+    let regions = DispatchPolicy::from_regions(16);
+    let (shape, ax, ay) = bench_point();
+    // The accelerator's regions model SPMM as cheapest here (both densities
+    // below 2/16) — on optimized host builds that is the recorded ~4.8x
+    // mispick.
+    assert_eq!(regions.decide(ax, ay), HostPrimitive::Spmm);
+    let calibrated = CalibratedPolicy::new(calibration, regions);
+    let pick = calibrated.decide(shape, ax, ay);
+    // The calibrated pick must be (within measurement noise of) the
+    // measured-fastest primitive on the binary actually running — this
+    // holds in debug builds too, where the kernel cost ratios differ.
+    let measured = measure_point(shape, ax, ay);
+    let best = measured.iter().cloned().fold(f64::INFINITY, f64::min);
+    let pick_ms = match pick {
+        HostPrimitive::Gemm => measured[0],
+        HostPrimitive::SpDmm => measured[1],
+        HostPrimitive::Spmm => measured[2],
+        HostPrimitive::Skip => unreachable!("non-empty operands"),
+    };
+    assert!(
+        pick_ms <= 2.0 * best,
+        "calibrated pick {pick:?} measures {pick_ms:.3} ms but the best \
+         primitive measures {best:.3} ms (gemm/spdmm/spmm = {measured:?})"
+    );
+    // In optimized builds the sparse-dense row kernel wins this band by a
+    // wide margin and the pick must be SpDMM — the acceptance criterion of
+    // the mispick fix.  (Debug builds flatten the SpDMM/SPMM gap, which is
+    // exactly why the model measures instead of assuming.)
+    if !cfg!(debug_assertions) {
+        assert_eq!(
+            pick,
+            HostPrimitive::SpDmm,
+            "optimized host must pick SpDMM at α = 0.1 × 0.1 \
+             (gemm {:.4} ms, spdmm {:.4} ms, spmm {:.4} ms predicted)",
+            calibrated.predict(HostPrimitive::Gemm, shape, ax, ay),
+            calibrated.predict(HostPrimitive::SpDmm, shape, ax, ay),
+            calibrated.predict(HostPrimitive::Spmm, shape, ax, ay),
+        );
+    }
+}
+
+#[test]
+fn plans_share_one_process_wide_calibration() {
+    if HostCalibration::shared().is_none() {
+        return; // DYNASPARSE_CALIBRATION=off
+    }
+    let ds = Dataset::Cora.spec().generate_scaled(5, 0.1);
+    let model = GnnModel::gcn(ds.features.dim(), 8, ds.spec.num_classes, 1);
+    let plan_a = Planner::default().plan(&model, &ds).unwrap();
+    let plan_b = Planner::default().plan(&model, &ds).unwrap();
+    let (a, b) = (plan_a.calibration().unwrap(), plan_b.calibration().unwrap());
+    assert!(
+        Arc::ptr_eq(a, b),
+        "every plan must share the process-wide measured fit, not re-measure"
+    );
+    // Serving sessions over a shared plan co-own the same fit (no clone).
+    let shared = Planner::default().plan_shared(&model, &ds).unwrap();
+    let before = Arc::strong_count(shared.calibration().unwrap());
+    let s0 = shared.session_shared(&[MappingStrategy::Dynamic]);
+    let s1 = shared.session_shared(&[MappingStrategy::Dynamic]);
+    assert!(Arc::strong_count(shared.calibration().unwrap()) >= before);
+    drop((s0, s1));
+}
+
+#[test]
+fn regions_cost_model_disables_calibration() {
+    let ds = Dataset::Cora.spec().generate_scaled(5, 0.1);
+    let model = GnnModel::gcn(ds.features.dim(), 8, ds.spec.num_classes, 1);
+    let options = EngineOptions::builder()
+        .host(HostExecutionOptions {
+            cost_model: CostModelKind::Regions,
+            ..Default::default()
+        })
+        .build();
+    let plan = Planner::new(options).plan(&model, &ds).unwrap();
+    assert!(plan.calibration().is_none());
+    // The regions plan still serves correctly (it is the A/B oracle).
+    let mut session = plan.session(&[MappingStrategy::Dynamic]);
+    session.infer(&ds.features).unwrap();
+}
+
+#[test]
+fn calibrated_and_regions_sessions_are_bit_identical() {
+    // The cost model only picks *which* host kernel runs; every route
+    // accumulates in the same k-order, so embeddings cannot differ.
+    let ds = Dataset::Cora.spec().generate_scaled(7, 0.15);
+    let model = GnnModel::gcn(ds.features.dim(), 16, ds.spec.num_classes, 3);
+    let mut outputs = Vec::new();
+    for cost_model in [CostModelKind::Calibrated, CostModelKind::Regions] {
+        let options = EngineOptions::builder()
+            .host(HostExecutionOptions {
+                cost_model,
+                ..Default::default()
+            })
+            .build();
+        let plan = Planner::new(options).plan(&model, &ds).unwrap();
+        let mut session = plan.session(&[MappingStrategy::Dynamic]);
+        outputs.push(session.infer(&ds.features).unwrap().output_embeddings);
+    }
+    assert_eq!(
+        outputs[0].to_dense().as_slice(),
+        outputs[1].to_dense().as_slice()
+    );
+}

@@ -14,7 +14,11 @@ use dynasparse_runtime::MappingStrategy as Strategy;
 
 fn options(dispatch: bool, parallel: bool) -> EngineOptions {
     EngineOptions::builder()
-        .host(HostExecutionOptions { dispatch, parallel })
+        .host(HostExecutionOptions {
+            dispatch,
+            parallel,
+            ..Default::default()
+        })
         .build()
 }
 

@@ -259,3 +259,28 @@ fn session_strategies_slice_and_requests_served_survive_the_refactor() {
     session.infer(&features).unwrap();
     assert_eq!(session.requests_served(), 1);
 }
+
+#[test]
+fn serving_workers_share_the_plans_measured_calibration() {
+    // The host micro-calibration is planned once and `Arc`-shared: spinning
+    // up a multi-worker runtime must not re-measure it per worker, and the
+    // served results stay bit-identical to a serial session (the cost model
+    // only picks which host kernel runs).
+    let (plan, _) = plan_fixture();
+    let Some(calibration) = plan.calibration() else {
+        return; // DYNASPARSE_CALIBRATION=off
+    };
+    assert!(calibration.is_valid());
+    let refs_before = Arc::strong_count(calibration);
+    let stream = request_stream(&plan, 6);
+    let want = serial_reports(&plan, &[MappingStrategy::Dynamic], &stream);
+    let runtime = ServeRuntime::start(Arc::clone(&plan), ServeConfig::default().workers(3));
+    let results = runtime.serve_all(stream.iter().cloned());
+    for (i, r) in results.into_iter().enumerate() {
+        assert_reports_identical(&want[i], &r.unwrap(), &format!("calibrated request {i}"));
+    }
+    runtime.shutdown();
+    // Workers are gone; only the plan's (and the process-wide) handles
+    // remain — nobody cloned the fit itself.
+    assert_eq!(Arc::strong_count(calibration), refs_before);
+}
