@@ -1,7 +1,7 @@
 //! Engine configuration and the one-shot compatibility wrapper.
 //!
-//! The serving API is [`Planner`] → [`CompiledPlan`] →
-//! [`Session`](crate::Session); see the crate docs for the quickstart.
+//! The serving API is [`Planner`] → [`CompiledPlan`](crate::CompiledPlan) →
+//! [`Session`]; see the crate docs for the quickstart.
 //! [`Engine::evaluate`] keeps the pre-session one-shot signature alive by
 //! planning, opening a single-request session and folding the
 //! [`InferenceReport`](crate::InferenceReport) back into an [`Evaluation`] —
@@ -58,6 +58,15 @@ pub struct HostExecutionOptions {
     /// Cost model behind every dispatch decision (measured host calibration
     /// by default; the Table IV regions for A/B comparison).
     pub cost_model: CostModelKind,
+    /// Fuse [`Session::infer_batch`](crate::Session::infer_batch) across the
+    /// batch dimension: the micro-batch's feature matrices are concatenated
+    /// into one `m × (d·B)` operand and every kernel runs **once** per layer
+    /// instead of once per request, with per-request reports recovered from
+    /// block views (bit-identical to the per-request loop — see
+    /// `tests/integration_batch.rs`).  Disable to fall back to the
+    /// request-by-request loop, which is kept as the equivalence oracle.
+    /// Requires `dispatch`; ignored otherwise.
+    pub batch_fusion: bool,
 }
 
 impl Default for HostExecutionOptions {
@@ -66,6 +75,7 @@ impl Default for HostExecutionOptions {
             dispatch: true,
             parallel: true,
             cost_model: CostModelKind::Calibrated,
+            batch_fusion: true,
         }
     }
 }
@@ -74,7 +84,7 @@ impl Default for HostExecutionOptions {
 ///
 /// Construct with [`EngineOptions::builder`] (or `Default` for the paper's
 /// Alveo U250 configuration).  Options are `Clone` but deliberately not
-/// `Copy`: they are cloned into each [`CompiledPlan`] once and borrowed
+/// `Copy`: they are cloned into each [`CompiledPlan`](crate::CompiledPlan) once and borrowed
 /// everywhere else.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct EngineOptions {

@@ -5,7 +5,7 @@
 //! [`DynasparseError`], which wraps the stage-specific error types:
 //! [`ModelError`] for structural model validation, [`CompileError`] for
 //! plan-time model/graph incompatibilities, and
-//! [`MatrixError`](dynasparse_matrix::MatrixError) for functional-execution
+//! [`MatrixError`] for functional-execution
 //! failures.
 //!
 //! [`Planner::plan`]: crate::Planner::plan
@@ -100,7 +100,7 @@ impl From<MatrixError> for DynasparseError {
 /// Pre-0.2 name of [`DynasparseError`], kept so existing `Result` type
 /// annotations keep compiling.  The stringly `InvalidModel(String)` variant
 /// is gone: match on [`DynasparseError::Model`] /
-/// [`ModelError`](dynasparse_model::ModelError) instead.
+/// [`ModelError`] instead.
 pub type EngineError = DynasparseError;
 
 #[cfg(test)]

@@ -112,67 +112,33 @@
 //! ## The dispatching kernel engine
 //!
 //! By default a session's host execution exploits dynamic sparsity the same
-//! way the modeled accelerator does.  The pieces, and who owns what:
+//! way the modeled accelerator does: a per-session
+//! [`KernelDispatcher`](dynasparse_model::KernelDispatcher) routes every
+//! kernel by its *runtime* operand densities to the blocked dense GEMM, the
+//! sparse-dense CSR kernel, or the Gustavson sparse-sparse kernel of
+//! `dynasparse-matrix`, writing into the session's zero-allocation
+//! [`KernelArena`](dynasparse_model::KernelArena).  Decisions come from the
+//! **measured host calibration** by default ([`CostModelKind::Calibrated`];
+//! the accelerator's Table IV regions stay the A/B oracle and fallback,
+//! [`CostModelKind::Regions`]).  [`Session::infer_batch`] additionally
+//! fuses a micro-batch into one kernel pass per layer over `m × (d·B)`
+//! batch operands, bit-identically to the per-request loop.
 //!
-//! * **Who picks the mode** — a per-session
-//!   [`KernelDispatcher`](dynasparse_model::KernelDispatcher) inspects the
-//!   runtime density of every kernel's operands (the exact signal the
-//!   Analyzer profiles) and routes the kernel to the blocked dense GEMM,
-//!   the sparse-dense CSR kernel, or the Gustavson sparse-sparse kernel of
-//!   `dynasparse-matrix`; empty operands skip outright, and sparse-sparse
-//!   outputs stay in CSR while their density is below the dispatch
-//!   threshold.
-//! * **Where the costs come from** — by default
-//!   ([`CostModelKind::Calibrated`]) from a **measured host calibration**:
-//!   [`Planner::plan`] obtains the process-wide
-//!   [`HostCalibration`](dynasparse_matrix::HostCalibration), which times
-//!   the three `_into` kernels over a small fixed-seed density × shape grid
-//!   on the actual host (at most once per process, ~tens of ms) and fits
-//!   per-primitive cost curves (GEMM ∝ `m·n·d`, SpDMM ∝ `nnz(X)·d`,
-//!   Gustavson ∝ its flop-proportional nnz work).  The dispatcher's
-//!   `decide` is then an argmin over predicted milliseconds.  Calibration
-//!   provenance: it runs inside the first `Planner::plan` of the process
-//!   (never on the request path), the fit is serde-able JSON
-//!   (`HostCalibration::save`/`load`), and the `DYNASPARSE_CALIBRATION`
-//!   environment variable overrides it — `off` (or `regions`) disables
-//!   calibration, any other value is a path to a persisted fit loaded
-//!   instead of measuring, which keeps CI deterministic.  Every plan holds
-//!   the fit behind an `Arc`, so all sessions — including every serving
-//!   worker of `dynasparse-serve` — share one calibration with no
-//!   re-measurement.
-//! * **Where the accelerator's regions went** —
-//!   [`DispatchPolicy::from_regions`](dynasparse_matrix::DispatchPolicy)
-//!   still instantiates the closed-form Table IV regions (GEMM iff
-//!   `α_min ≥ 1/2`, SpDMM iff `α_max ≥ 2/p_sys`, SPMM otherwise) from the
-//!   planned accelerator's ALU dimension `psys`.  They remain the mapping
-//!   the Scheduler prices *for the accelerator*, the host dispatcher's
-//!   fallback for degenerate predictions, and the A/B oracle
-//!   ([`CostModelKind::Regions`]) — but they model a 16×16 ALU array, not
-//!   the host CPU, and measurably mispick on the host (recorded in
-//!   `BENCH_kernels.json`: SPMM chosen at α = 0.1 × 0.1 where SpDMM is
-//!   ~4x faster), which is why measured calibration is the default.
-//! * **Arena lifetime rules** — every session owns a plan-sized
-//!   [`KernelArena`](dynasparse_model::KernelArena): one slot per kernel of
-//!   the widest layer plus a ping-pong input/accumulator pair, all sized at
-//!   plan vertex count × widest feature dimension.  Buffers live as long as
-//!   the session, are reshaped (never reallocated) per kernel, and layer
-//!   outputs become the next layer's input by pointer swap.  Slots are
-//!   **dual-representation**: a slot whose output flips between CSR and
-//!   dense across requests retains the inactive representation's buffer
-//!   beside the active one, so even oscillating-density traffic keeps
-//!   steady-state `Session::infer` at **zero heap allocations on the
-//!   kernel hot path** (verified by `tests/alloc_steady_state.rs`,
-//!   including a representation-flip workload).
-//! * **Intra-request parallelism** — row-parallel kernels fan out over the
-//!   persistent [`ThreadPool`](dynasparse_matrix::ThreadPool) (the vendored
-//!   rayon stand-in is sequential); sized by `DYNASPARSE_THREADS` or
-//!   `available_parallelism`, inline on single-core hosts.
+//! The full story — the Planner → CompiledPlan → Session →
+//! KernelDispatcher → KernelArena → ServeRuntime data flow, the
+//! buffer-ownership rules behind the zero-allocation contract, where the
+//! calibrated cost model sits relative to the Table IV `RegionPolicy`, and
+//! how batch fusion recovers exact per-request reports — lives in
+//! `ARCHITECTURE.md` at the repository root, together with the knobs
+//! documented in `README.md` (`DYNASPARSE_CALIBRATION`,
+//! `DYNASPARSE_THREADS`, …).
 //!
 //! Disable with [`HostExecutionOptions`] (`EngineOptions::builder()
-//! .host(...)`) to fall back to the fixed-kernel reference path; both paths
-//! are bit-identical (`tests/integration_dispatch.rs`), and
-//! `benches/kernel_dispatch.rs` asserts the dispatched path serves
-//! steady-state requests ≥ 1.5x faster at Cora quarter-scale.
+//! .host(...)`) to fall back to the fixed-kernel reference path or the
+//! per-request batch loop; all paths are bit-identical
+//! (`tests/integration_dispatch.rs`, `tests/integration_batch.rs`), and
+//! the benches assert the wins (`kernel_dispatch` ≥ 1.5x steady-state
+//! infer, `batch_fusion` ≥ 1.3x requests/s at batch 8).
 //!
 //! One-shot evaluation (compile + single request) remains available through
 //! the [`Engine`] wrapper, which produces cycle-for-cycle the same numbers:

@@ -47,6 +47,27 @@ impl Planner {
     /// sparsity profile (`H⁰` densities of Table IX) and in the default
     /// request of [`Engine::evaluate`](crate::Engine::evaluate); the plan
     /// itself serves any feature matrix with the same shape.
+    ///
+    /// ```
+    /// use dynasparse::{EngineOptions, MappingStrategy, Planner};
+    /// use dynasparse_graph::Dataset;
+    /// use dynasparse_model::GnnModel;
+    ///
+    /// let dataset = Dataset::Cora.spec().generate_scaled(42, 0.1);
+    /// let model = GnnModel::gcn(dataset.features.dim(), 16, dataset.spec.num_classes, 7);
+    ///
+    /// // Compile once: the plan is immutable and input-independent.
+    /// let plan = Planner::new(EngineOptions::default())
+    ///     .plan(&model, &dataset)
+    ///     .unwrap();
+    /// assert_eq!(plan.num_vertices(), dataset.graph.num_vertices());
+    /// assert!(plan.compile_ms() > 0.0);
+    ///
+    /// // Serve many: sessions borrow the plan and never recompile.
+    /// let mut session = plan.session(&[MappingStrategy::Dynamic]);
+    /// let report = session.infer(&dataset.features).unwrap();
+    /// assert!(report.run(MappingStrategy::Dynamic).unwrap().total_cycles > 0);
+    /// ```
     pub fn plan(
         &self,
         model: &GnnModel,
@@ -158,7 +179,7 @@ impl CompiledPlan {
 
     /// The measured host kernel cost model sessions of this plan dispatch
     /// with, if calibration is active (see
-    /// [`CostModelKind`](crate::CostModelKind)).
+    /// [`CostModelKind`]).
     pub fn calibration(&self) -> Option<&Arc<HostCalibration>> {
         self.calibration.as_ref()
     }

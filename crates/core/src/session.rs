@@ -20,7 +20,9 @@ use dynasparse_matrix::{BlockGrid, DensityProfile, DispatchPolicy, MatrixError};
 use dynasparse_model::{
     DensityTrace, KernelArena, KernelDispatcher, ReferenceExecutor, StageDensity, StageOp,
 };
-use dynasparse_runtime::{Analyzer, MappingStrategy, OperandProfiles, RuntimeOverhead, Scheduler};
+use dynasparse_runtime::{
+    Analyzer, KernelAnalysis, MappingStrategy, OperandProfiles, RuntimeOverhead, Scheduler,
+};
 use std::sync::Arc;
 
 /// Reusable per-strategy state: the Analyzer is stateless and the Scheduler
@@ -76,7 +78,85 @@ pub struct Session<'p> {
     /// on the first request and reused by every later request (and by every
     /// request of a batch) instead of being re-derived per kernel call.
     grid_scratch: Vec<Option<BlockGrid>>,
+    /// Batch-sized arena of the fused [`Session::infer_batch`] path; sized
+    /// lazily for the largest batch seen (or eagerly via
+    /// [`Session::reserve_batch`]) and reused across micro-batches.  `None`
+    /// until the first fused batch, and always `None` when dispatch or
+    /// batch fusion is off.
+    batch_arena: Option<KernelArena>,
+    /// One reusable per-request profile per batch slot (fused path): each
+    /// kernel's batch-wide profiling pass refits these in place.
+    batch_profile_scratch: Vec<DensityProfile>,
+    /// Reusable per-request output nnz counts of the fused path.
+    batch_nnz_scratch: Vec<usize>,
+    /// Per kernel: the later kernel whose input profile doubles as this
+    /// kernel's output counts (see [`output_deferral_map`]); `None` means
+    /// the fused path counts the output directly.
+    defer_out: Vec<Option<usize>>,
+    /// Inverse of `defer_out`: at kernel `t`, the earlier kernel whose
+    /// deferred output densities resolve from `t`'s input profiles.
+    out_source_for: Vec<Option<usize>>,
     requests_served: usize,
+}
+
+/// Per-request bookkeeping captured while a batch executes fused: everything
+/// the report replay needs, in kernel execution order.
+struct BatchRecord {
+    stages: Vec<StageDensity>,
+    /// `(input_density, output_density)` per kernel.
+    kernel_io: Vec<(f64, f64)>,
+    /// One analysis per kernel per strategy, kernel-major
+    /// (`kernel * num_strategies + strategy`).
+    analyses: Vec<KernelAnalysis>,
+}
+
+/// For every kernel (execution order), the later kernel whose **input** is
+/// the same unmodified matrix as this kernel's output — either a kernel in
+/// the same layer reading `Kernel(this)`, or (for a layer's sole
+/// contributor with no output activation) the first kernel of the next
+/// layer.  Since reports are assembled by replay after the forward pass,
+/// the fused batch path defers those kernels' output-density counts and
+/// recovers them for free from the target kernel's input profiles, instead
+/// of paying a separate counting pass over the batch operand.
+fn output_deferral_map(model: &dynasparse_model::GnnModel) -> Vec<Option<usize>> {
+    let mut layer_bases = Vec::with_capacity(model.layers.len());
+    let mut base = 0usize;
+    for layer in &model.layers {
+        layer_bases.push(base);
+        base += layer.kernels.len();
+    }
+    let mut map = Vec::with_capacity(base);
+    for (l, layer) in model.layers.iter().enumerate() {
+        let contributors = layer
+            .kernels
+            .iter()
+            .filter(|k| k.contributes_to_output)
+            .count();
+        for (ki, spec) in layer.kernels.iter().enumerate() {
+            let in_layer = layer
+                .kernels
+                .iter()
+                .enumerate()
+                .skip(ki + 1)
+                .find(
+                    |(_, k)| matches!(k.input, dynasparse_model::KernelInput::Kernel(j) if j == ki),
+                )
+                .map(|(kj, _)| layer_bases[l] + kj);
+            let target = in_layer.or_else(|| {
+                let sole = contributors == 1 && spec.contributes_to_output;
+                let next_reads_layer_input = model.layers.get(l + 1).is_some_and(|next| {
+                    matches!(
+                        next.kernels[0].input,
+                        dynasparse_model::KernelInput::LayerInput
+                    )
+                });
+                (sole && layer.output_activation.is_none() && next_reads_layer_input)
+                    .then(|| layer_bases[l + 1])
+            });
+            map.push(target);
+        }
+    }
+    map
 }
 
 /// A session that co-owns its plan and therefore has no borrowed lifetime;
@@ -143,6 +223,14 @@ impl<'p> Session<'p> {
             )
         });
         let arena = dispatcher.is_some().then(|| executor.arena(num_vertices));
+        let defer_out = output_deferral_map(executor.model());
+        let mut out_source_for = vec![None; defer_out.len()];
+        for (k, target) in defer_out.iter().enumerate() {
+            if let Some(t) = target {
+                debug_assert!(out_source_for[*t].is_none(), "deferral targets are unique");
+                out_source_for[*t] = Some(k);
+            }
+        }
         Session {
             plan,
             strategies: strategies.to_vec(),
@@ -154,6 +242,11 @@ impl<'p> Session<'p> {
             arena,
             profile_scratch: vec![DensityProfile::default(); num_kernels],
             grid_scratch: (0..num_kernels).map(|_| None).collect(),
+            batch_arena: None,
+            batch_profile_scratch: Vec::new(),
+            batch_nnz_scratch: Vec::new(),
+            defer_out,
+            out_source_for,
             requests_served: 0,
         }
     }
@@ -362,11 +455,42 @@ impl<'p> Session<'p> {
     /// analyzer/scheduler state, the arena and the per-kernel
     /// profile/grid scratch are shared across the whole batch.
     ///
+    /// With the default [`HostExecutionOptions`](crate::HostExecutionOptions)
+    /// (`dispatch && batch_fusion`) and two or more requests, the batch is
+    /// **fused**: the per-request feature matrices are horizontally
+    /// concatenated into one `m × (d·B)` operand and every kernel executes
+    /// once per layer through the [`KernelDispatcher`] — which now decides
+    /// from the batch operand's density and widened shape — into
+    /// batch-sized [`KernelArena`] slots reused across micro-batches.
+    /// Per-request reports are recovered from block views and are
+    /// bit-identical to the request-by-request loop (the fallback when
+    /// fusion is disabled), including density traces, strategy pricing and
+    /// `request_index` (proved by `tests/integration_batch.rs`).
+    ///
     /// **Every** request's shape is validated before **any** request runs:
     /// a shape-mismatched matrix anywhere in the batch fails the whole call
     /// up front (typed [`MatrixError::ShapeMismatch`], `op = "session
     /// infer_batch"`) instead of erroring midway with earlier requests
     /// already served.
+    ///
+    /// ```
+    /// use dynasparse::{MappingStrategy, Planner};
+    /// use dynasparse_graph::Dataset;
+    /// use dynasparse_model::GnnModel;
+    ///
+    /// let dataset = Dataset::Cora.spec().generate_scaled(42, 0.1);
+    /// let model = GnnModel::gcn(dataset.features.dim(), 16, dataset.spec.num_classes, 7);
+    /// let plan = Planner::default().plan(&model, &dataset).unwrap();
+    /// let mut session = plan.session(&[MappingStrategy::Dynamic]);
+    ///
+    /// // A micro-batch of three requests: one fused kernel pass per layer.
+    /// let batch = vec![dataset.features.clone(); 3];
+    /// let reports = session.infer_batch(&batch).unwrap();
+    /// assert_eq!(reports.len(), 3);
+    /// assert_eq!(reports[2].request_index, 2);
+    /// // Every request got its own embeddings and strategy pricing.
+    /// assert!(reports[0].run(MappingStrategy::Dynamic).unwrap().total_cycles > 0);
+    /// ```
     pub fn infer_batch(
         &mut self,
         batch: &[FeatureMatrix],
@@ -374,10 +498,256 @@ impl<'p> Session<'p> {
         for features in batch {
             self.validate_request(features, "session infer_batch")?;
         }
-        batch
-            .iter()
-            .map(|features| self.infer_validated(features))
-            .collect()
+        let fused = batch.len() > 1
+            && self.dispatcher.is_some()
+            && self.plan.get().options().host.batch_fusion;
+        if !fused {
+            return batch
+                .iter()
+                .map(|features| self.infer_validated(features))
+                .collect();
+        }
+        self.infer_batch_fused(batch)
+    }
+
+    /// Pre-sizes the fused-batch arena for micro-batches of up to
+    /// `max_batch` requests, so serving steady state never grows a buffer
+    /// mid-batch.  A no-op when dispatch or batch fusion is off (or for
+    /// `max_batch < 2`); serving runtimes call this once per worker with
+    /// their configured batch cap.
+    pub fn reserve_batch(&mut self, max_batch: usize) {
+        if self.dispatcher.is_none()
+            || !self.plan.get().options().host.batch_fusion
+            || max_batch < 2
+        {
+            return;
+        }
+        self.ensure_batch_arena(max_batch);
+    }
+
+    fn ensure_batch_arena(&mut self, batch: usize) {
+        let num_vertices = self.plan.get().num_vertices();
+        let grow = match &self.batch_arena {
+            Some(arena) => arena.batch_capacity() < batch,
+            None => true,
+        };
+        if grow {
+            self.batch_arena = Some(self.executor.arena_batch(num_vertices, batch));
+        }
+    }
+
+    /// The fused batch path: one `forward_dispatch_batch` pass captures
+    /// per-request profiles/analyses through block views, then the reports
+    /// are replayed per request — the analyzer is stateless and the
+    /// scheduler replays the same kernel order with the same analyses, so
+    /// every report is bit-identical to the per-request loop's.
+    fn infer_batch_fused(
+        &mut self,
+        batch: &[FeatureMatrix],
+    ) -> Result<Vec<InferenceReport>, DynasparseError> {
+        let bsz = batch.len();
+        self.ensure_batch_arena(bsz);
+        let plan = self.plan.get();
+        let program = plan.program();
+        let spec = program.partition;
+        let num_vertices = plan.num_vertices();
+        let num_kernels = program.kernels.len();
+        let num_states = self.states.len();
+        // The clears matter on the recovery path (see `infer_validated`).
+        for state in &mut self.states {
+            state.scheduler.reset();
+            state.kernels.clear();
+        }
+        let analyzers: Vec<Analyzer> = self.states.iter().map(|s| s.analyzer).collect();
+        let mut records: Vec<BatchRecord> = (0..bsz)
+            .map(|_| BatchRecord {
+                stages: Vec::with_capacity(num_kernels),
+                kernel_io: Vec::with_capacity(num_kernels),
+                analyses: Vec::with_capacity(num_kernels * num_states),
+            })
+            .collect();
+
+        if self.batch_profile_scratch.len() < bsz {
+            self.batch_profile_scratch
+                .resize_with(bsz, DensityProfile::default);
+        }
+        let batch_profiles = &mut self.batch_profile_scratch;
+        let out_counts = &mut self.batch_nnz_scratch;
+        let grid_scratch = &mut self.grid_scratch;
+        let defer_out = &self.defer_out;
+        let out_source_for = &self.out_source_for;
+        let executor = &self.executor;
+        let dispatcher = self
+            .dispatcher
+            .as_ref()
+            .expect("fused path has a dispatcher");
+        let arena = self.batch_arena.as_mut().expect("ensured above");
+        let mut kernel_counter = 0usize;
+        executor.forward_dispatch_batch(
+            batch,
+            dispatcher,
+            arena,
+            |_layer, _ki, spec_kernel, views| {
+                let kidx = kernel_counter;
+                kernel_counter += 1;
+                let compiled = &program.kernels[kidx];
+                debug_assert_eq!(
+                    compiled.ir.kind == KernelKind::Aggregate,
+                    spec_kernel.op.is_aggregate(),
+                    "compiled kernel order must match execution order"
+                );
+                // Grids depend on the per-request width only, so the whole
+                // batch shares the cached grid.
+                let in_dim = views.input_dim();
+                let grid_slot = &mut grid_scratch[kidx];
+                let input_shape = (num_vertices, in_dim);
+                if grid_slot.as_ref().map(BlockGrid::shape) != Some(input_shape) {
+                    *grid_slot = Some(match compiled.ir.kind {
+                        KernelKind::Aggregate => spec.feature_grid(num_vertices, in_dim),
+                        KernelKind::Update => spec.subfiber_grid(num_vertices, in_dim),
+                    });
+                }
+                let grid = grid_slot.as_ref().expect("grid fit above");
+                // One pass over the batch operands recovers every request's
+                // input profile (and, for most kernels, the *previous* kernel's
+                // output densities — see below); the resulting densities are
+                // bit-equal to what the per-request loop computes (the same
+                // integer counts divided the same way).
+                views.profile_inputs_into(grid, batch_profiles);
+                let input_total = num_vertices * in_dim;
+                // A kernel whose input is an earlier kernel's unmodified output
+                // resolves that kernel's deferred output densities from the
+                // profiles just fit — no separate counting pass.
+                if let Some(src) = out_source_for[kidx] {
+                    for (b, record) in records.iter_mut().enumerate() {
+                        let d = if input_total == 0 {
+                            0.0
+                        } else {
+                            batch_profiles[b].total_nnz() as f64 / input_total as f64
+                        };
+                        record.kernel_io[src].1 = d;
+                        record.stages[src].density = d;
+                    }
+                }
+                let deferred = defer_out[kidx].is_some();
+                if !deferred {
+                    views.output_nnz_into(out_counts);
+                }
+                let output_total = num_vertices * views.output_dim();
+                for (b, record) in records.iter_mut().enumerate() {
+                    let profiles = OperandProfiles {
+                        adjacency: &program.static_sparsity.adjacency,
+                        weights: &program.static_sparsity.weights,
+                        features: &batch_profiles[b],
+                    };
+                    for analyzer in &analyzers {
+                        record
+                            .analyses
+                            .push(analyzer.analyze_kernel(compiled, &profiles));
+                    }
+                    let input_density = if input_total == 0 {
+                        0.0
+                    } else {
+                        batch_profiles[b].total_nnz() as f64 / input_total as f64
+                    };
+                    let out_density = if deferred {
+                        // Patched when the consuming kernel profiles this
+                        // matrix as its input.
+                        f64::NAN
+                    } else if output_total == 0 {
+                        0.0
+                    } else {
+                        out_counts[b] as f64 / output_total as f64
+                    };
+                    record.kernel_io.push((input_density, out_density));
+                    record.stages.push(StageDensity {
+                        layer: compiled.ir.layer_id - 1,
+                        kernel: compiled.ir.kernel_in_layer,
+                        op: match compiled.ir.kind {
+                            KernelKind::Aggregate => StageOp::Aggregate,
+                            KernelKind::Update => StageOp::Update,
+                        },
+                        density: out_density,
+                    });
+                }
+            },
+        )?;
+
+        let freq = plan.options().accelerator.frequency_mhz;
+        let compile_ms = plan.compile_ms();
+        let arena = self.batch_arena.as_ref().expect("ensured above");
+        let mut reports = Vec::with_capacity(bsz);
+        for (b, (features, record)) in batch.iter().zip(records).enumerate() {
+            for state in &mut self.states {
+                state.scheduler.reset();
+                state.kernels.clear();
+            }
+            for (kidx, compiled) in program.kernels.iter().enumerate() {
+                let (input_density, output_density) = record.kernel_io[kidx];
+                debug_assert!(
+                    !output_density.is_nan(),
+                    "deferred output density of kernel {kidx} must have been resolved"
+                );
+                for (s, state) in self.states.iter_mut().enumerate() {
+                    let analysis = &record.analyses[kidx * num_states + s];
+                    let schedule = state.scheduler.schedule_kernel(compiled.ir.id, analysis);
+                    state.kernels.push(KernelReport {
+                        kernel_id: compiled.ir.id,
+                        layer_id: compiled.ir.layer_id,
+                        kind: compiled.ir.kind,
+                        cycles: schedule.cycles(),
+                        utilization: schedule.utilization,
+                        decisions: analysis.decisions,
+                        mix: analysis.mix,
+                        input_density,
+                        output_density,
+                    });
+                }
+            }
+            let data_movement_ms = plan.request_data_movement_ms(features.size_bytes());
+            let feature_movement_ms = plan.feature_movement_ms(features.size_bytes());
+            let runs = self
+                .states
+                .iter_mut()
+                .map(|state| {
+                    let total_cycles = state.scheduler.total_cycles();
+                    let latency_ms = cycles_to_ms(total_cycles, freq);
+                    let decisions: usize = state.kernels.iter().map(|k| k.decisions).sum();
+                    let overhead = RuntimeOverhead::from_counts(
+                        &self.soft,
+                        decisions,
+                        state.scheduler.total_schedule_events(),
+                        latency_ms * 1e-3,
+                    );
+                    StrategyRun {
+                        strategy: state.strategy,
+                        average_utilization: state.scheduler.average_utilization(),
+                        kernels: std::mem::replace(
+                            &mut state.kernels,
+                            Vec::with_capacity(num_kernels),
+                        ),
+                        total_cycles,
+                        latency_ms,
+                        end_to_end_ms: compile_ms + data_movement_ms + latency_ms,
+                        overhead,
+                    }
+                })
+                .collect();
+            let request_index = self.requests_served;
+            self.requests_served += 1;
+            reports.push(InferenceReport {
+                request_index,
+                data_movement_ms,
+                feature_movement_ms,
+                density_trace: DensityTrace {
+                    input_density: features.density(),
+                    stages: record.stages,
+                },
+                runs,
+                output_embeddings: arena.output_block(b),
+            });
+        }
+        Ok(reports)
     }
 }
 

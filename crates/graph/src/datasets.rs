@@ -12,8 +12,8 @@
 //!
 //! `generate_scaled` produces a structurally similar graph at a fraction of
 //! the vertex count (used by the functional executor for the largest graphs);
-//! the **full published dimensions** remain available through
-//! [`DatasetSpec::stats`] so latency models always use the true sizes.
+//! the **full published dimensions** remain available through the
+//! [`DatasetSpec`] fields so latency models always use the true sizes.
 
 use crate::features::FeatureMatrix;
 use crate::generators::{dense_features, power_law_graph, sparse_features, PowerLawConfig};

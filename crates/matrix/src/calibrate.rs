@@ -10,7 +10,7 @@
 //! module measures that model on the actual host:
 //!
 //! * [`HostCalibration::measure`] times the three `_into` kernels
-//!   ([`ops::gemm_into`], [`CsrMatrix::spmm_dense_into`],
+//!   ([`gemm_into`], [`CsrMatrix::spmm_dense_into`],
 //!   [`CsrMatrix::spgemm_with`]) over a small fixed-seed density × shape grid
 //!   and fits one [`PrimitiveFit`] cost curve per primitive: GEMM ∝ `m·n·d`,
 //!   SpDMM ∝ `nnz(X)·d` (the left CSR operand's zeros skipped), Gustavson
@@ -127,7 +127,7 @@ fn features(prim: HostPrimitive, shape: ProductShape, ax: f64, ay: f64) -> [f64;
 }
 
 /// Fitted cost curve of one primitive: milliseconds per unit of each
-/// feature of [`features`], all non-negative.
+/// cost feature, all non-negative.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct PrimitiveFit {
     /// Milliseconds per unit of skipped-zero MAC work.

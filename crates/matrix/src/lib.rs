@@ -14,7 +14,7 @@
 //! * [`CooMatrix`] — the coordinate sparse format the paper uses on-chip;
 //! * [`CsrMatrix`] — compressed sparse rows, used by the functional executor
 //!   and the host-side (CPU/GPU baseline) kernels;
-//! * format transformation ([`format`]) mirroring the Dense-to-Sparse /
+//! * format transformation ([`format`](mod@format)) mirroring the Dense-to-Sparse /
 //!   Sparse-to-Dense hardware modules;
 //! * layout transformation ([`layout`]) mirroring the streaming-permutation
 //!   Layout Transformation Unit;

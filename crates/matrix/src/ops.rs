@@ -147,7 +147,9 @@ fn gemm_into_with(
     check_shapes("gemm_into", x.shape(), y.shape())?;
     let (m, n) = x.shape();
     let d = y.cols();
-    out.reset(m, d);
+    // Every output element is overwritten by the tile copies below, so the
+    // reshape skips the redundant zero-fill when the buffer is reused.
+    out.reset_for_overwrite(m, d);
     if m == 0 || d == 0 {
         return Ok(());
     }
@@ -175,6 +177,263 @@ fn gemm_into_with(
             });
         }
         _ => gemm_block_rm(xs, ys, out_slice, 0, n, d),
+    }
+    Ok(())
+}
+
+/// The column-blocked batched GEMM inner kernel over raw row-major buffers.
+///
+/// `x` is an `m × (blocks·w)` batch operand (B request feature matrices
+/// concatenated side by side), `y` a shared `w × n` weight; block `b` of the
+/// output rows receives `X[:, b·w..(b+1)·w] × Y`.  Per output element the
+/// `k` loop streams block `b`'s slice of the row in increasing order with
+/// zeros of `X` skipped, so each block's result is bit-identical to running
+/// [`gemm_block_rm`] on that request's extracted matrix alone.
+/// Stack budget of the k-streaming fast path: one whole batched output row
+/// (`blocks · n` floats) is accumulated on the stack while `k` streams by
+/// **once**, with every block consuming the same `Y` row — the genuinely
+/// batch-only win of the column-blocked GEMM (a skinny per-request GEMM
+/// re-streams `k` per call and re-loads each `Y` row per output tile).
+const BATCH_ROW_TILE: usize = 512;
+
+fn gemm_col_blocked_rm(
+    x: &[f32],
+    y: &[f32],
+    out_rows: &mut [f32],
+    row0: usize,
+    blocks: usize,
+    w: usize,
+    n: usize,
+) {
+    let xw = blocks * w;
+    let ow = blocks * n;
+    let rows = out_rows.len().checked_div(ow).unwrap_or(0);
+    if ow <= BATCH_ROW_TILE {
+        // k-streaming fast path: the full output row stays in a stack
+        // accumulator; each `k` loads `Y`'s row once and feeds every block.
+        // Per output element the contributions still arrive in increasing
+        // `k` with zeros of `X` skipped, so the result is bit-identical to
+        // the per-block tile loop below (and to `gemm_into` per request).
+        let mut acc = [0.0f32; BATCH_ROW_TILE];
+        for i in 0..rows {
+            let xrow = &x[(row0 + i) * xw..(row0 + i + 1) * xw];
+            let orow = &mut out_rows[i * ow..(i + 1) * ow];
+            acc[..ow].fill(0.0);
+            for k in 0..w {
+                let yrow = &y[k * n..(k + 1) * n];
+                for b in 0..blocks {
+                    let xv = xrow[b * w + k];
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    let ab = &mut acc[b * n..(b + 1) * n];
+                    for (a, &yv) in ab.iter_mut().zip(yrow.iter()) {
+                        *a += xv * yv;
+                    }
+                }
+            }
+            orow.copy_from_slice(&acc[..ow]);
+        }
+        return;
+    }
+    for i in 0..rows {
+        let xrow = &x[(row0 + i) * xw..(row0 + i + 1) * xw];
+        let orow = &mut out_rows[i * ow..(i + 1) * ow];
+        for b in 0..blocks {
+            let xb = &xrow[b * w..(b + 1) * w];
+            let ob = &mut orow[b * n..(b + 1) * n];
+            let mut j0 = 0;
+            while j0 < n {
+                let jw = GEMM_TILE.min(n - j0);
+                let mut acc = [0.0f32; GEMM_TILE];
+                for (k, &xv) in xb.iter().enumerate() {
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    let yrow = &y[k * n + j0..k * n + j0 + jw];
+                    for (a, &yv) in acc[..jw].iter_mut().zip(yrow.iter()) {
+                        *a += xv * yv;
+                    }
+                }
+                ob[j0..j0 + jw].copy_from_slice(&acc[..jw]);
+                j0 += jw;
+            }
+        }
+    }
+}
+
+/// Dense × dense product written into the column block starting at `c0` of
+/// an **already-shaped** output (no reset — the batch-fused executor shapes
+/// the batch slot once and lets each request's layer-0 kernel write its own
+/// block, skipping the materialised `m × (d·B)` input concatenation).
+/// Every output element of the block is overwritten; the result equals
+/// [`gemm_into`] on a per-request output bit for bit.
+pub fn gemm_into_cols(
+    x: &DenseMatrix,
+    y: &DenseMatrix,
+    out: &mut DenseMatrix,
+    c0: usize,
+) -> Result<()> {
+    gemm_into_cols_with(None, x, y, out, c0)
+}
+
+/// [`gemm_into_cols`] with output rows fanned out over a [`ThreadPool`].
+pub fn gemm_into_cols_pooled(
+    pool: &ThreadPool,
+    x: &DenseMatrix,
+    y: &DenseMatrix,
+    out: &mut DenseMatrix,
+    c0: usize,
+) -> Result<()> {
+    gemm_into_cols_with(Some(pool), x, y, out, c0)
+}
+
+fn gemm_into_cols_with(
+    pool: Option<&ThreadPool>,
+    x: &DenseMatrix,
+    y: &DenseMatrix,
+    out: &mut DenseMatrix,
+    c0: usize,
+) -> Result<()> {
+    check_shapes("gemm_into_cols", x.shape(), y.shape())?;
+    let (m, n) = x.shape();
+    let d = y.cols();
+    if out.rows() != m || c0 + d > out.cols() || out.layout() != Layout::RowMajor {
+        return Err(MatrixError::ShapeMismatch {
+            op: "gemm_into_cols",
+            lhs: out.shape(),
+            rhs: (m, c0 + d),
+        });
+    }
+    if m == 0 || d == 0 {
+        return Ok(());
+    }
+    let x_rm;
+    let xs = if x.layout() == Layout::RowMajor {
+        x.as_slice()
+    } else {
+        x_rm = x.to_layout(Layout::RowMajor);
+        x_rm.as_slice()
+    };
+    let y_rm;
+    let ys = if y.layout() == Layout::RowMajor {
+        y.as_slice()
+    } else {
+        y_rm = y.to_layout(Layout::RowMajor);
+        y_rm.as_slice()
+    };
+    let ow = out.cols();
+    let out_slice = out.as_mut_slice();
+    let fill = |out_rows: &mut [f32], row0: usize| {
+        let rows = out_rows.len() / ow;
+        for i in 0..rows {
+            let xrow = &xs[(row0 + i) * n..(row0 + i + 1) * n];
+            let orow = &mut out_rows[i * ow + c0..i * ow + c0 + d];
+            let mut j0 = 0;
+            while j0 < d {
+                let jw = GEMM_TILE.min(d - j0);
+                let mut acc = [0.0f32; GEMM_TILE];
+                for (k, &xv) in xrow.iter().enumerate() {
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    let yrow = &ys[k * d + j0..k * d + j0 + jw];
+                    for (a, &yv) in acc[..jw].iter_mut().zip(yrow.iter()) {
+                        *a += xv * yv;
+                    }
+                }
+                orow[j0..j0 + jw].copy_from_slice(&acc[..jw]);
+                j0 += jw;
+            }
+        }
+    };
+    match pool {
+        Some(pool) if !pool.is_inline() => {
+            let chunk_rows = pool.chunk_rows(m);
+            pool.for_each_chunk_mut(out_slice, chunk_rows * ow, |ci, chunk| {
+                fill(chunk, ci * chunk_rows);
+            });
+        }
+        _ => fill(out_slice, 0),
+    }
+    Ok(())
+}
+
+/// Batched dense × dense product over a column-blocked batch operand.
+///
+/// `x` is `m × (blocks·w)` — `blocks` request feature matrices of width `w`
+/// concatenated horizontally — and `y` is one shared `w × n` weight matrix.
+/// The output is reshaped to `m × (blocks·n)`; its block `b` equals
+/// `X_b × Y` bit for bit (same `k`-increasing accumulation as
+/// [`gemm_into`] on the extracted block).  This is the Update kernel of the
+/// batch-fused executor: one wide kernel call instead of `blocks` skinny
+/// ones.
+pub fn gemm_col_blocked_into(
+    x: &DenseMatrix,
+    y: &DenseMatrix,
+    blocks: usize,
+    out: &mut DenseMatrix,
+) -> Result<()> {
+    gemm_col_blocked_with(None, x, y, blocks, out)
+}
+
+/// [`gemm_col_blocked_into`] with output rows fanned out over a
+/// [`ThreadPool`].
+pub fn gemm_col_blocked_into_pooled(
+    pool: &ThreadPool,
+    x: &DenseMatrix,
+    y: &DenseMatrix,
+    blocks: usize,
+    out: &mut DenseMatrix,
+) -> Result<()> {
+    gemm_col_blocked_with(Some(pool), x, y, blocks, out)
+}
+
+fn gemm_col_blocked_with(
+    pool: Option<&ThreadPool>,
+    x: &DenseMatrix,
+    y: &DenseMatrix,
+    blocks: usize,
+    out: &mut DenseMatrix,
+) -> Result<()> {
+    let w = y.rows();
+    let n = y.cols();
+    if blocks == 0 || x.cols() != blocks * w {
+        return Err(MatrixError::ShapeMismatch {
+            op: "gemm_col_blocked",
+            lhs: x.shape(),
+            rhs: (blocks.max(1) * w, n),
+        });
+    }
+    let m = x.rows();
+    // Every block of every output row is overwritten by the tile copies.
+    out.reset_for_overwrite(m, blocks * n);
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    let x_rm;
+    let xs = if x.layout() == Layout::RowMajor {
+        x.as_slice()
+    } else {
+        x_rm = x.to_layout(Layout::RowMajor);
+        x_rm.as_slice()
+    };
+    let y_rm;
+    let ys = if y.layout() == Layout::RowMajor {
+        y.as_slice()
+    } else {
+        y_rm = y.to_layout(Layout::RowMajor);
+        y_rm.as_slice()
+    };
+    let out_slice = out.as_mut_slice();
+    match pool {
+        Some(pool) if !pool.is_inline() => {
+            let chunk_rows = pool.chunk_rows(m);
+            pool.for_each_chunk_mut(out_slice, chunk_rows * blocks * n, |ci, chunk| {
+                gemm_col_blocked_rm(xs, ys, chunk, ci * chunk_rows, blocks, w, n);
+            });
+        }
+        _ => gemm_col_blocked_rm(xs, ys, out_slice, 0, blocks, w, n),
     }
     Ok(())
 }
@@ -324,6 +583,88 @@ mod tests {
         let mut out = DenseMatrix::zeros(0, 0);
         gemm_into(&x, &y, &mut out).unwrap();
         assert_eq!(out.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn gemm_col_blocked_is_bit_identical_to_per_block_gemm() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let (m, w, n, blocks) = (23, 19, GEMM_TILE + 7, 4);
+        let reqs: Vec<DenseMatrix> = (0..blocks)
+            .map(|b| random_dense(&mut rng, m, w, 0.2 + 0.2 * b as f64))
+            .collect();
+        let y = random_dense(&mut rng, w, n, 0.8);
+        // Concatenate the requests into one batch operand.
+        let mut batch = DenseMatrix::zeros(m, blocks * w);
+        for (b, r) in reqs.iter().enumerate() {
+            batch.paste_cols(b * w, r);
+        }
+        let mut out = DenseMatrix::zeros(0, 0);
+        gemm_col_blocked_into(&batch, &y, blocks, &mut out).unwrap();
+        assert_eq!(out.shape(), (m, blocks * n));
+        let mut per_block = DenseMatrix::zeros(0, 0);
+        let mut extracted = DenseMatrix::zeros(0, 0);
+        for (b, r) in reqs.iter().enumerate() {
+            gemm_into(r, &y, &mut per_block).unwrap();
+            out.copy_cols_into(b * n, (b + 1) * n, &mut extracted);
+            assert_eq!(
+                extracted.as_slice(),
+                per_block.as_slice(),
+                "block {b} must match the skinny per-request GEMM bit for bit"
+            );
+        }
+        // Pooled variant is bit-identical to the serial one.
+        let pool = crate::pool::ThreadPool::new(3);
+        let mut pooled = DenseMatrix::zeros(0, 0);
+        gemm_col_blocked_into_pooled(&pool, &batch, &y, blocks, &mut pooled).unwrap();
+        assert_eq!(pooled.as_slice(), out.as_slice());
+        // blocks = 1 degenerates to the plain GEMM.
+        gemm_col_blocked_into(&reqs[0], &y, 1, &mut pooled).unwrap();
+        gemm_into(&reqs[0], &y, &mut per_block).unwrap();
+        assert_eq!(pooled.as_slice(), per_block.as_slice());
+
+        // A batch row wider than the stack budget takes the per-block tile
+        // path; it must still match the skinny per-request GEMM bit for bit.
+        let wide_y = random_dense(&mut rng, w, BATCH_ROW_TILE / 2, 0.7);
+        gemm_col_blocked_into(&batch, &wide_y, blocks, &mut out).unwrap();
+        assert_eq!(out.shape(), (m, blocks * BATCH_ROW_TILE / 2));
+        for (b, r) in reqs.iter().enumerate() {
+            gemm_into(r, &wide_y, &mut per_block).unwrap();
+            out.copy_cols_into(b * wide_y.cols(), (b + 1) * wide_y.cols(), &mut extracted);
+            assert_eq!(extracted.as_slice(), per_block.as_slice(), "wide block {b}");
+        }
+    }
+
+    #[test]
+    fn gemm_into_cols_writes_one_block_of_a_shaped_output() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let x = random_dense(&mut rng, 9, 14, 0.4);
+        let y = random_dense(&mut rng, 14, 6, 0.9);
+        let mut want = DenseMatrix::zeros(0, 0);
+        gemm_into(&x, &y, &mut want).unwrap();
+        let mut out = DenseMatrix::zeros(9, 20);
+        gemm_into_cols(&x, &y, &mut out, 6).unwrap();
+        let mut got = DenseMatrix::zeros(0, 0);
+        out.copy_cols_into(6, 12, &mut got);
+        assert_eq!(got.as_slice(), want.as_slice());
+        // Outside the block nothing was touched.
+        assert_eq!(out.nnz_cols(0, 6), 0);
+        assert_eq!(out.nnz_cols(12, 20), 0);
+        // Pooled matches serial bitwise.
+        let pool = crate::pool::ThreadPool::new(3);
+        let mut pooled = DenseMatrix::zeros(9, 20);
+        gemm_into_cols_pooled(&pool, &x, &y, &mut pooled, 6).unwrap();
+        assert_eq!(pooled.as_slice(), out.as_slice());
+        // A block that does not fit is rejected.
+        assert!(gemm_into_cols(&x, &y, &mut out, 15).is_err());
+    }
+
+    #[test]
+    fn gemm_col_blocked_rejects_mismatched_widths() {
+        let x = DenseMatrix::zeros(3, 10);
+        let y = DenseMatrix::zeros(4, 2);
+        let mut out = DenseMatrix::zeros(0, 0);
+        assert!(gemm_col_blocked_into(&x, &y, 2, &mut out).is_err());
+        assert!(gemm_col_blocked_into(&x, &y, 0, &mut out).is_err());
     }
 
     #[test]

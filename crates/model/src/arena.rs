@@ -24,10 +24,10 @@
 //!   apply in place, layer outputs become the next layer's input by pointer
 //!   swap, and a slot that flips between CSR and dense across requests
 //!   reuses its retained counterpart buffer instead of reallocating.
-//! * Row-parallel kernels run over the persistent
-//!   [`ThreadPool`](dynasparse_matrix::ThreadPool) when the dispatcher is
-//!   built with `parallel = true` (the vendored rayon stand-in is
-//!   sequential, so this is the only intra-request parallelism available).
+//! * Row-parallel kernels run over the persistent [`ThreadPool`] when the
+//!   dispatcher is built with `parallel = true` (the vendored rayon
+//!   stand-in is sequential, so this is the only intra-request parallelism
+//!   available).
 //!
 //! The dispatched pass is numerically identical to the fixed-kernel path:
 //! every route accumulates contributions to one output element in the same
@@ -155,7 +155,7 @@ impl KernelDispatcher {
         self.parallel
     }
 
-    fn pool(&self) -> Option<&'static ThreadPool> {
+    pub(crate) fn pool(&self) -> Option<&'static ThreadPool> {
         if self.parallel {
             let pool = ThreadPool::global();
             if !pool.is_inline() {
@@ -176,9 +176,9 @@ impl KernelDispatcher {
 /// buffers cycle through the [`SpGemmScratch`] reclaim pool) restores the
 /// zero-allocation contract under oscillating densities.
 #[derive(Debug)]
-struct ArenaSlot {
+pub(crate) struct ArenaSlot {
     /// The representation the last kernel wrote (what consumers read).
-    value: FeatureMatrix,
+    pub(crate) value: FeatureMatrix,
     /// Retained dense capacity while `value` is sparse; empty otherwise
     /// (the capacity migrates between `value` and here on each flip).
     spare_dense: DenseMatrix,
@@ -206,17 +206,21 @@ impl ArenaSlot {
 #[derive(Debug)]
 pub struct KernelArena {
     /// One slot per kernel of the widest layer (kernel outputs).
-    slots: Vec<ArenaSlot>,
+    pub(crate) slots: Vec<ArenaSlot>,
     /// The current layer's input features (`H^{l-1}`).
-    input: ArenaSlot,
+    pub(crate) input: ArenaSlot,
     /// The layer-output accumulator; swapped with `input` at layer end.
-    acc: ArenaSlot,
+    pub(crate) acc: ArenaSlot,
     /// Dense scratch for densifying a sparse operand on the GEMM/SpDMM
     /// routes.
-    densify: DenseMatrix,
+    pub(crate) densify: DenseMatrix,
     /// Workspace of the Gustavson sparse-sparse kernel; also recycles the
     /// CSR buffers of sparse slot outputs.
-    spgemm: SpGemmScratch,
+    pub(crate) spgemm: SpGemmScratch,
+    /// Largest batch the buffers are sized for (1 for a per-request arena).
+    pub(crate) batch_capacity: usize,
+    /// Batch size of the last `forward_dispatch_batch` pass (0 before one).
+    pub(crate) batch: usize,
 }
 
 impl KernelArena {
@@ -224,6 +228,16 @@ impl KernelArena {
     /// vertices: each buffer gets capacity for the widest feature matrix any
     /// kernel of the model can produce.
     pub fn for_model(model: &GnnModel, num_vertices: usize) -> Self {
+        Self::for_model_batch(model, num_vertices, 1)
+    }
+
+    /// Sizes an arena for batch-fused execution: every slot gets capacity
+    /// for `max_batch` horizontally concatenated feature matrices of the
+    /// model's widest dimension (`num_vertices × (max_dim · max_batch)`), so
+    /// micro-batches up to `max_batch` execute with zero steady-state
+    /// allocations.  Memory scales linearly with `max_batch`.
+    pub fn for_model_batch(model: &GnnModel, num_vertices: usize, max_batch: usize) -> Self {
+        let max_batch = max_batch.max(1);
         let mut max_dim = model.input_dim;
         for layer in &model.layers {
             max_dim = max_dim.max(layer.in_dim).max(layer.out_dim);
@@ -237,24 +251,53 @@ impl KernelArena {
             .map(|l| l.kernels.len())
             .max()
             .unwrap_or(0);
+        let batch_dim = max_dim * max_batch;
+        let empty_dense = |rows: usize, cols: usize| {
+            let mut m = DenseMatrix::zeros(rows, cols);
+            m.reset(0, 0);
+            m
+        };
         KernelArena {
             slots: (0..max_kernels)
-                .map(|_| ArenaSlot::with_capacity(num_vertices, max_dim))
+                .map(|_| ArenaSlot::with_capacity(num_vertices, batch_dim))
                 .collect(),
-            input: ArenaSlot::with_capacity(num_vertices, max_dim),
-            acc: ArenaSlot::with_capacity(num_vertices, max_dim),
-            densify: {
-                let mut m = DenseMatrix::zeros(num_vertices, max_dim);
-                m.reset(0, 0);
-                m
-            },
+            input: ArenaSlot::with_capacity(num_vertices, batch_dim),
+            acc: ArenaSlot::with_capacity(num_vertices, batch_dim),
+            densify: empty_dense(num_vertices, batch_dim),
             spgemm: SpGemmScratch::new(),
+            batch_capacity: max_batch,
+            batch: 0,
         }
     }
 
-    /// The final embeddings of the last dispatched forward pass.
+    /// Largest batch this arena's buffers are sized for.
+    pub fn batch_capacity(&self) -> usize {
+        self.batch_capacity
+    }
+
+    /// The final embeddings of the last dispatched forward pass.  After a
+    /// batched pass this is the whole `m × (d·B)` batch output; use
+    /// [`KernelArena::output_block`] for one request's embeddings.
     pub fn output(&self) -> &FeatureMatrix {
         &self.input.value
+    }
+
+    /// One request's embeddings out of the last batched pass: column block
+    /// `block` of [`KernelArena::output`], materialised in the batch
+    /// output's representation.  Allocates (reports own their embeddings).
+    pub fn output_block(&self, block: usize) -> FeatureMatrix {
+        let bsz = self.batch.max(1);
+        debug_assert!(block < bsz, "block {block} out of batch {bsz}");
+        let width = self.input.value.dim() / bsz;
+        let (c0, c1) = (block * width, (block + 1) * width);
+        match &self.input.value {
+            FeatureMatrix::Dense(d) => {
+                let mut out = DenseMatrix::zeros(0, 0);
+                d.copy_cols_into(c0, c1, &mut out);
+                FeatureMatrix::Dense(out)
+            }
+            FeatureMatrix::Sparse(s) => FeatureMatrix::Sparse(s.col_block(c0, c1)),
+        }
     }
 }
 
@@ -262,7 +305,10 @@ impl KernelArena {
 /// slot currently holding a sparse matrix flips to its retained spare dense
 /// buffer (dual representation — no allocation once the spare has served
 /// this topology) and donates its CSR buffers to the spgemm workspace.
-fn slot_as_dense<'s>(slot: &'s mut ArenaSlot, spgemm: &mut SpGemmScratch) -> &'s mut DenseMatrix {
+pub(crate) fn slot_as_dense<'s>(
+    slot: &'s mut ArenaSlot,
+    spgemm: &mut SpGemmScratch,
+) -> &'s mut DenseMatrix {
     if let FeatureMatrix::Sparse(_) = &slot.value {
         let dense = std::mem::replace(&mut slot.spare_dense, DenseMatrix::zeros(0, 0));
         let old = std::mem::replace(&mut slot.value, FeatureMatrix::Dense(dense));
@@ -279,7 +325,7 @@ fn slot_as_dense<'s>(slot: &'s mut ArenaSlot, spgemm: &mut SpGemmScratch) -> &'s
 /// Stores `csr` into `slot`.  A previously sparse slot recycles its old CSR
 /// buffers through the spgemm workspace; a previously dense slot retains its
 /// dense buffer as the spare so a later flip back to dense is free.
-fn slot_set_sparse(slot: &mut ArenaSlot, csr: CsrMatrix, spgemm: &mut SpGemmScratch) {
+pub(crate) fn slot_set_sparse(slot: &mut ArenaSlot, csr: CsrMatrix, spgemm: &mut SpGemmScratch) {
     let old = std::mem::replace(&mut slot.value, FeatureMatrix::Sparse(csr));
     match old {
         FeatureMatrix::Sparse(old_csr) => spgemm.reclaim(old_csr.into_parts()),
@@ -289,7 +335,7 @@ fn slot_set_sparse(slot: &mut ArenaSlot, csr: CsrMatrix, spgemm: &mut SpGemmScra
 
 /// Applies an activation to a slot in place (no allocation on either
 /// representation).
-fn apply_activation_inplace(slot: &mut FeatureMatrix, act: Activation) {
+pub(crate) fn apply_activation_inplace(slot: &mut FeatureMatrix, act: Activation) {
     match slot {
         FeatureMatrix::Dense(d) => d.map_inplace(|v| act.apply_scalar(v)),
         FeatureMatrix::Sparse(s) => s.map_retain(|v| act.apply_scalar(v)),
@@ -297,7 +343,7 @@ fn apply_activation_inplace(slot: &mut FeatureMatrix, act: Activation) {
 }
 
 /// Adds a CSR matrix element-wise into a dense accumulator.
-fn add_csr_into_dense(acc: &mut DenseMatrix, csr: &CsrMatrix) {
+pub(crate) fn add_csr_into_dense(acc: &mut DenseMatrix, csr: &CsrMatrix) {
     debug_assert_eq!(acc.shape(), csr.shape());
     debug_assert_eq!(
         acc.layout(),
@@ -312,6 +358,61 @@ fn add_csr_into_dense(acc: &mut DenseMatrix, csr: &CsrMatrix) {
             data[r * cols_total + c as usize] += v;
         }
     }
+}
+
+/// Combines a layer's contributing kernel slots into the accumulator slot —
+/// one contributor swaps by pointer, several accumulate densely in kernel
+/// order (the same order the reference path adds them).  Shared by the
+/// per-request and batch-fused forward passes.
+pub(crate) fn combine_layer_outputs(
+    layer: &crate::kernel::LayerSpec,
+    slots: &mut [ArenaSlot],
+    acc: &mut ArenaSlot,
+    spgemm: &mut SpGemmScratch,
+) -> dynasparse_matrix::Result<()> {
+    let contributors = layer
+        .kernels
+        .iter()
+        .filter(|k| k.contributes_to_output)
+        .count();
+    if contributors == 1 {
+        let j = layer
+            .kernels
+            .iter()
+            .position(|k| k.contributes_to_output)
+            .expect("counted one contributor");
+        std::mem::swap(acc, &mut slots[j]);
+    } else {
+        let (rows, cols) = slots
+            .iter()
+            .zip(layer.kernels.iter())
+            .find(|(_, k)| k.contributes_to_output)
+            .map(|(s, _)| s.value.shape())
+            .expect("validated layers have a contributing kernel");
+        let acc_dense = slot_as_dense(acc, spgemm);
+        let mut first = true;
+        for (slot, k) in slots.iter().zip(layer.kernels.iter()) {
+            if !k.contributes_to_output {
+                continue;
+            }
+            if first {
+                match &slot.value {
+                    FeatureMatrix::Dense(d) => acc_dense.copy_from(d),
+                    FeatureMatrix::Sparse(s) => {
+                        acc_dense.reset(rows, cols);
+                        s.to_dense_into(acc_dense);
+                    }
+                }
+                first = false;
+            } else {
+                match &slot.value {
+                    FeatureMatrix::Dense(d) => acc_dense.add_assign(d)?,
+                    FeatureMatrix::Sparse(s) => add_csr_into_dense(acc_dense, s),
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 impl ReferenceExecutor {
@@ -338,6 +439,12 @@ impl ReferenceExecutor {
         KernelArena::for_model(self.model(), num_vertices)
     }
 
+    /// Builds an arena sized for batch-fused execution of up to `max_batch`
+    /// concatenated requests (see [`KernelArena::for_model_batch`]).
+    pub fn arena_batch(&self, num_vertices: usize, max_batch: usize) -> KernelArena {
+        KernelArena::for_model_batch(self.model(), num_vertices, max_batch)
+    }
+
     /// Runs the full model through the dispatching kernel engine, invoking
     /// `on_kernel(layer, kernel, spec, input, output)` after every kernel.
     /// The final embeddings are left in [`KernelArena::output`]; in steady
@@ -359,6 +466,7 @@ impl ReferenceExecutor {
             acc,
             densify,
             spgemm,
+            ..
         } = arena;
         // Layer 0 reads the request features directly (no copy into the
         // arena); later layers read the swapped-in accumulator.
@@ -381,52 +489,7 @@ impl ReferenceExecutor {
                 }
                 on_kernel(l, ki, spec, kin, &out_slot.value);
             }
-
-            // Combine the contributing kernels into the layer output.
-            let contributors = layer
-                .kernels
-                .iter()
-                .filter(|k| k.contributes_to_output)
-                .count();
-            if contributors == 1 {
-                let j = layer
-                    .kernels
-                    .iter()
-                    .position(|k| k.contributes_to_output)
-                    .expect("counted one contributor");
-                std::mem::swap(acc, &mut slots[j]);
-            } else {
-                // Multiple contributors: accumulate densely, in kernel
-                // order (the same order the reference path adds them).
-                let (rows, cols) = slots
-                    .iter()
-                    .zip(layer.kernels.iter())
-                    .find(|(_, k)| k.contributes_to_output)
-                    .map(|(s, _)| s.value.shape())
-                    .expect("validated layers have a contributing kernel");
-                let acc_dense = slot_as_dense(acc, spgemm);
-                let mut first = true;
-                for (slot, k) in slots.iter().zip(layer.kernels.iter()) {
-                    if !k.contributes_to_output {
-                        continue;
-                    }
-                    if first {
-                        match &slot.value {
-                            FeatureMatrix::Dense(d) => acc_dense.copy_from(d),
-                            FeatureMatrix::Sparse(s) => {
-                                acc_dense.reset(rows, cols);
-                                s.to_dense_into(acc_dense);
-                            }
-                        }
-                        first = false;
-                    } else {
-                        match &slot.value {
-                            FeatureMatrix::Dense(d) => acc_dense.add_assign(d)?,
-                            FeatureMatrix::Sparse(s) => add_csr_into_dense(acc_dense, s),
-                        }
-                    }
-                }
-            }
+            combine_layer_outputs(layer, slots, acc, spgemm)?;
             if let Some(act) = layer.output_activation {
                 apply_activation_inplace(&mut acc.value, act);
             }
@@ -437,7 +500,7 @@ impl ReferenceExecutor {
     }
 
     /// Executes one kernel, routed by runtime density, into `out_slot`.
-    fn execute_kernel_dispatch(
+    pub(crate) fn execute_kernel_dispatch(
         &self,
         spec: &KernelSpec,
         kin: &FeatureMatrix,

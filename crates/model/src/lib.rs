@@ -14,7 +14,7 @@
 //! * [`pruning`] — magnitude pruning of the weight matrices, producing the
 //!   weight-sparsity sweep of Figs. 11/12;
 //! * [`activation`] — the element-wise activations of the IR (ReLU / PReLU);
-//! * [`reference`] — a functional full-graph executor that computes every
+//! * [`reference`](mod@reference) — a functional full-graph executor that computes every
 //!   intermediate feature matrix.  It is both the correctness oracle for the
 //!   accelerator simulator and the source of the *runtime-only-known*
 //!   feature-matrix densities (Fig. 2) that drive dynamic kernel-to-primitive
@@ -25,6 +25,7 @@
 
 pub mod activation;
 pub mod arena;
+pub mod batch;
 pub mod error;
 pub mod kernel;
 pub mod models;
@@ -33,6 +34,7 @@ pub mod reference;
 
 pub use activation::Activation;
 pub use arena::{KernelArena, KernelDispatcher};
+pub use batch::BatchKernelViews;
 pub use error::{LayerError, ModelError};
 pub use kernel::{KernelInput, KernelOp, KernelSpec, LayerSpec};
 pub use models::{GnnModel, GnnModelKind};

@@ -6,7 +6,7 @@
 //! mapping gains over the static strategies as the weights get sparser.  We
 //! implement magnitude pruning — zero out the smallest-magnitude fraction of
 //! each weight matrix — which is the standard unstructured pruning the cited
-//! compression works ([15], [16] in the paper) build on.
+//! compression works (\[15\], \[16\] in the paper) build on.
 
 use crate::models::GnnModel;
 use dynasparse_matrix::DenseMatrix;

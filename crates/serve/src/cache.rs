@@ -52,6 +52,24 @@ struct CacheEntry {
 /// on a miss (evicting the least-recently-used plan when at capacity).
 /// Returned plans are `Arc`-shared, so evicting a plan never invalidates
 /// sessions still serving from it.
+///
+/// ```
+/// use dynasparse::Planner;
+/// use dynasparse_graph::Dataset;
+/// use dynasparse_model::GnnModel;
+/// use dynasparse_serve::PlanCache;
+/// use std::sync::Arc;
+///
+/// let dataset = Dataset::Cora.spec().generate_scaled(42, 0.08);
+/// let model = GnnModel::gcn(dataset.features.dim(), 8, dataset.spec.num_classes, 7);
+///
+/// let mut cache = PlanCache::new(Planner::default(), 4);
+/// let first = cache.get_or_plan(&model, &dataset).unwrap();   // compiles
+/// let second = cache.get_or_plan(&model, &dataset).unwrap();  // cache hit
+/// assert!(Arc::ptr_eq(&first, &second));
+/// assert_eq!(cache.stats().misses, 1);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
 pub struct PlanCache {
     planner: Planner,
     capacity: usize,

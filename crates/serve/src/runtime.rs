@@ -155,6 +155,27 @@ impl Ticket {
 }
 
 /// Multi-threaded serving runtime over one shared [`CompiledPlan`].
+///
+/// ```
+/// use dynasparse::Planner;
+/// use dynasparse_graph::Dataset;
+/// use dynasparse_model::GnnModel;
+/// use dynasparse_serve::{ServeConfig, ServeRuntime};
+///
+/// let dataset = Dataset::Cora.spec().generate_scaled(42, 0.08);
+/// let model = GnnModel::gcn(dataset.features.dim(), 8, dataset.spec.num_classes, 7);
+/// let plan = Planner::default().plan_shared(&model, &dataset).unwrap();
+///
+/// // Two workers, micro-batches of up to 4 requests served through the
+/// // batch-fused session path.
+/// let runtime = ServeRuntime::start(plan, ServeConfig::default().workers(2).max_batch(4));
+/// let ticket = runtime.submit(dataset.features.clone()).unwrap();
+/// let report = ticket.wait().unwrap();
+/// assert_eq!(report.request_index, 0);
+///
+/// let metrics = runtime.shutdown();
+/// assert_eq!(metrics.requests, 1);
+/// ```
 pub struct ServeRuntime {
     plan: Arc<CompiledPlan>,
     config: ServeConfig,
@@ -299,6 +320,10 @@ fn worker_loop(
     metrics: Arc<MetricsCollector>,
 ) {
     let mut session: Session<'static> = Session::shared(plan, &config.strategies);
+    // Size the fused-batch arena for the worker's batch cap up front, so
+    // `max_batch` buys kernel-level fusion (one kernel pass per layer per
+    // micro-batch) without mid-serving buffer growth.
+    session.reserve_batch(config.max_batch);
     while let Some(batch) = queue.pop_batch(config.max_batch, config.batch_deadline) {
         if batch.is_empty() {
             continue;

@@ -1,0 +1,65 @@
+//! Reference-count accounting of the process-shared host calibration.
+//!
+//! The measured host kernel calibration (`HostCalibration::shared`) is a
+//! process-global `Arc`: every plan and every serving worker must share the
+//! one fit, and tearing a runtime down must return the count to its
+//! pre-runtime value (no worker re-measures or leaks a clone).
+//!
+//! This lives in its own test binary on purpose: the count is global, so a
+//! sibling test planning concurrently would race the two reads.  Cargo runs
+//! test binaries sequentially, and this binary holds only count-sensitive
+//! tests (the report-identity side of the claim is covered by
+//! `tests/integration_serve.rs`).
+
+use dynasparse::{CompiledPlan, Planner};
+use dynasparse_graph::Dataset;
+use dynasparse_model::{GnnModel, GnnModelKind};
+use dynasparse_serve::{ServeConfig, ServeRuntime};
+use std::sync::Arc;
+
+fn plan_fixture() -> Arc<CompiledPlan> {
+    let ds = Dataset::Cora.spec().generate_scaled(13, 0.1);
+    let model = GnnModel::standard(
+        GnnModelKind::Gcn,
+        ds.features.dim(),
+        16,
+        ds.spec.num_classes,
+        3,
+    );
+    Planner::default().plan_shared(&model, &ds).unwrap()
+}
+
+#[test]
+fn runtimes_share_one_calibration_and_release_it_on_shutdown() {
+    let plan = plan_fixture();
+    let Some(calibration) = plan.calibration() else {
+        return; // DYNASPARSE_CALIBRATION=off
+    };
+    assert!(calibration.is_valid());
+    let refs_before = Arc::strong_count(calibration);
+
+    // A second plan over the same process shares the identical fit by
+    // pointer, not a re-measurement.
+    let other = plan_fixture();
+    let other_calibration = other.calibration().expect("calibration active");
+    assert!(Arc::ptr_eq(calibration, other_calibration));
+    drop(other);
+    assert_eq!(Arc::strong_count(calibration), refs_before);
+
+    // Spinning up (and tearing down) a multi-worker runtime leaves the
+    // count where it started: worker sessions borrow the fit through the
+    // plan and drop their clones with the sessions.
+    let ds = Dataset::Cora.spec().generate_scaled(13, 0.1);
+    let runtime = ServeRuntime::start(
+        Arc::clone(&plan),
+        ServeConfig::default().workers(3).max_batch(4),
+    );
+    let results = runtime.serve_all((0..6).map(|_| ds.features.clone()));
+    assert!(results.iter().all(Result::is_ok));
+    runtime.shutdown();
+    assert_eq!(
+        Arc::strong_count(calibration),
+        refs_before,
+        "workers must not leak calibration clones"
+    );
+}

@@ -266,12 +266,17 @@ fn serving_workers_share_the_plans_measured_calibration() {
     // up a multi-worker runtime must not re-measure it per worker, and the
     // served results stay bit-identical to a serial session (the cost model
     // only picks which host kernel runs).
+    //
+    // The leak-freedom side of this claim (`Arc::strong_count` returning to
+    // its pre-runtime value) lives in `tests/calibration_sharing.rs`: the
+    // count is on the *process-global* calibration, so asserting it here
+    // would race against sibling tests planning concurrently when this
+    // binary runs with multiple test threads.
     let (plan, _) = plan_fixture();
     let Some(calibration) = plan.calibration() else {
         return; // DYNASPARSE_CALIBRATION=off
     };
     assert!(calibration.is_valid());
-    let refs_before = Arc::strong_count(calibration);
     let stream = request_stream(&plan, 6);
     let want = serial_reports(&plan, &[MappingStrategy::Dynamic], &stream);
     let runtime = ServeRuntime::start(Arc::clone(&plan), ServeConfig::default().workers(3));
@@ -280,7 +285,4 @@ fn serving_workers_share_the_plans_measured_calibration() {
         assert_reports_identical(&want[i], &r.unwrap(), &format!("calibrated request {i}"));
     }
     runtime.shutdown();
-    // Workers are gone; only the plan's (and the process-wide) handles
-    // remain — nobody cloned the fit itself.
-    assert_eq!(Arc::strong_count(calibration), refs_before);
 }
