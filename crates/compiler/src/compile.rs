@@ -11,8 +11,8 @@ use crate::ir::{ComputationGraph, KernelIr};
 use crate::partitioning::choose_partition;
 use crate::schemes::{generate_tasks, TaskDescriptor};
 use crate::sparsity::StaticSparsity;
-use dynasparse_graph::GraphDataset;
-use dynasparse_matrix::PartitionSpec;
+use dynasparse_graph::{FeatureMatrix, Graph, GraphDataset};
+use dynasparse_matrix::{DensityProfile, PartitionSpec};
 use dynasparse_model::GnnModel;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -108,21 +108,57 @@ impl CompileReport {
 /// partition sizes, generates execution schemes and profiles static
 /// sparsity.
 pub fn compile(model: &GnnModel, dataset: &GraphDataset, config: &CompilerConfig) -> CompileReport {
+    compile_topology(model, &dataset.graph, &dataset.features, config)
+}
+
+/// Compiles a model against a bare `(graph, features)` topology.
+///
+/// Identical to [`compile`] but without requiring a [`GraphDataset`]
+/// wrapper — the per-request entry point for subgraph serving, where the
+/// topology is a freshly sampled ego-net rather than a named dataset.
+pub fn compile_topology(
+    model: &GnnModel,
+    graph: &Graph,
+    features: &FeatureMatrix,
+    config: &CompilerConfig,
+) -> CompileReport {
+    compile_topology_with_weights(model, graph, features, config, |spec| {
+        StaticSparsity::profile_weights(model, spec)
+    })
+}
+
+/// Compiles a model against a topology, sourcing the weight density
+/// profiles from `weights_for` instead of re-profiling them.
+///
+/// The weight grid depends on the partition spec only through `N2`, so a
+/// resident [`ModelTemplate`](https://docs.rs/dynasparse) can memoize the
+/// profiles per distinct `N2` and hand back cached copies here — the
+/// callback runs *after* Algorithm 9 has chosen the partition (the spec is
+/// not known earlier), and its duration is still accounted under
+/// `profiling_time` so cache hits show up as the measured win.
+///
+/// The callback must return exactly what
+/// [`StaticSparsity::profile_weights`] would for the same `(model, spec)`;
+/// everything downstream (strategy pricing, density traces) reads these
+/// values bit-for-bit.
+pub fn compile_topology_with_weights(
+    model: &GnnModel,
+    graph: &Graph,
+    features: &FeatureMatrix,
+    config: &CompilerConfig,
+    weights_for: impl FnOnce(&PartitionSpec) -> Vec<DensityProfile>,
+) -> CompileReport {
     let start = Instant::now();
 
     // Step 1: parse the input into the computation graph.
     let t0 = Instant::now();
-    let graph = ComputationGraph::from_model(
-        model,
-        dataset.graph.num_vertices(),
-        dataset.graph.num_edges(),
-    );
+    let comp_graph = ComputationGraph::from_model(model, graph.num_vertices(), graph.num_edges());
     let ir_time = t0.elapsed();
 
     // Step 2: data partitioning + execution-scheme generation.
     let t1 = Instant::now();
-    let partition = choose_partition(&graph, config);
-    let kernels: Vec<CompiledKernel> = graph
+    let partition = choose_partition(&comp_graph, config);
+    let kernels: Vec<CompiledKernel> = comp_graph
         .kernels
         .iter()
         .map(|ir| CompiledKernel {
@@ -134,7 +170,16 @@ pub fn compile(model: &GnnModel, dataset: &GraphDataset, config: &CompilerConfig
 
     // Step 3: compile-time sparsity preprocessing.
     let t2 = Instant::now();
-    let static_sparsity = StaticSparsity::profile(model, dataset, &partition);
+    let adjacency = StaticSparsity::profile_adjacency(graph, &partition);
+    let weights = weights_for(&partition);
+    let (input_features_fiber, input_features_subfiber) =
+        StaticSparsity::profile_features(features, &partition);
+    let static_sparsity = StaticSparsity {
+        adjacency,
+        weights,
+        input_features_fiber,
+        input_features_subfiber,
+    };
     let profiling_time = t2.elapsed();
 
     // Data that must cross PCIe before execution: adjacency (CSR), input
@@ -142,16 +187,16 @@ pub fn compile(model: &GnnModel, dataset: &GraphDataset, config: &CompilerConfig
     // (negligible but counted as one record per task).
     let weights_bytes: usize = model.weights.iter().map(|w| w.size_bytes()).sum();
     let ir_bytes: usize = kernels.iter().map(|k| 64 + k.tasks.len() * 16).sum();
-    let static_data_bytes = dataset.graph.adjacency().size_bytes() + weights_bytes + ir_bytes;
-    let data_movement_bytes = static_data_bytes + dataset.features.size_bytes();
+    let static_data_bytes = graph.adjacency().size_bytes() + weights_bytes + ir_bytes;
+    let data_movement_bytes = static_data_bytes + features.size_bytes();
 
     let program = CompiledProgram {
         kernels,
         partition,
         static_sparsity,
-        num_layers: graph.num_layers,
-        num_vertices: dataset.graph.num_vertices(),
-        num_edges: dataset.graph.num_edges(),
+        num_layers: comp_graph.num_layers,
+        num_vertices: graph.num_vertices(),
+        num_edges: graph.num_edges(),
         data_movement_bytes,
         static_data_bytes,
     };

@@ -32,7 +32,10 @@ pub mod partitioning;
 pub mod schemes;
 pub mod sparsity;
 
-pub use compile::{compile, CompileReport, CompiledKernel, CompiledProgram};
+pub use compile::{
+    compile, compile_topology, compile_topology_with_weights, CompileReport, CompiledKernel,
+    CompiledProgram,
+};
 pub use config::CompilerConfig;
 pub use ir::{ComputationGraph, KernelIr, KernelKind};
 pub use partitioning::choose_partition;

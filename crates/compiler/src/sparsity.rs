@@ -7,7 +7,7 @@
 //! matrices `{H¹, …, Hᴸ}` are *not* known here — they are profiled by the
 //! accelerator's Sparsity Profiler at runtime.
 
-use dynasparse_graph::{normalized_adjacency, AggregatorKind, GraphDataset};
+use dynasparse_graph::{normalized_adjacency, AggregatorKind, FeatureMatrix, Graph, GraphDataset};
 use dynasparse_matrix::{DensityProfile, PartitionSpec};
 use dynasparse_model::GnnModel;
 use serde::{Deserialize, Serialize};
@@ -34,32 +34,55 @@ impl StaticSparsity {
     /// Profiles every compile-time-known operand of `(model, dataset)` under
     /// the chosen partition spec.
     pub fn profile(model: &GnnModel, dataset: &GraphDataset, spec: &PartitionSpec) -> Self {
-        let num_vertices = dataset.graph.num_vertices();
-        // The Aggregate kernels multiply the *normalized* adjacency (which
-        // includes self-loops); its pattern is what matters for density.
-        let normalized = normalized_adjacency(dataset.graph.adjacency(), AggregatorKind::Sum);
-        let adjacency = DensityProfile::of_csr(&normalized, &spec.adjacency_grid(num_vertices));
-
-        let weights = model
-            .weights
-            .iter()
-            .map(|w| DensityProfile::of_dense(w, &spec.weight_grid(w.rows(), w.cols())))
-            .collect();
-
-        let feature_dim = dataset.features.dim();
-        let input_features_fiber = dataset
-            .features
-            .density_profile(&spec.feature_grid(num_vertices, feature_dim));
-        let input_features_subfiber = dataset
-            .features
-            .density_profile(&spec.subfiber_grid(num_vertices, feature_dim));
-
+        let adjacency = Self::profile_adjacency(&dataset.graph, spec);
+        let weights = Self::profile_weights(model, spec);
+        let (input_features_fiber, input_features_subfiber) =
+            Self::profile_features(&dataset.features, spec);
         StaticSparsity {
             adjacency,
             weights,
             input_features_fiber,
             input_features_subfiber,
         }
+    }
+
+    /// Profiles the per-block density of `graph`'s adjacency matrix under
+    /// `spec` — the topology-dependent half of the static profile.
+    ///
+    /// The Aggregate kernels multiply the *normalized* adjacency (which
+    /// includes self-loops); its pattern is what matters for density, and
+    /// the pattern is identical for every aggregator normalization, so one
+    /// profile serves all Aggregate kernels.
+    pub fn profile_adjacency(graph: &Graph, spec: &PartitionSpec) -> DensityProfile {
+        let normalized = normalized_adjacency(graph.adjacency(), AggregatorKind::Sum);
+        DensityProfile::of_csr(&normalized, &spec.adjacency_grid(graph.num_vertices()))
+    }
+
+    /// Profiles the per-block density of every weight matrix under `spec` —
+    /// the topology-*independent* half of the static profile.
+    ///
+    /// The weight grid depends on the partition spec only through `N2`, so a
+    /// model template can compute this once per distinct `N2` and reuse it
+    /// across every subgraph instantiation that lands on the same partition.
+    pub fn profile_weights(model: &GnnModel, spec: &PartitionSpec) -> Vec<DensityProfile> {
+        model
+            .weights
+            .iter()
+            .map(|w| DensityProfile::of_dense(w, &spec.weight_grid(w.rows(), w.cols())))
+            .collect()
+    }
+
+    /// Profiles the input feature matrix at fiber (`N1 × N2`) and subfiber
+    /// (`N2 × N2`) granularity under `spec`.
+    pub fn profile_features(
+        features: &FeatureMatrix,
+        spec: &PartitionSpec,
+    ) -> (DensityProfile, DensityProfile) {
+        let num_vertices = features.shape().0;
+        let feature_dim = features.dim();
+        let fiber = features.density_profile(&spec.feature_grid(num_vertices, feature_dim));
+        let subfiber = features.density_profile(&spec.subfiber_grid(num_vertices, feature_dim));
+        (fiber, subfiber)
     }
 
     /// Overall density of the adjacency matrix (with self-loops).

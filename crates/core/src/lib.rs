@@ -192,6 +192,7 @@ pub mod error;
 pub mod planner;
 pub mod report;
 pub mod session;
+pub mod template;
 
 pub use engine::{
     CostModelKind, Engine, EngineOptions, EngineOptionsBuilder, HostExecutionOptions,
@@ -200,6 +201,7 @@ pub use error::{CompileError, DynasparseError, EngineError};
 pub use planner::{CompiledPlan, Planner};
 pub use report::{Evaluation, InferenceReport, KernelReport, StrategyRun};
 pub use session::{OwnedSession, Session};
+pub use template::{ModelTemplate, TemplateInstance};
 
 // Re-export the pieces a downstream user needs to drive the engine without
 // depending on every sub-crate explicitly.

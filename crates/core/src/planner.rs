@@ -141,7 +141,7 @@ pub struct CompiledPlan {
     /// `None` when dispatch is off, the regions model was requested, or
     /// `DYNASPARSE_CALIBRATION=off`.
     pub(crate) calibration: Option<Arc<HostCalibration>>,
-    report: CompileReport,
+    pub(crate) report: CompileReport,
 }
 
 // The serving runtime relies on plans being shareable across threads; keep
@@ -213,6 +213,20 @@ impl CompiledPlan {
     /// Input feature dimension every request must match.
     pub fn input_dim(&self) -> usize {
         self.model.input_dim
+    }
+
+    /// Approximate resident bytes of the plan: the compiled static data
+    /// (graph adjacency, weights, IR), the normalized per-aggregator
+    /// adjacency matrices, and the static density-profile records.  This is
+    /// an accounting estimate for cache byte budgets (the inputs that scale
+    /// with topology and model size), not an allocator-exact measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let program = &self.report.program;
+        let adjacencies: usize = self.adjacencies.values().map(|m| m.size_bytes()).sum();
+        // Each per-partition density record is counted as one (nnz, total)
+        // pair plus block coordinates: 16 bytes.
+        let profile_records = program.static_sparsity.num_partition_records() * 16;
+        program.static_data_bytes + adjacencies + profile_records
     }
 
     /// PCIe milliseconds for the one-time transfer of the static data

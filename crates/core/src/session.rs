@@ -256,6 +256,57 @@ impl<'p> Session<'p> {
         self.plan.get()
     }
 
+    /// Rebinds the session to a different plan, keeping every buffer the new
+    /// plan can reuse.
+    ///
+    /// This is the serving primitive behind per-request subgraph
+    /// instantiation: a worker holds one session and rebinds it to each
+    /// request's freshly instantiated plan instead of constructing a new
+    /// session (and its arena) per request.  When the new plan shares the
+    /// old plan's model and calibration by pointer — which is exactly what
+    /// [`ModelTemplate::instantiate`](crate::ModelTemplate::instantiate)
+    /// produces — the dispatcher, the kernel arenas, and the per-kernel
+    /// profile scratch survive the rebind: arena buffers are *re-shaped* to
+    /// the new topology on the next request (growing capacity at most once
+    /// per high-water mark, never shrinking), and the cached profiling grids
+    /// refit themselves through the existing per-request shape check.
+    /// Otherwise the session state is rebuilt from scratch, as if freshly
+    /// opened over the new plan.
+    ///
+    /// Either way `requests_served` continues counting across the rebind,
+    /// and serving from the rebound session is bit-identical to a fresh
+    /// session over the same plan (the retained state is pure capacity).
+    pub fn rebind(&mut self, plan: Arc<CompiledPlan>) {
+        let old = self.plan.get();
+        let same_model = Arc::ptr_eq(&old.model, &plan.model);
+        let same_calibration = match (&old.calibration, &plan.calibration) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        };
+        let executor = ReferenceExecutor::from_prepared(
+            Arc::clone(&plan.model),
+            Arc::clone(&plan.adjacencies),
+        );
+        // `EngineOptions` carries no equality; a shared model pointer only
+        // arises when both plans came from the same template (or the same
+        // `Arc` clone), which fixes the options and the dispatcher inputs.
+        if same_model && same_calibration {
+            self.executor = executor;
+            self.plan = PlanHandle::Shared(plan);
+            for state in &mut self.states {
+                state.scheduler.reset();
+                state.kernels.clear();
+            }
+            self.density_scratch.clear();
+            return;
+        }
+        let strategies = std::mem::take(&mut self.strategies);
+        let served = self.requests_served;
+        *self = Session::build(PlanHandle::Shared(plan), executor, &strategies);
+        self.requests_served = served;
+    }
+
     /// The strategies priced on every request, in request order.
     pub fn strategies(&self) -> &[MappingStrategy] {
         &self.strategies

@@ -24,8 +24,10 @@ pub mod features;
 pub mod generators;
 pub mod graph;
 pub mod normalize;
+pub mod sample;
 
 pub use datasets::{Dataset, DatasetSpec, GraphDataset};
 pub use features::FeatureMatrix;
 pub use graph::Graph;
 pub use normalize::{normalized_adjacency, AggregatorKind};
+pub use sample::{top_degree_ego_net, NeighborSampler, SampledSubgraph};

@@ -8,15 +8,16 @@
 //! [`Planner::plan`] behind the structural [`PlanFingerprint`], with LRU
 //! eviction and hit/miss accounting.
 
-use crate::fingerprint::PlanFingerprint;
-use dynasparse::{CompiledPlan, DynasparseError, Planner};
+use crate::fingerprint::{ModelFingerprint, PlanFingerprint};
+use dynasparse::{CompiledPlan, DynasparseError, EngineOptions, ModelTemplate, Planner};
 use dynasparse_graph::GraphDataset;
 use dynasparse_model::GnnModel;
 use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Hit/miss/eviction counters of a [`PlanCache`].
+/// Hit/miss/eviction counters of a [`PlanCache`] or
+/// [`TemplateCache`], plus a resident-bytes gauge.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct CacheStats {
     /// Lookups answered from the cache (no compilation).
@@ -25,6 +26,16 @@ pub struct CacheStats {
     pub misses: u64,
     /// Plans dropped to make room for newer ones.
     pub evictions: u64,
+    /// Plans dropped by explicit [`PlanCache::clear`] calls — counted
+    /// separately from `evictions` so dashboards can tell pressure-driven
+    /// drops from administrative flushes, and so cleared plans are not
+    /// silently lost from the accounting.
+    pub clears: u64,
+    /// Approximate bytes currently resident in the cache (a gauge, not a
+    /// counter): the sum of [`CompiledPlan::approx_bytes`] over cached
+    /// entries, maintained across inserts, evictions and clears.  The
+    /// measurement a byte-budget eviction policy will act on.
+    pub resident_bytes: u64,
 }
 
 impl CacheStats {
@@ -42,6 +53,9 @@ impl CacheStats {
 struct CacheEntry {
     plan: Arc<CompiledPlan>,
     last_used: u64,
+    /// `plan.approx_bytes()`, captured at insert so eviction accounting
+    /// never re-walks the plan.
+    bytes: u64,
 }
 
 /// An LRU cache of compiled plans keyed by [`PlanFingerprint`].
@@ -113,11 +127,14 @@ impl PlanCache {
         if self.entries.len() >= self.capacity {
             self.evict_lru();
         }
+        let bytes = plan.approx_bytes() as u64;
+        self.stats.resident_bytes += bytes;
         self.entries.insert(
             key,
             CacheEntry {
                 plan: Arc::clone(&plan),
                 last_used: self.clock,
+                bytes,
             },
         );
         Ok(plan)
@@ -150,9 +167,13 @@ impl PlanCache {
         self.stats
     }
 
-    /// Drops every cached plan (stats are retained).  Outstanding `Arc`s
-    /// handed out earlier remain valid.
+    /// Drops every cached plan, recording the dropped entries in
+    /// [`CacheStats::clears`] (counters are retained, the resident-bytes
+    /// gauge falls to zero).  Outstanding `Arc`s handed out earlier remain
+    /// valid.
     pub fn clear(&mut self) {
+        self.stats.clears += self.entries.len() as u64;
+        self.stats.resident_bytes = 0;
         self.entries.clear();
     }
 
@@ -163,8 +184,160 @@ impl PlanCache {
             .min_by_key(|(_, e)| e.last_used)
             .map(|(k, _)| k)
         {
-            self.entries.remove(&key);
-            self.stats.evictions += 1;
+            if let Some(entry) = self.entries.remove(&key) {
+                self.stats.evictions += 1;
+                self.stats.resident_bytes -= entry.bytes;
+            }
+        }
+    }
+}
+
+/// An LRU cache of resident [`ModelTemplate`]s keyed by
+/// [`ModelFingerprint`], sitting beside [`PlanCache`] in a subgraph-serving
+/// deployment.
+///
+/// Where [`PlanCache`] memoizes full `(model, topology)` compilations, a
+/// template cache memoizes the *model-only* half: each cached
+/// [`ModelTemplate`] serves every per-request subgraph through
+/// [`ModelTemplate::instantiate`], so the key deliberately ignores topology
+/// and feature shape.  Hit/miss/eviction/clear accounting matches
+/// [`PlanCache`], with [`ModelTemplate::approx_bytes`] feeding the
+/// resident-bytes gauge (re-measured on every hit: a template's footprint
+/// grows as its weight-profile cache fills).
+///
+/// ```
+/// use dynasparse::EngineOptions;
+/// use dynasparse_graph::{Dataset, NeighborSampler};
+/// use dynasparse_model::GnnModel;
+/// use dynasparse_serve::TemplateCache;
+/// use std::sync::Arc;
+///
+/// let full = Dataset::Cora.spec().generate_scaled(42, 0.08);
+/// let model = GnnModel::gcn(full.features.dim(), 8, full.spec.num_classes, 7);
+///
+/// let mut cache = TemplateCache::new(EngineOptions::default(), 4);
+/// let first = cache.get_or_compile(&model).unwrap();   // compiles
+/// let second = cache.get_or_compile(&model).unwrap();  // cache hit
+/// assert!(Arc::ptr_eq(&first, &second));
+/// assert_eq!(cache.stats().misses, 1);
+/// assert_eq!(cache.stats().hits, 1);
+///
+/// // The resident template instantiates any sampled subgraph.
+/// let sub = NeighborSampler::new([6, 3], 5).sample(&full.graph, &[1]);
+/// let features = sub.extract_features(&full.features);
+/// assert!(first.instantiate(sub.graph(), &features).is_ok());
+/// ```
+pub struct TemplateCache {
+    options: EngineOptions,
+    capacity: usize,
+    entries: HashMap<ModelFingerprint, TemplateEntry>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+struct TemplateEntry {
+    template: Arc<ModelTemplate>,
+    last_used: u64,
+    /// Last observed `template.approx_bytes()` (refreshed on every hit —
+    /// the weight-profile cache inside the template grows over time).
+    bytes: u64,
+}
+
+impl TemplateCache {
+    /// Creates a cache holding at most `capacity` templates, compiling
+    /// misses with `options`.  A zero capacity is clamped to one.
+    pub fn new(options: EngineOptions, capacity: usize) -> Self {
+        TemplateCache {
+            options,
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The template for `model`, compiled at most once: a hit returns the
+    /// cached `Arc` (bumping its recency and refreshing its byte gauge), a
+    /// miss runs [`ModelTemplate::compile`] and caches the result, evicting
+    /// the least-recently-used template if the cache is full.
+    pub fn get_or_compile(
+        &mut self,
+        model: &GnnModel,
+    ) -> Result<Arc<ModelTemplate>, DynasparseError> {
+        let key = ModelFingerprint::of(model);
+        self.clock += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.last_used = self.clock;
+            self.stats.hits += 1;
+            let bytes = entry.template.approx_bytes() as u64;
+            self.stats.resident_bytes = self.stats.resident_bytes - entry.bytes + bytes;
+            entry.bytes = bytes;
+            return Ok(Arc::clone(&entry.template));
+        }
+        self.stats.misses += 1;
+        let template = ModelTemplate::compile_shared(model, self.options.clone())?;
+        if self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        let bytes = template.approx_bytes() as u64;
+        self.stats.resident_bytes += bytes;
+        self.entries.insert(
+            key,
+            TemplateEntry {
+                template: Arc::clone(&template),
+                last_used: self.clock,
+                bytes,
+            },
+        );
+        Ok(template)
+    }
+
+    /// Whether a template for `model` is cached, without touching recency
+    /// or stats.
+    pub fn contains(&self, model: &GnnModel) -> bool {
+        self.entries.contains_key(&ModelFingerprint::of(model))
+    }
+
+    /// Number of cached templates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of templates retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hit/miss/eviction counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops every cached template, recording the dropped entries in
+    /// [`CacheStats::clears`].  Outstanding `Arc`s handed out earlier
+    /// remain valid.
+    pub fn clear(&mut self) {
+        self.stats.clears += self.entries.len() as u64;
+        self.stats.resident_bytes = 0;
+        self.entries.clear();
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(&key) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k)
+        {
+            if let Some(entry) = self.entries.remove(&key) {
+                self.stats.evictions += 1;
+                self.stats.resident_bytes -= entry.bytes;
+            }
         }
     }
 }
@@ -202,7 +375,9 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                evictions: 0
+                evictions: 0,
+                clears: 0,
+                resident_bytes: a.approx_bytes() as u64,
             }
         );
         assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
@@ -261,6 +436,87 @@ mod tests {
         cache.get_or_plan(&good, &ds).unwrap();
         assert_eq!(cache.len(), 1);
         cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clears_are_counted_and_the_byte_gauge_tracks_residency() {
+        let (d1, d2) = (dataset(1), dataset(2));
+        let model = model_for(&d1, 1);
+        let mut cache = PlanCache::new(Planner::default(), 1);
+        let p1 = cache.get_or_plan(&model, &d1).unwrap();
+        assert_eq!(cache.stats().resident_bytes, p1.approx_bytes() as u64);
+        // Inserting at capacity evicts p1 and the gauge tracks the swap.
+        let p2 = cache.get_or_plan(&model, &d2).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().resident_bytes, p2.approx_bytes() as u64);
+        // An explicit clear records the dropped entries and zeroes the
+        // gauge — plans no longer vanish without a trace.
+        cache.clear();
+        assert_eq!(cache.stats().clears, 1);
+        assert_eq!(cache.stats().resident_bytes, 0);
+        assert_eq!(cache.stats().evictions, 1, "clears are not evictions");
+        cache.get_or_plan(&model, &d1).unwrap();
+        cache.clear();
+        assert_eq!(cache.stats().clears, 2);
+    }
+
+    #[test]
+    fn template_cache_hits_share_one_template_across_topologies() {
+        let ds = dataset(1);
+        let model = model_for(&ds, 1);
+        let mut cache = TemplateCache::new(dynasparse::EngineOptions::default(), 2);
+        let a = cache.get_or_compile(&model).unwrap();
+        let b = cache.get_or_compile(&model).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the cached Arc");
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains(&model));
+        assert!(!cache.is_empty());
+        assert_eq!(cache.capacity(), 2);
+
+        // One resident template instantiates differently-sized subgraphs —
+        // no per-topology cache entries appear.
+        let sub = dynasparse_graph::NeighborSampler::new([6, 3], 5).sample(&ds.graph, &[0, 9]);
+        let features = sub.extract_features(&ds.features);
+        a.instantiate(sub.graph(), &features).unwrap();
+        assert_eq!(cache.len(), 1);
+
+        // The byte gauge refreshes on hits as the weight-profile cache
+        // inside the template fills.
+        let before = cache.stats().resident_bytes;
+        let after_hit = {
+            cache.get_or_compile(&model).unwrap();
+            cache.stats().resident_bytes
+        };
+        assert!(after_hit >= before);
+        assert_eq!(after_hit, a.approx_bytes() as u64);
+    }
+
+    #[test]
+    fn template_cache_evicts_lru_and_counts_clears() {
+        let ds = dataset(1);
+        let m1 = model_for(&ds, 1);
+        let m2 = model_for(&ds, 2);
+        let m3 = model_for(&ds, 3);
+        let mut cache = TemplateCache::new(dynasparse::EngineOptions::default(), 2);
+        cache.get_or_compile(&m1).unwrap();
+        cache.get_or_compile(&m2).unwrap();
+        cache.get_or_compile(&m1).unwrap(); // m2 becomes the LRU victim
+        cache.get_or_compile(&m3).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.contains(&m1) && cache.contains(&m3));
+        assert!(!cache.contains(&m2));
+        cache.clear();
+        assert_eq!(cache.stats().clears, 2);
+        assert_eq!(cache.stats().resident_bytes, 0);
+        assert!(cache.is_empty());
+
+        // Compile errors propagate and cache nothing.
+        let mut bad = model_for(&ds, 1);
+        bad.weights.clear();
+        assert!(cache.get_or_compile(&bad).is_err());
         assert!(cache.is_empty());
     }
 }

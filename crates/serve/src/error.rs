@@ -22,6 +22,24 @@ pub enum ServeError {
     /// The request was accepted but inference failed; carries the session's
     /// typed error.
     Inference(DynasparseError),
+    /// The submission does not match the runtime's serving mode: a
+    /// fixed-topology runtime ([`ServeRuntime::start`]) only accepts
+    /// [`submit`] / [`try_submit`], a template runtime
+    /// ([`ServeRuntime::start_template`]) only accepts
+    /// [`submit_subgraph`] / [`try_submit_subgraph`].
+    ///
+    /// [`ServeRuntime::start`]: crate::ServeRuntime::start
+    /// [`ServeRuntime::start_template`]: crate::ServeRuntime::start_template
+    /// [`submit`]: crate::ServeRuntime::submit
+    /// [`try_submit`]: crate::ServeRuntime::try_submit
+    /// [`submit_subgraph`]: crate::ServeRuntime::submit_subgraph
+    /// [`try_submit_subgraph`]: crate::ServeRuntime::try_submit_subgraph
+    ModeMismatch {
+        /// The submission entry point that was called.
+        op: &'static str,
+        /// What the runtime was started with.
+        expected: &'static str,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -33,6 +51,9 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "serving runtime is shutting down"),
             ServeError::WorkerLost => write!(f, "worker thread terminated without replying"),
             ServeError::Inference(e) => write!(f, "inference failed: {e}"),
+            ServeError::ModeMismatch { op, expected } => {
+                write!(f, "{op} rejected: this runtime serves {expected}")
+            }
         }
     }
 }

@@ -34,51 +34,86 @@ impl PlanFingerprint {
     /// inputs as far as a compiled plan is concerned.
     pub fn of(model: &GnnModel, dataset: &GraphDataset) -> Self {
         let mut h = Fnv128::new();
-
-        // Model architecture.  The Debug rendering of the layer specs is a
-        // faithful, allocation-light serialization of the kernel DAG
-        // (operators, aggregators, weight indices, activations, wiring).
-        h.write_str("model");
-        h.write_usize(model.input_dim);
-        h.write_usize(model.output_dim);
-        h.write_str(&format!("{:?}", model.kind));
-        h.write_usize(model.layers.len());
-        for layer in &model.layers {
-            h.write_str(&format!("{layer:?}"));
-        }
-        // Weight values: two models with identical shape but different
-        // parameters compile to different plans (the static weight-sparsity
-        // profile and the served outputs both depend on them).
-        h.write_usize(model.weights.len());
-        for w in &model.weights {
-            h.write_usize(w.rows());
-            h.write_usize(w.cols());
-            h.write_f32s(w.as_slice());
-        }
-
-        // Graph topology: the exact CSR structure of the adjacency matrix.
-        let adj = dataset.graph.adjacency();
-        h.write_str("graph");
-        h.write_usize(adj.rows());
-        h.write_usize(adj.cols());
-        for &p in adj.row_ptr() {
-            h.write_usize(p);
-        }
-        h.write_bytes(bytemuck_u32(adj.col_idx()));
-        h.write_f32s(adj.values());
+        write_model(&mut h, model);
+        write_graph(&mut h, &dataset.graph);
 
         // Request shape (not content): a plan only serves matching shapes.
         h.write_str("features");
         h.write_usize(dataset.features.num_vertices());
         h.write_usize(dataset.features.dim());
 
-        h.finish()
+        let (lo, hi) = h.finish();
+        PlanFingerprint { lo, hi }
     }
 
     /// The digest as a fixed-width hex string (for logs and JSON reports).
     pub fn to_hex(self) -> String {
         format!("{:016x}{:016x}", self.hi, self.lo)
     }
+}
+
+/// 128-bit structural digest of a model alone — architecture and weight
+/// values, no topology — used as the
+/// [`TemplateCache`](crate::TemplateCache) key.
+///
+/// This is the model-only prefix of [`PlanFingerprint`]: a resident
+/// [`ModelTemplate`](dynasparse::ModelTemplate) serves *every* topology, so
+/// its cache key must not fragment by graph or feature shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct ModelFingerprint {
+    lo: u64,
+    hi: u64,
+}
+
+impl ModelFingerprint {
+    /// Digests `model` (architecture + weight values) into a cache key.
+    pub fn of(model: &GnnModel) -> Self {
+        let mut h = Fnv128::new();
+        write_model(&mut h, model);
+        let (lo, hi) = h.finish();
+        ModelFingerprint { lo, hi }
+    }
+
+    /// The digest as a fixed-width hex string (for logs and JSON reports).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Digests the model architecture and weight values.  The Debug rendering of
+/// the layer specs is a faithful, allocation-light serialization of the
+/// kernel DAG (operators, aggregators, weight indices, activations, wiring).
+fn write_model(h: &mut Fnv128, model: &GnnModel) {
+    h.write_str("model");
+    h.write_usize(model.input_dim);
+    h.write_usize(model.output_dim);
+    h.write_str(&format!("{:?}", model.kind));
+    h.write_usize(model.layers.len());
+    for layer in &model.layers {
+        h.write_str(&format!("{layer:?}"));
+    }
+    // Weight values: two models with identical shape but different
+    // parameters compile to different plans (the static weight-sparsity
+    // profile and the served outputs both depend on them).
+    h.write_usize(model.weights.len());
+    for w in &model.weights {
+        h.write_usize(w.rows());
+        h.write_usize(w.cols());
+        h.write_f32s(w.as_slice());
+    }
+}
+
+/// Digests the exact CSR structure of the graph's adjacency matrix.
+fn write_graph(h: &mut Fnv128, graph: &dynasparse_graph::Graph) {
+    let adj = graph.adjacency();
+    h.write_str("graph");
+    h.write_usize(adj.rows());
+    h.write_usize(adj.cols());
+    for &p in adj.row_ptr() {
+        h.write_usize(p);
+    }
+    h.write_bytes(bytemuck_u32(adj.col_idx()));
+    h.write_f32s(adj.values());
 }
 
 /// Two independent FNV-1a 64-bit lanes with distinct offset bases; the
@@ -126,11 +161,8 @@ impl Fnv128 {
         }
     }
 
-    fn finish(self) -> PlanFingerprint {
-        PlanFingerprint {
-            lo: self.lo,
-            hi: self.hi,
-        }
+    fn finish(self) -> (u64, u64) {
+        (self.lo, self.hi)
     }
 }
 
@@ -222,5 +254,79 @@ mod tests {
         );
         assert_eq!(a.graph.adjacency(), b.graph.adjacency());
         assert_eq!(fp, PlanFingerprint::of(&model, &a));
+    }
+
+    #[test]
+    fn edge_insertion_order_does_not_change_the_fingerprint() {
+        // The fingerprint digests canonical CSR structure, so two graphs
+        // built from the same edge set in different insertion orders must
+        // map to one key — cache hits cannot depend on how a client
+        // enumerated its edges.
+        let (model, ds) = fixture(7, 0.1);
+        let edges: Vec<(u32, u32)> = vec![(0, 1), (2, 3), (1, 4), (4, 0), (3, 1), (0, 2)];
+        let mut reversed = edges.clone();
+        reversed.reverse();
+        let forward = dynasparse_graph::Graph::from_edges("order-a", 5, &edges);
+        let backward = dynasparse_graph::Graph::from_edges("order-b", 5, &reversed);
+        assert_eq!(forward.adjacency(), backward.adjacency());
+
+        let features = dynasparse_graph::generators::dense_features(5, model.input_dim, 0.5, 3);
+        let make = |graph| GraphDataset {
+            spec: ds.spec,
+            scale: ds.scale,
+            graph,
+            features: features.clone(),
+        };
+        assert_eq!(
+            PlanFingerprint::of(&model, &make(forward)),
+            PlanFingerprint::of(&model, &make(backward))
+        );
+    }
+
+    #[test]
+    fn an_isolated_vertex_changes_the_fingerprint() {
+        // An isolated vertex adds no edges, but it changes the topology (one
+        // more row, one more feature row, one more self-loop after
+        // normalization) — compiled plans for the two graphs are different,
+        // so the keys must be too.
+        let (model, ds) = fixture(7, 0.1);
+        let edges: Vec<(u32, u32)> = vec![(0, 1), (1, 2), (2, 0)];
+        let make = |num_vertices: usize| GraphDataset {
+            spec: ds.spec,
+            scale: ds.scale,
+            graph: dynasparse_graph::Graph::from_edges("iso", num_vertices, &edges),
+            features: dynasparse_graph::generators::dense_features(
+                num_vertices,
+                model.input_dim,
+                0.5,
+                3,
+            ),
+        };
+        assert_ne!(
+            PlanFingerprint::of(&model, &make(3)),
+            PlanFingerprint::of(&model, &make(4))
+        );
+    }
+
+    #[test]
+    fn model_fingerprint_ignores_topology_but_not_weights() {
+        let (model, a) = fixture(7, 0.1);
+        let b = fixture(8, 0.1).1;
+        assert_ne!(a.graph.adjacency(), b.graph.adjacency());
+        // One model, two topologies: one template key.
+        assert_eq!(ModelFingerprint::of(&model), ModelFingerprint::of(&model));
+        assert_eq!(ModelFingerprint::of(&model).to_hex().len(), 32);
+        // Re-seeded weights: a different template.
+        let reseeded = GnnModel::standard(
+            GnnModelKind::Gcn,
+            a.features.dim(),
+            16,
+            a.spec.num_classes,
+            4,
+        );
+        assert_ne!(
+            ModelFingerprint::of(&model),
+            ModelFingerprint::of(&reseeded)
+        );
     }
 }

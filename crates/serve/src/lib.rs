@@ -86,9 +86,9 @@ pub mod metrics;
 pub mod queue;
 pub mod runtime;
 
-pub use cache::{CacheStats, PlanCache};
+pub use cache::{CacheStats, PlanCache, TemplateCache};
 pub use error::ServeError;
-pub use fingerprint::PlanFingerprint;
+pub use fingerprint::{ModelFingerprint, PlanFingerprint};
 pub use metrics::{BatchBar, LatencySummary, MetricsCollector, ServeReport, WorkerLoad};
 pub use queue::{BoundedQueue, PushError};
 pub use runtime::{DeviceDwell, ServeConfig, ServeRuntime, Ticket};

@@ -20,8 +20,8 @@
 use crate::error::ServeError;
 use crate::metrics::{MetricsCollector, ServeReport};
 use crate::queue::{BoundedQueue, PushError};
-use dynasparse::{CompiledPlan, InferenceReport, MappingStrategy, Session};
-use dynasparse_graph::FeatureMatrix;
+use dynasparse::{CompiledPlan, InferenceReport, MappingStrategy, ModelTemplate, Session};
+use dynasparse_graph::{FeatureMatrix, Graph};
 use dynasparse_matrix::MatrixError;
 use std::sync::{mpsc, Arc};
 use std::thread;
@@ -123,11 +123,30 @@ struct Reply {
     result: Result<InferenceReport, ServeError>,
 }
 
+/// What one queued request carries: a bare feature matrix against the
+/// runtime's fixed topology, or a `(subgraph, features)` pair against the
+/// runtime's resident template.
+enum Payload {
+    Features(FeatureMatrix),
+    Subgraph {
+        graph: Graph,
+        features: FeatureMatrix,
+    },
+}
+
 struct QueuedRequest {
     id: u64,
-    features: FeatureMatrix,
+    payload: Payload,
     enqueued: Instant,
     reply: mpsc::Sender<Reply>,
+}
+
+/// What the worker pool serves from: one compiled plan (every request
+/// shares the topology) or one resident model template (every request
+/// brings its own sampled subgraph).
+enum Backend {
+    Plan(Arc<CompiledPlan>),
+    Template(Arc<ModelTemplate>),
 }
 
 /// Handle to one submitted request; redeem it with [`Ticket::wait`].
@@ -177,7 +196,7 @@ impl Ticket {
 /// assert_eq!(metrics.requests, 1);
 /// ```
 pub struct ServeRuntime {
-    plan: Arc<CompiledPlan>,
+    backend: Backend,
     config: ServeConfig,
     queue: Arc<BoundedQueue<QueuedRequest>>,
     metrics: Arc<MetricsCollector>,
@@ -188,22 +207,69 @@ pub struct ServeRuntime {
 impl ServeRuntime {
     /// Spawns the worker pool and starts accepting requests.
     pub fn start(plan: Arc<CompiledPlan>, config: ServeConfig) -> Self {
+        Self::start_backend(Backend::Plan(plan), config)
+    }
+
+    /// Spawns a worker pool serving per-request **subgraphs** against one
+    /// resident [`ModelTemplate`]: submissions carry their own sampled
+    /// topology ([`ServeRuntime::submit_subgraph`]), each worker
+    /// instantiates the template per request and serves it through a single
+    /// reusable session (the session is *rebound* to each instantiated
+    /// plan, so its dispatcher and arenas are re-shaped across varying
+    /// subgraph sizes, never re-allocated).
+    ///
+    /// ```
+    /// use dynasparse::{EngineOptions, ModelTemplate};
+    /// use dynasparse_graph::{Dataset, NeighborSampler};
+    /// use dynasparse_model::GnnModel;
+    /// use dynasparse_serve::{ServeConfig, ServeRuntime};
+    ///
+    /// let full = Dataset::Cora.spec().generate_scaled(42, 0.08);
+    /// let model = GnnModel::gcn(full.features.dim(), 8, full.spec.num_classes, 7);
+    /// let template = ModelTemplate::compile_shared(&model, EngineOptions::default()).unwrap();
+    ///
+    /// let runtime = ServeRuntime::start_template(template, ServeConfig::default());
+    /// let sub = NeighborSampler::new([6, 3], 5).sample(&full.graph, &[1]);
+    /// let features = sub.extract_features(&full.features);
+    /// let ticket = runtime.submit_subgraph(sub.into_graph(), features).unwrap();
+    /// let report = ticket.wait().unwrap();
+    /// assert_eq!(report.request_index, 0);
+    /// runtime.shutdown();
+    /// ```
+    pub fn start_template(template: Arc<ModelTemplate>, config: ServeConfig) -> Self {
+        Self::start_backend(Backend::Template(template), config)
+    }
+
+    fn start_backend(backend: Backend, config: ServeConfig) -> Self {
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let metrics = Arc::new(MetricsCollector::new(config.workers.max(1)));
         let workers = (0..config.workers.max(1))
             .map(|index| {
-                let plan = Arc::clone(&plan);
                 let queue = Arc::clone(&queue);
                 let metrics = Arc::clone(&metrics);
                 let config = config.clone();
-                thread::Builder::new()
-                    .name(format!("dynasparse-serve-{index}"))
-                    .spawn(move || worker_loop(index, plan, config, queue, metrics))
-                    .expect("failed to spawn serve worker")
+                match &backend {
+                    Backend::Plan(plan) => {
+                        let plan = Arc::clone(plan);
+                        thread::Builder::new()
+                            .name(format!("dynasparse-serve-{index}"))
+                            .spawn(move || worker_loop(index, plan, config, queue, metrics))
+                            .expect("failed to spawn serve worker")
+                    }
+                    Backend::Template(template) => {
+                        let template = Arc::clone(template);
+                        thread::Builder::new()
+                            .name(format!("dynasparse-serve-{index}"))
+                            .spawn(move || {
+                                template_worker_loop(index, template, config, queue, metrics)
+                            })
+                            .expect("failed to spawn serve worker")
+                    }
+                }
             })
             .collect();
         ServeRuntime {
-            plan,
+            backend,
             config,
             queue,
             metrics,
@@ -213,8 +279,27 @@ impl ServeRuntime {
     }
 
     /// The plan every worker serves from.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a template runtime ([`ServeRuntime::start_template`]),
+    /// which has no fixed plan — use [`ServeRuntime::template`] there.
     pub fn plan(&self) -> &Arc<CompiledPlan> {
-        &self.plan
+        match &self.backend {
+            Backend::Plan(plan) => plan,
+            Backend::Template(_) => {
+                panic!("a template runtime has no fixed plan; use ServeRuntime::template")
+            }
+        }
+    }
+
+    /// The resident template of a subgraph-serving runtime, `None` for a
+    /// fixed-topology runtime.
+    pub fn template(&self) -> Option<&Arc<ModelTemplate>> {
+        match &self.backend {
+            Backend::Plan(_) => None,
+            Backend::Template(template) => Some(template),
+        }
     }
 
     /// The runtime's configuration.
@@ -241,7 +326,16 @@ impl ServeRuntime {
     }
 
     fn submit_inner(&self, features: FeatureMatrix, bounce: bool) -> Result<Ticket, ServeError> {
-        let expected = (self.plan.num_vertices(), self.plan.input_dim());
+        let plan = match &self.backend {
+            Backend::Plan(plan) => plan,
+            Backend::Template(_) => {
+                return Err(ServeError::ModeMismatch {
+                    op: "serve submit",
+                    expected: "per-request subgraphs (use submit_subgraph)",
+                })
+            }
+        };
+        let expected = (plan.num_vertices(), plan.input_dim());
         if features.shape() != expected {
             return Err(ServeError::Inference(
                 MatrixError::ShapeMismatch {
@@ -252,6 +346,52 @@ impl ServeRuntime {
                 .into(),
             ));
         }
+        self.enqueue(Payload::Features(features), bounce)
+    }
+
+    /// Submits a `(subgraph, features)` request against the resident
+    /// template, blocking while the queue is at capacity.  The pair is
+    /// validated up front with the same typed errors
+    /// [`ModelTemplate::instantiate`] would produce; a fixed-topology
+    /// runtime rejects it with [`ServeError::ModeMismatch`].
+    pub fn submit_subgraph(
+        &self,
+        graph: Graph,
+        features: FeatureMatrix,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_subgraph_inner(graph, features, false)
+    }
+
+    /// Submits a subgraph request without blocking; a full queue returns
+    /// [`ServeError::QueueFull`] instead of waiting.
+    pub fn try_submit_subgraph(
+        &self,
+        graph: Graph,
+        features: FeatureMatrix,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_subgraph_inner(graph, features, true)
+    }
+
+    fn submit_subgraph_inner(
+        &self,
+        graph: Graph,
+        features: FeatureMatrix,
+        bounce: bool,
+    ) -> Result<Ticket, ServeError> {
+        let template = match &self.backend {
+            Backend::Template(template) => template,
+            Backend::Plan(_) => {
+                return Err(ServeError::ModeMismatch {
+                    op: "serve submit_subgraph",
+                    expected: "a fixed topology (use submit)",
+                })
+            }
+        };
+        template.validate_request(&graph, &features)?;
+        self.enqueue(Payload::Subgraph { graph, features }, bounce)
+    }
+
+    fn enqueue(&self, payload: Payload, bounce: bool) -> Result<Ticket, ServeError> {
         let (tx, rx) = mpsc::channel();
         // The queue assigns the request id under its own lock, so accepted
         // requests are numbered gaplessly in FIFO order: a bounced or
@@ -259,7 +399,7 @@ impl ServeRuntime {
         // what a serial session over the accepted stream would assign.
         let make = |id: u64| QueuedRequest {
             id,
-            features,
+            payload,
             enqueued: Instant::now(),
             reply: tx,
         };
@@ -288,6 +428,23 @@ impl ServeRuntime {
         // workers never block on a reply send.
         let tickets: Vec<Result<Ticket, ServeError>> =
             requests.into_iter().map(|f| self.submit(f)).collect();
+        tickets
+            .into_iter()
+            .map(|t| t.and_then(Ticket::wait))
+            .collect()
+    }
+
+    /// Convenience driver for a template runtime: submits every
+    /// `(subgraph, features)` request (blocking on backpressure) and waits
+    /// for all replies, returned in submission order.
+    pub fn serve_all_subgraphs(
+        &self,
+        requests: impl IntoIterator<Item = (Graph, FeatureMatrix)>,
+    ) -> Vec<Result<InferenceReport, ServeError>> {
+        let tickets: Vec<Result<Ticket, ServeError>> = requests
+            .into_iter()
+            .map(|(g, f)| self.submit_subgraph(g, f))
+            .collect();
         tickets
             .into_iter()
             .map(|t| t.and_then(Ticket::wait))
@@ -338,7 +495,14 @@ fn worker_loop(
         let mut features = Vec::with_capacity(batch_size);
         for request in batch {
             envelopes.push((request.id, request.enqueued, request.reply));
-            features.push(request.features);
+            match request.payload {
+                Payload::Features(f) => features.push(f),
+                // Submission routes subgraph payloads only into template
+                // runtimes, whose workers run `template_worker_loop`.
+                Payload::Subgraph { .. } => {
+                    unreachable!("plan-mode runtime accepted a subgraph payload")
+                }
+            }
         }
 
         // Shapes were validated at submission, so a failure here is systemic
@@ -406,6 +570,106 @@ fn worker_loop(
                 enqueued.elapsed(),
             );
             // A dropped ticket (caller gave up) is fine; ignore send errors.
+            let _ = reply.send(Reply { result });
+        }
+    }
+}
+
+/// The subgraph-serving worker: every request carries its own topology, so
+/// each is instantiated from the resident template and served individually
+/// through **one reusable session**.  The first request builds the session;
+/// every later request *rebinds* it to the newly instantiated plan — the
+/// template shares its model and calibration with every instance by
+/// pointer, so the rebind keeps the dispatcher, the kernel arena and the
+/// per-kernel profile scratch, merely re-shaping buffers across varying
+/// subgraph sizes (capacity only ever grows to the high-water mark).
+fn template_worker_loop(
+    index: usize,
+    template: Arc<ModelTemplate>,
+    config: ServeConfig,
+    queue: Arc<BoundedQueue<QueuedRequest>>,
+    metrics: Arc<MetricsCollector>,
+) {
+    let mut session: Option<Session<'static>> = None;
+    while let Some(batch) = queue.pop_batch(config.max_batch, config.batch_deadline) {
+        if batch.is_empty() {
+            continue;
+        }
+        let picked = Instant::now();
+        let batch_size = batch.len();
+        metrics.record_batch(batch_size);
+
+        let mut envelopes = Vec::with_capacity(batch_size);
+        let mut results = Vec::with_capacity(batch_size);
+        for request in batch {
+            envelopes.push((request.id, request.enqueued, request.reply));
+            let (graph, features) = match request.payload {
+                Payload::Subgraph { graph, features } => (graph, features),
+                // Submission routes feature-only payloads only into
+                // fixed-topology runtimes.
+                Payload::Features(_) => {
+                    unreachable!("template-mode runtime accepted a plan payload")
+                }
+            };
+            let result = template
+                .instantiate(&graph, &features)
+                .and_then(|instance| {
+                    let plan = instance.into_plan();
+                    let session = match session.as_mut() {
+                        Some(session) => {
+                            session.rebind(plan);
+                            session
+                        }
+                        None => session.insert(plan.session_shared(&config.strategies)),
+                    };
+                    session.infer(&features)
+                })
+                .map_err(ServeError::Inference);
+            results.push(result);
+        }
+        let batch_elapsed = picked.elapsed();
+        let per_request = batch_elapsed / batch_size as u32;
+
+        // Stamp global submission ids (session-local indices restart per
+        // rebind epoch and are meaningless across a pool).
+        for (result, &(id, _, _)) in results.iter_mut().zip(envelopes.iter()) {
+            if let Ok(report) = result {
+                report.request_index = id as usize;
+            }
+        }
+
+        let dwell = match config.device_dwell {
+            DeviceDwell::None => Duration::ZERO,
+            DeviceDwell::Modeled { strategy, scale } => {
+                let ms: f64 = results
+                    .iter()
+                    .filter_map(|r| r.as_ref().ok())
+                    .map(|report| {
+                        report
+                            .amortized_ms(strategy)
+                            .or_else(|| {
+                                report
+                                    .runs
+                                    .first()
+                                    .map(|run| report.feature_movement_ms + run.latency_ms)
+                            })
+                            .unwrap_or(0.0)
+                    })
+                    .sum();
+                Duration::from_secs_f64((ms * scale.max(0.0)) / 1e3)
+            }
+        };
+        if dwell > Duration::ZERO {
+            thread::sleep(dwell);
+        }
+
+        for ((_, enqueued, reply), result) in envelopes.into_iter().zip(results) {
+            metrics.record_request(
+                index,
+                picked.duration_since(enqueued),
+                per_request,
+                enqueued.elapsed(),
+            );
             let _ = reply.send(Reply { result });
         }
     }
@@ -514,6 +778,82 @@ mod tests {
         }
         assert!(bounced, "a capacity-1 queue must eventually bounce");
         runtime.shutdown();
+    }
+
+    fn template_fixture() -> (Arc<ModelTemplate>, dynasparse_graph::GraphDataset) {
+        let ds = Dataset::Cora.spec().generate_scaled(5, 0.08);
+        let model = GnnModel::standard(
+            GnnModelKind::Gcn,
+            ds.features.dim(),
+            8,
+            ds.spec.num_classes,
+            2,
+        );
+        let template = ModelTemplate::compile_shared(&model, EngineOptions::default()).unwrap();
+        (template, ds)
+    }
+
+    #[test]
+    fn template_runtime_serves_varying_subgraphs_through_one_session() {
+        use dynasparse_graph::NeighborSampler;
+        let (template, ds) = template_fixture();
+        let runtime = ServeRuntime::start_template(
+            Arc::clone(&template),
+            ServeConfig::default().workers(1).max_batch(3),
+        );
+        assert!(runtime.template().is_some());
+
+        // Different roots and fanouts → subgraphs of different sizes flow
+        // through the same worker session via rebind.
+        let requests: Vec<(Graph, FeatureMatrix)> = (0..5)
+            .map(|i| {
+                let sampler = NeighborSampler::new([4 + i, 2], 11 + i as u64);
+                let sub = sampler.sample(&ds.graph, &[i as u32 * 7]);
+                let features = sub.extract_features(&ds.features);
+                (sub.into_graph(), features)
+            })
+            .collect();
+        let sizes: Vec<usize> = requests.iter().map(|(g, _)| g.num_vertices()).collect();
+        assert!(
+            sizes.windows(2).any(|w| w[0] != w[1]),
+            "fixture should produce varying subgraph sizes, got {sizes:?}"
+        );
+
+        let results = runtime.serve_all_subgraphs(requests);
+        assert_eq!(results.len(), 5);
+        for (i, r) in results.iter().enumerate() {
+            let report = r.as_ref().expect("subgraph request should serve");
+            assert_eq!(report.request_index, i);
+            assert_eq!(report.output_embeddings.shape().0, sizes[i]);
+        }
+        let report = runtime.shutdown();
+        assert_eq!(report.requests, 5);
+    }
+
+    #[test]
+    fn submission_mode_is_enforced_in_both_directions() {
+        let (plan, _) = plan_fixture();
+        let (template, ds) = template_fixture();
+
+        let fixed = ServeRuntime::start(plan, ServeConfig::default());
+        assert!(fixed.template().is_none());
+        let err = fixed
+            .submit_subgraph(ds.graph.clone(), ds.features.clone())
+            .unwrap_err();
+        assert!(matches!(err, ServeError::ModeMismatch { .. }));
+        fixed.shutdown();
+
+        let templated = ServeRuntime::start_template(template, ServeConfig::default());
+        let err = templated.submit(ds.features.clone()).unwrap_err();
+        assert!(matches!(err, ServeError::ModeMismatch { .. }));
+        // Invalid pairs bounce at submission with the instantiate error.
+        let wrong = FeatureMatrix::Dense(DenseMatrix::zeros(ds.graph.num_vertices(), 3));
+        let err = templated
+            .submit_subgraph(ds.graph.clone(), wrong)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Inference(_)));
+        let report = templated.shutdown();
+        assert_eq!(report.requests, 0);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Bit-identity of template instantiation against cold planning.
+//!
+//! The load-bearing claim of `ModelTemplate` is that splitting compilation
+//! into a model-only template plus per-request topology instantiation is a
+//! *pure* refactor of `Planner::plan`: for any subgraph, the instantiated
+//! plan and everything downstream of it — compiled program, served
+//! embeddings, density traces, strategy pricing — is bit-identical to
+//! planning from scratch on a dataset wrapping the same subgraph.  Only the
+//! work distribution changes (weights profiled once per partition width
+//! instead of once per request).
+
+use dynasparse::{
+    CompiledPlan, EngineOptions, InferenceReport, MappingStrategy, ModelTemplate, Planner,
+};
+use dynasparse_graph::{
+    top_degree_ego_net, Dataset, FeatureMatrix, Graph, GraphDataset, NeighborSampler,
+    SampledSubgraph,
+};
+use dynasparse_model::{GnnModel, GnnModelKind};
+use std::sync::Arc;
+
+/// Parent graph + a model of the requested kind sized for it.
+fn fixture(kind: GnnModelKind) -> (GraphDataset, GnnModel) {
+    let ds = Dataset::Cora.spec().generate_scaled(21, 0.12);
+    let model = GnnModel::standard(kind, ds.features.dim(), 16, ds.spec.num_classes, 9);
+    (ds, model)
+}
+
+/// Wraps a sampled subgraph as a `GraphDataset` so the cold `Planner::plan`
+/// path can consume it (the spec/scale fields are planner-inert metadata).
+fn as_dataset(parent: &GraphDataset, sub: &SampledSubgraph) -> GraphDataset {
+    GraphDataset {
+        spec: parent.spec,
+        scale: parent.scale,
+        graph: sub.graph().clone(),
+        features: sub.extract_features(&parent.features),
+    }
+}
+
+/// Bit-level equality of two reports, down to every float.
+fn assert_reports_identical(a: &InferenceReport, b: &InferenceReport, ctx: &str) {
+    assert_eq!(
+        a.data_movement_ms.to_bits(),
+        b.data_movement_ms.to_bits(),
+        "{ctx}: data_movement_ms"
+    );
+    assert_eq!(
+        a.feature_movement_ms.to_bits(),
+        b.feature_movement_ms.to_bits(),
+        "{ctx}: feature_movement_ms"
+    );
+    assert_eq!(a.density_trace, b.density_trace, "{ctx}: density_trace");
+    assert_eq!(
+        a.output_embeddings, b.output_embeddings,
+        "{ctx}: output embeddings"
+    );
+    assert_eq!(a.runs.len(), b.runs.len(), "{ctx}: run count");
+    for (ra, rb) in a.runs.iter().zip(b.runs.iter()) {
+        assert_eq!(ra.strategy, rb.strategy, "{ctx}: strategy order");
+        assert_eq!(ra.total_cycles, rb.total_cycles, "{ctx}: cycles");
+        assert_eq!(
+            ra.latency_ms.to_bits(),
+            rb.latency_ms.to_bits(),
+            "{ctx}: latency"
+        );
+        // `end_to_end_ms` is deliberately NOT compared: it folds in the
+        // wall-clock compile/instantiate time, and instantiation being
+        // faster than cold planning is the feature under test.
+        assert_eq!(
+            ra.average_utilization.to_bits(),
+            rb.average_utilization.to_bits(),
+            "{ctx}: utilization"
+        );
+    }
+}
+
+/// Runs one request through both plans and compares everything.
+fn assert_plans_equivalent(
+    cold: &Arc<CompiledPlan>,
+    warm: &Arc<CompiledPlan>,
+    features: &FeatureMatrix,
+    strategies: &[MappingStrategy],
+    ctx: &str,
+) {
+    assert_eq!(cold.program(), warm.program(), "{ctx}: compiled program");
+    assert_eq!(cold.partition(), warm.partition(), "{ctx}: partition spec");
+    let want = cold.session(strategies).infer(features).unwrap();
+    let got = warm.session(strategies).infer(features).unwrap();
+    assert_reports_identical(&want, &got, ctx);
+}
+
+#[test]
+fn instantiation_matches_cold_planning_across_all_model_kinds() {
+    let strategies = MappingStrategy::paper_strategies();
+    for kind in GnnModelKind::all() {
+        let (parent, model) = fixture(kind);
+        let template = ModelTemplate::compile(&model, EngineOptions::default()).unwrap();
+
+        let sub = NeighborSampler::new([8, 4], 3).sample(&parent.graph, &[0, 50, 101]);
+        let dataset = as_dataset(&parent, &sub);
+        let cold = Planner::default().plan_shared(&model, &dataset).unwrap();
+        let warm = template
+            .instantiate(&dataset.graph, &dataset.features)
+            .unwrap()
+            .into_plan();
+
+        assert_plans_equivalent(
+            &cold,
+            &warm,
+            &dataset.features,
+            &strategies,
+            &format!("{kind:?} sampled subgraph"),
+        );
+    }
+}
+
+#[test]
+fn instantiation_matches_cold_planning_on_ego_nets() {
+    let (parent, model) = fixture(GnnModelKind::Gcn);
+    let template = ModelTemplate::compile(&model, EngineOptions::default()).unwrap();
+    for (root, cap) in [(0u32, 12usize), (7, 40), (200, 25)] {
+        let sub = top_degree_ego_net(&parent.graph, root, 2, cap);
+        let dataset = as_dataset(&parent, &sub);
+        let cold = Planner::default().plan_shared(&model, &dataset).unwrap();
+        let warm = template
+            .instantiate(&dataset.graph, &dataset.features)
+            .unwrap()
+            .into_plan();
+        assert_plans_equivalent(
+            &cold,
+            &warm,
+            &dataset.features,
+            &[MappingStrategy::Dynamic],
+            &format!("ego net root={root} cap={cap}"),
+        );
+    }
+}
+
+#[test]
+fn a_rebound_session_matches_fresh_sessions_across_varying_subgraphs() {
+    let (parent, model) = fixture(GnnModelKind::GraphSage);
+    let template = ModelTemplate::compile(&model, EngineOptions::default()).unwrap();
+    let strategies = [MappingStrategy::Dynamic, MappingStrategy::Static1];
+
+    // Subgraphs of deliberately different sizes, so the reused session's
+    // arenas must re-shape between requests.
+    let requests: Vec<(Graph, FeatureMatrix)> = [(4usize, 1u64), (16, 2), (2, 3), (9, 4)]
+        .iter()
+        .map(|&(fanout, seed)| {
+            let sub = NeighborSampler::new([fanout, fanout / 2 + 1], seed)
+                .sample(&parent.graph, &[seed as u32 * 31]);
+            let features = sub.extract_features(&parent.features);
+            (sub.into_graph(), features)
+        })
+        .collect();
+    let sizes: Vec<usize> = requests.iter().map(|(g, _)| g.num_vertices()).collect();
+    assert!(
+        sizes.windows(2).any(|w| w[0] != w[1]),
+        "fixture should vary subgraph sizes, got {sizes:?}"
+    );
+
+    let mut reused = template
+        .instantiate(&requests[0].0, &requests[0].1)
+        .unwrap()
+        .session(&strategies);
+    for (i, (graph, features)) in requests.iter().enumerate() {
+        let instance = template.instantiate(graph, features).unwrap();
+        let want = instance.session(&strategies).infer(features).unwrap();
+        reused.rebind(instance.into_plan());
+        let got = reused.infer(features).unwrap();
+        assert_reports_identical(
+            &want,
+            &got,
+            &format!("rebind request {i} (|V|={})", sizes[i]),
+        );
+    }
+    // The reused session kept counting across rebinds.
+    assert_eq!(reused.requests_served(), requests.len());
+}
+
+#[test]
+fn weight_profiles_are_computed_once_per_partition_width() {
+    let (parent, model) = fixture(GnnModelKind::Gin);
+    let template = ModelTemplate::compile(&model, EngineOptions::default()).unwrap();
+    assert_eq!(template.weight_profile_cache_len(), 0);
+
+    // Same-sized subgraphs land on the same partition width: one profile
+    // entry serves them all.
+    let a = NeighborSampler::new([6, 3], 1).sample(&parent.graph, &[0]);
+    let b = NeighborSampler::new([6, 3], 2).sample(&parent.graph, &[40]);
+    template
+        .instantiate(a.graph(), &a.extract_features(&parent.features))
+        .unwrap();
+    let after_first = template.weight_profile_cache_len();
+    assert_eq!(after_first, 1);
+    let bytes_after_first = template.approx_bytes();
+    template
+        .instantiate(b.graph(), &b.extract_features(&parent.features))
+        .unwrap();
+    assert_eq!(template.weight_profile_cache_len(), after_first);
+    assert_eq!(template.approx_bytes(), bytes_after_first);
+
+    // A drastically different size can add at most one more width.
+    let big = NeighborSampler::new([24, 12, 6], 3).sample(&parent.graph, &[0, 9, 77, 140]);
+    template
+        .instantiate(big.graph(), &big.extract_features(&parent.features))
+        .unwrap();
+    assert!(template.weight_profile_cache_len() <= after_first + 1);
+}
+
+#[test]
+fn instances_borrow_the_template_not_copy_it() {
+    let (parent, model) = fixture(GnnModelKind::Sgc);
+    let template = ModelTemplate::compile_shared(&model, EngineOptions::default()).unwrap();
+    let sub = NeighborSampler::new([5, 5], 8).sample(&parent.graph, &[3, 33]);
+    let features = sub.extract_features(&parent.features);
+    let plan = template
+        .instantiate(sub.graph(), &features)
+        .unwrap()
+        .into_plan();
+    let other = NeighborSampler::new([3, 3], 9).sample(&parent.graph, &[60]);
+    let plan2 = template
+        .instantiate(other.graph(), &other.extract_features(&parent.features))
+        .unwrap()
+        .into_plan();
+    // Weights and calibration are pointer-shared through the template; the
+    // only per-request state is topology-sized.
+    assert!(std::ptr::eq(plan.model(), template.model()));
+    assert!(std::ptr::eq(plan2.model(), template.model()));
+    match (plan.calibration(), plan2.calibration()) {
+        (Some(a), Some(b)) => assert!(Arc::ptr_eq(a, b)),
+        (None, None) => {}
+        _ => panic!("calibration presence diverged between sibling instances"),
+    }
+    assert!(plan.approx_bytes() > 0);
+}
