@@ -1,0 +1,146 @@
+//! Telemetry overhead: steady-state `Session::infer` with the counters
+//! registry enabled vs telemetry off.
+//!
+//! The telemetry layer's contract is "always on in production": per-kernel
+//! span accounting, phase stopwatches and drift EWMAs ride every dispatch,
+//! so its cost must stay in the measurement noise.  This bench builds two
+//! sessions from the same plan — one bound to a `TelemetryLevel::Off`
+//! registry, one to `TelemetryLevel::Counters` (the default level) — and
+//! interleaves timing rounds over both, keeping each path's best round so a
+//! scheduler hiccup cannot charge one side.  Per-session registries (rather
+//! than flipping `DYNASPARSE_TELEMETRY`) keep the comparison in-process and
+//! race-free.
+//!
+//! Prints one JSON line per configuration, records the log to
+//! `BENCH_telemetry.json` at the workspace root, and asserts the counters
+//! level costs ≤ 3% on the Dynamic-priced configuration.  Run with
+//! `TELEMETRY_BENCH_REQUESTS=<n>` to change the sample count (CI smoke uses
+//! a small value).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynasparse::{MappingStrategy, Planner, Registry, Session, TelemetryLevel};
+use dynasparse_graph::Dataset;
+use dynasparse_model::{GnnModel, GnnModelKind};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Requests timed per round (each request is one `Session::infer`).
+fn requests_per_round() -> usize {
+    std::env::var("TELEMETRY_BENCH_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+        .max(3)
+}
+
+struct Measured {
+    off_us: f64,
+    counters_us: f64,
+}
+
+/// Best-round per-request latency of both telemetry levels for one pricing
+/// configuration, interleaving rounds so host noise hits both paths alike.
+fn measure(strategies: &[MappingStrategy]) -> Measured {
+    const ROUNDS: usize = 6;
+    let dataset = Dataset::Cora.spec().generate_scaled(3, 0.25);
+    let model = GnnModel::standard(
+        GnnModelKind::Gcn,
+        dataset.features.dim(),
+        16,
+        dataset.spec.num_classes,
+        1,
+    );
+    let plan = Planner::default().plan(&model, &dataset).unwrap();
+    let requests = requests_per_round();
+
+    let levels = [TelemetryLevel::Off, TelemetryLevel::Counters];
+    let mut sessions: Vec<Session<'_>> = levels
+        .iter()
+        .map(|&level| {
+            let mut session = plan.session(strategies);
+            session.set_telemetry(Arc::new(Registry::new(level)));
+            // Warm-up: size the arena and caches, then measure steady state.
+            for _ in 0..2 {
+                session.infer(&dataset.features).unwrap();
+            }
+            session
+        })
+        .collect();
+    let mut best = [f64::INFINITY; 2];
+    for _ in 0..ROUNDS {
+        for (path, session) in sessions.iter_mut().enumerate() {
+            let start = Instant::now();
+            for _ in 0..requests {
+                session.infer(&dataset.features).unwrap();
+            }
+            let s = start.elapsed().as_secs_f64();
+            best[path] = best[path].min(s / requests as f64);
+        }
+    }
+    Measured {
+        off_us: best[0] * 1e6,
+        counters_us: best[1] * 1e6,
+    }
+}
+
+/// The two configurations measured: embeddings-only serving (host kernel
+/// time dominates, so per-kernel probes weigh heaviest) and Dynamic-priced
+/// serving (the production configuration the ≤3% budget is pinned on).
+fn configs() -> [(&'static str, Vec<MappingStrategy>); 2] {
+    [
+        ("embeddings", Vec::new()),
+        ("dynamic_priced", vec![MappingStrategy::Dynamic]),
+    ]
+}
+
+fn overhead_sweep() {
+    let mut log = String::new();
+    let mut priced_overhead_pct = 0.0;
+    for (config, strategies) in configs() {
+        let m = measure(&strategies);
+        let overhead_pct = (m.counters_us / m.off_us - 1.0) * 100.0;
+        if config == "dynamic_priced" {
+            priced_overhead_pct = overhead_pct;
+        }
+        let line = format!(
+            "{{\"bench\":\"telemetry_overhead\",\"workload\":\"cora_quarter_gcn\",\
+             \"config\":\"{config}\",\"off_us\":{:.1},\"counters_us\":{:.1},\
+             \"overhead_pct\":{overhead_pct:.2}}}",
+            m.off_us, m.counters_us
+        );
+        println!("{line}");
+        let _ = writeln!(log, "{line}");
+    }
+    // Record at the workspace root, beside the other BENCH_*.json logs
+    // (cargo bench runs with the package directory as cwd).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+    if let Err(e) = std::fs::write(path, &log) {
+        eprintln!("could not record {path}: {e}");
+    }
+    println!(
+        "\n  counters-level telemetry on Dynamic-priced infer: {priced_overhead_pct:+.2}% vs off"
+    );
+    assert!(
+        priced_overhead_pct <= 3.0,
+        "counters-level telemetry must cost <= 3% on steady-state infer, got {priced_overhead_pct:.2}%"
+    );
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // Criterion-visible numbers for the asserted configuration.
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(2);
+    group.bench_function("priced_off", |b| {
+        b.iter(|| measure(&[MappingStrategy::Dynamic]).off_us)
+    });
+    group.bench_function("priced_counters", |b| {
+        b.iter(|| measure(&[MappingStrategy::Dynamic]).counters_us)
+    });
+    group.finish();
+
+    overhead_sweep();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

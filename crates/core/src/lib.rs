@@ -209,3 +209,7 @@ pub use dynasparse_accel::AcceleratorConfig;
 pub use dynasparse_compiler::CompilerConfig;
 pub use dynasparse_model::{LayerError, ModelError};
 pub use dynasparse_runtime::MappingStrategy;
+pub use dynasparse_telemetry::{
+    FlightRecorder, KernelSpan, Registry, SessionTelemetry, SpanPrimitive, TelemetryLevel,
+    TelemetrySnapshot, TELEMETRY_ENV,
+};

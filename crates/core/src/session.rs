@@ -23,7 +23,9 @@ use dynasparse_model::{
 use dynasparse_runtime::{
     Analyzer, KernelAnalysis, MappingStrategy, OperandProfiles, RuntimeOverhead, Scheduler,
 };
+use dynasparse_telemetry::{CounterId, Registry, SessionTelemetry};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Reusable per-strategy state: the Analyzer is stateless and the Scheduler
 /// is rewound between requests.  The kernel-report buffer is handed to each
@@ -96,6 +98,11 @@ pub struct Session<'p> {
     /// Inverse of `defer_out`: at kernel `t`, the earlier kernel whose
     /// deferred output densities resolve from `t`'s input profiles.
     out_source_for: Vec<Option<usize>>,
+    /// The session's telemetry bundle: counters/histograms through a writer
+    /// shard of a [`Registry`] (the process-global one by default), plus the
+    /// kernel-span flight recorder and drift tracker.  Costs one predictable
+    /// branch per call site when the registry level is `off`.
+    telemetry: SessionTelemetry,
     requests_served: usize,
 }
 
@@ -247,6 +254,7 @@ impl<'p> Session<'p> {
             batch_nnz_scratch: Vec::new(),
             defer_out,
             out_source_for,
+            telemetry: SessionTelemetry::from_global(),
             requests_served: 0,
         }
     }
@@ -292,6 +300,9 @@ impl<'p> Session<'p> {
         // arises when both plans came from the same template (or the same
         // `Arc` clone), which fixes the options and the dispatcher inputs.
         if same_model && same_calibration {
+            self.telemetry
+                .registry()
+                .incr(self.telemetry.shard(), CounterId::RebindReuse);
             self.executor = executor;
             self.plan = PlanHandle::Shared(plan);
             for state in &mut self.states {
@@ -303,7 +314,15 @@ impl<'p> Session<'p> {
         }
         let strategies = std::mem::take(&mut self.strategies);
         let served = self.requests_served;
+        // Rebuilding replaces every field; carry the telemetry bundle (its
+        // registry binding, pinned shard and retained spans) across, the same
+        // way the request counter survives.
+        let telemetry = std::mem::replace(&mut self.telemetry, SessionTelemetry::from_global());
         *self = Session::build(PlanHandle::Shared(plan), executor, &strategies);
+        self.telemetry = telemetry;
+        self.telemetry
+            .registry()
+            .incr(self.telemetry.shard(), CounterId::RebindRebuild);
         self.requests_served = served;
     }
 
@@ -315,6 +334,31 @@ impl<'p> Session<'p> {
     /// Number of requests served so far.
     pub fn requests_served(&self) -> usize {
         self.requests_served
+    }
+
+    /// The session's telemetry bundle (flight recorder, drift tracker,
+    /// registry handle).
+    pub fn telemetry(&self) -> &SessionTelemetry {
+        &self.telemetry
+    }
+
+    /// Mutable access to the telemetry bundle (e.g. to clear the flight
+    /// recorder between probes).
+    pub fn telemetry_mut(&mut self) -> &mut SessionTelemetry {
+        &mut self.telemetry
+    }
+
+    /// Rebinds the session's telemetry to `registry`, replacing the
+    /// process-global default.  Serving runtimes call this so every worker
+    /// session publishes into the runtime's registry.
+    pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
+        self.telemetry = SessionTelemetry::new(registry);
+    }
+
+    /// Pins the telemetry writer shard (serve workers pin their worker index
+    /// so per-shard counters read as per-worker counters).
+    pub fn set_telemetry_shard(&mut self, shard: usize) {
+        self.telemetry.set_shard(shard);
     }
 
     /// Serves one inference request: runs the model functionally on
@@ -375,6 +419,13 @@ impl<'p> Session<'p> {
         let dispatcher = self.dispatcher.as_ref();
         let arena = self.arena.as_mut();
         let dispatch_enabled = dispatcher.is_some();
+        let telemetry = &mut self.telemetry;
+        // Phase stopwatches (profile refit, Analyzer/Scheduler pricing) only
+        // run when the registry records; the accumulators are plain locals so
+        // the timed path stays allocation-free.
+        let probe = telemetry.enabled();
+        let mut profile_ns = 0u64;
+        let mut pricing_ns = 0u64;
         let mut kernel_counter = 0usize;
         let mut on_kernel = |_layer: usize,
                              _ki: usize,
@@ -391,6 +442,7 @@ impl<'p> Session<'p> {
             // matrix at the granularity its execution scheme uses.  The
             // grid depends only on the (fixed) topology and kernel input
             // width, so it is fit once and reused by every later request.
+            let profile_started = probe.then(Instant::now);
             let grid_slot = &mut grid_scratch[kernel_counter];
             let input_shape = (num_vertices, input.dim());
             if grid_slot.as_ref().map(BlockGrid::shape) != Some(input_shape) {
@@ -411,11 +463,15 @@ impl<'p> Session<'p> {
                 owned_profile = input.density_profile(grid);
                 &owned_profile
             };
+            if let Some(started) = profile_started {
+                profile_ns += started.elapsed().as_nanos() as u64;
+            }
             let profiles = OperandProfiles {
                 adjacency: &program.static_sparsity.adjacency,
                 weights: &program.static_sparsity.weights,
                 features: feature_profile,
             };
+            let pricing_started = probe.then(Instant::now);
             for state in states.iter_mut() {
                 let analysis = state.analyzer.analyze_kernel(compiled, &profiles);
                 let schedule = state.scheduler.schedule_kernel(compiled.ir.id, &analysis);
@@ -431,6 +487,9 @@ impl<'p> Session<'p> {
                     output_density: out.density(),
                 });
             }
+            if let Some(started) = pricing_started {
+                pricing_ns += started.elapsed().as_nanos() as u64;
+            }
             density_stages.push(StageDensity {
                 layer: compiled.ir.layer_id - 1,
                 kernel: compiled.ir.kernel_in_layer,
@@ -442,17 +501,26 @@ impl<'p> Session<'p> {
             });
             kernel_counter += 1;
         };
+        telemetry.begin_request();
         let output = match (dispatcher, arena) {
             (Some(dispatcher), Some(arena)) => {
                 // The dispatching engine: mode-picked host kernels writing
-                // into the session's arena (zero per-kernel allocations).
-                executor.forward_dispatch(features, dispatcher, arena, |l, k, s, i, o| {
-                    on_kernel(l, k, s, i, o)
-                })?;
+                // into the session's arena (zero per-kernel allocations),
+                // probed per dispatch when telemetry is on.
+                executor.forward_dispatch_probed(
+                    features,
+                    dispatcher,
+                    arena,
+                    Some(&mut *telemetry),
+                    |l, k, s, i, o| on_kernel(l, k, s, i, o),
+                )?;
                 arena.output().clone()
             }
             _ => executor.forward_with(features, |l, k, s, i, o| on_kernel(l, k, s, i, o))?,
         };
+        if probe {
+            telemetry.record_request_phases(profile_ns, pricing_ns);
+        }
 
         let freq = plan.options().accelerator.frequency_mhz;
         let compile_ms = plan.compile_ms();
@@ -633,11 +701,17 @@ impl<'p> Session<'p> {
             .as_ref()
             .expect("fused path has a dispatcher");
         let arena = self.batch_arena.as_mut().expect("ensured above");
+        let telemetry = &mut self.telemetry;
+        let probe = telemetry.enabled();
+        let mut profile_ns = 0u64;
+        let mut pricing_ns = 0u64;
         let mut kernel_counter = 0usize;
-        executor.forward_dispatch_batch(
+        telemetry.begin_request();
+        executor.forward_dispatch_batch_probed(
             batch,
             dispatcher,
             arena,
+            Some(&mut *telemetry),
             |_layer, _ki, spec_kernel, views| {
                 let kidx = kernel_counter;
                 kernel_counter += 1;
@@ -664,7 +738,11 @@ impl<'p> Session<'p> {
                 // output densities — see below); the resulting densities are
                 // bit-equal to what the per-request loop computes (the same
                 // integer counts divided the same way).
+                let profile_started = probe.then(Instant::now);
                 views.profile_inputs_into(grid, batch_profiles);
+                if let Some(started) = profile_started {
+                    profile_ns += started.elapsed().as_nanos() as u64;
+                }
                 let input_total = num_vertices * in_dim;
                 // A kernel whose input is an earlier kernel's unmodified output
                 // resolves that kernel's deferred output densities from the
@@ -685,6 +763,7 @@ impl<'p> Session<'p> {
                     views.output_nnz_into(out_counts);
                 }
                 let output_total = num_vertices * views.output_dim();
+                let pricing_started = probe.then(Instant::now);
                 for (b, record) in records.iter_mut().enumerate() {
                     let profiles = OperandProfiles {
                         adjacency: &program.static_sparsity.adjacency,
@@ -721,8 +800,20 @@ impl<'p> Session<'p> {
                         density: out_density,
                     });
                 }
+                if let Some(started) = pricing_started {
+                    pricing_ns += started.elapsed().as_nanos() as u64;
+                }
             },
         )?;
+        if probe {
+            // One fused pass served the whole batch: attribute the shared
+            // phase time evenly across requests so the per-request histograms
+            // stay comparable to the sequential path.
+            let per = bsz.max(1) as u64;
+            for _ in 0..bsz {
+                telemetry.record_request_phases(profile_ns / per, pricing_ns / per);
+            }
+        }
 
         let freq = plan.options().accelerator.frequency_mhz;
         let compile_ms = plan.compile_ms();

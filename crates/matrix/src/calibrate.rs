@@ -641,6 +641,42 @@ impl CalibratedPolicy {
     pub fn calibration(&self) -> &Arc<HostCalibration> {
         &self.calibration
     }
+
+    /// [`CostModel::decide`], additionally reporting whether the decision
+    /// fell back to the Table IV regions because a fitted prediction
+    /// degenerated (non-finite cost). Telemetry counts these fallbacks so a
+    /// silently diverging fit is visible.
+    pub fn decide_with_fallback(
+        &self,
+        shape: ProductShape,
+        alpha_x: f64,
+        alpha_y: f64,
+    ) -> (HostPrimitive, bool) {
+        let ax = sanitize_density(alpha_x);
+        let ay = sanitize_density(alpha_y);
+        if ax <= 0.0 || ay <= 0.0 || shape.is_empty() {
+            return (HostPrimitive::Skip, false);
+        }
+        let costs = [
+            self.predict(HostPrimitive::Gemm, shape, ax, ay),
+            self.predict(HostPrimitive::SpDmm, shape, ax, ay),
+            self.predict(HostPrimitive::Spmm, shape, ax, ay),
+        ];
+        if costs.iter().any(|c| !c.is_finite()) {
+            return (self.fallback.decide(ax, ay), true);
+        }
+        let (mut best, mut best_cost) = (HostPrimitive::Gemm, costs[0]);
+        for (prim, &cost) in [HostPrimitive::SpDmm, HostPrimitive::Spmm]
+            .iter()
+            .zip(&costs[1..])
+        {
+            if cost < best_cost {
+                best = *prim;
+                best_cost = cost;
+            }
+        }
+        (best, false)
+    }
 }
 
 impl CostModel for CalibratedPolicy {
@@ -654,30 +690,7 @@ impl CostModel for CalibratedPolicy {
     }
 
     fn decide(&self, shape: ProductShape, alpha_x: f64, alpha_y: f64) -> HostPrimitive {
-        let ax = sanitize_density(alpha_x);
-        let ay = sanitize_density(alpha_y);
-        if ax <= 0.0 || ay <= 0.0 || shape.is_empty() {
-            return HostPrimitive::Skip;
-        }
-        let costs = [
-            self.predict(HostPrimitive::Gemm, shape, ax, ay),
-            self.predict(HostPrimitive::SpDmm, shape, ax, ay),
-            self.predict(HostPrimitive::Spmm, shape, ax, ay),
-        ];
-        if costs.iter().any(|c| !c.is_finite()) {
-            return self.fallback.decide(ax, ay);
-        }
-        let (mut best, mut best_cost) = (HostPrimitive::Gemm, costs[0]);
-        for (prim, &cost) in [HostPrimitive::SpDmm, HostPrimitive::Spmm]
-            .iter()
-            .zip(&costs[1..])
-        {
-            if cost < best_cost {
-                best = *prim;
-                best_cost = cost;
-            }
-        }
-        best
+        self.decide_with_fallback(shape, alpha_x, alpha_y).0
     }
 }
 

@@ -44,7 +44,27 @@ use dynasparse_matrix::{
     CalibratedPolicy, CostModel, CsrMatrix, DenseMatrix, DispatchPolicy, HostCalibration,
     HostPrimitive, ProductShape, RegionPolicy, SpGemmScratch, ThreadPool,
 };
+use dynasparse_telemetry::{SessionTelemetry, SpanPrimitive};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// The telemetry-facing name of a host primitive.
+pub(crate) fn span_primitive(prim: HostPrimitive) -> SpanPrimitive {
+    match prim {
+        HostPrimitive::Gemm => SpanPrimitive::Gemm,
+        HostPrimitive::SpDmm => SpanPrimitive::SpDmm,
+        HostPrimitive::Spmm => SpanPrimitive::Spmm,
+        HostPrimitive::Skip => SpanPrimitive::Skip,
+    }
+}
+
+/// One kernel's telemetry context on the probed forward paths: the session's
+/// telemetry bundle plus the kernel's coordinates in the model.
+pub(crate) struct ProbeCtx<'a> {
+    pub(crate) telemetry: &'a mut SessionTelemetry,
+    pub(crate) layer: u16,
+    pub(crate) kernel: u16,
+}
 
 /// Which cost model a dispatcher decides with: the measured host calibration
 /// (argmin over predicted milliseconds) or the Table IV regions of the
@@ -147,6 +167,38 @@ impl KernelDispatcher {
         match &self.cost {
             DispatchCostModel::Regions(r) => r.decide(shape, alpha_x, alpha_y),
             DispatchCostModel::Calibrated(c) => c.decide(shape, alpha_x, alpha_y),
+        }
+    }
+
+    /// [`KernelDispatcher::decide`], additionally reporting whether a
+    /// calibrated decision fell back to the Table IV regions on a degenerate
+    /// fit (always `false` for a region dispatcher, which never predicts).
+    pub fn decide_traced(
+        &self,
+        shape: ProductShape,
+        alpha_x: f64,
+        alpha_y: f64,
+    ) -> (HostPrimitive, bool) {
+        match &self.cost {
+            DispatchCostModel::Regions(r) => (r.decide(shape, alpha_x, alpha_y), false),
+            DispatchCostModel::Calibrated(c) => c.decide_with_fallback(shape, alpha_x, alpha_y),
+        }
+    }
+
+    /// The active cost model's predicted milliseconds for executing `prim`
+    /// on this product, or `NaN` for a region dispatcher (the Table IV
+    /// regions predict MAC counts, not wall time — drift tracking skips
+    /// them).
+    pub fn predict_ms(
+        &self,
+        prim: HostPrimitive,
+        shape: ProductShape,
+        alpha_x: f64,
+        alpha_y: f64,
+    ) -> f64 {
+        match &self.cost {
+            DispatchCostModel::Regions(_) => f64::NAN,
+            DispatchCostModel::Calibrated(c) => c.predict(prim, shape, alpha_x, alpha_y),
         }
     }
 
@@ -455,11 +507,31 @@ impl ReferenceExecutor {
         input: &FeatureMatrix,
         dispatcher: &KernelDispatcher,
         arena: &mut KernelArena,
+        on_kernel: F,
+    ) -> dynasparse_matrix::Result<()>
+    where
+        F: FnMut(usize, usize, &KernelSpec, &FeatureMatrix, &FeatureMatrix),
+    {
+        self.forward_dispatch_probed(input, dispatcher, arena, None, on_kernel)
+    }
+
+    /// [`ReferenceExecutor::forward_dispatch`] with telemetry: when
+    /// `telemetry` is supplied (and enabled), every kernel dispatch is timed
+    /// and recorded as a kernel span — counters and the kernel-time
+    /// histogram always, the flight-recorder ring at `trace` level.  The
+    /// probe itself allocates nothing.
+    pub fn forward_dispatch_probed<F>(
+        &self,
+        input: &FeatureMatrix,
+        dispatcher: &KernelDispatcher,
+        arena: &mut KernelArena,
+        telemetry: Option<&mut SessionTelemetry>,
         mut on_kernel: F,
     ) -> dynasparse_matrix::Result<()>
     where
         F: FnMut(usize, usize, &KernelSpec, &FeatureMatrix, &FeatureMatrix),
     {
+        let mut telemetry = telemetry.filter(|t| t.enabled());
         let KernelArena {
             slots,
             input: input_slot,
@@ -483,7 +555,14 @@ impl ReferenceExecutor {
                     },
                     KernelInput::Kernel(j) => &read[j].value,
                 };
-                self.execute_kernel_dispatch(spec, kin, out_slot, dispatcher, densify, spgemm)?;
+                let probe = telemetry.as_deref_mut().map(|t| ProbeCtx {
+                    telemetry: t,
+                    layer: l as u16,
+                    kernel: ki as u16,
+                });
+                self.execute_kernel_dispatch_probed(
+                    spec, kin, out_slot, dispatcher, densify, spgemm, probe,
+                )?;
                 if let Some(act) = spec.activation {
                     apply_activation_inplace(&mut out_slot.value, act);
                 }
@@ -497,6 +576,110 @@ impl ReferenceExecutor {
             external_input = None;
         }
         Ok(())
+    }
+
+    /// Executes one kernel like
+    /// [`ReferenceExecutor::execute_kernel_dispatch`], recording a kernel
+    /// span through `probe` when one is supplied: the executed primitive,
+    /// product shape, dispatch densities, the cost model's prediction and
+    /// the measured wall time.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn execute_kernel_dispatch_probed(
+        &self,
+        spec: &KernelSpec,
+        kin: &FeatureMatrix,
+        out_slot: &mut ArenaSlot,
+        dispatcher: &KernelDispatcher,
+        densify: &mut DenseMatrix,
+        spgemm: &mut SpGemmScratch,
+        probe: Option<ProbeCtx<'_>>,
+    ) -> dynasparse_matrix::Result<()> {
+        let Some(probe) = probe else {
+            return self.execute_kernel_dispatch(spec, kin, out_slot, dispatcher, densify, spgemm);
+        };
+        let (executed, shape, ax, ay, fell_back) = self.span_plan(spec, kin, dispatcher);
+        if fell_back {
+            probe.telemetry.record_fallback();
+        }
+        let predicted_ms = dispatcher.predict_ms(executed, shape, ax, ay);
+        let started = Instant::now();
+        self.execute_kernel_dispatch(spec, kin, out_slot, dispatcher, densify, spgemm)?;
+        let measured_ms = started.elapsed().as_secs_f64() * 1e3;
+        probe.telemetry.record_span(
+            probe.layer,
+            probe.kernel,
+            span_primitive(executed),
+            (shape.m, shape.n, shape.d),
+            ax,
+            ay,
+            predicted_ms,
+            measured_ms,
+        );
+        Ok(())
+    }
+
+    /// What [`ReferenceExecutor::execute_kernel_dispatch`] is about to do
+    /// for this kernel, without doing it: the host primitive that will
+    /// execute, the product shape, the densities the decision sees, and
+    /// whether a calibrated decision fell back to the regions.  Mirrors the
+    /// routing of `execute_kernel_dispatch` exactly; densities of
+    /// dense-stored operands are reported as the values the routes charge
+    /// for them (adjacency/weight densities are cached, so this never
+    /// rescans a matrix on the hot path).
+    fn span_plan(
+        &self,
+        spec: &KernelSpec,
+        kin: &FeatureMatrix,
+        dispatcher: &KernelDispatcher,
+    ) -> (HostPrimitive, ProductShape, f64, f64, bool) {
+        match spec.op {
+            KernelOp::Aggregate { aggregator } => {
+                let adj = self
+                    .adjacency(aggregator)
+                    .expect("adjacency prepared at executor construction");
+                match kin {
+                    FeatureMatrix::Dense(h) => {
+                        // Forced sparse-dense route; the kernel touches every
+                        // stored element of H, so α_Y is the dense 1.0.
+                        let shape = ProductShape::new(adj.rows(), adj.cols(), h.cols());
+                        (HostPrimitive::SpDmm, shape, adj.density(), 1.0, false)
+                    }
+                    FeatureMatrix::Sparse(h) => {
+                        let shape = ProductShape::new(adj.rows(), adj.cols(), h.cols());
+                        let (ax, ay) = (adj.density(), h.density());
+                        let (decision, fell_back) = dispatcher.decide_traced(shape, ax, ay);
+                        let executed = match decision {
+                            HostPrimitive::Skip => HostPrimitive::Skip,
+                            HostPrimitive::Spmm => HostPrimitive::Spmm,
+                            // The GEMM/SpDMM decision densifies H and runs
+                            // the sparse-dense kernel over the adjacency.
+                            HostPrimitive::Gemm | HostPrimitive::SpDmm => HostPrimitive::SpDmm,
+                        };
+                        (executed, shape, ax, ay, fell_back)
+                    }
+                }
+            }
+            KernelOp::Update { weight } => {
+                let w = &self.model().weights[weight];
+                match kin {
+                    FeatureMatrix::Dense(h) => {
+                        let shape = ProductShape::new(h.rows(), h.cols(), w.cols());
+                        (HostPrimitive::Gemm, shape, 1.0, w.density(), false)
+                    }
+                    FeatureMatrix::Sparse(h) => {
+                        let shape = ProductShape::new(h.rows(), h.cols(), w.cols());
+                        let (ax, ay) = (h.density(), w.density());
+                        let (decision, fell_back) = dispatcher.decide_traced(shape, ax, ay);
+                        let executed = match (decision, dispatcher.weight_csr[weight].as_ref()) {
+                            (HostPrimitive::Skip, _) => HostPrimitive::Skip,
+                            (HostPrimitive::Spmm, Some(_)) => HostPrimitive::Spmm,
+                            _ => HostPrimitive::SpDmm,
+                        };
+                        (executed, shape, ax, ay, fell_back)
+                    }
+                }
+            }
+        }
     }
 
     /// Executes one kernel, routed by runtime density, into `out_slot`.

@@ -38,8 +38,8 @@
 //! probes over the batch operands, never extraction copies.
 
 use crate::arena::{
-    apply_activation_inplace, combine_layer_outputs, slot_as_dense, ArenaSlot, KernelArena,
-    KernelDispatcher,
+    apply_activation_inplace, combine_layer_outputs, slot_as_dense, span_primitive, ArenaSlot,
+    KernelArena, KernelDispatcher, ProbeCtx,
 };
 use crate::kernel::{KernelInput, KernelOp, KernelSpec};
 use crate::reference::ReferenceExecutor;
@@ -50,6 +50,8 @@ use dynasparse_matrix::ops::{
 use dynasparse_matrix::{
     BlockGrid, DenseMatrix, DensityProfile, HostPrimitive, MatrixError, ProductShape, SpGemmScratch,
 };
+use dynasparse_telemetry::SessionTelemetry;
+use std::time::Instant;
 
 /// One executed batch kernel's operands, as the fused forward pass hands
 /// them to its per-kernel callback.
@@ -148,11 +150,32 @@ impl ReferenceExecutor {
         inputs: &[FeatureMatrix],
         dispatcher: &KernelDispatcher,
         arena: &mut KernelArena,
+        on_kernel: F,
+    ) -> dynasparse_matrix::Result<()>
+    where
+        F: FnMut(usize, usize, &KernelSpec, &BatchKernelViews<'_>),
+    {
+        self.forward_dispatch_batch_probed(inputs, dispatcher, arena, None, on_kernel)
+    }
+
+    /// [`ReferenceExecutor::forward_dispatch_batch`] with telemetry: when
+    /// `telemetry` is supplied (and enabled), every executed kernel is timed
+    /// and recorded as a kernel span.  Fused kernels record **one span per
+    /// batch kernel** (the batch is the execution unit); the lazily
+    /// concatenated layer-0 kernels route per request and record one span
+    /// per request.
+    pub fn forward_dispatch_batch_probed<F>(
+        &self,
+        inputs: &[FeatureMatrix],
+        dispatcher: &KernelDispatcher,
+        arena: &mut KernelArena,
+        telemetry: Option<&mut SessionTelemetry>,
         mut on_kernel: F,
     ) -> dynasparse_matrix::Result<()>
     where
         F: FnMut(usize, usize, &KernelSpec, &BatchKernelViews<'_>),
     {
+        let mut telemetry = telemetry.filter(|t| t.enabled());
         let bsz = inputs.len();
         if bsz == 0 {
             return Ok(());
@@ -190,12 +213,19 @@ impl ReferenceExecutor {
                         KernelInput::Kernel(j) => &read[j].value,
                     })
                 };
+                let probe = telemetry.as_deref_mut().map(|t| ProbeCtx {
+                    telemetry: t,
+                    layer: l as u16,
+                    kernel: ki as u16,
+                });
                 match kin {
                     // Lazy concatenation: each request's kernel writes its
                     // own column block of the batch-shaped output.
-                    None => self.execute_layer0_lazy(spec, inputs, out_slot, dispatcher, spgemm)?,
-                    Some(kin) => self.execute_kernel_dispatch_batch(
-                        spec, kin, bsz, out_slot, dispatcher, densify, spgemm,
+                    None => {
+                        self.execute_layer0_lazy(spec, inputs, out_slot, dispatcher, spgemm, probe)?
+                    }
+                    Some(kin) => self.execute_kernel_dispatch_batch_probed(
+                        spec, kin, bsz, out_slot, dispatcher, densify, spgemm, probe,
                     )?,
                 }
                 if let Some(act) = spec.activation {
@@ -232,6 +262,7 @@ impl ReferenceExecutor {
         out_slot: &mut ArenaSlot,
         dispatcher: &KernelDispatcher,
         spgemm: &mut SpGemmScratch,
+        mut probe: Option<ProbeCtx<'_>>,
     ) -> dynasparse_matrix::Result<()> {
         let bsz = inputs.len();
         let m = inputs[0].num_vertices();
@@ -245,6 +276,7 @@ impl ReferenceExecutor {
                 // batch slot is reshaped without a redundant zero-fill.
                 out.reset_for_overwrite(m, n * bsz);
                 for (b, f) in inputs.iter().enumerate() {
+                    let started = probe.as_ref().map(|_| Instant::now());
                     match f {
                         FeatureMatrix::Dense(h) => match pool {
                             Some(p) => gemm_into_cols_pooled(p, h, w, out, b * n)?,
@@ -254,6 +286,24 @@ impl ReferenceExecutor {
                             Some(p) => h.spmm_dense_into_cols_pooled(p, w, out, b * n)?,
                             None => h.spmm_dense_into_cols(w, out, b * n)?,
                         },
+                    }
+                    if let (Some(p), Some(started)) = (probe.as_mut(), started) {
+                        let shape = ProductShape::new(m, f.dim(), n);
+                        let (executed, ax) = match f {
+                            FeatureMatrix::Dense(_) => (HostPrimitive::Gemm, 1.0),
+                            FeatureMatrix::Sparse(h) => (HostPrimitive::SpDmm, h.density()),
+                        };
+                        let ay = w.density();
+                        p.telemetry.record_span(
+                            p.layer,
+                            p.kernel,
+                            span_primitive(executed),
+                            (shape.m, shape.n, shape.d),
+                            ax,
+                            ay,
+                            dispatcher.predict_ms(executed, shape, ax, ay),
+                            started.elapsed().as_secs_f64() * 1e3,
+                        );
                     }
                 }
             }
@@ -265,6 +315,7 @@ impl ReferenceExecutor {
                 let out = slot_as_dense(out_slot, spgemm);
                 out.reset_for_overwrite(m, d * bsz);
                 for (b, f) in inputs.iter().enumerate() {
+                    let started = probe.as_ref().map(|_| Instant::now());
                     match f {
                         FeatureMatrix::Dense(h) => match pool {
                             Some(p) => adj.spmm_dense_into_cols_pooled(p, h, out, b * d)?,
@@ -283,9 +334,96 @@ impl ReferenceExecutor {
                             spgemm.reclaim(product.into_parts());
                         }
                     }
+                    if let (Some(p), Some(started)) = (probe.as_mut(), started) {
+                        let shape = ProductShape::new(adj.rows(), adj.cols(), d);
+                        let ax = adj.density();
+                        let (executed, ay) = match f {
+                            FeatureMatrix::Dense(_) => (HostPrimitive::SpDmm, 1.0),
+                            FeatureMatrix::Sparse(h) => (HostPrimitive::Spmm, h.density()),
+                        };
+                        p.telemetry.record_span(
+                            p.layer,
+                            p.kernel,
+                            span_primitive(executed),
+                            (shape.m, shape.n, shape.d),
+                            ax,
+                            ay,
+                            dispatcher.predict_ms(executed, shape, ax, ay),
+                            started.elapsed().as_secs_f64() * 1e3,
+                        );
+                    }
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Executes one batch kernel like
+    /// [`ReferenceExecutor::execute_kernel_dispatch_batch`], recording one
+    /// kernel span for the fused kernel when `probe` is supplied.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_kernel_dispatch_batch_probed(
+        &self,
+        spec: &KernelSpec,
+        kin: &FeatureMatrix,
+        bsz: usize,
+        out_slot: &mut ArenaSlot,
+        dispatcher: &KernelDispatcher,
+        densify: &mut DenseMatrix,
+        spgemm: &mut SpGemmScratch,
+        probe: Option<ProbeCtx<'_>>,
+    ) -> dynasparse_matrix::Result<()> {
+        if matches!(spec.op, KernelOp::Aggregate { .. }) {
+            // The batch aggregate reuses the per-request routes (and their
+            // span plan) verbatim on the batch operand.
+            return self.execute_kernel_dispatch_probed(
+                spec, kin, out_slot, dispatcher, densify, spgemm, probe,
+            );
+        }
+        let Some(probe) = probe else {
+            return self.execute_kernel_dispatch_batch(
+                spec, kin, bsz, out_slot, dispatcher, densify, spgemm,
+            );
+        };
+        let KernelOp::Update { weight } = spec.op else {
+            unreachable!("aggregates handled above");
+        };
+        let w = &self.model().weights[weight];
+        let width = kin.dim() / bsz;
+        let shape = ProductShape::new(kin.num_vertices(), width, w.cols() * bsz);
+        let ay = w.density();
+        let (executed, ax, fell_back) = match kin {
+            FeatureMatrix::Dense(_) => (HostPrimitive::Gemm, 1.0, false),
+            FeatureMatrix::Sparse(h) => {
+                let ax = h.density();
+                let (decision, fell_back) = dispatcher.decide_traced(shape, ax, ay);
+                let executed = match decision {
+                    HostPrimitive::Skip => HostPrimitive::Skip,
+                    HostPrimitive::Gemm => HostPrimitive::Gemm,
+                    // Both sparse-operand modes run the column-blocked CSR
+                    // kernel against the dense weight.
+                    HostPrimitive::SpDmm | HostPrimitive::Spmm => HostPrimitive::SpDmm,
+                };
+                (executed, ax, fell_back)
+            }
+        };
+        if fell_back {
+            probe.telemetry.record_fallback();
+        }
+        let predicted_ms = dispatcher.predict_ms(executed, shape, ax, ay);
+        let started = Instant::now();
+        self.execute_kernel_dispatch_batch(spec, kin, bsz, out_slot, dispatcher, densify, spgemm)?;
+        let measured_ms = started.elapsed().as_secs_f64() * 1e3;
+        probe.telemetry.record_span(
+            probe.layer,
+            probe.kernel,
+            span_primitive(executed),
+            (shape.m, shape.n, shape.d),
+            ax,
+            ay,
+            predicted_ms,
+            measured_ms,
+        );
         Ok(())
     }
 

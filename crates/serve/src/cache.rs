@@ -12,6 +12,7 @@ use crate::fingerprint::{ModelFingerprint, PlanFingerprint};
 use dynasparse::{CompiledPlan, DynasparseError, EngineOptions, ModelTemplate, Planner};
 use dynasparse_graph::GraphDataset;
 use dynasparse_model::GnnModel;
+use dynasparse_telemetry::{CounterId, GaugeId, Registry};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -90,19 +91,30 @@ pub struct PlanCache {
     entries: HashMap<PlanFingerprint, CacheEntry>,
     clock: u64,
     stats: CacheStats,
+    telemetry: Arc<Registry>,
 }
 
 impl PlanCache {
     /// Creates a cache holding at most `capacity` plans, compiling misses
     /// with `planner`.  A zero capacity is clamped to one (a cache that can
-    /// hold nothing would recompile every request, silently).
+    /// hold nothing would recompile every request, silently).  Telemetry
+    /// publishes into the process-global registry; use
+    /// [`PlanCache::with_telemetry`] to redirect it.
     pub fn new(planner: Planner, capacity: usize) -> Self {
+        Self::with_telemetry(planner, capacity, Registry::global())
+    }
+
+    /// Like [`PlanCache::new`], publishing hit/miss/eviction counters and
+    /// the resident-bytes gauge into `telemetry` instead of the global
+    /// registry.
+    pub fn with_telemetry(planner: Planner, capacity: usize, telemetry: Arc<Registry>) -> Self {
         PlanCache {
             planner,
             capacity: capacity.max(1),
             entries: HashMap::new(),
             clock: 0,
             stats: CacheStats::default(),
+            telemetry,
         }
     }
 
@@ -120,15 +132,18 @@ impl PlanCache {
         if let Some(entry) = self.entries.get_mut(&key) {
             entry.last_used = self.clock;
             self.stats.hits += 1;
+            self.telemetry.incr(0, CounterId::PlanCacheHits);
             return Ok(Arc::clone(&entry.plan));
         }
         self.stats.misses += 1;
+        self.telemetry.incr(0, CounterId::PlanCacheMisses);
         let plan = self.planner.plan_shared(model, dataset)?;
         if self.entries.len() >= self.capacity {
             self.evict_lru();
         }
         let bytes = plan.approx_bytes() as u64;
         self.stats.resident_bytes += bytes;
+        self.publish_resident_bytes();
         self.entries.insert(
             key,
             CacheEntry {
@@ -175,6 +190,7 @@ impl PlanCache {
         self.stats.clears += self.entries.len() as u64;
         self.stats.resident_bytes = 0;
         self.entries.clear();
+        self.publish_resident_bytes();
     }
 
     fn evict_lru(&mut self) {
@@ -186,9 +202,26 @@ impl PlanCache {
         {
             if let Some(entry) = self.entries.remove(&key) {
                 self.stats.evictions += 1;
-                self.stats.resident_bytes -= entry.bytes;
+                self.telemetry.incr(0, CounterId::PlanCacheEvictions);
+                // Entry bytes were captured at insert and the gauge only ever
+                // accumulated them, so the subtraction cannot underflow — but
+                // a saturating write keeps the gauge a gauge (never a wrapped
+                // near-u64::MAX value) if that invariant is ever broken.
+                debug_assert!(
+                    self.stats.resident_bytes >= entry.bytes,
+                    "resident-bytes gauge under-counts cached plans"
+                );
+                self.stats.resident_bytes = self.stats.resident_bytes.saturating_sub(entry.bytes);
+                self.publish_resident_bytes();
             }
         }
+    }
+
+    fn publish_resident_bytes(&self) {
+        self.telemetry.gauge_set(
+            GaugeId::PlanCacheResidentBytes,
+            self.stats.resident_bytes as f64,
+        );
     }
 }
 
@@ -233,6 +266,7 @@ pub struct TemplateCache {
     entries: HashMap<ModelFingerprint, TemplateEntry>,
     clock: u64,
     stats: CacheStats,
+    telemetry: Arc<Registry>,
 }
 
 struct TemplateEntry {
@@ -246,13 +280,27 @@ struct TemplateEntry {
 impl TemplateCache {
     /// Creates a cache holding at most `capacity` templates, compiling
     /// misses with `options`.  A zero capacity is clamped to one.
+    /// Telemetry publishes into the process-global registry; use
+    /// [`TemplateCache::with_telemetry`] to redirect it.
     pub fn new(options: EngineOptions, capacity: usize) -> Self {
+        Self::with_telemetry(options, capacity, Registry::global())
+    }
+
+    /// Like [`TemplateCache::new`], publishing hit/miss/eviction counters
+    /// and the resident-bytes gauge into `telemetry` instead of the global
+    /// registry.
+    pub fn with_telemetry(
+        options: EngineOptions,
+        capacity: usize,
+        telemetry: Arc<Registry>,
+    ) -> Self {
         TemplateCache {
             options,
             capacity: capacity.max(1),
             entries: HashMap::new(),
             clock: 0,
             stats: CacheStats::default(),
+            telemetry,
         }
     }
 
@@ -270,17 +318,27 @@ impl TemplateCache {
             entry.last_used = self.clock;
             self.stats.hits += 1;
             let bytes = entry.template.approx_bytes() as u64;
-            self.stats.resident_bytes = self.stats.resident_bytes - entry.bytes + bytes;
+            debug_assert!(
+                self.stats.resident_bytes >= entry.bytes,
+                "resident-bytes gauge under-counts cached templates"
+            );
+            self.stats.resident_bytes =
+                self.stats.resident_bytes.saturating_sub(entry.bytes) + bytes;
             entry.bytes = bytes;
-            return Ok(Arc::clone(&entry.template));
+            let template = Arc::clone(&entry.template);
+            self.telemetry.incr(0, CounterId::TemplateCacheHits);
+            self.publish_resident_bytes();
+            return Ok(template);
         }
         self.stats.misses += 1;
+        self.telemetry.incr(0, CounterId::TemplateCacheMisses);
         let template = ModelTemplate::compile_shared(model, self.options.clone())?;
         if self.entries.len() >= self.capacity {
             self.evict_lru();
         }
         let bytes = template.approx_bytes() as u64;
         self.stats.resident_bytes += bytes;
+        self.publish_resident_bytes();
         self.entries.insert(
             key,
             TemplateEntry {
@@ -325,6 +383,7 @@ impl TemplateCache {
         self.stats.clears += self.entries.len() as u64;
         self.stats.resident_bytes = 0;
         self.entries.clear();
+        self.publish_resident_bytes();
     }
 
     fn evict_lru(&mut self) {
@@ -336,9 +395,25 @@ impl TemplateCache {
         {
             if let Some(entry) = self.entries.remove(&key) {
                 self.stats.evictions += 1;
-                self.stats.resident_bytes -= entry.bytes;
+                self.telemetry.incr(0, CounterId::TemplateCacheEvictions);
+                // As with `PlanCache::evict_lru`: the invariant makes this
+                // subtraction exact, and saturation keeps a broken invariant
+                // from wrapping the gauge.
+                debug_assert!(
+                    self.stats.resident_bytes >= entry.bytes,
+                    "resident-bytes gauge under-counts cached templates"
+                );
+                self.stats.resident_bytes = self.stats.resident_bytes.saturating_sub(entry.bytes);
+                self.publish_resident_bytes();
             }
         }
+    }
+
+    fn publish_resident_bytes(&self) {
+        self.telemetry.gauge_set(
+            GaugeId::TemplateCacheResidentBytes,
+            self.stats.resident_bytes as f64,
+        );
     }
 }
 

@@ -204,6 +204,79 @@ mod tests {
     }
 
     #[test]
+    fn empty_and_single_sample_summaries_are_degenerate_but_defined() {
+        // No samples: every field is zero, not NaN (the report is
+        // serialized, and NaN would poison the JSON).
+        let empty = LatencySummary::from_samples(&[]);
+        assert_eq!(empty, LatencySummary::default());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p50_ms, 0.0);
+        assert_eq!(empty.p99_ms, 0.0);
+        // One sample: every percentile, the mean and the max collapse onto
+        // that sample.
+        let one = LatencySummary::from_samples(&[7.25]);
+        assert_eq!(one.count, 1);
+        assert_eq!(one.mean_ms, 7.25);
+        assert_eq!(one.p50_ms, 7.25);
+        assert_eq!(one.p99_ms, 7.25);
+        assert_eq!(one.max_ms, 7.25);
+    }
+
+    #[test]
+    fn tie_heavy_samples_keep_percentiles_on_real_samples() {
+        // Nearest-rank percentiles must return an actual sample value, even
+        // when the distribution is a step function of two values.
+        let mut samples = vec![1.0; 99];
+        samples.push(100.0);
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ms, 1.0, "median of 99x 1.0 + 1x 100.0 is 1.0");
+        assert_eq!(s.max_ms, 100.0);
+        assert!(
+            s.p99_ms == 1.0 || s.p99_ms == 100.0,
+            "p99 must be one of the sample values, got {}",
+            s.p99_ms
+        );
+        // All-identical samples: every statistic equals that value.
+        let flat = LatencySummary::from_samples(&[3.0; 17]);
+        assert_eq!(flat.p50_ms, 3.0);
+        assert_eq!(flat.p99_ms, 3.0);
+        assert_eq!(flat.max_ms, 3.0);
+        assert_eq!(flat.mean_ms, 3.0);
+    }
+
+    #[test]
+    fn percentiles_are_order_invariant_under_adversarial_orderings() {
+        // The summary sorts internally, so descending, interleaved and
+        // sorted inputs must summarize identically.
+        let sorted: Vec<f64> = (1..=101).map(|v| v as f64).collect();
+        let descending: Vec<f64> = sorted.iter().rev().copied().collect();
+        let interleaved: Vec<f64> = (0..101)
+            .map(|i| {
+                // 51, 1, 52, 2, ... — alternating halves.
+                if i % 2 == 0 {
+                    (51 + i / 2) as f64
+                } else {
+                    (1 + i / 2) as f64
+                }
+            })
+            .collect();
+        let a = LatencySummary::from_samples(&sorted);
+        let b = LatencySummary::from_samples(&descending);
+        let c = LatencySummary::from_samples(&interleaved);
+        assert_eq!(a.p50_ms, b.p50_ms);
+        assert_eq!(a.p50_ms, c.p50_ms);
+        assert_eq!(a.p99_ms, b.p99_ms);
+        assert_eq!(a.p99_ms, c.p99_ms);
+        assert_eq!(a.max_ms, 101.0);
+        assert_eq!(b.max_ms, 101.0);
+        // Odd count: the median is the exact middle sample.
+        assert_eq!(a.p50_ms, 51.0);
+        // Nearest-rank p99 of 101 ascending integers: rank round(0.99*100).
+        assert_eq!(a.p99_ms, 100.0);
+    }
+
+    #[test]
     fn collector_aggregates_batches_and_workers() {
         let m = MetricsCollector::new(2);
         let ms = Duration::from_millis;

@@ -23,6 +23,7 @@ use crate::queue::{BoundedQueue, PushError};
 use dynasparse::{CompiledPlan, InferenceReport, MappingStrategy, ModelTemplate, Session};
 use dynasparse_graph::{FeatureMatrix, Graph};
 use dynasparse_matrix::MatrixError;
+use dynasparse_telemetry::{CounterId, GaugeId, HistogramId, Registry};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -52,7 +53,7 @@ pub enum DeviceDwell {
 }
 
 /// Configuration of a [`ServeRuntime`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads (each with its own session and virtual device lane).
     pub workers: usize,
@@ -66,6 +67,27 @@ pub struct ServeConfig {
     pub strategies: Vec<MappingStrategy>,
     /// Device-occupancy emulation (see [`DeviceDwell`]).
     pub device_dwell: DeviceDwell,
+    /// Telemetry registry every worker session and queue gauge publishes
+    /// into; `None` resolves to the process-global
+    /// [`Registry::global`] (leveled by `DYNASPARSE_TELEMETRY`).
+    pub telemetry: Option<Arc<Registry>>,
+}
+
+impl PartialEq for ServeConfig {
+    fn eq(&self, other: &Self) -> bool {
+        let same_registry = match (&self.telemetry, &other.telemetry) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        };
+        same_registry
+            && self.workers == other.workers
+            && self.max_batch == other.max_batch
+            && self.batch_deadline == other.batch_deadline
+            && self.queue_capacity == other.queue_capacity
+            && self.strategies == other.strategies
+            && self.device_dwell == other.device_dwell
+    }
 }
 
 impl Default for ServeConfig {
@@ -77,6 +99,7 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             strategies: vec![MappingStrategy::Dynamic],
             device_dwell: DeviceDwell::None,
+            telemetry: None,
         }
     }
 }
@@ -115,6 +138,13 @@ impl ServeConfig {
     /// Sets the device-occupancy emulation mode.
     pub fn device_dwell(mut self, dwell: DeviceDwell) -> Self {
         self.device_dwell = dwell;
+        self
+    }
+
+    /// Routes worker-session and queue telemetry into `registry` instead of
+    /// the process-global one (tests inject leveled registries this way).
+    pub fn telemetry(mut self, registry: Arc<Registry>) -> Self {
+        self.telemetry = Some(registry);
         self
     }
 }
@@ -200,6 +230,7 @@ pub struct ServeRuntime {
     config: ServeConfig,
     queue: Arc<BoundedQueue<QueuedRequest>>,
     metrics: Arc<MetricsCollector>,
+    telemetry: Arc<Registry>,
     workers: Vec<thread::JoinHandle<()>>,
     started: Instant,
 }
@@ -243,17 +274,21 @@ impl ServeRuntime {
     fn start_backend(backend: Backend, config: ServeConfig) -> Self {
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let metrics = Arc::new(MetricsCollector::new(config.workers.max(1)));
+        let telemetry = config.telemetry.clone().unwrap_or_else(Registry::global);
         let workers = (0..config.workers.max(1))
             .map(|index| {
                 let queue = Arc::clone(&queue);
                 let metrics = Arc::clone(&metrics);
+                let telemetry = Arc::clone(&telemetry);
                 let config = config.clone();
                 match &backend {
                     Backend::Plan(plan) => {
                         let plan = Arc::clone(plan);
                         thread::Builder::new()
                             .name(format!("dynasparse-serve-{index}"))
-                            .spawn(move || worker_loop(index, plan, config, queue, metrics))
+                            .spawn(move || {
+                                worker_loop(index, plan, config, queue, metrics, telemetry)
+                            })
                             .expect("failed to spawn serve worker")
                     }
                     Backend::Template(template) => {
@@ -261,7 +296,9 @@ impl ServeRuntime {
                         thread::Builder::new()
                             .name(format!("dynasparse-serve-{index}"))
                             .spawn(move || {
-                                template_worker_loop(index, template, config, queue, metrics)
+                                template_worker_loop(
+                                    index, template, config, queue, metrics, telemetry,
+                                )
                             })
                             .expect("failed to spawn serve worker")
                     }
@@ -273,6 +310,7 @@ impl ServeRuntime {
             config,
             queue,
             metrics,
+            telemetry,
             workers,
             started: Instant::now(),
         }
@@ -310,6 +348,14 @@ impl ServeRuntime {
     /// Requests currently queued (excluding those being served).
     pub fn queue_depth(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The telemetry registry the runtime's workers, queue gauges and
+    /// session probes publish into — the injected
+    /// [`ServeConfig::telemetry`] registry, or [`Registry::global`] when
+    /// none was configured.  Snapshot it for Prometheus/JSON exposition.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
     }
 
     /// Submits a request, blocking while the queue is at capacity
@@ -475,8 +521,13 @@ fn worker_loop(
     config: ServeConfig,
     queue: Arc<BoundedQueue<QueuedRequest>>,
     metrics: Arc<MetricsCollector>,
+    telemetry: Arc<Registry>,
 ) {
     let mut session: Session<'static> = Session::shared(plan, &config.strategies);
+    // The session publishes into the runtime's registry through the worker's
+    // own shard, so per-shard counter breakdowns read as per-worker ones.
+    session.set_telemetry(Arc::clone(&telemetry));
+    session.set_telemetry_shard(index);
     // Size the fused-batch arena for the worker's batch cap up front, so
     // `max_batch` buys kernel-level fusion (one kernel pass per layer per
     // micro-batch) without mid-serving buffer growth.
@@ -488,6 +539,10 @@ fn worker_loop(
         let picked = Instant::now();
         let batch_size = batch.len();
         metrics.record_batch(batch_size);
+        telemetry.gauge_set(GaugeId::QueueDepth, queue.len() as f64);
+        telemetry.incr(index, CounterId::ServeBatches);
+        telemetry.add(index, CounterId::ServeRequests, batch_size as u64);
+        telemetry.observe(index, HistogramId::BatchSize, batch_size as u64);
 
         // Take the feature matrices out of the requests (no copies) so the
         // whole micro-batch is served by one `infer_batch` call.
@@ -563,11 +618,17 @@ fn worker_loop(
             // Service records host time only; the modeled device dwell shows
             // up in the turnaround (enqueue → reply ready), as it would in a
             // real deployment where the reply follows device completion.
-            metrics.record_request(
+            let queue_wait = picked.duration_since(enqueued);
+            metrics.record_request(index, queue_wait, per_request, enqueued.elapsed());
+            telemetry.observe(
                 index,
-                picked.duration_since(enqueued),
-                per_request,
-                enqueued.elapsed(),
+                HistogramId::QueueWaitMicros,
+                queue_wait.as_micros() as u64,
+            );
+            telemetry.observe(
+                index,
+                HistogramId::ServiceMicros,
+                per_request.as_micros() as u64,
             );
             // A dropped ticket (caller gave up) is fine; ignore send errors.
             let _ = reply.send(Reply { result });
@@ -589,6 +650,7 @@ fn template_worker_loop(
     config: ServeConfig,
     queue: Arc<BoundedQueue<QueuedRequest>>,
     metrics: Arc<MetricsCollector>,
+    telemetry: Arc<Registry>,
 ) {
     let mut session: Option<Session<'static>> = None;
     while let Some(batch) = queue.pop_batch(config.max_batch, config.batch_deadline) {
@@ -598,6 +660,10 @@ fn template_worker_loop(
         let picked = Instant::now();
         let batch_size = batch.len();
         metrics.record_batch(batch_size);
+        telemetry.gauge_set(GaugeId::QueueDepth, queue.len() as f64);
+        telemetry.incr(index, CounterId::ServeBatches);
+        telemetry.add(index, CounterId::ServeRequests, batch_size as u64);
+        telemetry.observe(index, HistogramId::BatchSize, batch_size as u64);
 
         let mut envelopes = Vec::with_capacity(batch_size);
         let mut results = Vec::with_capacity(batch_size);
@@ -620,7 +686,12 @@ fn template_worker_loop(
                             session.rebind(plan);
                             session
                         }
-                        None => session.insert(plan.session_shared(&config.strategies)),
+                        None => {
+                            let built = session.insert(plan.session_shared(&config.strategies));
+                            built.set_telemetry(Arc::clone(&telemetry));
+                            built.set_telemetry_shard(index);
+                            built
+                        }
                     };
                     session.infer(&features)
                 })
@@ -664,11 +735,17 @@ fn template_worker_loop(
         }
 
         for ((_, enqueued, reply), result) in envelopes.into_iter().zip(results) {
-            metrics.record_request(
+            let queue_wait = picked.duration_since(enqueued);
+            metrics.record_request(index, queue_wait, per_request, enqueued.elapsed());
+            telemetry.observe(
                 index,
-                picked.duration_since(enqueued),
-                per_request,
-                enqueued.elapsed(),
+                HistogramId::QueueWaitMicros,
+                queue_wait.as_micros() as u64,
+            );
+            telemetry.observe(
+                index,
+                HistogramId::ServiceMicros,
+                per_request.as_micros() as u64,
             );
             let _ = reply.send(Reply { result });
         }

@@ -1,0 +1,238 @@
+//! Fixed metric slots: every metric the workspace publishes is a compile-time
+//! enum variant, so the registry backs the whole surface with preallocated
+//! atomic arrays and the hot path never hashes a metric name.
+
+/// Monotonic counters (sharded; merged by summation on snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum CounterId {
+    /// Requests completed by `Session::infer` / `infer_batch`.
+    SessionRequests,
+    /// Kernel spans recorded by the dispatcher (one per executed kernel).
+    KernelSpans,
+    /// Kernel dispatches that executed dense GEMM.
+    DispatchGemm,
+    /// Kernel dispatches that executed sparse-dense SpDMM.
+    DispatchSpdmm,
+    /// Kernel dispatches that executed Gustavson SpGEMM.
+    DispatchSpmm,
+    /// Kernel dispatches skipped (empty product).
+    DispatchSkip,
+    /// Calibrated decisions that fell back to the Table IV regions because a
+    /// fitted prediction degenerated (non-finite cost).
+    DispatchFallbacks,
+    /// `Session::rebind` calls that reused the bound session state.
+    RebindReuse,
+    /// `Session::rebind` calls that rebuilt the session from scratch.
+    RebindRebuild,
+    /// Requests completed by the serve runtime.
+    ServeRequests,
+    /// Micro-batches executed by the serve runtime.
+    ServeBatches,
+    /// Plan-cache lookups that hit.
+    PlanCacheHits,
+    /// Plan-cache lookups that compiled a new plan.
+    PlanCacheMisses,
+    /// Plans evicted from the plan cache.
+    PlanCacheEvictions,
+    /// Template-cache lookups that hit.
+    TemplateCacheHits,
+    /// Template-cache lookups that compiled a new template.
+    TemplateCacheMisses,
+    /// Templates evicted from the template cache.
+    TemplateCacheEvictions,
+}
+
+impl CounterId {
+    /// Every counter, in exposition order.
+    pub const ALL: [CounterId; 17] = [
+        CounterId::SessionRequests,
+        CounterId::KernelSpans,
+        CounterId::DispatchGemm,
+        CounterId::DispatchSpdmm,
+        CounterId::DispatchSpmm,
+        CounterId::DispatchSkip,
+        CounterId::DispatchFallbacks,
+        CounterId::RebindReuse,
+        CounterId::RebindRebuild,
+        CounterId::ServeRequests,
+        CounterId::ServeBatches,
+        CounterId::PlanCacheHits,
+        CounterId::PlanCacheMisses,
+        CounterId::PlanCacheEvictions,
+        CounterId::TemplateCacheHits,
+        CounterId::TemplateCacheMisses,
+        CounterId::TemplateCacheEvictions,
+    ];
+
+    /// The slot index backing this counter.
+    pub const fn idx(self) -> usize {
+        self as usize
+    }
+
+    /// The Prometheus metric name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CounterId::SessionRequests => "dynasparse_session_requests_total",
+            CounterId::KernelSpans => "dynasparse_kernel_spans_total",
+            CounterId::DispatchGemm => "dynasparse_dispatch_gemm_total",
+            CounterId::DispatchSpdmm => "dynasparse_dispatch_spdmm_total",
+            CounterId::DispatchSpmm => "dynasparse_dispatch_spmm_total",
+            CounterId::DispatchSkip => "dynasparse_dispatch_skip_total",
+            CounterId::DispatchFallbacks => "dynasparse_dispatch_fallbacks_total",
+            CounterId::RebindReuse => "dynasparse_rebind_reuse_total",
+            CounterId::RebindRebuild => "dynasparse_rebind_rebuild_total",
+            CounterId::ServeRequests => "dynasparse_serve_requests_total",
+            CounterId::ServeBatches => "dynasparse_serve_batches_total",
+            CounterId::PlanCacheHits => "dynasparse_plan_cache_hits_total",
+            CounterId::PlanCacheMisses => "dynasparse_plan_cache_misses_total",
+            CounterId::PlanCacheEvictions => "dynasparse_plan_cache_evictions_total",
+            CounterId::TemplateCacheHits => "dynasparse_template_cache_hits_total",
+            CounterId::TemplateCacheMisses => "dynasparse_template_cache_misses_total",
+            CounterId::TemplateCacheEvictions => "dynasparse_template_cache_evictions_total",
+        }
+    }
+
+    /// The Prometheus HELP line.
+    pub const fn help(self) -> &'static str {
+        match self {
+            CounterId::SessionRequests => "Requests completed by Session::infer/infer_batch",
+            CounterId::KernelSpans => "Kernel spans recorded by the dispatcher",
+            CounterId::DispatchGemm => "Kernel dispatches executed as dense GEMM",
+            CounterId::DispatchSpdmm => "Kernel dispatches executed as SpDMM",
+            CounterId::DispatchSpmm => "Kernel dispatches executed as Gustavson SpGEMM",
+            CounterId::DispatchSkip => "Kernel dispatches skipped (empty product)",
+            CounterId::DispatchFallbacks => {
+                "Calibrated decisions that fell back to the Table IV regions"
+            }
+            CounterId::RebindReuse => "Session rebinds that reused bound state",
+            CounterId::RebindRebuild => "Session rebinds that rebuilt from scratch",
+            CounterId::ServeRequests => "Requests completed by the serve runtime",
+            CounterId::ServeBatches => "Micro-batches executed by the serve runtime",
+            CounterId::PlanCacheHits => "Plan cache hits",
+            CounterId::PlanCacheMisses => "Plan cache misses (cold compiles)",
+            CounterId::PlanCacheEvictions => "Plan cache LRU evictions",
+            CounterId::TemplateCacheHits => "Template cache hits",
+            CounterId::TemplateCacheMisses => "Template cache misses (cold compiles)",
+            CounterId::TemplateCacheEvictions => "Template cache LRU evictions",
+        }
+    }
+}
+
+/// Point-in-time gauges (unsharded; last write wins, EWMAs update via CAS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum GaugeId {
+    /// Serve queue depth sampled when a worker picks up a batch.
+    QueueDepth,
+    /// Bytes resident in the plan cache.
+    PlanCacheResidentBytes,
+    /// Bytes resident in the template cache.
+    TemplateCacheResidentBytes,
+    /// EWMA of measured/predicted ms for dispatched GEMM kernels.
+    DriftGemm,
+    /// EWMA of measured/predicted ms for dispatched SpDMM kernels.
+    DriftSpdmm,
+    /// EWMA of measured/predicted ms for dispatched SpGEMM kernels.
+    DriftSpmm,
+}
+
+impl GaugeId {
+    /// Every gauge, in exposition order.
+    pub const ALL: [GaugeId; 6] = [
+        GaugeId::QueueDepth,
+        GaugeId::PlanCacheResidentBytes,
+        GaugeId::TemplateCacheResidentBytes,
+        GaugeId::DriftGemm,
+        GaugeId::DriftSpdmm,
+        GaugeId::DriftSpmm,
+    ];
+
+    /// The slot index backing this gauge.
+    pub const fn idx(self) -> usize {
+        self as usize
+    }
+
+    /// The Prometheus metric name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            GaugeId::QueueDepth => "dynasparse_serve_queue_depth",
+            GaugeId::PlanCacheResidentBytes => "dynasparse_plan_cache_resident_bytes",
+            GaugeId::TemplateCacheResidentBytes => "dynasparse_template_cache_resident_bytes",
+            GaugeId::DriftGemm => "dynasparse_drift_gemm_ratio",
+            GaugeId::DriftSpdmm => "dynasparse_drift_spdmm_ratio",
+            GaugeId::DriftSpmm => "dynasparse_drift_spmm_ratio",
+        }
+    }
+
+    /// The Prometheus HELP line.
+    pub const fn help(self) -> &'static str {
+        match self {
+            GaugeId::QueueDepth => "Serve queue depth at batch pickup",
+            GaugeId::PlanCacheResidentBytes => "Bytes resident in the plan cache",
+            GaugeId::TemplateCacheResidentBytes => "Bytes resident in the template cache",
+            GaugeId::DriftGemm => "EWMA of measured/predicted ms for GEMM dispatches",
+            GaugeId::DriftSpdmm => "EWMA of measured/predicted ms for SpDMM dispatches",
+            GaugeId::DriftSpmm => "EWMA of measured/predicted ms for SpGEMM dispatches",
+        }
+    }
+}
+
+/// Log2-bucketed histograms (sharded; merged by summation on snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum HistogramId {
+    /// Per-kernel dispatch wall time, microseconds.
+    KernelMicros,
+    /// Per-request density profile refit time, microseconds.
+    ProfileMicros,
+    /// Per-request Analyzer/Scheduler pricing time, microseconds.
+    PricingMicros,
+    /// Per-request serve service time, microseconds.
+    ServiceMicros,
+    /// Per-request serve queue wait, microseconds.
+    QueueWaitMicros,
+    /// Micro-batch sizes drained by serve workers.
+    BatchSize,
+}
+
+impl HistogramId {
+    /// Every histogram, in exposition order.
+    pub const ALL: [HistogramId; 6] = [
+        HistogramId::KernelMicros,
+        HistogramId::ProfileMicros,
+        HistogramId::PricingMicros,
+        HistogramId::ServiceMicros,
+        HistogramId::QueueWaitMicros,
+        HistogramId::BatchSize,
+    ];
+
+    /// The slot index backing this histogram.
+    pub const fn idx(self) -> usize {
+        self as usize
+    }
+
+    /// The Prometheus metric name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            HistogramId::KernelMicros => "dynasparse_kernel_micros",
+            HistogramId::ProfileMicros => "dynasparse_profile_micros",
+            HistogramId::PricingMicros => "dynasparse_pricing_micros",
+            HistogramId::ServiceMicros => "dynasparse_serve_service_micros",
+            HistogramId::QueueWaitMicros => "dynasparse_serve_queue_wait_micros",
+            HistogramId::BatchSize => "dynasparse_serve_batch_size",
+        }
+    }
+
+    /// The Prometheus HELP line.
+    pub const fn help(self) -> &'static str {
+        match self {
+            HistogramId::KernelMicros => "Per-kernel dispatch wall time (us)",
+            HistogramId::ProfileMicros => "Per-request density profile refit time (us)",
+            HistogramId::PricingMicros => "Per-request Analyzer/Scheduler pricing time (us)",
+            HistogramId::ServiceMicros => "Per-request serve service time (us)",
+            HistogramId::QueueWaitMicros => "Per-request serve queue wait (us)",
+            HistogramId::BatchSize => "Micro-batch sizes drained by serve workers",
+        }
+    }
+}

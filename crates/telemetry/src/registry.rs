@@ -1,0 +1,306 @@
+//! The sharded, fixed-slot metrics core.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::ids::{CounterId, GaugeId, HistogramId};
+use crate::snapshot::TelemetrySnapshot;
+use crate::TelemetryLevel;
+
+/// Writer shards for counters and histograms. Serve workers write to
+/// `worker_index % NUM_SHARDS`; unsharded writers (tests, examples) default
+/// to a round-robin shard picked at session construction. Readers merge all
+/// shards on snapshot, so the shard count only affects write contention.
+pub const NUM_SHARDS: usize = 8;
+
+/// Buckets per log2 histogram. Bucket `0` counts values `<= 1`; bucket `b`
+/// counts `2^(b-1) < v <= 2^b`; the last bucket absorbs everything above
+/// `2^(HISTOGRAM_BUCKETS - 2)` (the `+Inf` bucket in Prometheus terms).
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+pub(crate) const NUM_COUNTERS: usize = CounterId::ALL.len();
+pub(crate) const NUM_GAUGES: usize = GaugeId::ALL.len();
+pub(crate) const NUM_HISTOGRAMS: usize = HistogramId::ALL.len();
+
+/// The log2 bucket index for `v`: `0` for `v <= 1`, otherwise the smallest
+/// `b` with `v <= 2^b`, clamped into the overflow bucket.
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        let b = 64 - (v - 1).leading_zeros() as usize;
+        b.min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The inclusive upper bound of bucket `b` (`u64::MAX` for the overflow
+/// bucket, rendered as `+Inf` in the Prometheus exposition).
+pub(crate) fn bucket_upper_bound(b: usize) -> u64 {
+    if b + 1 >= HISTOGRAM_BUCKETS {
+        u64::MAX
+    } else {
+        1u64 << b
+    }
+}
+
+/// One log2 histogram slot: per-bucket counts plus a running count/sum.
+pub(crate) struct HistogramSlot {
+    pub(crate) buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+}
+
+impl HistogramSlot {
+    fn new() -> HistogramSlot {
+        HistogramSlot {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+/// One writer shard: a fixed array of counters and histograms.
+pub(crate) struct Shard {
+    pub(crate) counters: [AtomicU64; NUM_COUNTERS],
+    pub(crate) histograms: [HistogramSlot; NUM_HISTOGRAMS],
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            histograms: std::array::from_fn(|_| HistogramSlot::new()),
+        }
+    }
+}
+
+/// The process-wide (or test-local) metrics registry.
+///
+/// Every slot is preallocated at construction; all writes are single atomic
+/// RMW operations on those slots, so the hot path never allocates, locks, or
+/// hashes. Counters and histograms are additive and sharded ([`NUM_SHARDS`]);
+/// gauges are point-in-time values kept unsharded because merging them by
+/// summation would be meaningless.
+pub struct Registry {
+    level: TelemetryLevel,
+    shards: Box<[Shard]>,
+    /// Gauge slots storing `f64` bits; `f64::NAN` marks a never-set gauge.
+    gauges: [AtomicU64; NUM_GAUGES],
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("level", &self.level)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// A registry recording at `level` with [`NUM_SHARDS`] writer shards.
+    pub fn new(level: TelemetryLevel) -> Registry {
+        Registry {
+            level,
+            shards: (0..NUM_SHARDS).map(|_| Shard::new()).collect(),
+            gauges: std::array::from_fn(|_| AtomicU64::new(f64::NAN.to_bits())),
+        }
+    }
+
+    /// The process-wide registry, leveled by `DYNASPARSE_TELEMETRY`
+    /// (read once, on first use).
+    pub fn global() -> Arc<Registry> {
+        static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| Arc::new(Registry::new(TelemetryLevel::from_env())))
+            .clone()
+    }
+
+    /// The level this registry records at.
+    pub fn level(&self) -> TelemetryLevel {
+        self.level
+    }
+
+    /// Whether this registry records anything.
+    pub fn enabled(&self) -> bool {
+        self.level.enabled()
+    }
+
+    /// The number of writer shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Adds `n` to a counter through `shard` (wrapped modulo the shard
+    /// count).
+    pub fn add(&self, shard: usize, id: CounterId, n: u64) {
+        if !self.level.enabled() {
+            return;
+        }
+        self.shards[shard % self.shards.len()].counters[id.idx()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments a counter through `shard`.
+    pub fn incr(&self, shard: usize, id: CounterId) {
+        self.add(shard, id, 1);
+    }
+
+    /// Records `v` into a histogram through `shard`.
+    pub fn observe(&self, shard: usize, id: HistogramId, v: u64) {
+        if !self.level.enabled() {
+            return;
+        }
+        self.shards[shard % self.shards.len()].histograms[id.idx()].observe(v);
+    }
+
+    /// Sets a gauge to `v` (last write wins).
+    pub fn gauge_set(&self, id: GaugeId, v: f64) {
+        if !self.level.enabled() {
+            return;
+        }
+        self.gauges[id.idx()].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Folds `sample` into an EWMA gauge with smoothing factor `alpha` via a
+    /// CAS loop; the first sample seeds the average.
+    pub fn gauge_ewma(&self, id: GaugeId, sample: f64, alpha: f64) {
+        if !self.level.enabled() || !sample.is_finite() {
+            return;
+        }
+        let slot = &self.gauges[id.idx()];
+        let mut old_bits = slot.load(Ordering::Relaxed);
+        loop {
+            let old = f64::from_bits(old_bits);
+            let new = if old.is_nan() {
+                sample
+            } else {
+                old * (1.0 - alpha) + sample * alpha
+            };
+            match slot.compare_exchange_weak(
+                old_bits,
+                new.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => old_bits = observed,
+            }
+        }
+    }
+
+    /// The merged (all-shard) value of a counter.
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.counters[id.idx()].load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-shard values of a counter, in shard order. Serve workers write to
+    /// `worker_index % NUM_SHARDS`, so this is the per-worker breakdown the
+    /// merge-completeness tests sum.
+    pub fn counter_per_shard(&self, id: CounterId) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.counters[id.idx()].load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The current value of a gauge (`NaN` if never set).
+    pub fn gauge(&self, id: GaugeId) -> f64 {
+        f64::from_bits(self.gauges[id.idx()].load(Ordering::Relaxed))
+    }
+
+    /// A merged point-in-time view of every metric.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::collect(self)
+    }
+
+    /// Visits every shard (snapshot-side histogram merge).
+    pub(crate) fn for_each_shard(&self, mut f: impl FnMut(&Shard)) {
+        for shard in self.shards.iter() {
+            f(shard);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_zero_and_one_share_the_first_bucket() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+    }
+
+    #[test]
+    fn bucket_boundaries_below_exact_above_each_log2_edge() {
+        // Bucket b counts 2^(b-1) < v <= 2^b: an exact power lands in its
+        // own bucket, one above spills into the next, one below stays put.
+        for b in 1..HISTOGRAM_BUCKETS - 1 {
+            let edge = 1u64 << b;
+            assert_eq!(bucket_index(edge), b, "exact 2^{b}");
+            assert_eq!(bucket_index(edge + 1), b + 1, "2^{b} + 1");
+            let below = bucket_index(edge - 1);
+            let expect = if edge - 1 <= 1u64 << (b - 1) {
+                b - 1
+            } else {
+                b
+            };
+            assert_eq!(below, expect, "2^{b} - 1");
+        }
+    }
+
+    #[test]
+    fn bucket_overflow_clamps_to_last() {
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(1u64 << 62), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+        assert_eq!(bucket_upper_bound(3), 8);
+    }
+
+    #[test]
+    fn counters_merge_across_shards() {
+        let r = Registry::new(TelemetryLevel::Counters);
+        for shard in 0..NUM_SHARDS {
+            r.add(shard, CounterId::KernelSpans, (shard + 1) as u64);
+        }
+        let expected: u64 = (1..=NUM_SHARDS as u64).sum();
+        assert_eq!(r.counter(CounterId::KernelSpans), expected);
+        let per_shard = r.counter_per_shard(CounterId::KernelSpans);
+        assert_eq!(per_shard.len(), NUM_SHARDS);
+        assert_eq!(per_shard.iter().sum::<u64>(), expected);
+    }
+
+    #[test]
+    fn off_registry_records_nothing() {
+        let r = Registry::new(TelemetryLevel::Off);
+        r.incr(0, CounterId::ServeRequests);
+        r.observe(0, HistogramId::BatchSize, 4);
+        r.gauge_set(GaugeId::QueueDepth, 9.0);
+        r.gauge_ewma(GaugeId::DriftGemm, 2.0, 0.5);
+        assert_eq!(r.counter(CounterId::ServeRequests), 0);
+        assert!(r.gauge(GaugeId::QueueDepth).is_nan());
+        assert!(r.gauge(GaugeId::DriftGemm).is_nan());
+    }
+
+    #[test]
+    fn ewma_seeds_then_smooths() {
+        let r = Registry::new(TelemetryLevel::Counters);
+        r.gauge_ewma(GaugeId::DriftSpmm, 2.0, 0.25);
+        assert_eq!(r.gauge(GaugeId::DriftSpmm), 2.0);
+        r.gauge_ewma(GaugeId::DriftSpmm, 4.0, 0.25);
+        assert!((r.gauge(GaugeId::DriftSpmm) - 2.5).abs() < 1e-12);
+        // Non-finite samples are ignored rather than poisoning the average.
+        r.gauge_ewma(GaugeId::DriftSpmm, f64::NAN, 0.25);
+        assert!((r.gauge(GaugeId::DriftSpmm) - 2.5).abs() < 1e-12);
+    }
+}

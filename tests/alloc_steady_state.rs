@@ -17,8 +17,10 @@ use dynasparse_graph::generators::{dense_features, power_law_graph, PowerLawConf
 use dynasparse_graph::{Dataset, FeatureMatrix};
 use dynasparse_matrix::{CsrMatrix, DispatchPolicy};
 use dynasparse_model::{prune_model, GnnModel, GnnModelKind, ReferenceExecutor};
+use dynasparse_telemetry::{CounterId, Registry, SessionTelemetry, TelemetryLevel};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 struct CountingAllocator;
 
@@ -85,6 +87,56 @@ fn steady_state_kernel_hot_path_is_allocation_free() {
             0,
             "{}: steady-state dispatched forward must not allocate",
             kind.name()
+        );
+    }
+
+    // --- Telemetry at `counters` must not break the zero-alloc contract. ---
+    //
+    // The probed executor path (per-dispatch span accounting into the
+    // sharded registry) writes only to preallocated atomic slots, so a
+    // steady-state forward with counters-level telemetry attached must stay
+    // at zero heap allocations — observability is free on the hot path.
+    {
+        let model = GnnModel::standard(
+            GnnModelKind::Gcn,
+            dataset.features.dim(),
+            16,
+            dataset.spec.num_classes,
+            5,
+        );
+        let exec = ReferenceExecutor::new(&model, &dataset.graph);
+        let dispatcher = exec.dispatcher(DispatchPolicy::from_regions(16), false);
+        let mut arena = exec.arena(dataset.graph.num_vertices());
+        let registry = Arc::new(Registry::new(TelemetryLevel::Counters));
+        let mut telemetry = SessionTelemetry::new(Arc::clone(&registry));
+        for _ in 0..2 {
+            exec.forward_dispatch_probed(
+                &features,
+                &dispatcher,
+                &mut arena,
+                Some(&mut telemetry),
+                |_, _, _, _, _| {},
+            )
+            .unwrap();
+        }
+        let spans_before = registry.counter(CounterId::KernelSpans);
+        let allocs = count_allocs(|| {
+            exec.forward_dispatch_probed(
+                &features,
+                &dispatcher,
+                &mut arena,
+                Some(&mut telemetry),
+                |_, _, _, _, _| {},
+            )
+            .unwrap();
+        });
+        assert_eq!(
+            allocs, 0,
+            "steady-state probed forward with counters telemetry must not allocate"
+        );
+        assert!(
+            registry.counter(CounterId::KernelSpans) > spans_before,
+            "the zero-alloc forward must still have recorded kernel spans"
         );
     }
 

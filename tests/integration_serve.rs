@@ -261,6 +261,76 @@ fn session_strategies_slice_and_requests_served_survive_the_refactor() {
 }
 
 #[test]
+fn multi_worker_telemetry_merge_is_complete_and_deterministic() {
+    use dynasparse_telemetry::{CounterId, Registry, TelemetryLevel};
+
+    let (plan, _) = plan_fixture();
+    let stream = request_stream(&plan, 9);
+
+    // Ground truth for kernels-per-request: one serial request through a
+    // session publishing into its own trace-level registry.
+    let probe_registry = Arc::new(Registry::new(TelemetryLevel::Trace));
+    let mut probe = plan.session(&[MappingStrategy::Dynamic]);
+    probe.set_telemetry(Arc::clone(&probe_registry));
+    probe.infer(&stream[0]).unwrap();
+    let kernels_per_request = probe_registry.counter(CounterId::KernelSpans);
+    assert!(
+        kernels_per_request > 0,
+        "a dispatched request must record kernel spans"
+    );
+
+    // Two identical runs with fresh injected registries: the merged view
+    // must be complete (no span lost across worker shards) and the totals
+    // deterministic (independent of worker scheduling).
+    let mut totals = Vec::new();
+    for run in 0..2 {
+        let registry = Arc::new(Registry::new(TelemetryLevel::Trace));
+        let runtime = ServeRuntime::start(
+            Arc::clone(&plan),
+            ServeConfig::default()
+                .workers(3)
+                .max_batch(1)
+                .telemetry(Arc::clone(&registry)),
+        );
+        let results = runtime.serve_all(stream.iter().cloned());
+        runtime.shutdown();
+        for r in results {
+            r.expect("request failed");
+        }
+
+        let expected_spans = stream.len() as u64 * kernels_per_request;
+        let per_shard = registry.counter_per_shard(CounterId::KernelSpans);
+        assert_eq!(
+            per_shard.iter().sum::<u64>(),
+            expected_spans,
+            "run {run}: per-worker shard counts must merge to requests x kernels/request \
+             (shards: {per_shard:?})"
+        );
+        assert_eq!(registry.counter(CounterId::KernelSpans), expected_spans);
+        assert_eq!(
+            registry.counter(CounterId::ServeRequests),
+            stream.len() as u64
+        );
+        assert_eq!(
+            registry.counter(CounterId::SessionRequests),
+            stream.len() as u64
+        );
+
+        totals.push((
+            registry.counter(CounterId::KernelSpans),
+            registry.counter(CounterId::DispatchGemm),
+            registry.counter(CounterId::DispatchSpdmm),
+            registry.counter(CounterId::DispatchSpmm),
+            registry.counter(CounterId::DispatchSkip),
+        ));
+    }
+    assert_eq!(
+        totals[0], totals[1],
+        "merged telemetry totals must not depend on worker scheduling"
+    );
+}
+
+#[test]
 fn serving_workers_share_the_plans_measured_calibration() {
     // The host micro-calibration is planned once and `Arc`-shared: spinning
     // up a multi-worker runtime must not re-measure it per worker, and the
