@@ -200,7 +200,7 @@ pub use engine::{
 pub use error::{CompileError, DynasparseError, EngineError};
 pub use planner::{CompiledPlan, Planner};
 pub use report::{Evaluation, InferenceReport, KernelReport, StrategyRun};
-pub use session::{OwnedSession, Session};
+pub use session::{FaultHook, OwnedSession, Session};
 pub use template::{ModelTemplate, TemplateInstance};
 
 // Re-export the pieces a downstream user needs to drive the engine without

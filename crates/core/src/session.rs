@@ -56,6 +56,16 @@ impl PlanHandle<'_> {
     }
 }
 
+/// A fault-injection hook run inside the execution path of every request,
+/// once per kernel (with the kernel's execution-order index), *after* that
+/// kernel has written its output into the session's arena.  Installed via
+/// [`Session::set_fault_hook`]; a hook that panics therefore unwinds out of
+/// [`Session::infer`] / [`Session::infer_batch`] mid-forward, with arena
+/// slots and profile scratch in a partially-written state — exactly the
+/// failure a serving supervisor must contain.  Serving-layer fault-injection
+/// tests use this to prove worker supervision loses no request.
+pub type FaultHook = Arc<dyn Fn(usize) + Send + Sync>;
+
 /// Serving state bound to one [`CompiledPlan`].
 pub struct Session<'p> {
     plan: PlanHandle<'p>,
@@ -103,6 +113,9 @@ pub struct Session<'p> {
     /// kernel-span flight recorder and drift tracker.  Costs one predictable
     /// branch per call site when the registry level is `off`.
     telemetry: SessionTelemetry,
+    /// Fault-injection hook run per executed kernel (see [`FaultHook`]);
+    /// `None` (the default) costs one branch per kernel.
+    fault_hook: Option<FaultHook>,
     requests_served: usize,
 }
 
@@ -255,6 +268,7 @@ impl<'p> Session<'p> {
             defer_out,
             out_source_for,
             telemetry: SessionTelemetry::from_global(),
+            fault_hook: None,
             requests_served: 0,
         }
     }
@@ -324,6 +338,46 @@ impl<'p> Session<'p> {
             .registry()
             .incr(self.telemetry.shard(), CounterId::RebindRebuild);
         self.requests_served = served;
+    }
+
+    /// Rebuilds every piece of per-session execution state from the bound
+    /// plan, as if the session had been freshly opened — keeping the
+    /// strategies, the telemetry bundle (registry binding, pinned shard)
+    /// and the `requests_served` counter.
+    ///
+    /// This is the recovery primitive a serving supervisor calls after a
+    /// panic unwound out of [`Session::infer`] / [`Session::infer_batch`]
+    /// (e.g. through a [`FaultHook`]).  **Unwind-safety rule:** a panic
+    /// mid-forward may leave arena slots, profile scratch and scheduler
+    /// state partially written; none of that state is self-healing, so the
+    /// session must not serve again until it is rebuilt (or dropped).  The
+    /// per-request resets in `infer` clear scheduler/report scratch, but
+    /// arena buffer *shapes* and cached grids can be left mid-transition —
+    /// rebuilding discards them wholesale.  Any installed fault hook is
+    /// cleared.
+    pub fn rebuild_after_panic(&mut self) {
+        let strategies = std::mem::take(&mut self.strategies);
+        let served = self.requests_served;
+        let telemetry = std::mem::replace(&mut self.telemetry, SessionTelemetry::from_global());
+        let plan = match &self.plan {
+            PlanHandle::Borrowed(p) => PlanHandle::Borrowed(p),
+            PlanHandle::Shared(p) => PlanHandle::Shared(Arc::clone(p)),
+        };
+        let executor = ReferenceExecutor::from_prepared(
+            Arc::clone(&plan.get().model),
+            Arc::clone(&plan.get().adjacencies),
+        );
+        *self = Session::build(plan, executor, &strategies);
+        self.telemetry = telemetry;
+        self.requests_served = served;
+    }
+
+    /// Installs (or clears) the per-kernel [`FaultHook`].  Serving layers
+    /// use a panicking hook to inject faults inside the kernel execution
+    /// path; after a caught panic the session must be recovered with
+    /// [`Session::rebuild_after_panic`] before serving again.
+    pub fn set_fault_hook(&mut self, hook: Option<FaultHook>) {
+        self.fault_hook = hook;
     }
 
     /// The strategies priced on every request, in request order.
@@ -424,6 +478,7 @@ impl<'p> Session<'p> {
         // run when the registry records; the accumulators are plain locals so
         // the timed path stays allocation-free.
         let probe = telemetry.enabled();
+        let fault_hook = self.fault_hook.clone();
         let mut profile_ns = 0u64;
         let mut pricing_ns = 0u64;
         let mut kernel_counter = 0usize;
@@ -432,6 +487,11 @@ impl<'p> Session<'p> {
                              spec_kernel: &dynasparse_model::KernelSpec,
                              input: &FeatureMatrix,
                              out: &FeatureMatrix| {
+            // Fault injection: runs after the kernel wrote its output, so a
+            // panicking hook unwinds with the arena mid-request.
+            if let Some(hook) = &fault_hook {
+                hook(kernel_counter);
+            }
             let compiled = &program.kernels[kernel_counter];
             debug_assert_eq!(
                 compiled.ir.kind == KernelKind::Aggregate,
@@ -703,6 +763,7 @@ impl<'p> Session<'p> {
         let arena = self.batch_arena.as_mut().expect("ensured above");
         let telemetry = &mut self.telemetry;
         let probe = telemetry.enabled();
+        let fault_hook = self.fault_hook.clone();
         let mut profile_ns = 0u64;
         let mut pricing_ns = 0u64;
         let mut kernel_counter = 0usize;
@@ -715,6 +776,13 @@ impl<'p> Session<'p> {
             |_layer, _ki, spec_kernel, views| {
                 let kidx = kernel_counter;
                 kernel_counter += 1;
+                // Fault injection (see `FaultHook`): the fused pass executes
+                // each kernel once for the whole batch, so a panicking hook
+                // fails the batch — the serving supervisor then retries the
+                // requests individually to isolate the poisoned one.
+                if let Some(hook) = &fault_hook {
+                    hook(kidx);
+                }
                 let compiled = &program.kernels[kidx];
                 debug_assert_eq!(
                     compiled.ir.kind == KernelKind::Aggregate,

@@ -2,6 +2,7 @@
 
 use dynasparse::DynasparseError;
 use std::fmt;
+use std::time::Duration;
 
 /// Any failure of the serving layer, as distinct from the model/compile/
 /// execution failures ([`DynasparseError`]) a request itself can produce.
@@ -16,6 +17,35 @@ pub enum ServeError {
     /// The runtime is shutting down (or has shut down) and accepts no new
     /// requests.
     ShuttingDown,
+    /// The request's deadline had already expired when a worker drained it
+    /// from the queue; it was shed without executing.
+    DeadlineExceeded {
+        /// How far past the deadline the request was at shed time.
+        late: Duration,
+    },
+    /// The submission was rejected by the load-shedding policy: queue depth
+    /// crossed the configured high watermark and has not yet receded below
+    /// the low watermark.
+    Overloaded {
+        /// Queue depth observed at rejection.
+        depth: usize,
+        /// The high watermark that tripped (or kept) shedding.
+        watermark: usize,
+    },
+    /// The request panicked inside the worker (it was the poisoned member
+    /// of its batch); the worker caught the panic, failed only this ticket,
+    /// and respawned its session.
+    WorkerPanicked {
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The request was accepted but never executed: the runtime abandoned
+    /// it while draining (shutdown deadline ran out, or the worker pool's
+    /// respawn circuit breaker opened).
+    Abandoned {
+        /// Why the runtime gave up on the request.
+        reason: &'static str,
+    },
     /// The worker serving this request disappeared without replying; its
     /// thread panicked.  The request may or may not have executed.
     WorkerLost,
@@ -49,6 +79,25 @@ impl fmt::Display for ServeError {
                 write!(f, "request queue is full (capacity {capacity})")
             }
             ServeError::ShuttingDown => write!(f, "serving runtime is shutting down"),
+            ServeError::DeadlineExceeded { late } => {
+                write!(
+                    f,
+                    "deadline exceeded: shed {:.3} ms late",
+                    late.as_secs_f64() * 1e3
+                )
+            }
+            ServeError::Overloaded { depth, watermark } => {
+                write!(
+                    f,
+                    "load shed: queue depth {depth} at/above watermark {watermark}"
+                )
+            }
+            ServeError::WorkerPanicked { message } => {
+                write!(f, "request panicked in worker: {message}")
+            }
+            ServeError::Abandoned { reason } => {
+                write!(f, "request abandoned without executing: {reason}")
+            }
             ServeError::WorkerLost => write!(f, "worker thread terminated without replying"),
             ServeError::Inference(e) => write!(f, "inference failed: {e}"),
             ServeError::ModeMismatch { op, expected } => {
@@ -86,6 +135,27 @@ mod tests {
         assert!(ServeError::ShuttingDown
             .to_string()
             .contains("shutting down"));
+        assert!(ServeError::DeadlineExceeded {
+            late: Duration::from_millis(5)
+        }
+        .to_string()
+        .contains("deadline exceeded"));
+        assert!(ServeError::Overloaded {
+            depth: 9,
+            watermark: 8
+        }
+        .to_string()
+        .contains("watermark 8"));
+        assert!(ServeError::WorkerPanicked {
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
+        assert!(ServeError::Abandoned {
+            reason: "shutdown deadline"
+        }
+        .to_string()
+        .contains("shutdown deadline"));
         let e = ServeError::Inference(
             MatrixError::BufferLength {
                 expected: 1,

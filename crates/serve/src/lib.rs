@@ -19,8 +19,17 @@
 //!   (no deep copy of weights or adjacencies — they are reference-counted),
 //!   drain a bounded MPSC queue, and coalesce bursts into micro-batches of
 //!   up to `max_batch` requests served by one `infer_batch` call.
+//! - Production traffic control keeps behavior bounded under overload and
+//!   faults: per-request deadlines and priority classes
+//!   ([`SubmitOptions`]), a load-shedding watermark with hysteresis
+//!   ([`ServeConfig::shed_watermarks`]), `catch_unwind` worker supervision
+//!   that fails only the poisoned ticket and respawns the session (capped
+//!   by a circuit breaker), and deadline-bounded draining
+//!   ([`ServeRuntime::shutdown_with_deadline`]) — every submitted ticket
+//!   resolves to a result or a typed [`ServeError`], never hangs.
 //! - [`ServeReport`] aggregates per-request queue wait, service latency
-//!   (p50/p99), throughput, the batch-size histogram and per-worker loads.
+//!   (p50/p99/p99.9), throughput, the batch-size histogram, per-worker
+//!   loads, and the shed/expired/panic/respawn counts.
 //!
 //! Reports are **bit-identical** to a single serial session over the same
 //! request stream: each request's runtime profiling and pricing starts from
@@ -90,5 +99,5 @@ pub use cache::{CacheStats, PlanCache, TemplateCache};
 pub use error::ServeError;
 pub use fingerprint::{ModelFingerprint, PlanFingerprint};
 pub use metrics::{BatchBar, LatencySummary, MetricsCollector, ServeReport, WorkerLoad};
-pub use queue::{BoundedQueue, PushError};
-pub use runtime::{DeviceDwell, ServeConfig, ServeRuntime, Ticket};
+pub use queue::{BoundedQueue, DrainedBatch, PushError};
+pub use runtime::{DeviceDwell, Priority, ServeConfig, ServeRuntime, SubmitOptions, Ticket};

@@ -16,6 +16,8 @@ pub struct LatencySummary {
     pub p50_ms: f64,
     /// 99th percentile.
     pub p99_ms: f64,
+    /// 99.9th percentile (equals `max_ms` below 1000 samples).
+    pub p999_ms: f64,
     /// Largest sample.
     pub max_ms: f64,
 }
@@ -33,6 +35,7 @@ impl LatencySummary {
             mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
             p50_ms: percentile(&sorted, 0.50),
             p99_ms: percentile(&sorted, 0.99),
+            p999_ms: percentile(&sorted, 0.999),
             max_ms: *sorted.last().unwrap(),
         }
     }
@@ -87,6 +90,21 @@ pub struct ServeReport {
     pub batch_histogram: Vec<BatchBar>,
     /// Per-worker request counts, ascending by worker index.
     pub worker_loads: Vec<WorkerLoad>,
+    /// Submissions rejected by the load-shedding watermark (they never
+    /// entered the queue and are not in `requests`).
+    pub shed: u64,
+    /// Accepted requests dropped unexecuted because their deadline had
+    /// expired by the time a worker drained them.
+    pub deadline_expired: u64,
+    /// Worker batch executions that panicked and were caught by the
+    /// supervisor.
+    pub worker_panics: u64,
+    /// Worker sessions rebuilt after a caught panic.
+    pub worker_respawns: u64,
+    /// Stringified panic payloads observed by the supervisor, plus any
+    /// terminal worker-thread panic recovered at `join` time (previously
+    /// discarded by `let _ = worker.join()`).
+    pub worker_failures: Vec<String>,
 }
 
 impl ServeReport {
@@ -107,6 +125,11 @@ struct MetricsInner {
     turnaround_ms: Vec<f64>,
     batch_sizes: Vec<u64>,
     worker_requests: Vec<u64>,
+    shed: u64,
+    deadline_expired: u64,
+    worker_panics: u64,
+    worker_respawns: u64,
+    worker_failures: Vec<String>,
 }
 
 /// Thread-safe collector the worker pool records into.
@@ -153,6 +176,35 @@ impl MetricsCollector {
         inner.batch_sizes[size] += 1;
     }
 
+    /// Records one submission rejected by the load-shedding watermark.
+    pub fn record_shed(&self) {
+        self.inner.lock().unwrap().shed += 1;
+    }
+
+    /// Records one accepted request dropped because its deadline expired
+    /// before a worker reached it.
+    pub fn record_deadline_expired(&self) {
+        self.inner.lock().unwrap().deadline_expired += 1;
+    }
+
+    /// Records one caught worker panic, with its stringified payload.
+    pub fn record_worker_panic(&self, message: String) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.worker_panics += 1;
+        inner.worker_failures.push(message);
+    }
+
+    /// Records one worker-session rebuild after a caught panic.
+    pub fn record_worker_respawn(&self) {
+        self.inner.lock().unwrap().worker_respawns += 1;
+    }
+
+    /// Records a worker thread's terminal panic payload recovered at
+    /// `join` time (a panic that escaped the supervisor).
+    pub fn record_worker_join_failure(&self, message: String) {
+        self.inner.lock().unwrap().worker_failures.push(message);
+    }
+
     /// Snapshots the aggregate report; `wall` is the runtime's lifetime.
     pub fn report(&self, wall: Duration) -> ServeReport {
         let inner = self.inner.lock().unwrap();
@@ -183,6 +235,11 @@ impl MetricsCollector {
                 .enumerate()
                 .map(|(worker, &requests)| WorkerLoad { worker, requests })
                 .collect(),
+            shed: inner.shed,
+            deadline_expired: inner.deadline_expired,
+            worker_panics: inner.worker_panics,
+            worker_respawns: inner.worker_respawns,
+            worker_failures: inner.worker_failures.clone(),
         }
     }
 }
@@ -317,5 +374,40 @@ mod tests {
             ]
         );
         assert!((r.service.mean_ms - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p999_tracks_the_tail() {
+        let samples: Vec<f64> = (1..=2000).map(|v| v as f64).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert!(s.p999_ms >= s.p99_ms);
+        assert!(s.p999_ms <= s.max_ms);
+        assert!(s.p999_ms >= 1997.0, "p999 of 1..=2000 must sit in the tail");
+        // Small sample counts collapse p999 onto the max.
+        let few = LatencySummary::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(few.p999_ms, 3.0);
+    }
+
+    #[test]
+    fn collector_tracks_supervision_counts_and_failures() {
+        let m = MetricsCollector::new(1);
+        m.record_shed();
+        m.record_shed();
+        m.record_deadline_expired();
+        m.record_worker_panic("poisoned request 3".to_string());
+        m.record_worker_respawn();
+        m.record_worker_join_failure("worker 0 died".to_string());
+        let r = m.report(Duration::from_secs(1));
+        assert_eq!(r.shed, 2);
+        assert_eq!(r.deadline_expired, 1);
+        assert_eq!(r.worker_panics, 1);
+        assert_eq!(r.worker_respawns, 1);
+        assert_eq!(
+            r.worker_failures,
+            vec![
+                "poisoned request 3".to_string(),
+                "worker 0 died".to_string()
+            ]
+        );
     }
 }

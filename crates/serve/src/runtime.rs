@@ -24,6 +24,9 @@ use dynasparse::{CompiledPlan, InferenceReport, MappingStrategy, ModelTemplate, 
 use dynasparse_graph::{FeatureMatrix, Graph};
 use dynasparse_matrix::MatrixError;
 use dynasparse_telemetry::{CounterId, GaugeId, HistogramId, Registry};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -71,6 +74,16 @@ pub struct ServeConfig {
     /// into; `None` resolves to the process-global
     /// [`Registry::global`] (leveled by `DYNASPARSE_TELEMETRY`).
     pub telemetry: Option<Arc<Registry>>,
+    /// Load-shedding watermarks `(high, low)` on queue depth, with
+    /// hysteresis: once depth reaches `high`, submissions are rejected with
+    /// [`ServeError::Overloaded`] until depth recedes to `low`; `None`
+    /// disables shedding (pure backpressure, the previous behavior).
+    pub shed_watermarks: Option<(usize, usize)>,
+    /// Per-worker budget of session rebuilds after caught panics.  A worker
+    /// that exhausts it opens its circuit breaker and retires; the last
+    /// retiring worker closes the queue and fails residual tickets with
+    /// [`ServeError::Abandoned`] instead of hanging them.
+    pub max_worker_respawns: usize,
 }
 
 impl PartialEq for ServeConfig {
@@ -87,6 +100,8 @@ impl PartialEq for ServeConfig {
             && self.queue_capacity == other.queue_capacity
             && self.strategies == other.strategies
             && self.device_dwell == other.device_dwell
+            && self.shed_watermarks == other.shed_watermarks
+            && self.max_worker_respawns == other.max_worker_respawns
     }
 }
 
@@ -100,6 +115,8 @@ impl Default for ServeConfig {
             strategies: vec![MappingStrategy::Dynamic],
             device_dwell: DeviceDwell::None,
             telemetry: None,
+            shed_watermarks: None,
+            max_worker_respawns: 32,
         }
     }
 }
@@ -147,6 +164,97 @@ impl ServeConfig {
         self.telemetry = Some(registry);
         self
     }
+
+    /// Enables load shedding with hysteresis: reject submissions once queue
+    /// depth reaches `high`, resume once it recedes to `low` (clamped to
+    /// `high`).
+    pub fn shed_watermarks(mut self, high: usize, low: usize) -> Self {
+        let high = high.max(1);
+        self.shed_watermarks = Some((high, low.min(high)));
+        self
+    }
+
+    /// Sets the per-worker circuit-breaker budget of post-panic session
+    /// rebuilds.
+    pub fn max_worker_respawns(mut self, respawns: usize) -> Self {
+        self.max_worker_respawns = respawns;
+        self
+    }
+}
+
+/// Priority class of a submission: higher classes drain first; order within
+/// a class stays FIFO.  Capacity and load shedding apply to all classes
+/// alike (priority reorders service, it does not bypass admission).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Priority {
+    /// Served before everything else (interactive traffic).
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Served only when no higher class is queued (batch/backfill traffic).
+    Low,
+}
+
+impl Priority {
+    /// Number of priority lanes in a runtime's queue.
+    pub const LANES: usize = 3;
+
+    fn lane(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// Per-submission admission options (see
+/// [`ServeRuntime::submit_with`]).
+///
+/// ```
+/// use dynasparse_serve::{Priority, SubmitOptions};
+/// use std::time::Duration;
+///
+/// let opts = SubmitOptions::default()
+///     .deadline(Duration::from_millis(50))
+///     .priority(Priority::High);
+/// assert_eq!(opts.deadline, Some(Duration::from_millis(50)));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Time budget from submission; a request still queued when it expires
+    /// is shed unexecuted with [`ServeError::DeadlineExceeded`].  `None`
+    /// (default) waits indefinitely.
+    pub deadline: Option<Duration>,
+    /// Priority class (default [`Priority::Normal`]).
+    pub priority: Priority,
+    /// Fault injection: make this request panic inside the kernel path when
+    /// the given kernel execution index runs (`None` = healthy).  This is
+    /// the test hook proving supervision isolates a poisoned request; it
+    /// has no production use.
+    pub panic_at_kernel: Option<usize>,
+}
+
+impl SubmitOptions {
+    /// Sets the deadline budget.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the priority class.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Arms the fault-injection hook: the request panics when kernel
+    /// execution index `kernel` runs.
+    pub fn panic_at_kernel(mut self, kernel: usize) -> Self {
+        self.panic_at_kernel = Some(kernel);
+        self
+    }
 }
 
 struct Reply {
@@ -168,7 +276,25 @@ struct QueuedRequest {
     id: u64,
     payload: Payload,
     enqueued: Instant,
+    /// Absolute expiry stamped at submission; a request still queued past
+    /// it is shed by the draining worker without executing.
+    deadline: Option<Instant>,
+    /// Armed fault injection: panic at this kernel execution index.
+    fault: Option<usize>,
     reply: mpsc::Sender<Reply>,
+}
+
+impl QueuedRequest {
+    fn expired_at(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now > d)
+    }
+}
+
+/// Supervision state shared by the worker pool.
+struct Supervisor {
+    /// Workers still serving; the last one to retire on an open circuit
+    /// breaker closes the queue and fails residual tickets.
+    live_workers: AtomicUsize,
 }
 
 /// What the worker pool serves from: one compiled plan (every request
@@ -233,6 +359,9 @@ pub struct ServeRuntime {
     telemetry: Arc<Registry>,
     workers: Vec<thread::JoinHandle<()>>,
     started: Instant,
+    /// Hysteresis latch of the load-shedding policy: set when depth crossed
+    /// the high watermark, cleared once it recedes to the low one.
+    shedding: AtomicBool,
 }
 
 impl ServeRuntime {
@@ -272,14 +401,24 @@ impl ServeRuntime {
     }
 
     fn start_backend(backend: Backend, config: ServeConfig) -> Self {
-        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let queue = Arc::new(BoundedQueue::with_lanes(
+            config.queue_capacity,
+            Priority::LANES,
+        ));
         let metrics = Arc::new(MetricsCollector::new(config.workers.max(1)));
         let telemetry = config.telemetry.clone().unwrap_or_else(Registry::global);
+        if let Some((high, _)) = config.shed_watermarks {
+            telemetry.gauge_set(GaugeId::ShedWatermark, high as f64);
+        }
+        let supervisor = Arc::new(Supervisor {
+            live_workers: AtomicUsize::new(config.workers.max(1)),
+        });
         let workers = (0..config.workers.max(1))
             .map(|index| {
                 let queue = Arc::clone(&queue);
                 let metrics = Arc::clone(&metrics);
                 let telemetry = Arc::clone(&telemetry);
+                let supervisor = Arc::clone(&supervisor);
                 let config = config.clone();
                 match &backend {
                     Backend::Plan(plan) => {
@@ -287,7 +426,9 @@ impl ServeRuntime {
                         thread::Builder::new()
                             .name(format!("dynasparse-serve-{index}"))
                             .spawn(move || {
-                                worker_loop(index, plan, config, queue, metrics, telemetry)
+                                worker_loop(
+                                    index, plan, config, queue, metrics, telemetry, supervisor,
+                                )
                             })
                             .expect("failed to spawn serve worker")
                     }
@@ -297,7 +438,7 @@ impl ServeRuntime {
                             .name(format!("dynasparse-serve-{index}"))
                             .spawn(move || {
                                 template_worker_loop(
-                                    index, template, config, queue, metrics, telemetry,
+                                    index, template, config, queue, metrics, telemetry, supervisor,
                                 )
                             })
                             .expect("failed to spawn serve worker")
@@ -313,6 +454,7 @@ impl ServeRuntime {
             telemetry,
             workers,
             started: Instant::now(),
+            shedding: AtomicBool::new(false),
         }
     }
 
@@ -362,16 +504,40 @@ impl ServeRuntime {
     /// (backpressure).  Shape mismatches are rejected immediately with the
     /// same typed error [`Session::infer`] would produce.
     pub fn submit(&self, features: FeatureMatrix) -> Result<Ticket, ServeError> {
-        self.submit_inner(features, false)
+        self.submit_inner(features, SubmitOptions::default(), false)
     }
 
     /// Submits a request without blocking; a full queue returns
     /// [`ServeError::QueueFull`] instead of waiting.
     pub fn try_submit(&self, features: FeatureMatrix) -> Result<Ticket, ServeError> {
-        self.submit_inner(features, true)
+        self.submit_inner(features, SubmitOptions::default(), true)
     }
 
-    fn submit_inner(&self, features: FeatureMatrix, bounce: bool) -> Result<Ticket, ServeError> {
+    /// [`ServeRuntime::submit`] with per-request admission options
+    /// (deadline, priority class, fault injection).
+    pub fn submit_with(
+        &self,
+        features: FeatureMatrix,
+        options: SubmitOptions,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_inner(features, options, false)
+    }
+
+    /// [`ServeRuntime::try_submit`] with per-request admission options.
+    pub fn try_submit_with(
+        &self,
+        features: FeatureMatrix,
+        options: SubmitOptions,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_inner(features, options, true)
+    }
+
+    fn submit_inner(
+        &self,
+        features: FeatureMatrix,
+        options: SubmitOptions,
+        bounce: bool,
+    ) -> Result<Ticket, ServeError> {
         let plan = match &self.backend {
             Backend::Plan(plan) => plan,
             Backend::Template(_) => {
@@ -392,7 +558,7 @@ impl ServeRuntime {
                 .into(),
             ));
         }
-        self.enqueue(Payload::Features(features), bounce)
+        self.enqueue(Payload::Features(features), options, bounce)
     }
 
     /// Submits a `(subgraph, features)` request against the resident
@@ -405,7 +571,7 @@ impl ServeRuntime {
         graph: Graph,
         features: FeatureMatrix,
     ) -> Result<Ticket, ServeError> {
-        self.submit_subgraph_inner(graph, features, false)
+        self.submit_subgraph_inner(graph, features, SubmitOptions::default(), false)
     }
 
     /// Submits a subgraph request without blocking; a full queue returns
@@ -415,13 +581,35 @@ impl ServeRuntime {
         graph: Graph,
         features: FeatureMatrix,
     ) -> Result<Ticket, ServeError> {
-        self.submit_subgraph_inner(graph, features, true)
+        self.submit_subgraph_inner(graph, features, SubmitOptions::default(), true)
+    }
+
+    /// [`ServeRuntime::submit_subgraph`] with per-request admission options.
+    pub fn submit_subgraph_with(
+        &self,
+        graph: Graph,
+        features: FeatureMatrix,
+        options: SubmitOptions,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_subgraph_inner(graph, features, options, false)
+    }
+
+    /// [`ServeRuntime::try_submit_subgraph`] with per-request admission
+    /// options.
+    pub fn try_submit_subgraph_with(
+        &self,
+        graph: Graph,
+        features: FeatureMatrix,
+        options: SubmitOptions,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_subgraph_inner(graph, features, options, true)
     }
 
     fn submit_subgraph_inner(
         &self,
         graph: Graph,
         features: FeatureMatrix,
+        options: SubmitOptions,
         bounce: bool,
     ) -> Result<Ticket, ServeError> {
         let template = match &self.backend {
@@ -434,10 +622,50 @@ impl ServeRuntime {
             }
         };
         template.validate_request(&graph, &features)?;
-        self.enqueue(Payload::Subgraph { graph, features }, bounce)
+        self.enqueue(Payload::Subgraph { graph, features }, options, bounce)
     }
 
-    fn enqueue(&self, payload: Payload, bounce: bool) -> Result<Ticket, ServeError> {
+    /// The admission gate of the load-shedding policy: reject when depth
+    /// has crossed the high watermark and has not yet receded to the low
+    /// one (hysteresis, so a queue hovering at the boundary doesn't flap
+    /// between accept and reject on every submission).
+    fn admit(&self) -> Result<(), ServeError> {
+        let Some((high, low)) = self.config.shed_watermarks else {
+            return Ok(());
+        };
+        let depth = self.queue.len();
+        let shedding = if self.shedding.load(Ordering::Relaxed) {
+            if depth <= low {
+                self.shedding.store(false, Ordering::Relaxed);
+                false
+            } else {
+                true
+            }
+        } else if depth >= high {
+            self.shedding.store(true, Ordering::Relaxed);
+            true
+        } else {
+            false
+        };
+        if shedding {
+            self.metrics.record_shed();
+            self.telemetry.incr(0, CounterId::ServeShed);
+            Err(ServeError::Overloaded {
+                depth,
+                watermark: high,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn enqueue(
+        &self,
+        payload: Payload,
+        options: SubmitOptions,
+        bounce: bool,
+    ) -> Result<Ticket, ServeError> {
+        self.admit()?;
         let (tx, rx) = mpsc::channel();
         // The queue assigns the request id under its own lock, so accepted
         // requests are numbered gaplessly in FIFO order: a bounced or
@@ -447,12 +675,15 @@ impl ServeRuntime {
             id,
             payload,
             enqueued: Instant::now(),
+            deadline: options.deadline.map(|d| Instant::now() + d),
+            fault: options.panic_at_kernel,
             reply: tx,
         };
+        let lane = options.priority.lane();
         let pushed = if bounce {
-            self.queue.try_push_with(make)
+            self.queue.try_push_with_at(lane, make)
         } else {
-            self.queue.push_with(make)
+            self.queue.push_with_at(lane, make)
         };
         match pushed {
             Ok(id) => Ok(Ticket { id, rx }),
@@ -503,18 +734,160 @@ impl ServeRuntime {
     }
 
     /// Stops accepting requests, drains the queue, joins every worker and
-    /// returns the final aggregate metrics.
+    /// returns the final aggregate metrics.  Every queued ticket is served;
+    /// a worker thread that died of an uncaught panic has its payload
+    /// recovered into [`ServeReport::worker_failures`] (it used to be
+    /// discarded).
     pub fn shutdown(self) -> ServeReport {
         self.queue.close();
-        for worker in self.workers {
-            // A panicked worker already surfaced as WorkerLost on its
-            // tickets; the aggregate report is still valid.
-            let _ = worker.join();
+        join_workers(self.workers, &self.metrics);
+        self.metrics.report(self.started.elapsed())
+    }
+
+    /// Graceful shutdown under a drain budget: stops accepting requests,
+    /// lets workers drain for up to `budget`, then fails every residual
+    /// queued ticket with [`ServeError::Abandoned`] rather than serving it.
+    /// No ticket hangs: each one resolves to a result, a typed error, or
+    /// `Abandoned`.
+    ///
+    /// Workers still finish the batch they are executing when the budget
+    /// runs out (a batch is not preemptible); only *queued* requests are
+    /// abandoned.
+    pub fn shutdown_with_deadline(self, budget: Duration) -> ServeReport {
+        self.queue.close();
+        let deadline = Instant::now() + budget;
+        loop {
+            if self.workers.iter().all(|w| w.is_finished()) {
+                break;
+            }
+            if Instant::now() >= deadline {
+                // Drain what the workers didn't get to and fail the tickets
+                // (close() already stopped new arrivals, and workers exit
+                // once the queue is empty, so this terminates).
+                while let Some(drained) =
+                    self.queue
+                        .pop_batch_where(self.config.max_batch.max(1), Duration::ZERO, |_| false)
+                {
+                    for request in drained.batch.into_iter().chain(drained.expired) {
+                        let _ = request.reply.send(Reply {
+                            result: Err(ServeError::Abandoned {
+                                reason: "shutdown drain deadline expired",
+                            }),
+                        });
+                    }
+                }
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
         }
+        join_workers(self.workers, &self.metrics);
         self.metrics.report(self.started.elapsed())
     }
 }
 
+/// Joins the pool, recovering (instead of discarding) the panic payload of
+/// any worker whose thread died outside the supervisor's catch.
+fn join_workers(workers: Vec<thread::JoinHandle<()>>, metrics: &MetricsCollector) {
+    for (index, worker) in workers.into_iter().enumerate() {
+        if let Err(payload) = worker.join() {
+            metrics.record_worker_join_failure(format!(
+                "worker {index} thread panicked: {}",
+                panic_message(&payload)
+            ));
+        }
+    }
+}
+
+/// Stringifies a caught panic payload (panics carry `&str` or `String` in
+/// practice; anything else is opaque).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Abandonment reason used when a worker pool's circuit breaker opens.
+const RESPAWN_EXHAUSTED: &str = "worker respawn budget exhausted";
+
+/// Fails every deadline-expired request a drain produced; they never
+/// execute and do not count as served requests.
+fn shed_expired(
+    index: usize,
+    expired: Vec<QueuedRequest>,
+    metrics: &MetricsCollector,
+    telemetry: &Registry,
+) {
+    let now = Instant::now();
+    for request in expired {
+        let late = request
+            .deadline
+            .map(|d| now.saturating_duration_since(d))
+            .unwrap_or_default();
+        metrics.record_deadline_expired();
+        telemetry.incr(index, CounterId::ServeDeadlineExpired);
+        let _ = request.reply.send(Reply {
+            result: Err(ServeError::DeadlineExceeded { late }),
+        });
+    }
+}
+
+/// Installs (or clears) the fault-injection hook for one request: panic
+/// when the armed kernel execution index runs.
+fn arm_fault(session: &mut Session<'_>, fault: Option<(u64, usize)>) {
+    session.set_fault_hook(fault.map(|(id, kernel)| {
+        Arc::new(move |k: usize| {
+            if k == kernel {
+                panic!("injected fault: request {id} panicked at kernel {kernel}");
+            }
+        }) as dynasparse::FaultHook
+    }));
+}
+
+fn record_panic(index: usize, message: String, metrics: &MetricsCollector, telemetry: &Registry) {
+    metrics.record_worker_panic(message);
+    telemetry.incr(index, CounterId::ServeWorkerPanics);
+}
+
+/// Spends one respawn from the worker's budget; returns `false` (circuit
+/// breaker open) when the budget is exhausted.
+fn spend_respawn(
+    index: usize,
+    respawns_left: &mut usize,
+    metrics: &MetricsCollector,
+    telemetry: &Registry,
+) -> bool {
+    if *respawns_left == 0 {
+        return false;
+    }
+    *respawns_left -= 1;
+    metrics.record_worker_respawn();
+    telemetry.incr(index, CounterId::ServeWorkerRespawns);
+    true
+}
+
+/// Retires a worker whose circuit breaker opened.  The last live worker to
+/// retire closes the queue and fails every residual ticket — with nobody
+/// left to drain, leaving them queued would hang their callers forever.
+fn retire_worker(queue: &BoundedQueue<QueuedRequest>, supervisor: &Supervisor) {
+    if supervisor.live_workers.fetch_sub(1, Ordering::SeqCst) == 1 {
+        queue.close();
+        while let Some(drained) = queue.pop_batch_where(64, Duration::ZERO, |_| false) {
+            for request in drained.batch.into_iter().chain(drained.expired) {
+                let _ = request.reply.send(Reply {
+                    result: Err(ServeError::Abandoned {
+                        reason: RESPAWN_EXHAUSTED,
+                    }),
+                });
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     index: usize,
     plan: Arc<CompiledPlan>,
@@ -522,6 +895,7 @@ fn worker_loop(
     queue: Arc<BoundedQueue<QueuedRequest>>,
     metrics: Arc<MetricsCollector>,
     telemetry: Arc<Registry>,
+    supervisor: Arc<Supervisor>,
 ) {
     let mut session: Session<'static> = Session::shared(plan, &config.strategies);
     // The session publishes into the runtime's registry through the worker's
@@ -532,7 +906,14 @@ fn worker_loop(
     // `max_batch` buys kernel-level fusion (one kernel pass per layer per
     // micro-batch) without mid-serving buffer growth.
     session.reserve_batch(config.max_batch);
-    while let Some(batch) = queue.pop_batch(config.max_batch, config.batch_deadline) {
+    let mut respawns_left = config.max_worker_respawns;
+    while let Some(drained) =
+        queue.pop_batch_where(config.max_batch, config.batch_deadline, |request| {
+            request.expired_at(Instant::now())
+        })
+    {
+        shed_expired(index, drained.expired, &metrics, &telemetry);
+        let batch = drained.batch;
         if batch.is_empty() {
             continue;
         }
@@ -549,7 +930,7 @@ fn worker_loop(
         let mut envelopes = Vec::with_capacity(batch_size);
         let mut features = Vec::with_capacity(batch_size);
         for request in batch {
-            envelopes.push((request.id, request.enqueued, request.reply));
+            envelopes.push((request.id, request.enqueued, request.reply, request.fault));
             match request.payload {
                 Payload::Features(f) => features.push(f),
                 // Submission routes subgraph payloads only into template
@@ -560,30 +941,117 @@ fn worker_loop(
             }
         }
 
-        // Shapes were validated at submission, so a failure here is systemic
-        // (it would fail every request of the batch identically) and is
-        // replied to all of them.
-        let served = session.infer_batch(&features);
+        // Fast path: one fused `infer_batch` call under the supervisor's
+        // catch.  The fused pass has no per-request isolation, so a panic
+        // poisons the whole batch — the supervisor then rebuilds the
+        // session and retries each request individually, so only the
+        // poisoned ticket fails with `WorkerPanicked`.
+        arm_fault(
+            &mut session,
+            envelopes
+                .iter()
+                .find_map(|&(id, _, _, fault)| fault.map(|k| (id, k))),
+        );
+        let served = catch_unwind(AssertUnwindSafe(|| session.infer_batch(&features)));
         let batch_elapsed = picked.elapsed();
         // Host time attributed to each request: its share of the batch call.
         let per_request = batch_elapsed / batch_size as u32;
 
+        let mut breaker_open = false;
         let results: Vec<Result<InferenceReport, ServeError>> = match served {
-            Ok(reports) => reports
-                .into_iter()
-                .zip(envelopes.iter())
-                .map(|(mut report, &(id, _, _))| {
-                    // Session-local indices are meaningless across a pool;
-                    // stamp the global submission id instead, which is what
-                    // a serial session would have assigned.
-                    report.request_index = id as usize;
-                    Ok(report)
-                })
-                .collect(),
-            Err(e) => envelopes
-                .iter()
-                .map(|_| Err(ServeError::Inference(e.clone())))
-                .collect(),
+            // Shapes were validated at submission, so a session error here
+            // is systemic (it would fail every request of the batch
+            // identically) and is replied to all of them.
+            Ok(served) => {
+                arm_fault(&mut session, None);
+                match served {
+                    Ok(reports) => reports
+                        .into_iter()
+                        .zip(envelopes.iter())
+                        .map(|(mut report, &(id, _, _, _))| {
+                            // Session-local indices are meaningless across a
+                            // pool; stamp the global submission id instead,
+                            // which is what a serial session would have
+                            // assigned.
+                            report.request_index = id as usize;
+                            Ok(report)
+                        })
+                        .collect(),
+                    Err(e) => envelopes
+                        .iter()
+                        .map(|_| Err(ServeError::Inference(e.clone())))
+                        .collect(),
+                }
+            }
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                record_panic(index, message.clone(), &metrics, &telemetry);
+                if !spend_respawn(index, &mut respawns_left, &metrics, &telemetry) {
+                    breaker_open = true;
+                    if batch_size == 1 {
+                        // The sole request is the poisoned one; its ticket
+                        // gets the panic, not a vague abandonment.
+                        vec![Err(ServeError::WorkerPanicked { message })]
+                    } else {
+                        envelopes
+                            .iter()
+                            .map(|_| {
+                                Err(ServeError::Abandoned {
+                                    reason: RESPAWN_EXHAUSTED,
+                                })
+                            })
+                            .collect()
+                    }
+                } else if batch_size == 1 {
+                    // A batch of one needs no isolating retry: the panic
+                    // already names its only possible culprit.
+                    session.rebuild_after_panic();
+                    session.reserve_batch(config.max_batch);
+                    vec![Err(ServeError::WorkerPanicked { message })]
+                } else {
+                    // The unwound forward pass left arena/scratch state
+                    // partially written; rebuild before serving again, then
+                    // isolate the poisoned request by retrying one by one.
+                    session.rebuild_after_panic();
+                    session.reserve_batch(config.max_batch);
+                    let mut retried = Vec::with_capacity(batch_size);
+                    for (&(id, _, _, fault), feature) in envelopes.iter().zip(&features) {
+                        if breaker_open {
+                            retried.push(Err(ServeError::Abandoned {
+                                reason: RESPAWN_EXHAUSTED,
+                            }));
+                            continue;
+                        }
+                        arm_fault(&mut session, fault.map(|k| (id, k)));
+                        let one = catch_unwind(AssertUnwindSafe(|| session.infer(feature)));
+                        match one {
+                            Ok(result) => {
+                                arm_fault(&mut session, None);
+                                retried.push(
+                                    result
+                                        .map(|mut report| {
+                                            report.request_index = id as usize;
+                                            report
+                                        })
+                                        .map_err(ServeError::Inference),
+                                );
+                            }
+                            Err(payload) => {
+                                let message = panic_message(payload.as_ref());
+                                record_panic(index, message.clone(), &metrics, &telemetry);
+                                if spend_respawn(index, &mut respawns_left, &metrics, &telemetry) {
+                                    session.rebuild_after_panic();
+                                    session.reserve_batch(config.max_batch);
+                                } else {
+                                    breaker_open = true;
+                                }
+                                retried.push(Err(ServeError::WorkerPanicked { message }));
+                            }
+                        }
+                    }
+                    retried
+                }
+            }
         };
 
         let dwell = match config.device_dwell {
@@ -614,24 +1082,37 @@ fn worker_loop(
             thread::sleep(dwell);
         }
 
-        for ((_, enqueued, reply), result) in envelopes.into_iter().zip(results) {
+        for ((_, enqueued, reply, _), result) in envelopes.into_iter().zip(results) {
             // Service records host time only; the modeled device dwell shows
             // up in the turnaround (enqueue → reply ready), as it would in a
             // real deployment where the reply follows device completion.
-            let queue_wait = picked.duration_since(enqueued);
-            metrics.record_request(index, queue_wait, per_request, enqueued.elapsed());
-            telemetry.observe(
-                index,
-                HistogramId::QueueWaitMicros,
-                queue_wait.as_micros() as u64,
-            );
-            telemetry.observe(
-                index,
-                HistogramId::ServiceMicros,
-                per_request.as_micros() as u64,
-            );
+            // Panicked and abandoned tickets never executed to completion,
+            // so they stay out of the served-request count and latency
+            // summaries — they are tallied by the supervision counters.
+            if !matches!(
+                result,
+                Err(ServeError::WorkerPanicked { .. }) | Err(ServeError::Abandoned { .. })
+            ) {
+                let queue_wait = picked.duration_since(enqueued);
+                metrics.record_request(index, queue_wait, per_request, enqueued.elapsed());
+                telemetry.observe(
+                    index,
+                    HistogramId::QueueWaitMicros,
+                    queue_wait.as_micros() as u64,
+                );
+                telemetry.observe(
+                    index,
+                    HistogramId::ServiceMicros,
+                    per_request.as_micros() as u64,
+                );
+            }
             // A dropped ticket (caller gave up) is fine; ignore send errors.
             let _ = reply.send(Reply { result });
+        }
+
+        if breaker_open {
+            retire_worker(&queue, &supervisor);
+            return;
         }
     }
 }
@@ -644,6 +1125,7 @@ fn worker_loop(
 /// pointer, so the rebind keeps the dispatcher, the kernel arena and the
 /// per-kernel profile scratch, merely re-shaping buffers across varying
 /// subgraph sizes (capacity only ever grows to the high-water mark).
+#[allow(clippy::too_many_arguments)]
 fn template_worker_loop(
     index: usize,
     template: Arc<ModelTemplate>,
@@ -651,9 +1133,18 @@ fn template_worker_loop(
     queue: Arc<BoundedQueue<QueuedRequest>>,
     metrics: Arc<MetricsCollector>,
     telemetry: Arc<Registry>,
+    supervisor: Arc<Supervisor>,
 ) {
     let mut session: Option<Session<'static>> = None;
-    while let Some(batch) = queue.pop_batch(config.max_batch, config.batch_deadline) {
+    let mut respawns_left = config.max_worker_respawns;
+    let mut breaker_open = false;
+    while let Some(drained) =
+        queue.pop_batch_where(config.max_batch, config.batch_deadline, |request| {
+            request.expired_at(Instant::now())
+        })
+    {
+        shed_expired(index, drained.expired, &metrics, &telemetry);
+        let batch = drained.batch;
         if batch.is_empty() {
             continue;
         }
@@ -668,6 +1159,7 @@ fn template_worker_loop(
         let mut envelopes = Vec::with_capacity(batch_size);
         let mut results = Vec::with_capacity(batch_size);
         for request in batch {
+            let fault = request.fault.map(|k| (request.id, k));
             envelopes.push((request.id, request.enqueued, request.reply));
             let (graph, features) = match request.payload {
                 Payload::Subgraph { graph, features } => (graph, features),
@@ -677,25 +1169,53 @@ fn template_worker_loop(
                     unreachable!("template-mode runtime accepted a plan payload")
                 }
             };
-            let result = template
-                .instantiate(&graph, &features)
-                .and_then(|instance| {
-                    let plan = instance.into_plan();
-                    let session = match session.as_mut() {
-                        Some(session) => {
-                            session.rebind(plan);
-                            session
-                        }
-                        None => {
-                            let built = session.insert(plan.session_shared(&config.strategies));
-                            built.set_telemetry(Arc::clone(&telemetry));
-                            built.set_telemetry_shard(index);
-                            built
-                        }
-                    };
-                    session.infer(&features)
-                })
-                .map_err(ServeError::Inference);
+            if breaker_open {
+                results.push(Err(ServeError::Abandoned {
+                    reason: RESPAWN_EXHAUSTED,
+                }));
+                continue;
+            }
+            // Requests are served individually here (each brings its own
+            // topology), so the supervisor's catch already isolates a
+            // poisoned request: only its ticket fails.
+            let served = catch_unwind(AssertUnwindSafe(|| {
+                template
+                    .instantiate(&graph, &features)
+                    .and_then(|instance| {
+                        let plan = instance.into_plan();
+                        let active = match session.as_mut() {
+                            Some(active) => {
+                                active.rebind(plan);
+                                active
+                            }
+                            None => {
+                                let built = session.insert(plan.session_shared(&config.strategies));
+                                built.set_telemetry(Arc::clone(&telemetry));
+                                built.set_telemetry_shard(index);
+                                built
+                            }
+                        };
+                        arm_fault(active, fault);
+                        let result = active.infer(&features);
+                        arm_fault(active, None);
+                        result
+                    })
+            }));
+            let result = match served {
+                Ok(result) => result.map_err(ServeError::Inference),
+                Err(payload) => {
+                    let message = panic_message(payload.as_ref());
+                    record_panic(index, message.clone(), &metrics, &telemetry);
+                    // The unwound pass left the session's arena/scratch
+                    // state partially written; drop it so the next request
+                    // rebuilds a fresh rebinding session from the template.
+                    session = None;
+                    if !spend_respawn(index, &mut respawns_left, &metrics, &telemetry) {
+                        breaker_open = true;
+                    }
+                    Err(ServeError::WorkerPanicked { message })
+                }
+            };
             results.push(result);
         }
         let batch_elapsed = picked.elapsed();
@@ -735,19 +1255,29 @@ fn template_worker_loop(
         }
 
         for ((_, enqueued, reply), result) in envelopes.into_iter().zip(results) {
-            let queue_wait = picked.duration_since(enqueued);
-            metrics.record_request(index, queue_wait, per_request, enqueued.elapsed());
-            telemetry.observe(
-                index,
-                HistogramId::QueueWaitMicros,
-                queue_wait.as_micros() as u64,
-            );
-            telemetry.observe(
-                index,
-                HistogramId::ServiceMicros,
-                per_request.as_micros() as u64,
-            );
+            if !matches!(
+                result,
+                Err(ServeError::WorkerPanicked { .. }) | Err(ServeError::Abandoned { .. })
+            ) {
+                let queue_wait = picked.duration_since(enqueued);
+                metrics.record_request(index, queue_wait, per_request, enqueued.elapsed());
+                telemetry.observe(
+                    index,
+                    HistogramId::QueueWaitMicros,
+                    queue_wait.as_micros() as u64,
+                );
+                telemetry.observe(
+                    index,
+                    HistogramId::ServiceMicros,
+                    per_request.as_micros() as u64,
+                );
+            }
             let _ = reply.send(Reply { result });
+        }
+
+        if breaker_open {
+            retire_worker(&queue, &supervisor);
+            return;
         }
     }
 }
@@ -943,5 +1473,236 @@ mod tests {
             ServeError::ShuttingDown
         ));
         runtime.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_requests_are_shed_with_typed_error() {
+        let (plan, features) = plan_fixture();
+        // A long dwell parks the single worker on its first request, so the
+        // deadline of the queued second request expires before pickup.
+        let runtime = ServeRuntime::start(
+            plan,
+            ServeConfig::default()
+                .workers(1)
+                .max_batch(1)
+                .device_dwell(DeviceDwell::Modeled {
+                    strategy: MappingStrategy::Dynamic,
+                    scale: 50.0,
+                }),
+        );
+        let healthy = runtime.submit(features.clone()).unwrap();
+        thread::sleep(Duration::from_millis(10));
+        let doomed = runtime
+            .submit_with(
+                features,
+                SubmitOptions::default().deadline(Duration::from_nanos(1)),
+            )
+            .unwrap();
+        assert!(healthy.wait().is_ok());
+        match doomed.wait() {
+            Err(ServeError::DeadlineExceeded { late }) => assert!(late > Duration::ZERO),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let report = runtime.shutdown();
+        assert_eq!(report.deadline_expired, 1);
+        assert_eq!(report.requests, 1, "the shed request never served");
+    }
+
+    #[test]
+    fn load_shedding_trips_at_high_watermark_with_hysteresis() {
+        let (plan, features) = plan_fixture();
+        // Long dwell parks the worker so queue depth only grows while we
+        // submit; watermark (2, 0) means depth 2 trips shedding and only a
+        // fully drained queue resumes.
+        let runtime = ServeRuntime::start(
+            plan,
+            ServeConfig::default()
+                .workers(1)
+                .max_batch(1)
+                .queue_capacity(16)
+                .shed_watermarks(2, 0)
+                .device_dwell(DeviceDwell::Modeled {
+                    strategy: MappingStrategy::Dynamic,
+                    scale: 50.0,
+                }),
+        );
+        let mut tickets = Vec::new();
+        let mut shed = 0;
+        for _ in 0..8 {
+            match runtime.try_submit(features.clone()) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::Overloaded { depth, watermark }) => {
+                    assert_eq!(watermark, 2);
+                    assert!(depth >= 1);
+                    shed += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert!(shed > 0, "depth must reach the high watermark and shed");
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let report = runtime.shutdown();
+        assert_eq!(report.shed, shed);
+    }
+
+    #[test]
+    fn injected_panic_fails_only_its_ticket_and_batch_mates_survive() {
+        let (plan, features) = plan_fixture();
+        let runtime = ServeRuntime::start(
+            Arc::clone(&plan),
+            ServeConfig::default().workers(1).max_batch(4),
+        );
+        // One poisoned request sandwiched between healthy ones.
+        let healthy_before = runtime.submit(features.clone()).unwrap();
+        let poisoned = runtime
+            .submit_with(
+                features.clone(),
+                SubmitOptions::default().panic_at_kernel(0),
+            )
+            .unwrap();
+        let healthy_after = runtime.submit(features.clone()).unwrap();
+
+        assert!(healthy_before.wait().is_ok());
+        match poisoned.wait() {
+            Err(ServeError::WorkerPanicked { message }) => {
+                assert!(message.contains("injected fault"), "got: {message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        assert!(healthy_after.wait().is_ok());
+
+        // The respawned session keeps serving bit-identically.
+        let after_respawn = runtime.submit(features).unwrap().wait().unwrap();
+        assert!(after_respawn.runs[0].latency_ms > 0.0);
+
+        let report = runtime.shutdown();
+        assert!(report.worker_panics >= 1);
+        assert!(report.worker_respawns >= 1);
+        assert!(
+            report
+                .worker_failures
+                .iter()
+                .any(|m| m.contains("injected fault")),
+            "panic payload must surface in worker_failures: {:?}",
+            report.worker_failures
+        );
+    }
+
+    #[test]
+    fn circuit_breaker_drains_residual_tickets_instead_of_hanging() {
+        let (plan, features) = plan_fixture();
+        // Budget 0: the first panic opens the breaker; the lone worker must
+        // retire AND fail everything still queued.
+        let runtime = ServeRuntime::start(
+            plan,
+            ServeConfig::default()
+                .workers(1)
+                .max_batch(1)
+                .max_worker_respawns(0)
+                .device_dwell(DeviceDwell::Modeled {
+                    strategy: MappingStrategy::Dynamic,
+                    scale: 20.0,
+                }),
+        );
+        let poisoned = runtime
+            .submit_with(
+                features.clone(),
+                SubmitOptions::default().panic_at_kernel(0),
+            )
+            .unwrap();
+        let queued: Vec<Ticket> = (0..3)
+            .map(|_| runtime.submit(features.clone()).unwrap())
+            .collect();
+        // The poisoned ticket names its own panic; only the never-executed
+        // residuals are abandoned.
+        assert!(matches!(
+            poisoned.wait(),
+            Err(ServeError::WorkerPanicked { .. })
+        ));
+        for t in queued {
+            assert!(
+                matches!(t.wait(), Err(ServeError::Abandoned { .. })),
+                "residual tickets must be drained as errors, not hung"
+            );
+        }
+        let report = runtime.shutdown();
+        assert_eq!(report.worker_panics, 1);
+        assert_eq!(report.worker_respawns, 0);
+    }
+
+    #[test]
+    fn priorities_reorder_service_of_a_parked_backlog() {
+        let (plan, features) = plan_fixture();
+        // Park the worker with a dwell, then queue low-priority before
+        // high-priority: the high one must serve first.
+        let runtime = ServeRuntime::start(
+            plan,
+            ServeConfig::default()
+                .workers(1)
+                .max_batch(1)
+                .device_dwell(DeviceDwell::Modeled {
+                    strategy: MappingStrategy::Dynamic,
+                    scale: 30.0,
+                }),
+        );
+        let _warm = runtime.submit(features.clone()).unwrap();
+        thread::sleep(Duration::from_millis(10));
+        let low = runtime
+            .submit_with(
+                features.clone(),
+                SubmitOptions::default().priority(Priority::Low),
+            )
+            .unwrap();
+        let high = runtime
+            .submit_with(features, SubmitOptions::default().priority(Priority::High))
+            .unwrap();
+        // Both serve; the turnaround ordering is asserted structurally via
+        // worker pickup order: high finished no later than low's reply.
+        let high_report = high.wait().unwrap();
+        let low_report = low.wait().unwrap();
+        // Submission ids stay submission-ordered even though service
+        // reordered.
+        assert!(high_report.request_index > low_report.request_index);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_deadline_fails_residual_tickets() {
+        let (plan, features) = plan_fixture();
+        let runtime = ServeRuntime::start(
+            plan,
+            ServeConfig::default()
+                .workers(1)
+                .max_batch(1)
+                .device_dwell(DeviceDwell::Modeled {
+                    strategy: MappingStrategy::Dynamic,
+                    scale: 200.0,
+                }),
+        );
+        // First request parks the worker on a long dwell; the rest stay
+        // queued past the tiny drain budget.
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|_| runtime.submit(features.clone()).unwrap())
+            .collect();
+        thread::sleep(Duration::from_millis(10));
+        let report = runtime.shutdown_with_deadline(Duration::from_millis(1));
+        let mut outcomes: Vec<Result<InferenceReport, ServeError>> =
+            tickets.into_iter().map(Ticket::wait).collect();
+        // The in-flight request completes; residual queued ones are
+        // abandoned — and none hang (wait() returned for all).
+        let abandoned = outcomes
+            .iter()
+            .filter(|r| matches!(r, Err(ServeError::Abandoned { .. })))
+            .count();
+        assert!(abandoned >= 1, "budget too small to drain 4 dwells");
+        let served = outcomes.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(served as u64, report.requests);
+        // No ticket may resolve to a hang-proxy (WorkerLost).
+        assert!(!outcomes
+            .iter_mut()
+            .any(|r| matches!(r, Err(ServeError::WorkerLost))));
     }
 }

@@ -41,11 +41,21 @@ pub enum CounterId {
     TemplateCacheMisses,
     /// Templates evicted from the template cache.
     TemplateCacheEvictions,
+    /// Submissions rejected by the serve runtime's load-shedding watermark.
+    ServeShed,
+    /// Requests dropped by workers because their deadline had already
+    /// expired when the batch was formed.
+    ServeDeadlineExpired,
+    /// Worker batch executions that panicked and were caught by the
+    /// supervisor.
+    ServeWorkerPanics,
+    /// Worker sessions rebuilt after a caught panic.
+    ServeWorkerRespawns,
 }
 
 impl CounterId {
     /// Every counter, in exposition order.
-    pub const ALL: [CounterId; 17] = [
+    pub const ALL: [CounterId; 21] = [
         CounterId::SessionRequests,
         CounterId::KernelSpans,
         CounterId::DispatchGemm,
@@ -63,6 +73,10 @@ impl CounterId {
         CounterId::TemplateCacheHits,
         CounterId::TemplateCacheMisses,
         CounterId::TemplateCacheEvictions,
+        CounterId::ServeShed,
+        CounterId::ServeDeadlineExpired,
+        CounterId::ServeWorkerPanics,
+        CounterId::ServeWorkerRespawns,
     ];
 
     /// The slot index backing this counter.
@@ -90,6 +104,10 @@ impl CounterId {
             CounterId::TemplateCacheHits => "dynasparse_template_cache_hits_total",
             CounterId::TemplateCacheMisses => "dynasparse_template_cache_misses_total",
             CounterId::TemplateCacheEvictions => "dynasparse_template_cache_evictions_total",
+            CounterId::ServeShed => "dynasparse_serve_shed_total",
+            CounterId::ServeDeadlineExpired => "dynasparse_serve_deadline_expired_total",
+            CounterId::ServeWorkerPanics => "dynasparse_serve_worker_panics_total",
+            CounterId::ServeWorkerRespawns => "dynasparse_serve_worker_respawns_total",
         }
     }
 
@@ -115,6 +133,10 @@ impl CounterId {
             CounterId::TemplateCacheHits => "Template cache hits",
             CounterId::TemplateCacheMisses => "Template cache misses (cold compiles)",
             CounterId::TemplateCacheEvictions => "Template cache LRU evictions",
+            CounterId::ServeShed => "Submissions rejected by the load-shedding watermark",
+            CounterId::ServeDeadlineExpired => "Requests shed because their deadline expired",
+            CounterId::ServeWorkerPanics => "Worker executions that panicked (caught)",
+            CounterId::ServeWorkerRespawns => "Worker sessions rebuilt after a caught panic",
         }
     }
 }
@@ -135,17 +157,21 @@ pub enum GaugeId {
     DriftSpdmm,
     /// EWMA of measured/predicted ms for dispatched SpGEMM kernels.
     DriftSpmm,
+    /// Configured load-shedding high watermark of the serve queue (NaN when
+    /// shedding is disabled); dashboards draw it against `QueueDepth`.
+    ShedWatermark,
 }
 
 impl GaugeId {
     /// Every gauge, in exposition order.
-    pub const ALL: [GaugeId; 6] = [
+    pub const ALL: [GaugeId; 7] = [
         GaugeId::QueueDepth,
         GaugeId::PlanCacheResidentBytes,
         GaugeId::TemplateCacheResidentBytes,
         GaugeId::DriftGemm,
         GaugeId::DriftSpdmm,
         GaugeId::DriftSpmm,
+        GaugeId::ShedWatermark,
     ];
 
     /// The slot index backing this gauge.
@@ -162,6 +188,7 @@ impl GaugeId {
             GaugeId::DriftGemm => "dynasparse_drift_gemm_ratio",
             GaugeId::DriftSpdmm => "dynasparse_drift_spdmm_ratio",
             GaugeId::DriftSpmm => "dynasparse_drift_spmm_ratio",
+            GaugeId::ShedWatermark => "dynasparse_serve_shed_watermark",
         }
     }
 
@@ -174,6 +201,7 @@ impl GaugeId {
             GaugeId::DriftGemm => "EWMA of measured/predicted ms for GEMM dispatches",
             GaugeId::DriftSpdmm => "EWMA of measured/predicted ms for SpDMM dispatches",
             GaugeId::DriftSpmm => "EWMA of measured/predicted ms for SpGEMM dispatches",
+            GaugeId::ShedWatermark => "Configured serve load-shedding high watermark",
         }
     }
 }
