@@ -1,0 +1,273 @@
+//! Block-granular dispatch vs whole-kernel dispatch: `Session::infer`.
+//!
+//! Block-granular execution (the session default) re-decides the kernel
+//! primitive per partition row block from a per-block density refit, so a
+//! graph whose adjacency mixes a dense hub block with a sparse tail can
+//! route the hub rows through Gustavson SpGEMM (the request features stay
+//! in CSR form) while the tail rows run SpDMM over the densified features —
+//! where the whole-kernel path sees one averaged density and walks the
+//! dense feature matrix for every hub edge.  This bench measures
+//! steady-state requests/s of both paths on embeddings-only serving (no
+//! accelerator pricing, so host kernel time shows directly), interleaving
+//! rounds and keeping each path's best round, across two workloads:
+//!
+//! * `uniform` — a GCN over Cora quarter-scale features at their native
+//!   density; every route is structurally forced, so the block loop must
+//!   not regress;
+//! * `skewed_hub` — a 1-hop SGC over a hub graph (8 vertices aggregate from
+//!   everyone, the tail only from itself) with sparse CSR request features;
+//!   the per-block decision flip on the hub block is where the win comes
+//!   from.
+//!
+//! Dispatch decisions are pinned to a written-out calibration fixture
+//! (canonical cost ordering, Gustavson carrying a per-row scatter
+//! overhead), so what is measured is the *execution* consequence of the
+//! per-block decisions, not host-to-host drift of the measured fit.
+//!
+//! Prints one JSON line per workload and records the log to
+//! `BENCH_blocks.json` at the workspace root.  Run with
+//! `BLOCK_BENCH_REQUESTS=<n>` to change the sample count (CI smoke uses a
+//! small value).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynasparse::{EngineOptions, HostExecutionOptions, MappingStrategy, Planner, Session};
+use dynasparse_graph::{
+    generators::sparse_features, Dataset, DatasetSpec, FeatureMatrix, Graph, GraphDataset,
+};
+use dynasparse_matrix::calibrate::CALIBRATION_ENV;
+use dynasparse_matrix::{HostCalibration, PrimitiveFit};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dynasparse_model::{GnnModel, GnnModelKind};
+
+/// Requests measured per round and path.
+fn requests_per_round() -> usize {
+    std::env::var("BLOCK_BENCH_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+        .max(3)
+}
+
+/// Pins the dispatch decisions to a deterministic calibration fixture: the
+/// canonical per-work cost ordering (GEMM < SpDMM < Gustavson) with
+/// Gustavson additionally paying a per-row scatter overhead.  Under this
+/// fit SpDMM wins whole-kernel at the hub graph's *average* density while
+/// the dense hub block itself prices cheaper as SpGEMM — the decision flip
+/// the skewed workload exercises — and the fit is the same on every host,
+/// so CI measures kernel-routing consequences instead of fit drift.
+fn pin_calibration() {
+    let fixture = HostCalibration {
+        version: dynasparse_matrix::calibrate::CALIBRATION_VERSION,
+        gemm: PrimitiveFit {
+            work: 1.0e-6,
+            output: 1.0e-7,
+            per_row: 0.0,
+        },
+        spdmm: PrimitiveFit {
+            work: 4.0e-6,
+            output: 2.0e-7,
+            per_row: 0.0,
+        },
+        spmm: PrimitiveFit {
+            work: 4.0e-5,
+            output: 4.0e-7,
+            per_row: 4.0e-4,
+        },
+        samples: 0,
+        measure_ms: 0.0,
+    };
+    let path = std::env::temp_dir().join("dynasparse_block_bench_calibration.json");
+    let path = path.to_str().expect("temp dir path is valid UTF-8");
+    fixture.save(path).expect("can write calibration fixture");
+    // Read once per process by `HostCalibration::shared` — set before the
+    // first plan is built.
+    std::env::set_var(CALIBRATION_ENV, path);
+}
+
+/// The skewed workload: a hub graph whose first `HUB_ROWS` vertices
+/// aggregate from every vertex (dense adjacency rows concentrated in the
+/// first partition block) while the tail aggregates only from itself, plus
+/// sparse CSR request features.  The whole-kernel average density decides
+/// SpDMM; the hub block alone re-decides as Gustavson SpGEMM over the CSR
+/// features, skipping the densified matrix walk for ~90 % of the edges.
+const HUB_VERTICES: usize = 2048;
+const HUB_ROWS: usize = 8;
+const HUB_FEATURE_DIM: usize = 8;
+const HUB_CLASSES: usize = 4;
+
+fn hub_dataset() -> GraphDataset {
+    let v = HUB_VERTICES;
+    let mut edges = Vec::with_capacity(HUB_ROWS * v);
+    for hub in 0..HUB_ROWS as u32 {
+        for src in 0..v as u32 {
+            // `(src, dst)`: row `hub` of the adjacency aggregates from all.
+            edges.push((src, hub));
+        }
+    }
+    let graph = Graph::from_edges("hub-skew", v, &edges);
+    let spec = DatasetSpec {
+        dataset: Dataset::Cora,
+        num_vertices: v,
+        num_edges: graph.num_edges(),
+        feature_dim: HUB_FEATURE_DIM,
+        num_classes: HUB_CLASSES,
+        adjacency_density: graph.adjacency_density(),
+        feature_density: 0.05,
+        hidden_dim: HUB_FEATURE_DIM,
+    };
+    let features = sparse_features(v, HUB_FEATURE_DIM, 0.05, 61);
+    GraphDataset {
+        spec,
+        scale: 1.0,
+        graph,
+        features,
+    }
+}
+
+struct Measured {
+    whole_rps: f64,
+    block_rps: f64,
+}
+
+/// Steady-state requests/s of whole-kernel and block-granular
+/// `Session::infer` over `request`, interleaving rounds and keeping each
+/// path's best round (the estimate least distorted by scheduler noise on
+/// shared hosts).  Online recalibration is disabled so the pinned fixture
+/// decides every request of both paths identically.
+fn measure(model: &GnnModel, request: &FeatureMatrix, dataset: &GraphDataset) -> Measured {
+    const ROUNDS: usize = 4;
+    let requests = requests_per_round();
+    let strategies: [MappingStrategy; 0] = [];
+
+    let plans: Vec<(usize, _)> = [false, true]
+        .iter()
+        .enumerate()
+        .map(|(path, &blocked)| {
+            let options = EngineOptions::builder()
+                .host(HostExecutionOptions {
+                    block_dispatch: blocked,
+                    recalibrate: false,
+                    ..Default::default()
+                })
+                .build();
+            (path, Planner::new(options).plan(model, dataset).unwrap())
+        })
+        .collect();
+    let mut sessions: Vec<(usize, Session<'_>)> = Vec::new();
+    for (path, plan) in &plans {
+        let mut session = plan.session(&strategies);
+        // Warm-up: size the arena for this topology, then measure steady
+        // state.
+        for _ in 0..2 {
+            session.infer(request).unwrap();
+        }
+        sessions.push((*path, session));
+    }
+    let mut best = [f64::INFINITY; 2];
+    for _ in 0..ROUNDS {
+        for (path, session) in sessions.iter_mut() {
+            let start = Instant::now();
+            for _ in 0..requests {
+                session.infer(request).unwrap();
+            }
+            let s = start.elapsed().as_secs_f64();
+            best[*path] = best[*path].min(s / requests as f64);
+        }
+    }
+    Measured {
+        whole_rps: 1.0 / best[0],
+        block_rps: 1.0 / best[1],
+    }
+}
+
+/// The uniform workload: a GCN over Cora quarter-scale dense-stored
+/// features — every kernel route is structurally forced, so block-granular
+/// dispatch can only add overhead, which this workload bounds.
+fn uniform_workload() -> (GnnModel, GraphDataset) {
+    let dataset = Dataset::Cora.spec().generate_scaled(3, 0.25);
+    let model = GnnModel::standard(
+        GnnModelKind::Gcn,
+        dataset.features.dim(),
+        16,
+        dataset.spec.num_classes,
+        1,
+    );
+    (model, dataset)
+}
+
+/// The skewed workload: 1-hop SGC (one Aggregate reading the CSR request
+/// features, one Update) over the hub graph.
+fn skewed_workload() -> (GnnModel, GraphDataset) {
+    let dataset = hub_dataset();
+    let model = GnnModel::sgc(HUB_FEATURE_DIM, HUB_CLASSES, 1, 7);
+    (model, dataset)
+}
+
+fn block_sweep() {
+    let (uniform_model, uniform_ds) = uniform_workload();
+    let (skewed_model, skewed_ds) = skewed_workload();
+    let mut log = String::new();
+    let mut speedups = [0.0f64; 2];
+    let workloads = [
+        ("uniform", &uniform_model, &uniform_ds),
+        ("skewed_hub", &skewed_model, &skewed_ds),
+    ];
+    for (i, (workload, model, ds)) in workloads.into_iter().enumerate() {
+        let m = measure(model, &ds.features.clone(), ds);
+        let speedup = m.block_rps / m.whole_rps;
+        speedups[i] = speedup;
+        let line = format!(
+            "{{\"bench\":\"block_execution\",\"workload\":\"{workload}\",\
+             \"whole_rps\":{:.1},\"block_rps\":{:.1},\"speedup\":{speedup:.2}}}",
+            m.whole_rps, m.block_rps
+        );
+        println!("{line}");
+        let _ = writeln!(log, "{line}");
+    }
+    // Record at the workspace root, beside the other BENCH_*.json logs
+    // (cargo bench runs with the package directory as cwd).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_blocks.json");
+    if let Err(e) = std::fs::write(path, &log) {
+        eprintln!("could not record {path}: {e}");
+    }
+    println!(
+        "\n  block-granular infer: {:.2}x whole-kernel on uniform, {:.2}x on the skewed hub",
+        speedups[0], speedups[1]
+    );
+    assert!(
+        speedups[0] >= 0.9,
+        "block-granular dispatch must not regress uniform-density serving \
+         (got {:.2}x whole-kernel)",
+        speedups[0]
+    );
+    assert!(
+        speedups[1] >= 1.05,
+        "block-granular dispatch must win on the skewed-density workload \
+         (got {:.2}x whole-kernel)",
+        speedups[1]
+    );
+}
+
+fn bench_block_execution(c: &mut Criterion) {
+    pin_calibration();
+    // Criterion-visible numbers for the skewed workload (where the block
+    // decisions differ).
+    let (model, dataset) = skewed_workload();
+    let request = dataset.features.clone();
+    let mut group = c.benchmark_group("block_execution");
+    group.sample_size(2);
+    group.bench_function("skewed_whole", |b| {
+        b.iter(|| measure(&model, &request, &dataset).whole_rps)
+    });
+    group.bench_function("skewed_block", |b| {
+        b.iter(|| measure(&model, &request, &dataset).block_rps)
+    });
+    group.finish();
+
+    block_sweep();
+}
+
+criterion_group!(benches, bench_block_execution);
+criterion_main!(benches);

@@ -136,6 +136,54 @@ mod tests {
     }
 
     #[test]
+    fn single_vertex_graph_clamps_without_panicking() {
+        // |V| = 1 drives every workload to its floor: Algorithm 9's
+        // task-count targets are unreachable, so both edges clamp to the
+        // minimum tile and every kernel still decomposes into >= 1 task.
+        let cfg = CompilerConfig::default();
+        let g = graph_for(GnnModelKind::Gcn, 1, 1, 8, 8, 2);
+        let spec = choose_partition(&g, &cfg);
+        assert_eq!(spec.n2, cfg.min_partition);
+        assert_eq!(spec.n1, cfg.min_partition);
+        for &tasks in &tasks_per_kernel(&g, &spec) {
+            assert!(tasks >= 1);
+        }
+    }
+
+    #[test]
+    fn min_partition_exceeding_the_memory_bound_degrades_to_one_tile_size() {
+        // A minimum tile larger than both the memory bound and the hard
+        // maximum: the memory bound saturates up to the minimum, so the
+        // algorithm degrades to a single (min, min) tile size instead of
+        // panicking on an inverted clamp range.
+        let cfg = CompilerConfig {
+            min_partition: 4096,
+            ..CompilerConfig::default()
+        };
+        assert!(cfg.min_partition > cfg.max_partition);
+        assert_eq!(cfg.max_partition_from_memory(), 4096);
+        let g = graph_for(GnnModelKind::Gcn, 19_717, 44_338, 500, 16, 3);
+        let spec = choose_partition(&g, &cfg);
+        assert_eq!((spec.n1, spec.n2), (4096, 4096));
+    }
+
+    #[test]
+    fn empty_computation_graph_yields_the_memory_bound_partition() {
+        // No kernels constrain the tile, so both edges settle at the memory
+        // bound (the largest locality-preserving tile) — and nothing panics
+        // on the empty iterators.
+        let cfg = CompilerConfig::default();
+        let g = ComputationGraph {
+            kernels: Vec::new(),
+            num_layers: 0,
+        };
+        let spec = choose_partition(&g, &cfg);
+        let n_max = cfg.max_partition_from_memory();
+        assert_eq!((spec.n1, spec.n2), (n_max, n_max));
+        assert!(tasks_per_kernel(&g, &spec).is_empty());
+    }
+
+    #[test]
     fn larger_graphs_get_larger_partitions() {
         let cfg = CompilerConfig::default();
         let small = choose_partition(

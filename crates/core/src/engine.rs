@@ -15,7 +15,7 @@ use crate::session::Session;
 use dynasparse_accel::AcceleratorConfig;
 use dynasparse_compiler::CompilerConfig;
 use dynasparse_graph::GraphDataset;
-use dynasparse_model::GnnModel;
+use dynasparse_model::{BackendKind, GnnModel};
 use dynasparse_runtime::MappingStrategy;
 use serde::{Deserialize, Serialize};
 
@@ -67,6 +67,26 @@ pub struct HostExecutionOptions {
     /// request-by-request loop, which is kept as the equivalence oracle.
     /// Requires `dispatch`; ignored otherwise.
     pub batch_fusion: bool,
+    /// Which [`ExecBackend`](dynasparse_model::ExecBackend) routes and
+    /// prices every dispatched product: the measured host calibration
+    /// ([`BackendKind::Host`], the default) or the modeled accelerator's
+    /// cycle-accurate performance model ([`BackendKind::ModeledAccel`]).
+    /// Both backends execute through the same block primitives, so swapping
+    /// them changes routing and pricing only — results stay bit-identical.
+    /// Defaults from `DYNASPARSE_BACKEND` (`host` / `accel`).
+    pub backend: BackendKind,
+    /// Execute every dense-output kernel as a loop over the compiler
+    /// partition's row blocks (`N1` rows per Aggregate block, `N2` per
+    /// Update block) with per-block density refits and per-block primitive
+    /// decisions.  Disable to fall back to one whole-kernel decision per
+    /// dispatch; both paths are bit-identical
+    /// (see `tests/integration_backend.rs`).  Requires `dispatch`.
+    pub block_dispatch: bool,
+    /// Rescale the host calibration online when a per-primitive
+    /// measured/predicted drift EWMA leaves the accepted band (see
+    /// [`Session`](crate::Session) docs).  Only the host backend
+    /// recalibrates; `DYNASPARSE_RECALIBRATE=0` force-disables it.
+    pub recalibrate: bool,
 }
 
 impl Default for HostExecutionOptions {
@@ -76,6 +96,9 @@ impl Default for HostExecutionOptions {
             parallel: true,
             cost_model: CostModelKind::Calibrated,
             batch_fusion: true,
+            backend: BackendKind::from_env(),
+            block_dispatch: true,
+            recalibrate: true,
         }
     }
 }

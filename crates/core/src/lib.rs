@@ -187,6 +187,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod engine;
 pub mod error;
 pub mod planner;
@@ -194,20 +195,23 @@ pub mod report;
 pub mod session;
 pub mod template;
 
+pub use backend::ModeledAccelBackend;
 pub use engine::{
     CostModelKind, Engine, EngineOptions, EngineOptionsBuilder, HostExecutionOptions,
 };
 pub use error::{CompileError, DynasparseError, EngineError};
 pub use planner::{CompiledPlan, Planner};
 pub use report::{Evaluation, InferenceReport, KernelReport, StrategyRun};
-pub use session::{FaultHook, OwnedSession, Session};
+pub use session::{FaultHook, OwnedSession, Session, DRIFT_BAND, RECALIBRATE_ENV};
 pub use template::{ModelTemplate, TemplateInstance};
 
 // Re-export the pieces a downstream user needs to drive the engine without
 // depending on every sub-crate explicitly.
 pub use dynasparse_accel::AcceleratorConfig;
 pub use dynasparse_compiler::CompilerConfig;
-pub use dynasparse_model::{LayerError, ModelError};
+pub use dynasparse_model::{
+    BackendKind, ExecBackend, HostBackend, LayerError, ModelError, BACKEND_ENV,
+};
 pub use dynasparse_runtime::MappingStrategy;
 pub use dynasparse_telemetry::{
     FlightRecorder, KernelSpan, Registry, SessionTelemetry, SpanPrimitive, TelemetryLevel,

@@ -92,6 +92,13 @@ pub struct InferenceReport {
     pub feature_movement_ms: f64,
     /// Densities of the request input and of every kernel output (Fig. 2).
     pub density_trace: DensityTrace,
+    /// The execution backend's predicted wall-clock milliseconds summed over
+    /// every kernel dispatched for this request (`0.0` when the backend
+    /// prices nothing, e.g. the regions policy or the reference path).  On
+    /// the fused batch path the batch-wide sum is attributed evenly across
+    /// the batch's reports.  Serving runtimes price modeled device dwell
+    /// with this instead of a hard-coded host-time multiplier.
+    pub predicted_kernel_ms: f64,
     /// One run per session strategy, in session order.
     pub runs: Vec<StrategyRun>,
     /// Output embeddings of the functional execution.

@@ -10,6 +10,7 @@
 //! compiled IR lives on the FPGA and each inference only moves the new
 //! feature matrix across PCIe.
 
+use crate::backend::ModeledAccelBackend;
 use crate::error::DynasparseError;
 use crate::planner::CompiledPlan;
 use crate::report::{InferenceReport, KernelReport, StrategyRun};
@@ -18,14 +19,29 @@ use dynasparse_compiler::KernelKind;
 use dynasparse_graph::FeatureMatrix;
 use dynasparse_matrix::{BlockGrid, DensityProfile, DispatchPolicy, MatrixError};
 use dynasparse_model::{
-    DensityTrace, KernelArena, KernelDispatcher, ReferenceExecutor, StageDensity, StageOp,
+    BackendKind, DensityTrace, KernelArena, KernelDispatcher, ReferenceExecutor, StageDensity,
+    StageOp,
 };
 use dynasparse_runtime::{
     Analyzer, KernelAnalysis, MappingStrategy, OperandProfiles, RuntimeOverhead, Scheduler,
 };
-use dynasparse_telemetry::{CounterId, Registry, SessionTelemetry};
+use dynasparse_telemetry::{CounterId, GaugeId, Registry, SessionTelemetry};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Environment variable force-disabling online recalibration (`0` / `off` /
+/// `false`), regardless of
+/// [`HostExecutionOptions::recalibrate`](crate::HostExecutionOptions).
+pub const RECALIBRATE_ENV: &str = "DYNASPARSE_RECALIBRATE";
+
+/// Accepted band of the per-primitive measured/predicted drift EWMA
+/// (`measured_ms / predicted_ms`, see
+/// [`DriftTracker`](dynasparse_telemetry::DriftTracker)).  A finite gauge
+/// outside the band after a served request triggers one online
+/// recalibration: the session rescales that primitive's calibration fit by
+/// the observed ratio, swaps the rescaled fit into its dispatcher and
+/// resets the gauge.
+pub const DRIFT_BAND: (f64, f64) = (0.5, 2.0);
 
 /// Reusable per-strategy state: the Analyzer is stateless and the Scheduler
 /// is rewound between requests.  The kernel-report buffer is handed to each
@@ -116,6 +132,12 @@ pub struct Session<'p> {
     /// Fault-injection hook run per executed kernel (see [`FaultHook`]);
     /// `None` (the default) costs one branch per kernel.
     fault_hook: Option<FaultHook>,
+    /// Execute dispatched kernels as row-block loops over the compiler
+    /// partition (`HostExecutionOptions::block_dispatch`).
+    block_dispatch: bool,
+    /// Drift-triggered online recalibration enabled: the options flag gated
+    /// by [`RECALIBRATE_ENV`], resolved once at build.
+    recalibrate: bool,
     requests_served: usize,
 }
 
@@ -236,12 +258,27 @@ impl<'p> Session<'p> {
             // Calibrated when the plan carries a measured host fit; the
             // accelerator's Table IV regions otherwise (they also stay the
             // sparse-output threshold and degenerate-prediction fallback).
-            executor.dispatcher_calibrated(
+            let mut dispatcher = executor.dispatcher_calibrated(
                 DispatchPolicy::from_regions(accelerator.psys),
                 plan.get().calibration.clone(),
                 host.parallel,
-            )
+            );
+            // The modeled-accelerator backend swaps in over the same weight
+            // caches and retention policy: routing and pricing change,
+            // results stay bit-identical.
+            if host.backend == BackendKind::ModeledAccel {
+                dispatcher.set_backend(Arc::new(ModeledAccelBackend::new(&accelerator)));
+            }
+            dispatcher
         });
+        let recalibrate = host.recalibrate
+            && !matches!(
+                std::env::var(RECALIBRATE_ENV)
+                    .ok()
+                    .as_deref()
+                    .map(str::trim),
+                Some("0") | Some("off") | Some("false")
+            );
         let arena = dispatcher.is_some().then(|| executor.arena(num_vertices));
         let defer_out = output_deferral_map(executor.model());
         let mut out_source_for = vec![None; defer_out.len()];
@@ -269,6 +306,8 @@ impl<'p> Session<'p> {
             out_source_for,
             telemetry: SessionTelemetry::from_global(),
             fault_hook: None,
+            block_dispatch: host.block_dispatch,
+            recalibrate,
             requests_served: 0,
         }
     }
@@ -562,15 +601,19 @@ impl<'p> Session<'p> {
             kernel_counter += 1;
         };
         telemetry.begin_request();
+        let block_dispatch = self.block_dispatch;
+        let mut predicted_kernel_ms = 0.0;
         let output = match (dispatcher, arena) {
             (Some(dispatcher), Some(arena)) => {
                 // The dispatching engine: mode-picked host kernels writing
                 // into the session's arena (zero per-kernel allocations),
+                // block-granular over the compiler partition by default,
                 // probed per dispatch when telemetry is on.
-                executor.forward_dispatch_probed(
+                predicted_kernel_ms = executor.forward_dispatch_blocked_probed(
                     features,
                     dispatcher,
                     arena,
+                    block_dispatch.then_some(&spec),
                     Some(&mut *telemetry),
                     |l, k, s, i, o| on_kernel(l, k, s, i, o),
                 )?;
@@ -611,6 +654,7 @@ impl<'p> Session<'p> {
             })
             .collect();
 
+        self.maybe_recalibrate();
         let request_index = self.requests_served;
         self.requests_served += 1;
         Ok(InferenceReport {
@@ -625,8 +669,63 @@ impl<'p> Session<'p> {
                 ),
             },
             runs,
+            predicted_kernel_ms,
             output_embeddings: output,
         })
+    }
+
+    /// Online drift-triggered recalibration (host backend only): after a
+    /// served request, any per-primitive drift gauge
+    /// (measured/predicted EWMA, see
+    /// [`DriftTracker`](dynasparse_telemetry::DriftTracker)) that is finite
+    /// but outside [`DRIFT_BAND`] rescales that primitive's calibration fit
+    /// by the observed ratio; the rescaled calibration is swapped into the
+    /// dispatcher in one step and the tripped gauges reset to `1.0`.
+    /// Decisions and predictions change, results never do (the calibration
+    /// only picks among bit-identical routes).
+    fn maybe_recalibrate(&mut self) {
+        if !self.recalibrate {
+            return;
+        }
+        let Some(dispatcher) = self.dispatcher.as_mut() else {
+            return;
+        };
+        if dispatcher.backend_kind() != BackendKind::Host {
+            return;
+        }
+        let Some(calibration) = dispatcher.calibration().cloned() else {
+            return;
+        };
+        const GAUGES: [GaugeId; 3] = [GaugeId::DriftGemm, GaugeId::DriftSpdmm, GaugeId::DriftSpmm];
+        let mut ratios = [1.0f64; 3];
+        let mut drifted = false;
+        let registry = Arc::clone(self.telemetry.registry());
+        for (ratio, gauge) in ratios.iter_mut().zip(GAUGES) {
+            let r = registry.gauge(gauge);
+            if r.is_finite() && r > 0.0 && !(DRIFT_BAND.0..=DRIFT_BAND.1).contains(&r) {
+                *ratio = r;
+                drifted = true;
+            }
+        }
+        if !drifted {
+            return;
+        }
+        let mut rescaled = (*calibration).clone();
+        let fits = [&mut rescaled.gemm, &mut rescaled.spdmm, &mut rescaled.spmm];
+        for (fit, ratio) in fits.into_iter().zip(ratios) {
+            if ratio != 1.0 {
+                fit.work *= ratio;
+                fit.output *= ratio;
+                fit.per_row *= ratio;
+            }
+        }
+        dispatcher.recalibrate(Arc::new(rescaled));
+        for (gauge, ratio) in GAUGES.into_iter().zip(ratios) {
+            if ratio != 1.0 {
+                registry.gauge_set(gauge, 1.0);
+            }
+        }
+        self.telemetry.record_recalibration();
     }
 
     /// Serves a batch of requests over the same plan, returning one report
@@ -768,10 +867,12 @@ impl<'p> Session<'p> {
         let mut pricing_ns = 0u64;
         let mut kernel_counter = 0usize;
         telemetry.begin_request();
-        executor.forward_dispatch_batch_probed(
+        let block_dispatch = self.block_dispatch;
+        let predicted_batch_ms = executor.forward_dispatch_batch_blocked_probed(
             batch,
             dispatcher,
             arena,
+            block_dispatch.then_some(&spec),
             Some(&mut *telemetry),
             |_layer, _ki, spec_kernel, views| {
                 let kidx = kernel_counter;
@@ -885,6 +986,9 @@ impl<'p> Session<'p> {
 
         let freq = plan.options().accelerator.frequency_mhz;
         let compile_ms = plan.compile_ms();
+        // One fused pass priced the whole batch: attribute the predicted
+        // kernel milliseconds evenly across the batch's reports.
+        let predicted_kernel_ms = predicted_batch_ms / bsz.max(1) as f64;
         let arena = self.batch_arena.as_ref().expect("ensured above");
         let mut reports = Vec::with_capacity(bsz);
         for (b, (features, record)) in batch.iter().zip(records).enumerate() {
@@ -954,9 +1058,11 @@ impl<'p> Session<'p> {
                     stages: record.stages,
                 },
                 runs,
+                predicted_kernel_ms,
                 output_embeddings: arena.output_block(b),
             });
         }
+        self.maybe_recalibrate();
         Ok(reports)
     }
 }
@@ -1134,6 +1240,73 @@ mod tests {
             // Only when the environment disables calibration explicitly.
             None => assert!(std::env::var("DYNASPARSE_CALIBRATION").is_ok()),
         }
+    }
+
+    #[test]
+    fn dispatch_reports_backend_predicted_kernel_cost() {
+        let (plan, features) = plan_fixture();
+        let mut session = plan.session(&[MappingStrategy::Dynamic]);
+        let report = session.infer(&features).unwrap();
+        if plan.calibration().is_some() {
+            assert!(
+                report.predicted_kernel_ms > 0.0,
+                "a calibrated backend must price the request"
+            );
+        }
+        assert!(report.predicted_kernel_ms.is_finite());
+        // The fused batch attributes one batch-wide sum evenly.
+        let reports = session
+            .infer_batch(&[features.clone(), features.clone()])
+            .unwrap();
+        assert_eq!(
+            reports[0].predicted_kernel_ms.to_bits(),
+            reports[1].predicted_kernel_ms.to_bits()
+        );
+    }
+
+    #[test]
+    fn drift_outside_band_triggers_one_recalibration() {
+        use dynasparse_telemetry::TelemetryLevel;
+        let (plan, features) = plan_fixture();
+        if plan.calibration().is_none() {
+            return; // calibration disabled via the environment
+        }
+        let mut session = plan.session(&[MappingStrategy::Dynamic]);
+        let registry = Arc::new(Registry::new(TelemetryLevel::Counters));
+        session.set_telemetry(registry.clone());
+        // Seed the gemm drift gauge far outside the accepted band, as if the
+        // measured kernels had been running 16x over their predictions.
+        registry.gauge_set(GaugeId::DriftGemm, 16.0);
+        session.infer(&features).unwrap();
+        assert_eq!(
+            registry.counter(CounterId::Recalibrations),
+            1,
+            "one request with a tripped gauge must recalibrate once"
+        );
+        // The tripped gauge was reset after the swap.
+        assert!((registry.gauge(GaugeId::DriftGemm) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recalibration_can_be_disabled_by_options() {
+        use dynasparse_telemetry::TelemetryLevel;
+        let ds = Dataset::Cora.spec().generate_scaled(21, 0.15);
+        let model = GnnModel::standard(
+            GnnModelKind::Gcn,
+            ds.features.dim(),
+            16,
+            ds.spec.num_classes,
+            3,
+        );
+        let mut options = EngineOptions::default();
+        options.host.recalibrate = false;
+        let plan = Planner::new(options).plan(&model, &ds).unwrap();
+        let mut session = plan.session(&[MappingStrategy::Dynamic]);
+        let registry = Arc::new(Registry::new(TelemetryLevel::Counters));
+        session.set_telemetry(registry.clone());
+        registry.gauge_set(GaugeId::DriftGemm, 16.0);
+        session.infer(&ds.features).unwrap();
+        assert_eq!(registry.counter(CounterId::Recalibrations), 0);
     }
 
     #[test]

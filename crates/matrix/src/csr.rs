@@ -385,29 +385,127 @@ impl CsrMatrix {
             rhs_rm = rhs.to_layout(Layout::RowMajor);
             rhs_rm.as_slice()
         };
-        let fill_rows = |out_rows: &mut [f32], row0: usize| {
-            let rows = out_rows.len() / d;
-            for i in 0..rows {
-                let (cols, vals) = self.row(row0 + i);
-                let out_row = &mut out_rows[i * d..(i + 1) * d];
-                out_row.fill(0.0);
-                for (&c, &v) in cols.iter().zip(vals.iter()) {
-                    let src = &ys[c as usize * d..(c as usize + 1) * d];
-                    for (o, &s) in out_row.iter_mut().zip(src.iter()) {
-                        *o += v * s;
-                    }
-                }
-            }
-        };
         let out_slice = out.as_mut_slice();
         match pool {
             Some(pool) if !pool.is_inline() => {
                 let chunk_rows = pool.chunk_rows(self.rows);
                 pool.for_each_chunk_mut(out_slice, chunk_rows * d, |ci, chunk| {
-                    fill_rows(chunk, ci * chunk_rows);
+                    self.spmm_dense_rows_rm(ys, d, ci * chunk_rows, chunk);
                 });
             }
-            _ => fill_rows(out_slice, 0),
+            _ => self.spmm_dense_rows_rm(ys, d, 0, out_slice),
+        }
+        Ok(())
+    }
+
+    /// The SpDMM row loop shared by the whole-kernel `_into` kernels and the
+    /// block-granular [`CsrMatrix::spmm_dense_rows_into`]: one copy of the
+    /// fill-then-accumulate rule is what keeps every row partition of the
+    /// output bit-identical to the serial whole-kernel product.
+    fn spmm_dense_rows_rm(&self, ys: &[f32], d: usize, row0: usize, out_rows: &mut [f32]) {
+        let rows = out_rows.len() / d.max(1);
+        for i in 0..rows {
+            let (cols, vals) = self.row(row0 + i);
+            let out_row = &mut out_rows[i * d..(i + 1) * d];
+            out_row.fill(0.0);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                let src = &ys[c as usize * d..(c as usize + 1) * d];
+                for (o, &s) in out_row.iter_mut().zip(src.iter()) {
+                    *o += v * s;
+                }
+            }
+        }
+    }
+
+    /// Number of stored non-zeros in rows `[r0, r1)`: an O(1) row-pointer
+    /// difference, the per-block density refit of the block-granular
+    /// dispatcher for CSR left operands.
+    #[inline]
+    pub fn rows_nnz(&self, r0: usize, r1: usize) -> usize {
+        debug_assert!(r0 <= r1 && r1 <= self.rows);
+        self.row_ptr[r1] - self.row_ptr[r0]
+    }
+
+    /// Computes output rows `[r0, r0 + out_rows.len() / rhs.cols())` of the
+    /// SpDMM product `self × rhs` into a caller-owned row-major slice — the
+    /// per-partition-block SpDMM kernel of the block-granular dispatcher.
+    ///
+    /// The row loop is the same one `spmm_dense_into[_pooled]` runs
+    /// ([`CsrMatrix::spmm_dense_rows_rm`]), so any row partition of the
+    /// output is bit-identical to the whole-kernel call.  `rhs` must be
+    /// row-major: the block loop is allocation-free, so a column-major
+    /// operand is a shape error rather than a silent layout copy.
+    pub fn spmm_dense_rows_into(
+        &self,
+        rhs: &DenseMatrix,
+        r0: usize,
+        out_rows: &mut [f32],
+    ) -> Result<()> {
+        if self.cols != rhs.rows() || rhs.layout() != Layout::RowMajor {
+            return Err(MatrixError::ShapeMismatch {
+                op: "spmm_dense_rows (row-major rhs required)",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let d = rhs.cols();
+        if d == 0 {
+            return Ok(());
+        }
+        debug_assert_eq!(out_rows.len() % d, 0);
+        debug_assert!(r0 + out_rows.len() / d <= self.rows);
+        self.spmm_dense_rows_rm(rhs.as_slice(), d, r0, out_rows);
+        Ok(())
+    }
+
+    /// Computes output rows `[r0, r0 + out_rows.len() / rhs.cols())` of the
+    /// Gustavson product `self × rhs` directly into a caller-owned dense
+    /// row-major slice — the per-partition-block SPMM kernel of the
+    /// block-granular dispatcher for blocks whose output lands in a dense
+    /// buffer.
+    ///
+    /// The output row itself is the dense accumulator of
+    /// [`CsrMatrix::spgemm_with`]'s row loop (no scatter list needed, since
+    /// nothing is emitted to CSR): contributions to one output element are
+    /// added in the same `k`-increasing order, so the values are
+    /// bit-identical to `spgemm` followed by [`CsrMatrix::to_dense_into`].
+    /// Accumulated exact zeros are normalised to `+0.0` afterwards, matching
+    /// the entries the sparse emission filter drops.
+    pub fn spgemm_rows_dense_into(
+        &self,
+        rhs: &CsrMatrix,
+        r0: usize,
+        out_rows: &mut [f32],
+    ) -> Result<()> {
+        if self.cols != rhs.rows() {
+            return Err(MatrixError::ShapeMismatch {
+                op: "spgemm_rows_dense",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let d = rhs.cols();
+        if d == 0 {
+            return Ok(());
+        }
+        debug_assert_eq!(out_rows.len() % d, 0);
+        debug_assert!(r0 + out_rows.len() / d <= self.rows);
+        let rows = out_rows.len() / d;
+        for i in 0..rows {
+            let out_row = &mut out_rows[i * d..(i + 1) * d];
+            out_row.fill(0.0);
+            let (cols, vals) = self.row(r0 + i);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                let (rcols, rvals) = rhs.row(c as usize);
+                for (&rc, &rv) in rcols.iter().zip(rvals.iter()) {
+                    out_row[rc as usize] += v * rv;
+                }
+            }
+            for o in out_row.iter_mut() {
+                if !is_nonzero(*o) {
+                    *o = 0.0;
+                }
+            }
         }
         Ok(())
     }

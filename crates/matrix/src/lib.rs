@@ -55,7 +55,7 @@ pub use dense::DenseMatrix;
 pub use dispatch::{sanitize_density, DispatchPolicy, HostPrimitive};
 pub use error::{MatrixError, Result};
 pub use layout::Layout;
-pub use partition::{BlockGrid, BlockIndex, PartitionSpec};
+pub use partition::{row_blocks, BlockGrid, BlockIndex, PartitionSpec};
 pub use pool::ThreadPool;
 pub use profile::{density, DensityProfile};
 

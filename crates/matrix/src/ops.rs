@@ -92,9 +92,24 @@ const GEMM_TILE: usize = 32;
 /// with it the floating-point result) is bit-identical to
 /// [`gemm_reference`] — the blocking only changes *when* each tile is
 /// computed, never the `k`-order within an output element.
-fn gemm_block_rm(x: &[f32], y: &[f32], out_rows: &mut [f32], row0: usize, n: usize, d: usize) {
+///
+/// With `COUNT_NNZ` the kernel additionally returns the number of non-zero
+/// `X` elements in the computed rows, counted on the first output tile of
+/// each row (the zero-skip branch already inspects every element, so the
+/// count is free) — the block-granular dispatcher prices each block from
+/// this instead of paying a separate density scan.  With `COUNT_NNZ` off
+/// the loop is unchanged and the return value is `0`.
+fn gemm_block_rm<const COUNT_NNZ: bool>(
+    x: &[f32],
+    y: &[f32],
+    out_rows: &mut [f32],
+    row0: usize,
+    n: usize,
+    d: usize,
+) -> usize {
     debug_assert_eq!(out_rows.len() % d.max(1), 0);
     let rows = out_rows.len().checked_div(d).unwrap_or(0);
+    let mut nnz = 0usize;
     for i in 0..rows {
         let xrow = &x[(row0 + i) * n..(row0 + i + 1) * n];
         let orow = &mut out_rows[i * d..(i + 1) * d];
@@ -106,6 +121,9 @@ fn gemm_block_rm(x: &[f32], y: &[f32], out_rows: &mut [f32], row0: usize, n: usi
                 if xv == 0.0 {
                     continue;
                 }
+                if COUNT_NNZ && j0 == 0 {
+                    nnz += 1;
+                }
                 let yrow = &y[k * d + j0..k * d + j0 + jw];
                 for (a, &yv) in acc[..jw].iter_mut().zip(yrow.iter()) {
                     *a += xv * yv;
@@ -115,6 +133,7 @@ fn gemm_block_rm(x: &[f32], y: &[f32], out_rows: &mut [f32], row0: usize, n: usi
             j0 += jw;
         }
     }
+    nnz
 }
 
 /// Dense × dense product written into a caller-provided output matrix.
@@ -173,12 +192,61 @@ fn gemm_into_with(
         Some(pool) if !pool.is_inline() => {
             let chunk_rows = pool.chunk_rows(m);
             pool.for_each_chunk_mut(out_slice, chunk_rows * d, |ci, chunk| {
-                gemm_block_rm(xs, ys, chunk, ci * chunk_rows, n, d);
+                gemm_block_rm::<false>(xs, ys, chunk, ci * chunk_rows, n, d);
             });
         }
-        _ => gemm_block_rm(xs, ys, out_slice, 0, n, d),
+        _ => {
+            gemm_block_rm::<false>(xs, ys, out_slice, 0, n, d);
+        }
     }
     Ok(())
+}
+
+/// Computes output rows `[r0, r0 + out_rows.len() / y.cols())` of `Z = X × Y`
+/// into a caller-owned row-major slice — the per-partition-block GEMM kernel
+/// of the block-granular dispatcher.
+///
+/// The inner loop is the same blocked kernel [`gemm_into`] fans over the
+/// thread pool, so any row partition of the output — including the
+/// per-partition-block dispatch loop — is bit-identical to the whole-kernel
+/// call.  Both operands must be row-major: the block loop is
+/// allocation-free, so a column-major operand is a shape error here rather
+/// than the whole-kernel entry points' silent layout copy.
+///
+/// Returns the number of non-zero `X` elements in the computed rows,
+/// measured by the kernel's own zero-skip scan at no extra cost — the
+/// block-granular dispatcher derives the block's exact density from it
+/// *after* execution instead of paying a second full scan of a dense-stored
+/// operand up front (`0` when `d == 0`, where no row is scanned).
+pub fn gemm_rows_into(
+    x: &DenseMatrix,
+    y: &DenseMatrix,
+    r0: usize,
+    out_rows: &mut [f32],
+) -> Result<usize> {
+    check_shapes("gemm_rows", x.shape(), y.shape())?;
+    if x.layout() != Layout::RowMajor || y.layout() != Layout::RowMajor {
+        return Err(MatrixError::ShapeMismatch {
+            op: "gemm_rows (row-major operands required)",
+            lhs: x.shape(),
+            rhs: y.shape(),
+        });
+    }
+    let n = x.cols();
+    let d = y.cols();
+    if d == 0 {
+        return Ok(0);
+    }
+    debug_assert_eq!(out_rows.len() % d, 0);
+    debug_assert!(r0 + out_rows.len() / d <= x.rows());
+    Ok(gemm_block_rm::<true>(
+        x.as_slice(),
+        y.as_slice(),
+        out_rows,
+        r0,
+        n,
+        d,
+    ))
 }
 
 /// The column-blocked batched GEMM inner kernel over raw row-major buffers.

@@ -82,6 +82,28 @@ impl PartitionSpec {
     pub fn update_tasks(&self, num_vertices: usize, out_dim: usize) -> usize {
         num_vertices.div_ceil(self.n2) * out_dim.div_ceil(self.n2)
     }
+
+    /// Output-row edge of one Aggregate partition block (`N1`: an Aggregate
+    /// kernel's output rows follow the adjacency blocks `A_ij`).
+    pub fn aggregate_block_rows(&self) -> usize {
+        self.n1
+    }
+
+    /// Output-row edge of one Update partition block (`N2`: an Update
+    /// kernel's output rows follow the subfiber tiling of `H`).
+    pub fn update_block_rows(&self) -> usize {
+        self.n2
+    }
+}
+
+/// Iterates the row ranges `[r0, r1)` of a `rows`-row matrix tiled into
+/// `block_rows`-row blocks, with the fringe block clamped to the matrix —
+/// the row-block walk of the block-granular dispatcher (unlike
+/// [`BlockGrid`], which keeps the accelerator's zero-padded nominal tiles,
+/// host kernels never read past the matrix).
+pub fn row_blocks(rows: usize, block_rows: usize) -> impl Iterator<Item = (usize, usize)> {
+    let block = block_rows.max(1);
+    (0..rows.div_ceil(block)).map(move |b| (b * block, ((b + 1) * block).min(rows)))
 }
 
 impl Default for PartitionSpec {

@@ -35,16 +35,18 @@
 //! in `tests/integration_dispatch.rs`).
 
 use crate::activation::Activation;
+use crate::backend::{BackendKind, ExecBackend, HostBackend};
 use crate::kernel::{KernelInput, KernelOp, KernelSpec};
 use crate::models::GnnModel;
 use crate::reference::ReferenceExecutor;
 use dynasparse_graph::FeatureMatrix;
 use dynasparse_matrix::ops::{gemm_into, gemm_into_pooled};
 use dynasparse_matrix::{
-    CalibratedPolicy, CostModel, CsrMatrix, DenseMatrix, DispatchPolicy, HostCalibration,
-    HostPrimitive, ProductShape, RegionPolicy, SpGemmScratch, ThreadPool,
+    row_blocks, CsrMatrix, DenseMatrix, DispatchPolicy, HostCalibration, HostPrimitive, Layout,
+    PartitionSpec, ProductShape, SpGemmScratch, ThreadPool,
 };
 use dynasparse_telemetry::{SessionTelemetry, SpanPrimitive};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -66,26 +68,17 @@ pub(crate) struct ProbeCtx<'a> {
     pub(crate) kernel: u16,
 }
 
-/// Which cost model a dispatcher decides with: the measured host calibration
-/// (argmin over predicted milliseconds) or the Table IV regions of the
-/// modeled accelerator (the oracle and fallback).
-#[derive(Debug)]
-enum DispatchCostModel {
-    Regions(RegionPolicy),
-    Calibrated(CalibratedPolicy),
-}
-
 /// Runtime kernel-to-host-primitive dispatcher for one model.
 ///
-/// Holds the cost model that picks the primitive of every kernel-level
-/// product plus the per-model caches the routes need: a CSR copy of every
-/// SPMM-eligible weight matrix (a weight sparse enough that the
-/// sparse-sparse route can ever be chosen for it), built once when the
-/// dispatcher is created.
+/// Holds the execution backend that picks and prices the primitive of every
+/// kernel-level product (see [`ExecBackend`]) plus the per-model caches the
+/// routes need: a CSR copy of every SPMM-eligible weight matrix (a weight
+/// sparse enough that the sparse-sparse route can ever be chosen for it),
+/// built once when the dispatcher is created.
 #[derive(Debug)]
 pub struct KernelDispatcher {
     policy: DispatchPolicy,
-    cost: DispatchCostModel,
+    backend: Arc<dyn ExecBackend>,
     parallel: bool,
     /// CSR forms of SPMM-eligible weights, indexed like `model.weights`.
     weight_csr: Vec<Option<CsrMatrix>>,
@@ -110,6 +103,25 @@ impl KernelDispatcher {
         calibration: Option<Arc<HostCalibration>>,
         parallel: bool,
     ) -> Self {
+        Self::with_backend(
+            model,
+            policy,
+            Arc::new(HostBackend::new(policy, calibration)),
+            parallel,
+        )
+    }
+
+    /// Builds a dispatcher deciding and pricing through an arbitrary
+    /// execution backend (the modeled-accelerator backend lives in
+    /// `dynasparse-core`, which can see the accelerator crate).  `policy`
+    /// keeps owning the sparse-output retention threshold and the CSR
+    /// weight-cache gate.
+    pub fn with_backend(
+        model: &GnnModel,
+        policy: DispatchPolicy,
+        backend: Arc<dyn ExecBackend>,
+        parallel: bool,
+    ) -> Self {
         // Cache a CSR for any weight either cost model could route
         // sparse-sparse: the calibrated argmin is not bounded by the
         // accelerator's SpDMM threshold, so the gate is the (wider) GEMM
@@ -127,15 +139,9 @@ impl KernelDispatcher {
                 }
             })
             .collect();
-        let cost = match calibration {
-            Some(calibration) => {
-                DispatchCostModel::Calibrated(CalibratedPolicy::new(calibration, policy))
-            }
-            None => DispatchCostModel::Regions(RegionPolicy::new(policy)),
-        };
         KernelDispatcher {
             policy,
-            cost,
+            backend,
             parallel,
             weight_csr,
         }
@@ -148,47 +154,62 @@ impl KernelDispatcher {
     }
 
     /// Whether decisions come from a measured host calibration (as opposed
-    /// to the accelerator's Table IV regions).
+    /// to the accelerator's Table IV regions or cycle model).
     pub fn is_calibrated(&self) -> bool {
-        matches!(self.cost, DispatchCostModel::Calibrated(_))
+        self.backend.calibration().is_some()
     }
 
     /// The shared calibration the dispatcher decides with, if any.
     pub fn calibration(&self) -> Option<&Arc<HostCalibration>> {
-        match &self.cost {
-            DispatchCostModel::Calibrated(c) => Some(c.calibration()),
-            DispatchCostModel::Regions(_) => None,
+        self.backend.calibration()
+    }
+
+    /// The execution backend deciding and pricing every product.
+    pub fn backend(&self) -> &Arc<dyn ExecBackend> {
+        &self.backend
+    }
+
+    /// Which backend family routes this dispatcher's kernels.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// Swaps the execution backend (the per-model weight caches and the
+    /// retention policy are backend-independent and stay).
+    pub fn set_backend(&mut self, backend: Arc<dyn ExecBackend>) {
+        self.backend = backend;
+    }
+
+    /// Swaps in a freshly rescaled host calibration — the online
+    /// recalibration hook.  A non-host backend is left untouched (its
+    /// decisions never came from the calibration).
+    pub fn recalibrate(&mut self, calibration: Arc<HostCalibration>) {
+        if self.backend.kind() == BackendKind::Host {
+            self.backend = Arc::new(HostBackend::new(self.policy, Some(calibration)));
         }
     }
 
     /// Picks the host primitive for one kernel-level product through the
-    /// active cost model.
+    /// active backend.
     pub fn decide(&self, shape: ProductShape, alpha_x: f64, alpha_y: f64) -> HostPrimitive {
-        match &self.cost {
-            DispatchCostModel::Regions(r) => r.decide(shape, alpha_x, alpha_y),
-            DispatchCostModel::Calibrated(c) => c.decide(shape, alpha_x, alpha_y),
-        }
+        self.backend.decide(shape, alpha_x, alpha_y).0
     }
 
     /// [`KernelDispatcher::decide`], additionally reporting whether a
     /// calibrated decision fell back to the Table IV regions on a degenerate
-    /// fit (always `false` for a region dispatcher, which never predicts).
+    /// fit (always `false` for a backend that never predicts).
     pub fn decide_traced(
         &self,
         shape: ProductShape,
         alpha_x: f64,
         alpha_y: f64,
     ) -> (HostPrimitive, bool) {
-        match &self.cost {
-            DispatchCostModel::Regions(r) => (r.decide(shape, alpha_x, alpha_y), false),
-            DispatchCostModel::Calibrated(c) => c.decide_with_fallback(shape, alpha_x, alpha_y),
-        }
+        self.backend.decide(shape, alpha_x, alpha_y)
     }
 
-    /// The active cost model's predicted milliseconds for executing `prim`
-    /// on this product, or `NaN` for a region dispatcher (the Table IV
-    /// regions predict MAC counts, not wall time — drift tracking skips
-    /// them).
+    /// The active backend's predicted milliseconds for executing `prim` on
+    /// this product, or `NaN` when the backend has no wall-clock model
+    /// (drift tracking skips non-finite predictions).
     pub fn predict_ms(
         &self,
         prim: HostPrimitive,
@@ -196,10 +217,7 @@ impl KernelDispatcher {
         alpha_x: f64,
         alpha_y: f64,
     ) -> f64 {
-        match &self.cost {
-            DispatchCostModel::Regions(_) => f64::NAN,
-            DispatchCostModel::Calibrated(c) => c.predict(prim, shape, alpha_x, alpha_y),
-        }
+        self.backend.predict_ms(prim, shape, alpha_x, alpha_y)
     }
 
     /// Whether kernels fan out over the global thread pool.
@@ -467,6 +485,132 @@ pub(crate) fn combine_layer_outputs(
     Ok(())
 }
 
+/// The density a row block dispatches at: `nnz / (rows · n)`, `0.0` for a
+/// degenerate block.
+#[inline]
+fn block_density(nnz: usize, rows: usize, n: usize) -> f64 {
+    let cells = (rows * n) as f64;
+    if cells > 0.0 {
+        nnz as f64 / cells
+    } else {
+        0.0
+    }
+}
+
+/// The shared row-block execution loop of
+/// [`ReferenceExecutor::execute_kernel_blocked`]: reshapes the slot's dense
+/// output for overwrite (every block kernel writes its whole chunk) and
+/// walks `block_rows`-row blocks, calling `refit(r0, r1)` for the block's
+/// left-operand density, `decide(shape, ax)` for its primitive and
+/// `exec(prim, r0, chunk)` to compute it.  Returns the summed finite
+/// positive per-block predictions.
+///
+/// `exec` may return the block's *measured* left-operand density when the
+/// kernel's own element scan counts non-zeros anyway (the dense-input GEMM
+/// route): pricing runs after execution and prefers the measured density
+/// over the refit estimate, so such routes need no up-front operand scan at
+/// all.
+///
+/// With a thread pool the blocks are the parallel shards
+/// ([`ThreadPool::for_each_chunk_mut`] hands out disjoint row chunks); each
+/// worker refits, decides and computes its own blocks, and per-block spans
+/// are not recorded (the telemetry ring is single-writer).  On the serial
+/// path the loop is software-pipelined: block `k+1`'s density refit runs
+/// before block `k`'s kernel, mirroring the paper's overlap of profiling
+/// and computation, and each block lands in the trace ring through `probe`.
+#[allow(clippy::too_many_arguments)]
+fn blocked_dense_loop<R, D, E>(
+    out_slot: &mut ArenaSlot,
+    spgemm: &mut SpGemmScratch,
+    dispatcher: &KernelDispatcher,
+    (rows, n, d): (usize, usize, usize),
+    alpha_y: f64,
+    block_rows: usize,
+    refit: R,
+    decide: D,
+    exec: E,
+    mut probe: Option<&mut ProbeCtx<'_>>,
+) -> dynasparse_matrix::Result<f64>
+where
+    R: Fn(usize, usize) -> f64 + Sync,
+    D: Fn(ProductShape, f64) -> HostPrimitive + Sync,
+    E: Fn(HostPrimitive, usize, &mut [f32]) -> Option<f64> + Sync,
+{
+    let backend = dispatcher.backend().as_ref();
+    let out = slot_as_dense(out_slot, spgemm);
+    out.reset_for_overwrite(rows, d);
+    if rows == 0 || d == 0 {
+        return Ok(0.0);
+    }
+    let out_slice = out.as_mut_slice();
+    let mut predicted = 0.0f64;
+    match dispatcher.pool() {
+        Some(pool) => {
+            let predicted_bits = AtomicU64::new(0.0f64.to_bits());
+            pool.for_each_chunk_mut(out_slice, block_rows * d, |bi, chunk| {
+                let r0 = bi * block_rows;
+                let r1 = r0 + chunk.len() / d;
+                let ax = refit(r0, r1);
+                let shape = ProductShape::new(r1 - r0, n, d);
+                let prim = decide(shape, ax);
+                let ax = exec(prim, r0, chunk).unwrap_or(ax);
+                let p = backend.predict_ms(prim, shape, ax, alpha_y);
+                if p.is_finite() && p > 0.0 {
+                    let _ =
+                        predicted_bits.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                            Some((f64::from_bits(b) + p).to_bits())
+                        });
+                }
+            });
+            predicted = f64::from_bits(predicted_bits.load(Ordering::Relaxed));
+        }
+        None => {
+            let mut iter = row_blocks(rows, block_rows);
+            let mut next = iter.next().map(|(r0, r1)| (r0, r1, refit(r0, r1)));
+            let mut bi: usize = 0;
+            while let Some((r0, r1, ax)) = next {
+                // Refit block k+1 before computing block k: the density
+                // profile of the next block overlaps this block's kernel.
+                next = iter.next().map(|(s0, s1)| (s0, s1, refit(s0, s1)));
+                let shape = ProductShape::new(r1 - r0, n, d);
+                let prim = decide(shape, ax);
+                let chunk = &mut out_slice[r0 * d..r1 * d];
+                match probe.as_deref_mut().filter(|pr| pr.telemetry.tracing()) {
+                    Some(pr) => {
+                        let started = Instant::now();
+                        let ax = exec(prim, r0, chunk).unwrap_or(ax);
+                        let measured = started.elapsed().as_secs_f64() * 1e3;
+                        let p = backend.predict_ms(prim, shape, ax, alpha_y);
+                        if p.is_finite() && p > 0.0 {
+                            predicted += p;
+                        }
+                        pr.telemetry.record_block_span(
+                            pr.layer,
+                            pr.kernel,
+                            bi.min(u16::MAX as usize - 1) as u16,
+                            span_primitive(prim),
+                            (r1 - r0, n, d),
+                            ax,
+                            alpha_y,
+                            p,
+                            measured,
+                        );
+                    }
+                    None => {
+                        let ax = exec(prim, r0, chunk).unwrap_or(ax);
+                        let p = backend.predict_ms(prim, shape, ax, alpha_y);
+                        if p.is_finite() && p > 0.0 {
+                            predicted += p;
+                        }
+                    }
+                }
+                bi += 1;
+            }
+        }
+    }
+    Ok(predicted)
+}
+
 impl ReferenceExecutor {
     /// Builds the runtime dispatcher for this executor's model, deciding
     /// with `policy`'s Table IV regions.
@@ -526,12 +670,46 @@ impl ReferenceExecutor {
         dispatcher: &KernelDispatcher,
         arena: &mut KernelArena,
         telemetry: Option<&mut SessionTelemetry>,
-        mut on_kernel: F,
+        on_kernel: F,
     ) -> dynasparse_matrix::Result<()>
     where
         F: FnMut(usize, usize, &KernelSpec, &FeatureMatrix, &FeatureMatrix),
     {
+        self.forward_dispatch_blocked_probed(input, dispatcher, arena, None, telemetry, on_kernel)
+            .map(|_| ())
+    }
+
+    /// The block-granular dispatched forward pass: every dense-output kernel
+    /// is executed as a loop over the row blocks of the compiler's
+    /// [`PartitionSpec`] (`N1` rows per Aggregate block, `N2` per Update
+    /// block), with a **per-block density refit** and a **per-block
+    /// primitive decision** through the dispatcher's [`ExecBackend`].  With
+    /// `partition = None` this is exactly the whole-kernel
+    /// [`ReferenceExecutor::forward_dispatch_probed`].
+    ///
+    /// Because row blocks never split the `k` dimension and every route
+    /// accumulates contributions to one output element in `k`-increasing
+    /// order, the pass is bit-identical to whole-kernel dispatch (and to the
+    /// fixed-kernel reference path) regardless of what each block decides —
+    /// see `tests/integration_backend.rs`.
+    ///
+    /// Returns the backend-predicted milliseconds summed over every executed
+    /// kernel (finite predictions only; `0.0` when the backend prices
+    /// nothing) — the serve runtime prices modeled device dwell with it.
+    pub fn forward_dispatch_blocked_probed<F>(
+        &self,
+        input: &FeatureMatrix,
+        dispatcher: &KernelDispatcher,
+        arena: &mut KernelArena,
+        partition: Option<&PartitionSpec>,
+        telemetry: Option<&mut SessionTelemetry>,
+        mut on_kernel: F,
+    ) -> dynasparse_matrix::Result<f64>
+    where
+        F: FnMut(usize, usize, &KernelSpec, &FeatureMatrix, &FeatureMatrix),
+    {
         let mut telemetry = telemetry.filter(|t| t.enabled());
+        let mut predicted_total = 0.0f64;
         let KernelArena {
             slots,
             input: input_slot,
@@ -560,9 +738,16 @@ impl ReferenceExecutor {
                     layer: l as u16,
                     kernel: ki as u16,
                 });
-                self.execute_kernel_dispatch_probed(
-                    spec, kin, out_slot, dispatcher, densify, spgemm, probe,
+                let block_rows = partition.map(|p| match spec.op {
+                    KernelOp::Aggregate { .. } => p.aggregate_block_rows(),
+                    KernelOp::Update { .. } => p.update_block_rows(),
+                });
+                let predicted = self.execute_kernel_dispatch_blocked_probed(
+                    spec, kin, out_slot, dispatcher, densify, spgemm, block_rows, probe,
                 )?;
+                if predicted.is_finite() {
+                    predicted_total += predicted;
+                }
                 if let Some(act) = spec.activation {
                     apply_activation_inplace(&mut out_slot.value, act);
                 }
@@ -575,16 +760,26 @@ impl ReferenceExecutor {
             std::mem::swap(input_slot, acc);
             external_input = None;
         }
-        Ok(())
+        Ok(predicted_total)
     }
 
     /// Executes one kernel like
-    /// [`ReferenceExecutor::execute_kernel_dispatch`], recording a kernel
-    /// span through `probe` when one is supplied: the executed primitive,
-    /// product shape, dispatch densities, the cost model's prediction and
-    /// the measured wall time.
+    /// [`ReferenceExecutor::execute_kernel_dispatch`] with optional
+    /// block granularity: when `block_rows` is supplied and the kernel's
+    /// route supports row blocking, the output is computed block by block
+    /// with a per-block density refit and primitive decision
+    /// ([`ReferenceExecutor::execute_kernel_blocked`]); routes that cannot
+    /// block (sparse-output retention, column-major operands) fall back to
+    /// the whole-kernel route, bit-identically either way.
+    ///
+    /// Returns the backend-predicted milliseconds for the kernel: the sum of
+    /// per-block predictions on the blocked path, the whole-product
+    /// prediction otherwise (`NaN`/`0.0` when the backend prices nothing).
+    /// The whole-kernel telemetry contract is unchanged — exactly one
+    /// counter bump, histogram observation and drift fold per kernel; block
+    /// spans additionally land in the trace ring on the serial path.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn execute_kernel_dispatch_probed(
+    pub(crate) fn execute_kernel_dispatch_blocked_probed(
         &self,
         spec: &KernelSpec,
         kin: &FeatureMatrix,
@@ -592,18 +787,47 @@ impl ReferenceExecutor {
         dispatcher: &KernelDispatcher,
         densify: &mut DenseMatrix,
         spgemm: &mut SpGemmScratch,
+        block_rows: Option<usize>,
         probe: Option<ProbeCtx<'_>>,
-    ) -> dynasparse_matrix::Result<()> {
-        let Some(probe) = probe else {
-            return self.execute_kernel_dispatch(spec, kin, out_slot, dispatcher, densify, spgemm);
+    ) -> dynasparse_matrix::Result<f64> {
+        let Some(mut probe) = probe else {
+            if let Some(br) = block_rows.filter(|&br| br > 0) {
+                if let Some(predicted) = self.execute_kernel_blocked(
+                    spec, kin, out_slot, dispatcher, densify, spgemm, br, None,
+                )? {
+                    return Ok(predicted);
+                }
+            }
+            let (executed, shape, ax, ay, _) = self.span_plan(spec, kin, dispatcher);
+            self.execute_kernel_dispatch(spec, kin, out_slot, dispatcher, densify, spgemm)?;
+            return Ok(dispatcher.predict_ms(executed, shape, ax, ay));
         };
         let (executed, shape, ax, ay, fell_back) = self.span_plan(spec, kin, dispatcher);
         if fell_back {
             probe.telemetry.record_fallback();
         }
-        let predicted_ms = dispatcher.predict_ms(executed, shape, ax, ay);
         let started = Instant::now();
-        self.execute_kernel_dispatch(spec, kin, out_slot, dispatcher, densify, spgemm)?;
+        let mut predicted_ms = f64::NAN;
+        let mut blocked = false;
+        if let Some(br) = block_rows.filter(|&br| br > 0) {
+            if let Some(sum) = self.execute_kernel_blocked(
+                spec,
+                kin,
+                out_slot,
+                dispatcher,
+                densify,
+                spgemm,
+                br,
+                Some(&mut probe),
+            )? {
+                predicted_ms = sum;
+                blocked = true;
+            }
+        }
+        if !blocked {
+            self.execute_kernel_dispatch(spec, kin, out_slot, dispatcher, densify, spgemm)?;
+            predicted_ms = dispatcher.predict_ms(executed, shape, ax, ay);
+        }
         let measured_ms = started.elapsed().as_secs_f64() * 1e3;
         probe.telemetry.record_span(
             probe.layer,
@@ -615,7 +839,234 @@ impl ReferenceExecutor {
             predicted_ms,
             measured_ms,
         );
-        Ok(())
+        Ok(predicted_ms)
+    }
+
+    /// Attempts to execute one kernel block-granularly: the dense output is
+    /// partitioned into `block_rows`-row blocks (the compiler's `N1`/`N2`
+    /// partition sizes), and every block gets its **own** density refit
+    /// (O(1) from CSR row pointers, one scan for dense-stored features) and
+    /// its own primitive decision/prediction through the dispatcher's
+    /// backend.
+    ///
+    /// Returns `Ok(Some(predicted_ms_sum))` when the kernel ran blocked, and
+    /// `Ok(None)` when this route must stay whole-kernel, which happens for:
+    ///
+    /// - sparse-output candidates (a whole-kernel `Spmm` decision whose
+    ///   output may be retained as CSR — the representation choice needs the
+    ///   whole product density);
+    /// - a whole-kernel `Skip` (resetting the output once is the blocked
+    ///   loop degenerate case, and the whole-kernel route already does it);
+    /// - column-major operands (the block kernels are allocation-free and
+    ///   refuse layout copies).
+    ///
+    /// Bit-identity is structural: row blocks never split the `k`
+    /// dimension, every block kernel runs the same fill-then-accumulate row
+    /// loop as its whole-kernel counterpart, and the one genuinely different
+    /// route pairing (Gustavson rows into a dense block vs densify-then-
+    /// SpDMM) accumulates in the same `k` order and normalizes `-0.0`.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_kernel_blocked(
+        &self,
+        spec: &KernelSpec,
+        kin: &FeatureMatrix,
+        out_slot: &mut ArenaSlot,
+        dispatcher: &KernelDispatcher,
+        densify: &mut DenseMatrix,
+        spgemm: &mut SpGemmScratch,
+        block_rows: usize,
+        probe: Option<&mut ProbeCtx<'_>>,
+    ) -> dynasparse_matrix::Result<Option<f64>> {
+        let backend = dispatcher.backend().as_ref();
+        match spec.op {
+            KernelOp::Aggregate { aggregator } => {
+                let adj = self
+                    .adjacency(aggregator)
+                    .expect("adjacency prepared at executor construction");
+                let (rows, n) = (adj.rows(), adj.cols());
+                match kin {
+                    FeatureMatrix::Dense(h) => {
+                        if h.layout() != Layout::RowMajor {
+                            return Ok(None);
+                        }
+                        let d = h.cols();
+                        // The route is structurally forced (adjacencies are
+                        // stored sparse): the per-block refit only chooses
+                        // between SpDMM and skipping an empty row block.
+                        blocked_dense_loop(
+                            out_slot,
+                            spgemm,
+                            dispatcher,
+                            (rows, n, d),
+                            1.0,
+                            block_rows,
+                            |r0, r1| block_density(adj.rows_nnz(r0, r1), r1 - r0, n),
+                            |shape, ax| {
+                                if shape.is_empty() || ax <= 0.0 {
+                                    HostPrimitive::Skip
+                                } else {
+                                    HostPrimitive::SpDmm
+                                }
+                            },
+                            |prim, r0, chunk| {
+                                match prim {
+                                    HostPrimitive::Skip => chunk.fill(0.0),
+                                    _ => backend
+                                        .spdmm_block(adj, h, r0, chunk)
+                                        .expect("pre-validated block kernel"),
+                                }
+                                None
+                            },
+                            probe,
+                        )
+                        .map(Some)
+                    }
+                    FeatureMatrix::Sparse(h) => {
+                        let d = h.cols();
+                        let shape = ProductShape::new(rows, n, d);
+                        match dispatcher.decide(shape, adj.density(), h.density()) {
+                            // Whole-kernel Skip resets once; whole-kernel
+                            // Spmm may retain a sparse output — both stay on
+                            // the unblocked route.
+                            HostPrimitive::Skip | HostPrimitive::Spmm => Ok(None),
+                            HostPrimitive::Gemm | HostPrimitive::SpDmm => {
+                                // Densify H once; per block the refit picks
+                                // sparse-sparse rows (Gustavson into the
+                                // dense block), sparse-dense, or skip — the
+                                // genuine three-way per-block mix.
+                                h.to_dense_into(densify);
+                                let ay = h.density();
+                                let densified: &DenseMatrix = densify;
+                                blocked_dense_loop(
+                                    out_slot,
+                                    spgemm,
+                                    dispatcher,
+                                    (rows, n, d),
+                                    ay,
+                                    block_rows,
+                                    |r0, r1| block_density(adj.rows_nnz(r0, r1), r1 - r0, n),
+                                    |shape, ax| match dispatcher.decide(shape, ax, ay) {
+                                        HostPrimitive::Skip => HostPrimitive::Skip,
+                                        HostPrimitive::Spmm => HostPrimitive::Spmm,
+                                        _ => HostPrimitive::SpDmm,
+                                    },
+                                    |prim, r0, chunk| {
+                                        match prim {
+                                            HostPrimitive::Skip => chunk.fill(0.0),
+                                            HostPrimitive::Spmm => backend
+                                                .spgemm_block(adj, h, r0, chunk)
+                                                .expect("pre-validated block kernel"),
+                                            _ => backend
+                                                .spdmm_block(adj, densified, r0, chunk)
+                                                .expect("pre-validated block kernel"),
+                                        }
+                                        None
+                                    },
+                                    probe,
+                                )
+                                .map(Some)
+                            }
+                        }
+                    }
+                }
+            }
+            KernelOp::Update { weight } => {
+                let w = &self.model().weights[weight];
+                match kin {
+                    FeatureMatrix::Dense(h) => {
+                        if h.layout() != Layout::RowMajor || w.layout() != Layout::RowMajor {
+                            return Ok(None);
+                        }
+                        let (rows, n, d) = (h.rows(), h.cols(), w.cols());
+                        let ay = w.density();
+                        // The blocked GEMM skips zero elements of H, so it
+                        // doubles as the host SpDMM here (same as the
+                        // whole-kernel route) — and its zero-skip scan
+                        // already counts the block's non-zeros, so the refit
+                        // is a placeholder and the exact measured density
+                        // prices the block after execution.  An all-zero
+                        // block computed as GEMM writes the same exact
+                        // `+0.0` a skip fill would.
+                        blocked_dense_loop(
+                            out_slot,
+                            spgemm,
+                            dispatcher,
+                            (rows, n, d),
+                            ay,
+                            block_rows,
+                            |_, _| 1.0,
+                            |shape, _ax| {
+                                if shape.is_empty() {
+                                    HostPrimitive::Skip
+                                } else {
+                                    HostPrimitive::Gemm
+                                }
+                            },
+                            |prim, r0, chunk| match prim {
+                                HostPrimitive::Skip => {
+                                    chunk.fill(0.0);
+                                    None
+                                }
+                                _ => {
+                                    let nnz = backend
+                                        .gemm_block(h, w, r0, chunk)
+                                        .expect("pre-validated block kernel");
+                                    Some(block_density(nnz, chunk.len() / d.max(1), n))
+                                }
+                            },
+                            probe,
+                        )
+                        .map(Some)
+                    }
+                    FeatureMatrix::Sparse(h) => {
+                        let (rows, n, d) = (h.rows(), h.cols(), w.cols());
+                        let shape = ProductShape::new(rows, n, d);
+                        let ay = w.density();
+                        let w_csr = dispatcher.weight_csr[weight].as_ref();
+                        match (dispatcher.decide(shape, h.density(), ay), w_csr) {
+                            (HostPrimitive::Skip, _) => Ok(None),
+                            // Sparse-sparse with retention: the output
+                            // representation depends on the whole product
+                            // density, so it stays whole-kernel.
+                            (HostPrimitive::Spmm, Some(_)) => Ok(None),
+                            _ => {
+                                if w.layout() != Layout::RowMajor {
+                                    return Ok(None);
+                                }
+                                blocked_dense_loop(
+                                    out_slot,
+                                    spgemm,
+                                    dispatcher,
+                                    (rows, n, d),
+                                    ay,
+                                    block_rows,
+                                    |r0, r1| block_density(h.rows_nnz(r0, r1), r1 - r0, n),
+                                    |shape, ax| match (dispatcher.decide(shape, ax, ay), w_csr) {
+                                        (HostPrimitive::Skip, _) => HostPrimitive::Skip,
+                                        (HostPrimitive::Spmm, Some(_)) => HostPrimitive::Spmm,
+                                        _ => HostPrimitive::SpDmm,
+                                    },
+                                    |prim, r0, chunk| {
+                                        match (prim, w_csr) {
+                                            (HostPrimitive::Skip, _) => chunk.fill(0.0),
+                                            (HostPrimitive::Spmm, Some(w_csr)) => backend
+                                                .spgemm_block(h, w_csr, r0, chunk)
+                                                .expect("pre-validated block kernel"),
+                                            _ => backend
+                                                .spdmm_block(h, w, r0, chunk)
+                                                .expect("pre-validated block kernel"),
+                                        }
+                                        None
+                                    },
+                                    probe,
+                                )
+                                .map(Some)
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// What [`ReferenceExecutor::execute_kernel_dispatch`] is about to do
@@ -866,6 +1317,84 @@ mod tests {
         let h0 = dense_features(48, 24, 1.0, 11);
         let model = GnnModel::gcn(24, 8, 5, 19);
         check_dispatch_matches_reference(&model, &h0, false);
+    }
+
+    fn check_blocked_matches_whole_kernel(
+        model: &GnnModel,
+        features: &FeatureMatrix,
+        partition: &PartitionSpec,
+        parallel: bool,
+    ) {
+        let exec = ReferenceExecutor::new(model, &small_graph());
+        let dispatcher = exec.dispatcher(DispatchPolicy::from_regions(16), parallel);
+        let mut whole = exec.arena(features.num_vertices());
+        exec.forward_dispatch(features, &dispatcher, &mut whole, |_, _, _, _, _| {})
+            .unwrap();
+        let mut blocked = exec.arena(features.num_vertices());
+        exec.forward_dispatch_blocked_probed(
+            features,
+            &dispatcher,
+            &mut blocked,
+            Some(partition),
+            None,
+            |_, _, _, _, _| {},
+        )
+        .unwrap();
+        assert_eq!(blocked.output().shape(), whole.output().shape());
+        assert_eq!(
+            blocked.output().to_dense().as_slice(),
+            whole.output().to_dense().as_slice(),
+            "block-granular dispatch must match whole-kernel dispatch bit for bit"
+        );
+    }
+
+    #[test]
+    fn blocked_dispatch_matches_whole_kernel_for_every_model_kind() {
+        let h0 = dense_features(48, 24, 0.3, 9);
+        // Block sizes that don't divide 48 exercise the fringe block.
+        let partition = PartitionSpec::new(13, 7).unwrap();
+        for kind in GnnModelKind::all() {
+            let model = GnnModel::standard(kind, 24, 8, 5, 13);
+            check_blocked_matches_whole_kernel(&model, &h0, &partition, false);
+            check_blocked_matches_whole_kernel(&model, &h0, &partition, true);
+        }
+    }
+
+    #[test]
+    fn blocked_dispatch_matches_on_sparse_features_and_pruned_weights() {
+        let h0_dense = dense_features(48, 24, 0.04, 10);
+        let h0 = FeatureMatrix::Sparse(CsrMatrix::from_dense(&h0_dense.to_dense()));
+        let partition = PartitionSpec::new(48, 5).unwrap();
+        for sparsity in [0.0, 0.95] {
+            let model = prune_model(&GnnModel::gcn(24, 8, 5, 17), sparsity);
+            check_blocked_matches_whole_kernel(&model, &h0, &partition, false);
+        }
+    }
+
+    #[test]
+    fn blocked_dispatch_returns_predicted_cost_with_a_calibrated_backend() {
+        let h0 = dense_features(48, 24, 0.3, 9);
+        let model = GnnModel::gcn(24, 8, 5, 13);
+        let exec = ReferenceExecutor::new(&model, &small_graph());
+        let calibration = Arc::new(HostCalibration::reference());
+        let dispatcher =
+            exec.dispatcher_calibrated(DispatchPolicy::from_regions(16), Some(calibration), false);
+        let partition = PartitionSpec::new(13, 7).unwrap();
+        let mut arena = exec.arena(h0.num_vertices());
+        let predicted = exec
+            .forward_dispatch_blocked_probed(
+                &h0,
+                &dispatcher,
+                &mut arena,
+                Some(&partition),
+                None,
+                |_, _, _, _, _| {},
+            )
+            .unwrap();
+        assert!(
+            predicted.is_finite() && predicted > 0.0,
+            "calibrated backend must price the blocked pass, got {predicted}"
+        );
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! Execution backends: who prices a block product and which primitive runs.
+//!
+//! The block-granular executor (see [`crate::arena`]) separates *what* a
+//! kernel computes from *who decides and prices it*.  An [`ExecBackend`]
+//! supplies the decision surface — `decide` picks the primitive for one
+//! (sub-)product from its runtime densities, `predict_ms` prices it — while
+//! the default-implemented block primitives (`gemm_block`, `spdmm_block`,
+//! `spgemm_block`) execute the product into a caller-owned row slice of the
+//! output.  Both backends share those default bodies, so swapping backends
+//! changes *routing and pricing only*: every route accumulates each output
+//! element in the same `k`-increasing order, keeping results bit-identical
+//! across backends and across block granularities.
+//!
+//! * [`HostBackend`] wraps the host cost models of `dynasparse-matrix`: the
+//!   measured [`CalibratedPolicy`] argmin when a calibration is supplied,
+//!   the Table IV [`RegionPolicy`] otherwise.
+//! * `ModeledAccelBackend` (in `dynasparse-core`, which can see the
+//!   accelerator crate) prices the same products with the accelerator's
+//!   cycle-accurate performance model instead.
+
+use dynasparse_matrix::ops::gemm_rows_into;
+use dynasparse_matrix::{
+    CalibratedPolicy, CostModel, CsrMatrix, DenseMatrix, DispatchPolicy, HostCalibration,
+    HostPrimitive, ProductShape, RegionPolicy,
+};
+use std::sync::Arc;
+
+/// Environment variable selecting the default execution backend
+/// (`host` or `accel`/`modeled-accel`).
+pub const BACKEND_ENV: &str = "DYNASPARSE_BACKEND";
+
+/// Which backend family prices and routes kernel products.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum BackendKind {
+    /// Host CPU kernels priced by the measured host calibration (or the
+    /// Table IV regions when no calibration is available).
+    #[default]
+    Host,
+    /// Host CPU kernels routed and priced by the modeled accelerator's
+    /// cycle-accurate performance model (the paper's Analyzer decision).
+    ModeledAccel,
+}
+
+impl BackendKind {
+    /// Stable lowercase label for logs, fingerprints and bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Host => "host",
+            BackendKind::ModeledAccel => "modeled-accel",
+        }
+    }
+
+    /// Stable one-byte code for cache fingerprints.
+    pub fn code(self) -> u8 {
+        match self {
+            BackendKind::Host => 0,
+            BackendKind::ModeledAccel => 1,
+        }
+    }
+
+    /// Parses a backend name as accepted by [`BACKEND_ENV`].
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "host" | "cpu" => Some(BackendKind::Host),
+            "accel" | "modeled" | "modeled-accel" | "modeled_accel" => {
+                Some(BackendKind::ModeledAccel)
+            }
+            _ => None,
+        }
+    }
+
+    /// The backend selected by [`BACKEND_ENV`], defaulting to
+    /// [`BackendKind::Host`] (with a warning on an unrecognized value).
+    pub fn from_env() -> BackendKind {
+        match std::env::var(BACKEND_ENV) {
+            Ok(v) => BackendKind::parse(&v).unwrap_or_else(|| {
+                eprintln!("dynasparse: ignoring unknown {BACKEND_ENV}={v} (using host)");
+                BackendKind::Host
+            }),
+            Err(_) => BackendKind::Host,
+        }
+    }
+}
+
+/// One execution backend: the decision/pricing surface of the block-granular
+/// dispatcher plus the (shared, default-implemented) block primitives.
+///
+/// Contract for implementors:
+///
+/// * `decide` must treat empty shapes and non-positive densities as
+///   [`HostPrimitive::Skip`] (the caller zero-fills the block rows).
+/// * `predict_ms` returns `NaN` when the backend cannot price the primitive
+///   in wall-clock terms (drift tracking skips non-finite predictions).
+/// * The block primitives must **not** be overridden with routes that change
+///   accumulation order: the executor's bit-identity guarantee (block loop ≡
+///   whole kernel ≡ reference) rests on every route adding contributions to
+///   one output element in `k`-increasing order with no contribution skipped.
+pub trait ExecBackend: std::fmt::Debug + Send + Sync {
+    /// Which backend family this is (fingerprints and reports key on it).
+    fn kind(&self) -> BackendKind;
+
+    /// Picks the primitive for one (sub-)product, additionally reporting
+    /// whether a calibrated decision fell back to the Table IV regions on a
+    /// degenerate fit (always `false` for backends that never predict).
+    fn decide(&self, shape: ProductShape, alpha_x: f64, alpha_y: f64) -> (HostPrimitive, bool);
+
+    /// Predicted milliseconds of executing `prim` on this product, or `NaN`
+    /// when the backend has no wall-clock model for it.
+    fn predict_ms(
+        &self,
+        prim: HostPrimitive,
+        shape: ProductShape,
+        alpha_x: f64,
+        alpha_y: f64,
+    ) -> f64;
+
+    /// The measured host calibration decisions come from, if any (used for
+    /// drift-triggered recalibration; `None` for non-calibrated backends).
+    fn calibration(&self) -> Option<&Arc<HostCalibration>> {
+        None
+    }
+
+    /// Dense × dense block: rows `[r0, r0 + out_rows.len()/d)` of `X·Y` into
+    /// the caller-owned row slice.  Returns the number of non-zero `X`
+    /// elements in the computed rows — the kernel's zero-skip scan measures
+    /// it for free, so the dispatcher can price the block from its exact
+    /// density without a second scan of a dense-stored operand.
+    fn gemm_block(
+        &self,
+        x: &DenseMatrix,
+        y: &DenseMatrix,
+        r0: usize,
+        out_rows: &mut [f32],
+    ) -> dynasparse_matrix::Result<usize> {
+        gemm_rows_into(x, y, r0, out_rows)
+    }
+
+    /// Sparse × dense block: rows `[r0, ...)` of `X·Y` with `X` in CSR form.
+    fn spdmm_block(
+        &self,
+        x: &CsrMatrix,
+        y: &DenseMatrix,
+        r0: usize,
+        out_rows: &mut [f32],
+    ) -> dynasparse_matrix::Result<()> {
+        x.spmm_dense_rows_into(y, r0, out_rows)
+    }
+
+    /// Sparse × sparse block, dense output: rows `[r0, ...)` of `X·Y` by
+    /// Gustavson accumulation directly into the dense row slice.
+    fn spgemm_block(
+        &self,
+        x: &CsrMatrix,
+        y: &CsrMatrix,
+        r0: usize,
+        out_rows: &mut [f32],
+    ) -> dynasparse_matrix::Result<()> {
+        x.spgemm_rows_dense_into(y, r0, out_rows)
+    }
+}
+
+/// Which cost model a host backend decides with: the measured host
+/// calibration (argmin over predicted milliseconds) or the Table IV regions
+/// of the modeled accelerator (the oracle and fallback).
+#[derive(Debug)]
+enum HostCostModel {
+    Regions(RegionPolicy),
+    Calibrated(CalibratedPolicy),
+}
+
+/// The host execution backend: decisions from the measured host calibration
+/// when one is supplied, from the Table IV regions otherwise.
+#[derive(Debug)]
+pub struct HostBackend {
+    cost: HostCostModel,
+}
+
+impl HostBackend {
+    /// Builds the host backend.  `policy` supplies the region fallback (and
+    /// the regions themselves when `calibration` is `None`).
+    pub fn new(policy: DispatchPolicy, calibration: Option<Arc<HostCalibration>>) -> Self {
+        let cost = match calibration {
+            Some(calibration) => {
+                HostCostModel::Calibrated(CalibratedPolicy::new(calibration, policy))
+            }
+            None => HostCostModel::Regions(RegionPolicy::new(policy)),
+        };
+        HostBackend { cost }
+    }
+
+    /// Whether decisions come from a measured host calibration.
+    pub fn is_calibrated(&self) -> bool {
+        matches!(self.cost, HostCostModel::Calibrated(_))
+    }
+}
+
+impl ExecBackend for HostBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Host
+    }
+
+    fn decide(&self, shape: ProductShape, alpha_x: f64, alpha_y: f64) -> (HostPrimitive, bool) {
+        match &self.cost {
+            HostCostModel::Regions(r) => (r.decide(shape, alpha_x, alpha_y), false),
+            HostCostModel::Calibrated(c) => c.decide_with_fallback(shape, alpha_x, alpha_y),
+        }
+    }
+
+    fn predict_ms(
+        &self,
+        prim: HostPrimitive,
+        shape: ProductShape,
+        alpha_x: f64,
+        alpha_y: f64,
+    ) -> f64 {
+        match &self.cost {
+            // The Table IV regions predict MAC counts, not wall time.
+            HostCostModel::Regions(_) => f64::NAN,
+            HostCostModel::Calibrated(c) => c.predict(prim, shape, alpha_x, alpha_y),
+        }
+    }
+
+    fn calibration(&self) -> Option<&Arc<HostCalibration>> {
+        match &self.cost {
+            HostCostModel::Calibrated(c) => Some(c.calibration()),
+            HostCostModel::Regions(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_and_codes_are_stable() {
+        assert_eq!(BackendKind::Host.label(), "host");
+        assert_eq!(BackendKind::ModeledAccel.label(), "modeled-accel");
+        assert_ne!(BackendKind::Host.code(), BackendKind::ModeledAccel.code());
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_spellings() {
+        assert_eq!(BackendKind::parse("host"), Some(BackendKind::Host));
+        assert_eq!(BackendKind::parse("CPU"), Some(BackendKind::Host));
+        assert_eq!(BackendKind::parse("accel"), Some(BackendKind::ModeledAccel));
+        assert_eq!(
+            BackendKind::parse("Modeled-Accel"),
+            Some(BackendKind::ModeledAccel)
+        );
+        assert_eq!(BackendKind::parse("gpu"), None);
+    }
+
+    #[test]
+    fn host_backend_without_calibration_uses_the_regions() {
+        let b = HostBackend::new(DispatchPolicy::from_regions(16), None);
+        assert!(!b.is_calibrated());
+        assert!(b.calibration().is_none());
+        let shape = ProductShape::new(32, 32, 8);
+        let (prim, fell_back) = b.decide(shape, 0.9, 0.8);
+        assert_eq!(prim, HostPrimitive::Gemm);
+        assert!(!fell_back);
+        assert!(b.predict_ms(prim, shape, 0.9, 0.8).is_nan());
+    }
+
+    #[test]
+    fn host_backend_with_calibration_predicts_finite_costs() {
+        let b = HostBackend::new(
+            DispatchPolicy::from_regions(16),
+            Some(Arc::new(HostCalibration::reference())),
+        );
+        assert!(b.is_calibrated());
+        assert!(b.calibration().is_some());
+        let shape = ProductShape::new(64, 64, 16);
+        for prim in [
+            HostPrimitive::Gemm,
+            HostPrimitive::SpDmm,
+            HostPrimitive::Spmm,
+        ] {
+            assert!(b.predict_ms(prim, shape, 0.3, 0.3).is_finite());
+        }
+        let (prim, _) = b.decide(shape, 0.0, 0.5);
+        assert_eq!(prim, HostPrimitive::Skip);
+    }
+
+    #[test]
+    fn block_primitives_match_the_whole_kernel_routes() {
+        use dynasparse_matrix::ops::gemm_reference;
+        use dynasparse_matrix::random::random_dense;
+        use dynasparse_matrix::row_blocks;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let b = HostBackend::new(DispatchPolicy::default(), None);
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = random_dense(&mut rng, 17, 13, 0.4);
+        let y = random_dense(&mut rng, 13, 9, 0.6);
+        let want = gemm_reference(&x, &y).unwrap();
+        let d = y.cols();
+        let mut out = vec![0.0f32; 17 * 9];
+        for (r0, r1) in row_blocks(17, 5) {
+            b.gemm_block(&x, &y, r0, &mut out[r0 * d..r1 * d]).unwrap();
+        }
+        assert_eq!(out.as_slice(), want.as_slice());
+
+        let xs = CsrMatrix::from_dense(&x);
+        let mut out2 = vec![0.0f32; 17 * 9];
+        for (r0, r1) in row_blocks(17, 4) {
+            b.spdmm_block(&xs, &y, r0, &mut out2[r0 * d..r1 * d])
+                .unwrap();
+        }
+        assert_eq!(out2.as_slice(), want.as_slice());
+
+        let ys = CsrMatrix::from_dense(&y);
+        let mut out3 = vec![0.0f32; 17 * 9];
+        for (r0, r1) in row_blocks(17, 3) {
+            b.spgemm_block(&xs, &ys, r0, &mut out3[r0 * d..r1 * d])
+                .unwrap();
+        }
+        let want_sp = xs.spgemm(&ys).unwrap().to_dense();
+        assert_eq!(out3.as_slice(), want_sp.as_slice());
+    }
+}

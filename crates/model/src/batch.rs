@@ -48,7 +48,8 @@ use dynasparse_matrix::ops::{
     gemm_col_blocked_into, gemm_col_blocked_into_pooled, gemm_into_cols, gemm_into_cols_pooled,
 };
 use dynasparse_matrix::{
-    BlockGrid, DenseMatrix, DensityProfile, HostPrimitive, MatrixError, ProductShape, SpGemmScratch,
+    BlockGrid, DenseMatrix, DensityProfile, HostPrimitive, MatrixError, PartitionSpec,
+    ProductShape, SpGemmScratch,
 };
 use dynasparse_telemetry::SessionTelemetry;
 use std::time::Instant;
@@ -170,15 +171,45 @@ impl ReferenceExecutor {
         dispatcher: &KernelDispatcher,
         arena: &mut KernelArena,
         telemetry: Option<&mut SessionTelemetry>,
-        mut on_kernel: F,
+        on_kernel: F,
     ) -> dynasparse_matrix::Result<()>
     where
         F: FnMut(usize, usize, &KernelSpec, &BatchKernelViews<'_>),
     {
+        self.forward_dispatch_batch_blocked_probed(
+            inputs, dispatcher, arena, None, telemetry, on_kernel,
+        )
+        .map(|_| ())
+    }
+
+    /// The block-granular fused batch pass: **aggregate** kernels — whose
+    /// batch route is the per-request route on the batch operand — execute
+    /// as row-block loops over the partition's `N1` with per-block density
+    /// refits and primitive decisions, exactly like
+    /// [`ReferenceExecutor::forward_dispatch_blocked_probed`].  **Update**
+    /// kernels keep their column-blocked batch kernels: the batch dimension
+    /// *is* their block structure, and splitting their rows as well would
+    /// break the shared-weight streaming that makes batch fusion win.
+    ///
+    /// Returns the backend-predicted milliseconds summed over every executed
+    /// kernel (finite predictions only).
+    pub fn forward_dispatch_batch_blocked_probed<F>(
+        &self,
+        inputs: &[FeatureMatrix],
+        dispatcher: &KernelDispatcher,
+        arena: &mut KernelArena,
+        partition: Option<&PartitionSpec>,
+        telemetry: Option<&mut SessionTelemetry>,
+        mut on_kernel: F,
+    ) -> dynasparse_matrix::Result<f64>
+    where
+        F: FnMut(usize, usize, &KernelSpec, &BatchKernelViews<'_>),
+    {
         let mut telemetry = telemetry.filter(|t| t.enabled());
+        let mut predicted_total = 0.0f64;
         let bsz = inputs.len();
         if bsz == 0 {
-            return Ok(());
+            return Ok(0.0);
         }
         if bsz > arena.batch_capacity {
             return Err(MatrixError::ShapeMismatch {
@@ -218,15 +249,24 @@ impl ReferenceExecutor {
                     layer: l as u16,
                     kernel: ki as u16,
                 });
-                match kin {
+                let predicted = match kin {
                     // Lazy concatenation: each request's kernel writes its
                     // own column block of the batch-shaped output.
                     None => {
                         self.execute_layer0_lazy(spec, inputs, out_slot, dispatcher, spgemm, probe)?
                     }
-                    Some(kin) => self.execute_kernel_dispatch_batch_probed(
-                        spec, kin, bsz, out_slot, dispatcher, densify, spgemm, probe,
-                    )?,
+                    Some(kin) => {
+                        let block_rows = partition
+                            .filter(|_| matches!(spec.op, KernelOp::Aggregate { .. }))
+                            .map(|p| p.aggregate_block_rows());
+                        self.execute_kernel_dispatch_batch_probed(
+                            spec, kin, bsz, out_slot, dispatcher, densify, spgemm, block_rows,
+                            probe,
+                        )?
+                    }
+                };
+                if predicted.is_finite() {
+                    predicted_total += predicted;
                 }
                 if let Some(act) = spec.activation {
                     apply_activation_inplace(&mut out_slot.value, act);
@@ -247,14 +287,15 @@ impl ReferenceExecutor {
             }
             std::mem::swap(input_slot, acc);
         }
-        Ok(())
+        Ok(predicted_total)
     }
 
     /// Layer-0 execution for dense/mixed batches: the batch input is never
     /// materialised; request `b`'s kernel writes columns
     /// `[b·width, (b+1)·width)` of the batch-shaped output directly.
     /// Routing is per request by representation (exactly the per-request
-    /// path's routes), so results stay bit-identical.
+    /// path's routes), so results stay bit-identical.  Returns the summed
+    /// backend-predicted milliseconds of the per-request kernels.
     fn execute_layer0_lazy(
         &self,
         spec: &KernelSpec,
@@ -263,19 +304,30 @@ impl ReferenceExecutor {
         dispatcher: &KernelDispatcher,
         spgemm: &mut SpGemmScratch,
         mut probe: Option<ProbeCtx<'_>>,
-    ) -> dynasparse_matrix::Result<()> {
+    ) -> dynasparse_matrix::Result<f64> {
         let bsz = inputs.len();
         let m = inputs[0].num_vertices();
         let pool = dispatcher.pool();
+        let mut predicted_total = 0.0f64;
         match spec.op {
             KernelOp::Update { weight } => {
                 let w = &self.model().weights[weight];
                 let n = w.cols();
+                let ay = w.density();
                 let out = slot_as_dense(out_slot, spgemm);
                 // Every request's kernel fully defines its own block, so the
                 // batch slot is reshaped without a redundant zero-fill.
                 out.reset_for_overwrite(m, n * bsz);
                 for (b, f) in inputs.iter().enumerate() {
+                    let shape = ProductShape::new(m, f.dim(), n);
+                    let (executed, ax) = match f {
+                        FeatureMatrix::Dense(_) => (HostPrimitive::Gemm, 1.0),
+                        FeatureMatrix::Sparse(h) => (HostPrimitive::SpDmm, h.density()),
+                    };
+                    let predicted_ms = dispatcher.predict_ms(executed, shape, ax, ay);
+                    if predicted_ms.is_finite() && predicted_ms > 0.0 {
+                        predicted_total += predicted_ms;
+                    }
                     let started = probe.as_ref().map(|_| Instant::now());
                     match f {
                         FeatureMatrix::Dense(h) => match pool {
@@ -288,12 +340,6 @@ impl ReferenceExecutor {
                         },
                     }
                     if let (Some(p), Some(started)) = (probe.as_mut(), started) {
-                        let shape = ProductShape::new(m, f.dim(), n);
-                        let (executed, ax) = match f {
-                            FeatureMatrix::Dense(_) => (HostPrimitive::Gemm, 1.0),
-                            FeatureMatrix::Sparse(h) => (HostPrimitive::SpDmm, h.density()),
-                        };
-                        let ay = w.density();
                         p.telemetry.record_span(
                             p.layer,
                             p.kernel,
@@ -301,7 +347,7 @@ impl ReferenceExecutor {
                             (shape.m, shape.n, shape.d),
                             ax,
                             ay,
-                            dispatcher.predict_ms(executed, shape, ax, ay),
+                            predicted_ms,
                             started.elapsed().as_secs_f64() * 1e3,
                         );
                     }
@@ -315,6 +361,16 @@ impl ReferenceExecutor {
                 let out = slot_as_dense(out_slot, spgemm);
                 out.reset_for_overwrite(m, d * bsz);
                 for (b, f) in inputs.iter().enumerate() {
+                    let shape = ProductShape::new(adj.rows(), adj.cols(), d);
+                    let ax = adj.density();
+                    let (executed, ay) = match f {
+                        FeatureMatrix::Dense(_) => (HostPrimitive::SpDmm, 1.0),
+                        FeatureMatrix::Sparse(h) => (HostPrimitive::Spmm, h.density()),
+                    };
+                    let predicted_ms = dispatcher.predict_ms(executed, shape, ax, ay);
+                    if predicted_ms.is_finite() && predicted_ms > 0.0 {
+                        predicted_total += predicted_ms;
+                    }
                     let started = probe.as_ref().map(|_| Instant::now());
                     match f {
                         FeatureMatrix::Dense(h) => match pool {
@@ -335,12 +391,6 @@ impl ReferenceExecutor {
                         }
                     }
                     if let (Some(p), Some(started)) = (probe.as_mut(), started) {
-                        let shape = ProductShape::new(adj.rows(), adj.cols(), d);
-                        let ax = adj.density();
-                        let (executed, ay) = match f {
-                            FeatureMatrix::Dense(_) => (HostPrimitive::SpDmm, 1.0),
-                            FeatureMatrix::Sparse(h) => (HostPrimitive::Spmm, h.density()),
-                        };
                         p.telemetry.record_span(
                             p.layer,
                             p.kernel,
@@ -348,19 +398,23 @@ impl ReferenceExecutor {
                             (shape.m, shape.n, shape.d),
                             ax,
                             ay,
-                            dispatcher.predict_ms(executed, shape, ax, ay),
+                            predicted_ms,
                             started.elapsed().as_secs_f64() * 1e3,
                         );
                     }
                 }
             }
         }
-        Ok(())
+        Ok(predicted_total)
     }
 
     /// Executes one batch kernel like
     /// [`ReferenceExecutor::execute_kernel_dispatch_batch`], recording one
-    /// kernel span for the fused kernel when `probe` is supplied.
+    /// kernel span for the fused kernel when `probe` is supplied, and
+    /// returning the backend-predicted milliseconds for the kernel.
+    /// `block_rows` row-blocks aggregate kernels (whose batch route is the
+    /// per-request route); update kernels ignore it — the batch dimension is
+    /// their column blocking.
     #[allow(clippy::too_many_arguments)]
     fn execute_kernel_dispatch_batch_probed(
         &self,
@@ -371,20 +425,17 @@ impl ReferenceExecutor {
         dispatcher: &KernelDispatcher,
         densify: &mut DenseMatrix,
         spgemm: &mut SpGemmScratch,
+        block_rows: Option<usize>,
         probe: Option<ProbeCtx<'_>>,
-    ) -> dynasparse_matrix::Result<()> {
+    ) -> dynasparse_matrix::Result<f64> {
         if matches!(spec.op, KernelOp::Aggregate { .. }) {
             // The batch aggregate reuses the per-request routes (and their
-            // span plan) verbatim on the batch operand.
-            return self.execute_kernel_dispatch_probed(
-                spec, kin, out_slot, dispatcher, densify, spgemm, probe,
+            // span plan, and the block-granular loop) verbatim on the batch
+            // operand.
+            return self.execute_kernel_dispatch_blocked_probed(
+                spec, kin, out_slot, dispatcher, densify, spgemm, block_rows, probe,
             );
         }
-        let Some(probe) = probe else {
-            return self.execute_kernel_dispatch_batch(
-                spec, kin, bsz, out_slot, dispatcher, densify, spgemm,
-            );
-        };
         let KernelOp::Update { weight } = spec.op else {
             unreachable!("aggregates handled above");
         };
@@ -407,10 +458,16 @@ impl ReferenceExecutor {
                 (executed, ax, fell_back)
             }
         };
+        let predicted_ms = dispatcher.predict_ms(executed, shape, ax, ay);
+        let Some(probe) = probe else {
+            self.execute_kernel_dispatch_batch(
+                spec, kin, bsz, out_slot, dispatcher, densify, spgemm,
+            )?;
+            return Ok(predicted_ms);
+        };
         if fell_back {
             probe.telemetry.record_fallback();
         }
-        let predicted_ms = dispatcher.predict_ms(executed, shape, ax, ay);
         let started = Instant::now();
         self.execute_kernel_dispatch_batch(spec, kin, bsz, out_slot, dispatcher, densify, spgemm)?;
         let measured_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -424,7 +481,7 @@ impl ReferenceExecutor {
             predicted_ms,
             measured_ms,
         );
-        Ok(())
+        Ok(predicted_ms)
     }
 
     /// Executes one kernel for the whole batch, routed by the batch
@@ -597,6 +654,42 @@ mod tests {
     fn pooled_batch_matches_serial() {
         let model = GnnModel::gin(24, 8, 5, 29);
         check_batch_matches_per_request(&model, &requests(24, 3, false), true);
+    }
+
+    #[test]
+    fn blocked_batch_matches_per_request_solo_passes() {
+        let partition = PartitionSpec::new(11, 5).unwrap();
+        let mut reqs = requests(24, 2, false);
+        reqs.extend(requests(24, 2, true));
+        for kind in GnnModelKind::all() {
+            let model = GnnModel::standard(kind, 24, 8, 5, 23);
+            let exec = ReferenceExecutor::new(&model, &small_graph());
+            let dispatcher = exec.dispatcher(DispatchPolicy::from_regions(16), false);
+            let mut arena = exec.arena(48);
+            let mut want = Vec::new();
+            for r in &reqs {
+                exec.forward_dispatch(r, &dispatcher, &mut arena, |_, _, _, _, _| {})
+                    .unwrap();
+                want.push(arena.output().to_dense());
+            }
+            let mut batch_arena = exec.arena_batch(48, reqs.len());
+            exec.forward_dispatch_batch_blocked_probed(
+                &reqs,
+                &dispatcher,
+                &mut batch_arena,
+                Some(&partition),
+                None,
+                |_, _, _, _| {},
+            )
+            .unwrap();
+            for (b, want) in want.iter().enumerate() {
+                assert_eq!(
+                    batch_arena.output_block(b).to_dense().as_slice(),
+                    want.as_slice(),
+                    "request {b} of the blocked batch must match its solo pass bit for bit"
+                );
+            }
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 pub mod activation;
 pub mod arena;
+pub mod backend;
 pub mod batch;
 pub mod error;
 pub mod kernel;
@@ -34,6 +35,7 @@ pub mod reference;
 
 pub use activation::Activation;
 pub use arena::{KernelArena, KernelDispatcher};
+pub use backend::{BackendKind, ExecBackend, HostBackend, BACKEND_ENV};
 pub use batch::BatchKernelViews;
 pub use error::{LayerError, ModelError};
 pub use kernel::{KernelInput, KernelOp, KernelSpec, LayerSpec};

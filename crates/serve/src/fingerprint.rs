@@ -4,20 +4,23 @@
 //! situation before?" without holding on to the model and graph themselves.
 //! A [`PlanFingerprint`] digests everything a [`CompiledPlan`] depends on —
 //! the model architecture and weight values, the adjacency structure of the
-//! graph, and the request feature *shape* — into 128 bits.  Two datasets
-//! with the same topology but different feature values map to the same
-//! fingerprint on purpose: a plan serves any feature matrix of the planned
-//! shape, and per-request sparsity is measured at runtime, so feature
-//! *content* must not fragment the cache.
+//! graph, the request feature *shape*, and the execution backend the plan
+//! was compiled for — into 128 bits.  Two datasets with the same topology
+//! but different feature values map to the same fingerprint on purpose: a
+//! plan serves any feature matrix of the planned shape, and per-request
+//! sparsity is measured at runtime, so feature *content* must not fragment
+//! the cache.  The byte-level digest writer is shared with
+//! [`ModelFingerprint`] through [`crate::digest`].
 //!
 //! [`CompiledPlan`]: dynasparse::CompiledPlan
 
+use crate::digest::{write_backend, write_graph, write_model, Fnv128};
 use dynasparse_graph::GraphDataset;
-use dynasparse_model::GnnModel;
+use dynasparse_model::{BackendKind, GnnModel};
 use serde::Serialize;
 
-/// 128-bit structural digest of a (model, graph topology, feature shape)
-/// triple, used as the [`PlanCache`](crate::PlanCache) key.
+/// 128-bit structural digest of a (model, graph topology, feature shape,
+/// backend) tuple, used as the [`PlanCache`](crate::PlanCache) key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub struct PlanFingerprint {
     lo: u64,
@@ -25,14 +28,24 @@ pub struct PlanFingerprint {
 }
 
 impl PlanFingerprint {
-    /// Digests `model` and `dataset` into a cache key.
+    /// Digests `model` and `dataset` into a cache key for the
+    /// environment-default execution backend (`DYNASPARSE_BACKEND`) — the
+    /// backend a `Planner::default()` compiles for.
     ///
     /// Covered: the model architecture (layer/kernel structure, dimensions,
     /// activations) and weight values, the graph adjacency structure
-    /// (row pointers, column indices, edge values) and the feature-matrix
-    /// shape.  Not covered: feature-matrix *values*, which are per-request
-    /// inputs as far as a compiled plan is concerned.
+    /// (row pointers, column indices, edge values), the feature-matrix
+    /// shape, and the backend kind.  Not covered: feature-matrix *values*,
+    /// which are per-request inputs as far as a compiled plan is concerned.
     pub fn of(model: &GnnModel, dataset: &GraphDataset) -> Self {
+        Self::for_backend(model, dataset, BackendKind::from_env())
+    }
+
+    /// [`PlanFingerprint::of`] for an explicit execution backend.  Plans
+    /// compiled for different backends route and price differently, so they
+    /// must never collide in a cache; [`PlanCache`](crate::PlanCache) passes
+    /// its planner's configured backend here.
+    pub fn for_backend(model: &GnnModel, dataset: &GraphDataset, backend: BackendKind) -> Self {
         let mut h = Fnv128::new();
         write_model(&mut h, model);
         write_graph(&mut h, &dataset.graph);
@@ -42,6 +55,7 @@ impl PlanFingerprint {
         h.write_usize(dataset.features.num_vertices());
         h.write_usize(dataset.features.dim());
 
+        write_backend(&mut h, backend);
         let (lo, hi) = h.finish();
         PlanFingerprint { lo, hi }
     }
@@ -52,11 +66,11 @@ impl PlanFingerprint {
     }
 }
 
-/// 128-bit structural digest of a model alone — architecture and weight
-/// values, no topology — used as the
+/// 128-bit structural digest of a model alone — architecture, weight values
+/// and execution backend, no topology — used as the
 /// [`TemplateCache`](crate::TemplateCache) key.
 ///
-/// This is the model-only prefix of [`PlanFingerprint`]: a resident
+/// This is the model-plus-backend prefix of [`PlanFingerprint`]: a resident
 /// [`ModelTemplate`](dynasparse::ModelTemplate) serves *every* topology, so
 /// its cache key must not fragment by graph or feature shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -66,10 +80,18 @@ pub struct ModelFingerprint {
 }
 
 impl ModelFingerprint {
-    /// Digests `model` (architecture + weight values) into a cache key.
+    /// Digests `model` (architecture + weight values) into a cache key for
+    /// the environment-default execution backend.
     pub fn of(model: &GnnModel) -> Self {
+        Self::for_backend(model, BackendKind::from_env())
+    }
+
+    /// [`ModelFingerprint::of`] for an explicit execution backend (see
+    /// [`PlanFingerprint::for_backend`]).
+    pub fn for_backend(model: &GnnModel, backend: BackendKind) -> Self {
         let mut h = Fnv128::new();
         write_model(&mut h, model);
+        write_backend(&mut h, backend);
         let (lo, hi) = h.finish();
         ModelFingerprint { lo, hi }
     }
@@ -78,96 +100,6 @@ impl ModelFingerprint {
     pub fn to_hex(self) -> String {
         format!("{:016x}{:016x}", self.hi, self.lo)
     }
-}
-
-/// Digests the model architecture and weight values.  The Debug rendering of
-/// the layer specs is a faithful, allocation-light serialization of the
-/// kernel DAG (operators, aggregators, weight indices, activations, wiring).
-fn write_model(h: &mut Fnv128, model: &GnnModel) {
-    h.write_str("model");
-    h.write_usize(model.input_dim);
-    h.write_usize(model.output_dim);
-    h.write_str(&format!("{:?}", model.kind));
-    h.write_usize(model.layers.len());
-    for layer in &model.layers {
-        h.write_str(&format!("{layer:?}"));
-    }
-    // Weight values: two models with identical shape but different
-    // parameters compile to different plans (the static weight-sparsity
-    // profile and the served outputs both depend on them).
-    h.write_usize(model.weights.len());
-    for w in &model.weights {
-        h.write_usize(w.rows());
-        h.write_usize(w.cols());
-        h.write_f32s(w.as_slice());
-    }
-}
-
-/// Digests the exact CSR structure of the graph's adjacency matrix.
-fn write_graph(h: &mut Fnv128, graph: &dynasparse_graph::Graph) {
-    let adj = graph.adjacency();
-    h.write_str("graph");
-    h.write_usize(adj.rows());
-    h.write_usize(adj.cols());
-    for &p in adj.row_ptr() {
-        h.write_usize(p);
-    }
-    h.write_bytes(bytemuck_u32(adj.col_idx()));
-    h.write_f32s(adj.values());
-}
-
-/// Two independent FNV-1a 64-bit lanes with distinct offset bases; the
-/// second lane additionally mixes a running byte counter so lane collisions
-/// are uncorrelated.  Not cryptographic — the cache key only needs to
-/// separate non-adversarial workloads.
-struct Fnv128 {
-    lo: u64,
-    hi: u64,
-    count: u64,
-}
-
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-impl Fnv128 {
-    fn new() -> Self {
-        Fnv128 {
-            lo: 0xcbf2_9ce4_8422_2325,
-            hi: 0x6c62_272e_07bb_0142,
-            count: 0,
-        }
-    }
-
-    fn write_bytes(&mut self, bytes: impl IntoIterator<Item = u8>) {
-        for b in bytes {
-            self.count = self.count.wrapping_add(1);
-            self.lo = (self.lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
-            self.hi = (self.hi ^ u64::from(b) ^ (self.count << 8)).wrapping_mul(FNV_PRIME);
-        }
-    }
-
-    fn write_str(&mut self, s: &str) {
-        self.write_usize(s.len());
-        self.write_bytes(s.bytes());
-    }
-
-    fn write_usize(&mut self, v: usize) {
-        self.write_bytes((v as u64).to_le_bytes());
-    }
-
-    fn write_f32s(&mut self, vs: &[f32]) {
-        self.write_usize(vs.len());
-        for v in vs {
-            self.write_bytes(v.to_bits().to_le_bytes());
-        }
-    }
-
-    fn finish(self) -> (u64, u64) {
-        (self.lo, self.hi)
-    }
-}
-
-fn bytemuck_u32(vs: &[u32]) -> impl IntoIterator<Item = u8> + '_ {
-    vs.iter().flat_map(|v| v.to_le_bytes())
 }
 
 #[cfg(test)]
@@ -235,6 +167,31 @@ mod tests {
         assert_ne!(
             PlanFingerprint::of(&model, &ds),
             PlanFingerprint::of(&reseeded, &ds)
+        );
+    }
+
+    #[test]
+    fn differing_backends_do_not_collide() {
+        // A plan compiled for the modeled-accelerator backend carries
+        // different routing/pricing state than a host-backend plan over the
+        // same (model, topology); the cache must treat them as distinct.
+        let (model, ds) = fixture(7, 0.1);
+        let host = PlanFingerprint::for_backend(&model, &ds, BackendKind::Host);
+        let accel = PlanFingerprint::for_backend(&model, &ds, BackendKind::ModeledAccel);
+        assert_ne!(host, accel);
+        // Same split for template keys.
+        assert_ne!(
+            ModelFingerprint::for_backend(&model, BackendKind::Host),
+            ModelFingerprint::for_backend(&model, BackendKind::ModeledAccel)
+        );
+        // The env-default constructors agree with the explicit form.
+        assert_eq!(
+            PlanFingerprint::of(&model, &ds),
+            PlanFingerprint::for_backend(&model, &ds, BackendKind::from_env())
+        );
+        assert_eq!(
+            ModelFingerprint::of(&model),
+            ModelFingerprint::for_backend(&model, BackendKind::from_env())
         );
     }
 

@@ -89,6 +89,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
+mod digest;
 pub mod error;
 pub mod fingerprint;
 pub mod metrics;

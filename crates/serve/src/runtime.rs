@@ -45,10 +45,13 @@ use std::time::{Duration, Instant};
 pub enum DeviceDwell {
     /// No dwell: workers run as fast as the host simulates (unit tests).
     None,
-    /// Sleep for the modeled per-request milliseconds of `strategy`
-    /// (falling back to the first priced strategy), times `scale`.
+    /// Sleep for the execution backend's predicted per-request milliseconds
+    /// ([`InferenceReport::predicted_kernel_ms`] plus the feature transfer),
+    /// times `scale`; requests the backend did not price fall back to the
+    /// modeled per-request milliseconds of `strategy` (then to the first
+    /// priced strategy).
     Modeled {
-        /// Strategy whose modeled latency the lane occupies.
+        /// Strategy whose modeled latency prices unpriced requests.
         strategy: MappingStrategy,
         /// Multiplier on the modeled milliseconds (1.0 = faithful).
         scale: f64,
@@ -872,6 +875,43 @@ fn spend_respawn(
 /// Retires a worker whose circuit breaker opened.  The last live worker to
 /// retire closes the queue and fails every residual ticket — with nobody
 /// left to drain, leaving them queued would hang their callers forever.
+/// Modeled device-lane occupancy for one served batch.
+///
+/// Each successful request occupies the lane for its feature transfer plus
+/// the **execution backend's** predicted kernel milliseconds
+/// ([`InferenceReport::predicted_kernel_ms`]) — host-calibrated or
+/// accelerator-modeled, whichever backend routed the request.  Requests the
+/// backend did not price (regions policy, reference path) fall back to
+/// `strategy`'s modeled accelerator latency, then to the first priced
+/// strategy, so the lane never idles through an unpriced batch.
+fn modeled_dwell(results: &[Result<InferenceReport, ServeError>], dwell: DeviceDwell) -> Duration {
+    match dwell {
+        DeviceDwell::None => Duration::ZERO,
+        DeviceDwell::Modeled { strategy, scale } => {
+            let ms: f64 = results
+                .iter()
+                .filter_map(|r| r.as_ref().ok())
+                .map(|report| {
+                    if report.predicted_kernel_ms > 0.0 {
+                        report.feature_movement_ms + report.predicted_kernel_ms
+                    } else {
+                        report
+                            .amortized_ms(strategy)
+                            .or_else(|| {
+                                report
+                                    .runs
+                                    .first()
+                                    .map(|run| report.feature_movement_ms + run.latency_ms)
+                            })
+                            .unwrap_or(0.0)
+                    }
+                })
+                .sum();
+            Duration::from_secs_f64((ms * scale.max(0.0)) / 1e3)
+        }
+    }
+}
+
 fn retire_worker(queue: &BoundedQueue<QueuedRequest>, supervisor: &Supervisor) {
     if supervisor.live_workers.fetch_sub(1, Ordering::SeqCst) == 1 {
         queue.close();
@@ -1054,27 +1094,7 @@ fn worker_loop(
             }
         };
 
-        let dwell = match config.device_dwell {
-            DeviceDwell::None => Duration::ZERO,
-            DeviceDwell::Modeled { strategy, scale } => {
-                let ms: f64 = results
-                    .iter()
-                    .filter_map(|r| r.as_ref().ok())
-                    .map(|report| {
-                        report
-                            .amortized_ms(strategy)
-                            .or_else(|| {
-                                report
-                                    .runs
-                                    .first()
-                                    .map(|run| report.feature_movement_ms + run.latency_ms)
-                            })
-                            .unwrap_or(0.0)
-                    })
-                    .sum();
-                Duration::from_secs_f64((ms * scale.max(0.0)) / 1e3)
-            }
-        };
+        let dwell = modeled_dwell(&results, config.device_dwell);
         if dwell > Duration::ZERO {
             // The worker's virtual accelerator lane is busy executing the
             // batch; the host thread parks with no locks held, so sibling
@@ -1229,27 +1249,7 @@ fn template_worker_loop(
             }
         }
 
-        let dwell = match config.device_dwell {
-            DeviceDwell::None => Duration::ZERO,
-            DeviceDwell::Modeled { strategy, scale } => {
-                let ms: f64 = results
-                    .iter()
-                    .filter_map(|r| r.as_ref().ok())
-                    .map(|report| {
-                        report
-                            .amortized_ms(strategy)
-                            .or_else(|| {
-                                report
-                                    .runs
-                                    .first()
-                                    .map(|run| report.feature_movement_ms + run.latency_ms)
-                            })
-                            .unwrap_or(0.0)
-                    })
-                    .sum();
-                Duration::from_secs_f64((ms * scale.max(0.0)) / 1e3)
-            }
-        };
+        let dwell = modeled_dwell(&results, config.device_dwell);
         if dwell > Duration::ZERO {
             thread::sleep(dwell);
         }

@@ -51,11 +51,13 @@ pub enum CounterId {
     ServeWorkerPanics,
     /// Worker sessions rebuilt after a caught panic.
     ServeWorkerRespawns,
+    /// Online recalibrations triggered by drift leaving the accepted band.
+    Recalibrations,
 }
 
 impl CounterId {
     /// Every counter, in exposition order.
-    pub const ALL: [CounterId; 21] = [
+    pub const ALL: [CounterId; 22] = [
         CounterId::SessionRequests,
         CounterId::KernelSpans,
         CounterId::DispatchGemm,
@@ -77,6 +79,7 @@ impl CounterId {
         CounterId::ServeDeadlineExpired,
         CounterId::ServeWorkerPanics,
         CounterId::ServeWorkerRespawns,
+        CounterId::Recalibrations,
     ];
 
     /// The slot index backing this counter.
@@ -108,6 +111,7 @@ impl CounterId {
             CounterId::ServeDeadlineExpired => "dynasparse_serve_deadline_expired_total",
             CounterId::ServeWorkerPanics => "dynasparse_serve_worker_panics_total",
             CounterId::ServeWorkerRespawns => "dynasparse_serve_worker_respawns_total",
+            CounterId::Recalibrations => "dynasparse_recalibrations_total",
         }
     }
 
@@ -137,6 +141,9 @@ impl CounterId {
             CounterId::ServeDeadlineExpired => "Requests shed because their deadline expired",
             CounterId::ServeWorkerPanics => "Worker executions that panicked (caught)",
             CounterId::ServeWorkerRespawns => "Worker sessions rebuilt after a caught panic",
+            CounterId::Recalibrations => {
+                "Online recalibrations triggered by drift leaving the accepted band"
+            }
         }
     }
 }

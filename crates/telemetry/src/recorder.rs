@@ -42,6 +42,9 @@ pub struct KernelSpan {
     pub layer: u16,
     /// Kernel index within the layer (aggregate/update position).
     pub kernel: u16,
+    /// Row-block index within the kernel on the block-granular dispatch
+    /// path, or [`KernelSpan::WHOLE_KERNEL`] for a whole-kernel span.
+    pub block: u16,
     /// The primitive that actually executed.
     pub primitive: SpanPrimitive,
     /// Product rows (`m` of `m x n x d`).
@@ -60,6 +63,18 @@ pub struct KernelSpan {
     pub predicted_ms: f32,
     /// Measured wall time of the dispatch in milliseconds.
     pub measured_ms: f32,
+}
+
+impl KernelSpan {
+    /// The `block` value of a span covering the whole kernel (the legacy
+    /// whole-kernel dispatch, or the roll-up span of a block-granular
+    /// dispatch).
+    pub const WHOLE_KERNEL: u16 = u16::MAX;
+
+    /// Whether this span covers one row block rather than the whole kernel.
+    pub fn is_block(&self) -> bool {
+        self.block != Self::WHOLE_KERNEL
+    }
 }
 
 /// A bounded ring of [`KernelSpan`]s owned by one session.
@@ -224,6 +239,7 @@ mod tests {
             request: 0,
             layer: 0,
             kernel: 0,
+            block: KernelSpan::WHOLE_KERNEL,
             primitive: SpanPrimitive::Gemm,
             m: 8,
             n: 8,

@@ -154,6 +154,7 @@ impl SessionTelemetry {
                 request: self.request,
                 layer,
                 kernel,
+                block: KernelSpan::WHOLE_KERNEL,
                 primitive,
                 m: shape.0 as u32,
                 n: shape.1 as u32,
@@ -166,10 +167,54 @@ impl SessionTelemetry {
         }
     }
 
+    /// Records one row block of a block-granular kernel dispatch into the
+    /// flight-recorder ring (at `trace` level only).  Counters, the
+    /// kernel-time histogram and drift tracking are fed once by the
+    /// enclosing whole-kernel [`SessionTelemetry::record_span`] — block
+    /// spans exist so a trace shows *which* blocks of a kernel ran which
+    /// primitive at which density.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_block_span(
+        &mut self,
+        layer: u16,
+        kernel: u16,
+        block: u16,
+        primitive: SpanPrimitive,
+        shape: (usize, usize, usize),
+        alpha_x: f64,
+        alpha_y: f64,
+        predicted_ms: f64,
+        measured_ms: f64,
+    ) {
+        if !self.level.tracing() {
+            return;
+        }
+        self.recorder.push(KernelSpan {
+            request: self.request,
+            layer,
+            kernel,
+            block,
+            primitive,
+            m: shape.0 as u32,
+            n: shape.1 as u32,
+            d: shape.2 as u32,
+            alpha_x: alpha_x as f32,
+            alpha_y: alpha_y as f32,
+            predicted_ms: predicted_ms as f32,
+            measured_ms: measured_ms as f32,
+        });
+    }
+
     /// Records a calibrated decision that fell back to the Table IV regions
     /// on a degenerate (non-finite) fit prediction.
     pub fn record_fallback(&self) {
         self.registry.incr(self.shard, CounterId::DispatchFallbacks);
+    }
+
+    /// Records one online recalibration (a drift gauge left the accepted
+    /// band and the session rescaled its calibration fit).
+    pub fn record_recalibration(&self) {
+        self.registry.incr(self.shard, CounterId::Recalibrations);
     }
 
     /// Records the non-kernel phases of one completed request:

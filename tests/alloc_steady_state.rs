@@ -15,7 +15,7 @@
 use dynasparse::{EngineOptions, HostExecutionOptions, MappingStrategy, Planner};
 use dynasparse_graph::generators::{dense_features, power_law_graph, PowerLawConfig};
 use dynasparse_graph::{Dataset, FeatureMatrix};
-use dynasparse_matrix::{CsrMatrix, DispatchPolicy};
+use dynasparse_matrix::{CsrMatrix, DispatchPolicy, PartitionSpec};
 use dynasparse_model::{prune_model, GnnModel, GnnModelKind, ReferenceExecutor};
 use dynasparse_telemetry::{CounterId, Registry, SessionTelemetry, TelemetryLevel};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -86,6 +86,55 @@ fn steady_state_kernel_hot_path_is_allocation_free() {
             allocs,
             0,
             "{}: steady-state dispatched forward must not allocate",
+            kind.name()
+        );
+    }
+
+    // --- The block-granular path must meet the same zero-alloc bar. ---
+    //
+    // Block-granular dispatch (the session default) re-decides the primitive
+    // per partition row block: every block's density refit, backend decision
+    // and row-range kernel writes into the same arena slot the whole-kernel
+    // path uses, so a warmed arena serves the blocked forward with zero heap
+    // allocations too.
+    for kind in GnnModelKind::all() {
+        let model = GnnModel::standard(
+            kind,
+            dataset.features.dim(),
+            16,
+            dataset.spec.num_classes,
+            5,
+        );
+        let exec = ReferenceExecutor::new(&model, &dataset.graph);
+        let dispatcher = exec.dispatcher(DispatchPolicy::from_regions(16), false);
+        let mut arena = exec.arena(dataset.graph.num_vertices());
+        let spec = PartitionSpec::new(64, 16).unwrap();
+        for _ in 0..2 {
+            exec.forward_dispatch_blocked_probed(
+                &features,
+                &dispatcher,
+                &mut arena,
+                Some(&spec),
+                None,
+                |_, _, _, _, _| {},
+            )
+            .unwrap();
+        }
+        let allocs = count_allocs(|| {
+            exec.forward_dispatch_blocked_probed(
+                &features,
+                &dispatcher,
+                &mut arena,
+                Some(&spec),
+                None,
+                |_, _, _, _, _| {},
+            )
+            .unwrap();
+        });
+        assert_eq!(
+            allocs,
+            0,
+            "{}: steady-state block-granular forward must not allocate",
             kind.name()
         );
     }
@@ -279,6 +328,13 @@ fn steady_state_kernel_hot_path_is_allocation_free() {
     }
 
     // --- The session-level budget: constant per request, below legacy. ---
+    //
+    // Default options serve with block-granular dispatch, so this constant
+    // budget covers the blocked hot path end to end (per-block refits and
+    // decisions included).  Online recalibration is pinned off: a
+    // drift-triggered fit rescale is a deliberate, rare allocation event
+    // (clone + swap of the calibration) whose timing depends on host noise,
+    // which would make the per-request count non-constant.
     let model = GnnModel::standard(
         GnnModelKind::Gcn,
         dataset.features.dim(),
@@ -288,9 +344,16 @@ fn steady_state_kernel_hot_path_is_allocation_free() {
     );
     let strategies = [MappingStrategy::Dynamic];
 
-    let plan = Planner::new(EngineOptions::default())
-        .plan(&model, &dataset)
-        .unwrap();
+    let plan = Planner::new(
+        EngineOptions::builder()
+            .host(HostExecutionOptions {
+                recalibrate: false,
+                ..Default::default()
+            })
+            .build(),
+    )
+    .plan(&model, &dataset)
+    .unwrap();
     let mut session = plan.session(&strategies);
     for _ in 0..2 {
         session.infer(&features).unwrap();

@@ -2,24 +2,30 @@
 //!
 //! The drift gauges exist to catch exactly one failure mode: a persisted
 //! `DYNASPARSE_CALIBRATION` fit that no longer describes the host it runs
-//! on.  This test manufactures that situation — the reference fit inflated
-//! by six orders of magnitude — and proves the per-primitive EWMA gauges
-//! move far away from the calibrated-correctly reading (~1.0).
+//! on.  These tests manufacture that situation — the reference fit inflated
+//! by six orders of magnitude — and prove (a) with online recalibration
+//! pinned off, the per-primitive EWMA gauges move far away from the
+//! calibrated-correctly reading (~1.0), and (b) with recalibration on (the
+//! default), the session rescales the stale fit back and the gauges recover.
 //!
 //! This lives in its **own test binary** on purpose: the shared calibration
 //! is a process-wide `OnceLock`, so the environment variable must be set
 //! before anything in the process plans.  Sibling integration tests run in
 //! other binaries and keep their measured (or default) calibration.
 
-use dynasparse::{MappingStrategy, Planner, Registry, TelemetryLevel};
+use dynasparse::{
+    EngineOptions, HostExecutionOptions, MappingStrategy, Planner, Registry, TelemetryLevel,
+};
 use dynasparse_graph::Dataset;
 use dynasparse_matrix::HostCalibration;
 use dynasparse_model::{GnnModel, GnnModelKind};
 use dynasparse_telemetry::GaugeId;
 use std::sync::Arc;
 
-#[test]
-fn stale_calibration_moves_the_drift_gauges() {
+/// Persists the 1e6x-inflated reference fit and points
+/// `DYNASPARSE_CALIBRATION` at it.  Idempotent — both tests share the
+/// process-wide `OnceLock`, and both want the stale fit loaded.
+fn install_stale_calibration() {
     // A deliberately stale fit: every cost curve of the reference fixture
     // inflated 1e6x, so each prediction claims the host is a million times
     // slower than it is.  Uniform inflation keeps the argmin (and therefore
@@ -35,6 +41,11 @@ fn stale_calibration_moves_the_drift_gauges() {
     let path = path.to_str().expect("utf-8 temp path").to_string();
     stale.save(&path).expect("persist the stale fit");
     std::env::set_var("DYNASPARSE_CALIBRATION", &path);
+}
+
+#[test]
+fn stale_calibration_moves_the_drift_gauges() {
+    install_stale_calibration();
 
     let ds = Dataset::Cora.spec().generate_scaled(11, 0.12);
     let model = GnnModel::standard(
@@ -44,7 +55,20 @@ fn stale_calibration_moves_the_drift_gauges() {
         ds.spec.num_classes,
         3,
     );
-    let plan = Planner::default().plan(&model, &ds).unwrap();
+    // Recalibration pinned off: this test observes the *raw* drift signal —
+    // with the default `recalibrate: true` the session would rescale the
+    // stale fit after the first out-of-band request and the gauges would
+    // recover to ~1.0 (which `recalibration_repairs_a_stale_fit` proves).
+    let plan = Planner::new(
+        EngineOptions::builder()
+            .host(HostExecutionOptions {
+                recalibrate: false,
+                ..Default::default()
+            })
+            .build(),
+    )
+    .plan(&model, &ds)
+    .unwrap();
     let calibration = plan
         .calibration()
         .expect("the env var points at a loadable fit");
@@ -79,6 +103,51 @@ fn stale_calibration_moves_the_drift_gauges() {
             assert!(
                 (0.0..0.5).contains(&drift),
                 "drift gauge {name} must expose the stale fit, got {drift}"
+            );
+        }
+    }
+}
+
+#[test]
+fn recalibration_repairs_a_stale_fit() {
+    install_stale_calibration();
+
+    let ds = Dataset::Cora.spec().generate_scaled(11, 0.12);
+    let model = GnnModel::standard(
+        GnnModelKind::Gcn,
+        ds.features.dim(),
+        16,
+        ds.spec.num_classes,
+        3,
+    );
+    // Default options: `recalibrate: true`.  The first served request's
+    // drift EWMA lands far below `DRIFT_BAND`, which rescales the offending
+    // primitive's fit by the observed ratio, swaps it into the dispatcher
+    // and resets the gauge — so after a few requests every finite gauge
+    // must have recovered toward the healthy ~1.0 reading.
+    let plan = Planner::default().plan(&model, &ds).unwrap();
+
+    let registry = Arc::new(Registry::new(TelemetryLevel::Counters));
+    let mut session = plan.session(&[MappingStrategy::Dynamic]);
+    session.set_telemetry(Arc::clone(&registry));
+    for _ in 0..8 {
+        session.infer(&ds.features).unwrap();
+    }
+
+    let drifts = [
+        ("gemm", registry.gauge(GaugeId::DriftGemm)),
+        ("spdmm", registry.gauge(GaugeId::DriftSpdmm)),
+        ("spmm", registry.gauge(GaugeId::DriftSpmm)),
+    ];
+    for (name, drift) in drifts {
+        if drift.is_finite() {
+            // A gauge that is finite after recalibration reflects the
+            // *rescaled* fit.  The 1e6x staleness would read < 1e-3; the
+            // generous band below only needs to prove the repair happened,
+            // not that the one-shot rescale is perfectly converged.
+            assert!(
+                drift > 0.05,
+                "drift gauge {name} must recover after online recalibration, got {drift}"
             );
         }
     }
