@@ -16,7 +16,7 @@ use dynasparse_accel::AcceleratorConfig;
 use dynasparse_compiler::CompilerConfig;
 use dynasparse_graph::GraphDataset;
 use dynasparse_model::{BackendKind, GnnModel};
-use dynasparse_runtime::MappingStrategy;
+use dynasparse_runtime::{MappingStrategy, PricingCacheMode};
 use serde::{Deserialize, Serialize};
 
 /// Which cost model picks the host primitive of every dispatched kernel.
@@ -84,9 +84,17 @@ pub struct HostExecutionOptions {
     pub block_dispatch: bool,
     /// Rescale the host calibration online when a per-primitive
     /// measured/predicted drift EWMA leaves the accepted band (see
-    /// [`Session`](crate::Session) docs).  Only the host backend
+    /// [`Session`] docs).  Only the host backend
     /// recalibrates; `DYNASPARSE_RECALIBRATE=0` force-disables it.
     pub recalibrate: bool,
+    /// Cache Analyzer results keyed on quantized sparsity profiles (see
+    /// [`PricingCacheMode`]).  `Bucketed` (default) shares one pricing pass
+    /// across profiles that quantize into the same half-octave density
+    /// buckets; `Exact` only amortizes exact repeats; `Off` restores
+    /// uncached pricing.  Overridable via `DYNASPARSE_PRICING_CACHE`
+    /// (`off` / `exact` / `on`).  Embeddings are unaffected in every mode —
+    /// the cache only touches the strategy pricing pass.
+    pub pricing_cache: PricingCacheMode,
 }
 
 impl Default for HostExecutionOptions {
@@ -99,6 +107,7 @@ impl Default for HostExecutionOptions {
             backend: BackendKind::from_env(),
             block_dispatch: true,
             recalibrate: true,
+            pricing_cache: PricingCacheMode::default(),
         }
     }
 }

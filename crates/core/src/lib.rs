@@ -212,8 +212,10 @@ pub use dynasparse_compiler::CompilerConfig;
 pub use dynasparse_model::{
     BackendKind, ExecBackend, HostBackend, LayerError, ModelError, BACKEND_ENV,
 };
-pub use dynasparse_runtime::MappingStrategy;
+pub use dynasparse_runtime::{
+    MappingStrategy, PricingCacheMode, SharedPricingTier, PRICING_CACHE_ENV,
+};
 pub use dynasparse_telemetry::{
-    FlightRecorder, KernelSpan, Registry, SessionTelemetry, SpanPrimitive, TelemetryLevel,
-    TelemetrySnapshot, TELEMETRY_ENV,
+    CounterId, FlightRecorder, GaugeId, HistogramId, KernelSpan, Registry, SessionTelemetry,
+    SpanPrimitive, TelemetryLevel, TelemetrySnapshot, TELEMETRY_ENV,
 };

@@ -23,7 +23,8 @@ use dynasparse_model::{
     StageOp,
 };
 use dynasparse_runtime::{
-    Analyzer, KernelAnalysis, MappingStrategy, OperandProfiles, RuntimeOverhead, Scheduler,
+    pricing, Analyzer, KernelAnalysis, MappingStrategy, OperandProfiles, PricingCache,
+    PricingCacheMode, PricingKey, RuntimeOverhead, Scheduler, SharedPricingTier,
 };
 use dynasparse_telemetry::{CounterId, GaugeId, Registry, SessionTelemetry};
 use std::sync::Arc;
@@ -138,6 +139,28 @@ pub struct Session<'p> {
     /// Drift-triggered online recalibration enabled: the options flag gated
     /// by [`RECALIBRATE_ENV`], resolved once at build.
     recalibrate: bool,
+    /// Pricing-cache mode: the options value gated by
+    /// [`PRICING_CACHE_ENV`](dynasparse_runtime::PRICING_CACHE_ENV),
+    /// resolved once at build.
+    pricing_mode: PricingCacheMode,
+    /// Per-session pricing cache (`None` when the mode is `Off` or the
+    /// session prices no strategies).  Values are pure functions of their
+    /// keys, so reuse never depends on request order or cache state.
+    pricing_cache: Option<PricingCache>,
+    /// Optional read-mostly tier shared across the serve workers of one
+    /// runtime; consulted on a local miss, published to on a fresh pass.
+    pricing_tier: Option<Arc<SharedPricingTier>>,
+    /// Fingerprint of the dispatcher's current calibration; refreshed when
+    /// online recalibration swaps a rescaled fit in, which makes every key
+    /// minted under the old fit unreachable.
+    calib_fingerprint: u64,
+    /// Fingerprint of the plan's static operands (adjacency + weight
+    /// profiles); recomputed on rebind so template instances of the same
+    /// subgraph class share pricing while different topologies never do.
+    statics_fingerprint: u64,
+    /// Reusable scratch holding the bucket-representative quantization of
+    /// the current kernel's feature profile (bucketed-mode misses only).
+    quant_scratch: DensityProfile,
     requests_served: usize,
 }
 
@@ -148,8 +171,10 @@ struct BatchRecord {
     /// `(input_density, output_density)` per kernel.
     kernel_io: Vec<(f64, f64)>,
     /// One analysis per kernel per strategy, kernel-major
-    /// (`kernel * num_strategies + strategy`).
-    analyses: Vec<KernelAnalysis>,
+    /// (`kernel * num_strategies + strategy`).  `Arc`s so same-key requests
+    /// of one fused batch share a single Analyzer pass through the pricing
+    /// cache instead of cloning the task-cycle vectors.
+    analyses: Vec<Arc<KernelAnalysis>>,
 }
 
 /// For every kernel (execution order), the later kernel whose **input** is
@@ -199,6 +224,13 @@ fn output_deferral_map(model: &dynasparse_model::GnnModel) -> Vec<Option<usize>>
         }
     }
     map
+}
+
+/// Default per-session pricing-cache capacity: several density-bucket
+/// working sets per (kernel, strategy) pair, floored so small plans still
+/// ride out bursty density mixes without thrashing.
+fn default_pricing_capacity(num_kernels: usize, num_strategies: usize) -> usize {
+    (num_kernels * num_strategies.max(1) * 8).max(256)
 }
 
 /// A session that co-owns its plan and therefore has no borrowed lifetime;
@@ -279,6 +311,15 @@ impl<'p> Session<'p> {
                     .map(str::trim),
                 Some("0") | Some("off") | Some("false")
             );
+        let pricing_mode = PricingCacheMode::resolve(host.pricing_cache);
+        let pricing_cache =
+            (pricing_mode != PricingCacheMode::Off && !strategies.is_empty()).then(|| {
+                PricingCache::with_capacity(default_pricing_capacity(num_kernels, strategies.len()))
+            });
+        let calib_fingerprint = pricing::calibration_fingerprint(plan.get().calibration.as_deref());
+        let statics = &plan.get().program().static_sparsity;
+        let statics_fingerprint =
+            pricing::statics_fingerprint(&statics.adjacency, &statics.weights);
         let arena = dispatcher.is_some().then(|| executor.arena(num_vertices));
         let defer_out = output_deferral_map(executor.model());
         let mut out_source_for = vec![None; defer_out.len()];
@@ -308,6 +349,12 @@ impl<'p> Session<'p> {
             fault_hook: None,
             block_dispatch: host.block_dispatch,
             recalibrate,
+            pricing_mode,
+            pricing_cache,
+            pricing_tier: None,
+            calib_fingerprint,
+            statics_fingerprint,
+            quant_scratch: DensityProfile::default(),
             requests_served: 0,
         }
     }
@@ -363,16 +410,30 @@ impl<'p> Session<'p> {
                 state.kernels.clear();
             }
             self.density_scratch.clear();
+            // The topology changed under the same model/calibration: refresh
+            // the static-operand fingerprint so pricing keys separate the
+            // new subgraph from the old.  The cache itself survives — it is
+            // content-addressed, so a rebind back to an equal topology (or
+            // another instance of the same subgraph class) hits again while
+            // a different topology can only miss.
+            let statics = &self.plan.get().program().static_sparsity;
+            self.statics_fingerprint =
+                pricing::statics_fingerprint(&statics.adjacency, &statics.weights);
             return;
         }
         let strategies = std::mem::take(&mut self.strategies);
         let served = self.requests_served;
         // Rebuilding replaces every field; carry the telemetry bundle (its
         // registry binding, pinned shard and retained spans) across, the same
-        // way the request counter survives.
+        // way the request counter survives.  The shared pricing tier is
+        // runtime wiring, not plan state, so it also survives; the local
+        // pricing cache does not (the new plan's calibration may differ, and
+        // `build` re-derives both fingerprints from the new plan).
         let telemetry = std::mem::replace(&mut self.telemetry, SessionTelemetry::from_global());
+        let tier = self.pricing_tier.take();
         *self = Session::build(PlanHandle::Shared(plan), executor, &strategies);
         self.telemetry = telemetry;
+        self.pricing_tier = tier;
         self.telemetry
             .registry()
             .incr(self.telemetry.shard(), CounterId::RebindRebuild);
@@ -406,8 +467,13 @@ impl<'p> Session<'p> {
             Arc::clone(&plan.get().model),
             Arc::clone(&plan.get().adjacencies),
         );
+        let tier = self.pricing_tier.take();
         *self = Session::build(plan, executor, &strategies);
         self.telemetry = telemetry;
+        // The shared tier holds only key-pure analyses, so a panicked
+        // forward cannot have poisoned it; the rebuilt local cache starts
+        // fresh.
+        self.pricing_tier = tier;
         self.requests_served = served;
     }
 
@@ -422,6 +488,29 @@ impl<'p> Session<'p> {
     /// The strategies priced on every request, in request order.
     pub fn strategies(&self) -> &[MappingStrategy] {
         &self.strategies
+    }
+
+    /// The pricing-cache mode the session resolved at build (options value
+    /// gated by `DYNASPARSE_PRICING_CACHE`).
+    pub fn pricing_mode(&self) -> PricingCacheMode {
+        self.pricing_mode
+    }
+
+    /// Attaches (or detaches) a shared pricing tier.  Serve runtimes hand
+    /// every worker session the same tier so a profile priced by one worker
+    /// is a cache hit for all of them; safe because cached analyses are
+    /// pure functions of their keys.
+    pub fn set_pricing_tier(&mut self, tier: Option<Arc<SharedPricingTier>>) {
+        self.pricing_tier = tier;
+    }
+
+    /// Replaces the session pricing cache with a fresh one of (at least)
+    /// `capacity` slots.  A no-op when the cache is disabled.  Mainly a
+    /// test/tuning knob: a tiny capacity forces steady-state eviction.
+    pub fn set_pricing_capacity(&mut self, capacity: usize) {
+        if self.pricing_cache.is_some() {
+            self.pricing_cache = Some(PricingCache::with_capacity(capacity));
+        }
     }
 
     /// Number of requests served so far.
@@ -518,8 +607,19 @@ impl<'p> Session<'p> {
         // the timed path stays allocation-free.
         let probe = telemetry.enabled();
         let fault_hook = self.fault_hook.clone();
+        let pricing_mode = self.pricing_mode;
+        let mut pricing_cache = self.pricing_cache.as_mut();
+        let pricing_tier = self.pricing_tier.clone();
+        let calib_fp = self.calib_fingerprint;
+        let statics_fp = self.statics_fingerprint;
+        let quant_scratch = &mut self.quant_scratch;
         let mut profile_ns = 0u64;
         let mut pricing_ns = 0u64;
+        let mut pricing_hits = 0u64;
+        let mut pricing_misses = 0u64;
+        let mut pricing_evictions = 0u64;
+        let mut pricing_hit_ns = 0u64;
+        let mut pricing_miss_ns = 0u64;
         let mut kernel_counter = 0usize;
         let mut on_kernel = |_layer: usize,
                              _ki: usize,
@@ -571,8 +671,79 @@ impl<'p> Session<'p> {
                 features: feature_profile,
             };
             let pricing_started = probe.then(Instant::now);
+            // The strategy-free part of the pricing key hashes the profile
+            // once per kernel; strategies fold in per state below.  The
+            // bucket-representative quantization is also shared by every
+            // strategy's miss of this kernel.
+            let base_key = pricing_cache.is_some().then(|| {
+                PricingKey::base(
+                    calib_fp,
+                    statics_fp,
+                    kernel_counter,
+                    pricing_mode,
+                    feature_profile,
+                )
+            });
+            let mut quantized = false;
             for state in states.iter_mut() {
-                let analysis = state.analyzer.analyze_kernel(compiled, &profiles);
+                let state_started = probe.then(Instant::now);
+                let mut hit = false;
+                let analysis: Arc<KernelAnalysis> = match (&mut pricing_cache, base_key) {
+                    (Some(cache), Some(base)) => {
+                        let key = base.with_strategy(state.strategy);
+                        let mut cached = cache.get(&key);
+                        if cached.is_none() {
+                            if let Some(tier) = pricing_tier.as_deref() {
+                                if let Some(a) = tier.get(&key) {
+                                    if cache.insert(key, Arc::clone(&a)) {
+                                        pricing_evictions += 1;
+                                    }
+                                    cached = Some(a);
+                                }
+                            }
+                        }
+                        match cached {
+                            Some(a) => {
+                                hit = true;
+                                a
+                            }
+                            None => {
+                                // Determinism invariant: a bucketed-mode miss
+                                // prices the bucket's canonical representative
+                                // profile, never the first-seen exact one, so
+                                // the cached value is a pure function of the
+                                // key (order-, worker- and cache-state-free).
+                                let a = if pricing_mode == PricingCacheMode::Bucketed {
+                                    if !quantized {
+                                        pricing::quantize_profile_into(
+                                            feature_profile,
+                                            quant_scratch,
+                                        );
+                                        quantized = true;
+                                    }
+                                    let priced = OperandProfiles {
+                                        adjacency: &program.static_sparsity.adjacency,
+                                        weights: &program.static_sparsity.weights,
+                                        features: &*quant_scratch,
+                                    };
+                                    Arc::new(state.analyzer.analyze_kernel(compiled, &priced))
+                                } else {
+                                    Arc::new(state.analyzer.analyze_kernel(compiled, &profiles))
+                                };
+                                if cache.insert(key, Arc::clone(&a)) {
+                                    pricing_evictions += 1;
+                                }
+                                if let Some(tier) = pricing_tier.as_deref() {
+                                    if tier.publish(key, Arc::clone(&a)) {
+                                        pricing_evictions += 1;
+                                    }
+                                }
+                                a
+                            }
+                        }
+                    }
+                    _ => Arc::new(state.analyzer.analyze_kernel(compiled, &profiles)),
+                };
                 let schedule = state.scheduler.schedule_kernel(compiled.ir.id, &analysis);
                 state.kernels.push(KernelReport {
                     kernel_id: compiled.ir.id,
@@ -585,6 +756,23 @@ impl<'p> Session<'p> {
                     input_density: input.density(),
                     output_density: out.density(),
                 });
+                if base_key.is_some() {
+                    if hit {
+                        pricing_hits += 1;
+                    } else {
+                        pricing_misses += 1;
+                    }
+                }
+                if let Some(started) = state_started {
+                    let ns = started.elapsed().as_nanos() as u64;
+                    if base_key.is_some() {
+                        if hit {
+                            pricing_hit_ns += ns;
+                        } else {
+                            pricing_miss_ns += ns;
+                        }
+                    }
+                }
             }
             if let Some(started) = pricing_started {
                 pricing_ns += started.elapsed().as_nanos() as u64;
@@ -623,6 +811,13 @@ impl<'p> Session<'p> {
         };
         if probe {
             telemetry.record_request_phases(profile_ns, pricing_ns);
+            telemetry.record_pricing_cache(
+                pricing_hits,
+                pricing_misses,
+                pricing_evictions,
+                pricing_hit_ns,
+                pricing_miss_ns,
+            );
         }
 
         let freq = plan.options().accelerator.frequency_mhz;
@@ -719,7 +914,17 @@ impl<'p> Session<'p> {
                 fit.per_row *= ratio;
             }
         }
+        // The rescaled fit invalidates every cached pricing decision: the
+        // fingerprint change makes old keys unreachable (also in the shared
+        // tier, without a flush — sibling workers recalibrate on their own
+        // schedule), and clearing the local cache returns its slots to the
+        // fresh fit's working set immediately.
+        let new_fingerprint = pricing::calibration_fingerprint(Some(&rescaled));
         dispatcher.recalibrate(Arc::new(rescaled));
+        self.calib_fingerprint = new_fingerprint;
+        if let Some(cache) = &mut self.pricing_cache {
+            cache.clear();
+        }
         for (gauge, ratio) in GAUGES.into_iter().zip(ratios) {
             if ratio != 1.0 {
                 registry.gauge_set(gauge, 1.0);
@@ -863,8 +1068,19 @@ impl<'p> Session<'p> {
         let telemetry = &mut self.telemetry;
         let probe = telemetry.enabled();
         let fault_hook = self.fault_hook.clone();
+        let pricing_mode = self.pricing_mode;
+        let mut pricing_cache = self.pricing_cache.as_mut();
+        let pricing_tier = self.pricing_tier.clone();
+        let calib_fp = self.calib_fingerprint;
+        let statics_fp = self.statics_fingerprint;
+        let quant_scratch = &mut self.quant_scratch;
         let mut profile_ns = 0u64;
         let mut pricing_ns = 0u64;
+        let mut pricing_hits = 0u64;
+        let mut pricing_misses = 0u64;
+        let mut pricing_evictions = 0u64;
+        let mut pricing_hit_ns = 0u64;
+        let mut pricing_miss_ns = 0u64;
         let mut kernel_counter = 0usize;
         telemetry.begin_request();
         let block_dispatch = self.block_dispatch;
@@ -939,10 +1155,92 @@ impl<'p> Session<'p> {
                         weights: &program.static_sparsity.weights,
                         features: &batch_profiles[b],
                     };
+                    // Batch amortization: request `b` misses, computes and
+                    // inserts; any later request of this batch whose kernel
+                    // key collides hits the just-inserted entry — one
+                    // Analyzer pass per distinct key per fused batch.
+                    let base_key = pricing_cache.is_some().then(|| {
+                        PricingKey::base(
+                            calib_fp,
+                            statics_fp,
+                            kidx,
+                            pricing_mode,
+                            &batch_profiles[b],
+                        )
+                    });
+                    let mut quantized = false;
                     for analyzer in &analyzers {
-                        record
-                            .analyses
-                            .push(analyzer.analyze_kernel(compiled, &profiles));
+                        let state_started = probe.then(Instant::now);
+                        let mut hit = false;
+                        let analysis: Arc<KernelAnalysis> = match (&mut pricing_cache, base_key) {
+                            (Some(cache), Some(base)) => {
+                                let key = base.with_strategy(analyzer.strategy());
+                                let mut cached = cache.get(&key);
+                                if cached.is_none() {
+                                    if let Some(tier) = pricing_tier.as_deref() {
+                                        if let Some(a) = tier.get(&key) {
+                                            if cache.insert(key, Arc::clone(&a)) {
+                                                pricing_evictions += 1;
+                                            }
+                                            cached = Some(a);
+                                        }
+                                    }
+                                }
+                                match cached {
+                                    Some(a) => {
+                                        hit = true;
+                                        a
+                                    }
+                                    None => {
+                                        let a = if pricing_mode == PricingCacheMode::Bucketed {
+                                            if !quantized {
+                                                pricing::quantize_profile_into(
+                                                    &batch_profiles[b],
+                                                    quant_scratch,
+                                                );
+                                                quantized = true;
+                                            }
+                                            let priced = OperandProfiles {
+                                                adjacency: &program.static_sparsity.adjacency,
+                                                weights: &program.static_sparsity.weights,
+                                                features: &*quant_scratch,
+                                            };
+                                            Arc::new(analyzer.analyze_kernel(compiled, &priced))
+                                        } else {
+                                            Arc::new(analyzer.analyze_kernel(compiled, &profiles))
+                                        };
+                                        if cache.insert(key, Arc::clone(&a)) {
+                                            pricing_evictions += 1;
+                                        }
+                                        if let Some(tier) = pricing_tier.as_deref() {
+                                            if tier.publish(key, Arc::clone(&a)) {
+                                                pricing_evictions += 1;
+                                            }
+                                        }
+                                        a
+                                    }
+                                }
+                            }
+                            _ => Arc::new(analyzer.analyze_kernel(compiled, &profiles)),
+                        };
+                        record.analyses.push(analysis);
+                        if base_key.is_some() {
+                            if hit {
+                                pricing_hits += 1;
+                            } else {
+                                pricing_misses += 1;
+                            }
+                        }
+                        if let Some(started) = state_started {
+                            let ns = started.elapsed().as_nanos() as u64;
+                            if base_key.is_some() {
+                                if hit {
+                                    pricing_hit_ns += ns;
+                                } else {
+                                    pricing_miss_ns += ns;
+                                }
+                            }
+                        }
                     }
                     let input_density = if input_total == 0 {
                         0.0
@@ -982,6 +1280,15 @@ impl<'p> Session<'p> {
             for _ in 0..bsz {
                 telemetry.record_request_phases(profile_ns / per, pricing_ns / per);
             }
+            // Cache activity is counted per lookup, not per request, so the
+            // batch's aggregate records once.
+            telemetry.record_pricing_cache(
+                pricing_hits,
+                pricing_misses,
+                pricing_evictions,
+                pricing_hit_ns,
+                pricing_miss_ns,
+            );
         }
 
         let freq = plan.options().accelerator.frequency_mhz;
@@ -1003,7 +1310,7 @@ impl<'p> Session<'p> {
                     "deferred output density of kernel {kidx} must have been resolved"
                 );
                 for (s, state) in self.states.iter_mut().enumerate() {
-                    let analysis = &record.analyses[kidx * num_states + s];
+                    let analysis = record.analyses[kidx * num_states + s].as_ref();
                     let schedule = state.scheduler.schedule_kernel(compiled.ir.id, analysis);
                     state.kernels.push(KernelReport {
                         kernel_id: compiled.ir.id,

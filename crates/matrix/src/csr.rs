@@ -431,7 +431,7 @@ impl CsrMatrix {
     /// per-partition-block SpDMM kernel of the block-granular dispatcher.
     ///
     /// The row loop is the same one `spmm_dense_into[_pooled]` runs
-    /// ([`CsrMatrix::spmm_dense_rows_rm`]), so any row partition of the
+    /// (`CsrMatrix::spmm_dense_rows_rm`), so any row partition of the
     /// output is bit-identical to the whole-kernel call.  `rhs` must be
     /// row-major: the block loop is allocation-free, so a column-major
     /// operand is a shape error rather than a silent layout copy.

@@ -327,6 +327,27 @@ impl DensityProfile {
         self.block_nnz[gr * self.grid_cols + gc]
     }
 
+    /// Per-block nnz counts, row-major over the grid.
+    pub fn block_counts(&self) -> &[usize] {
+        &self.block_nnz
+    }
+
+    /// Rewrites this profile as a transformed copy of `src`: same shape and
+    /// grid, per-block counts mapped through `f`.  Reuses the counter
+    /// allocation (zero-allocation once it has grown to the largest grid
+    /// seen) — this is how the pricing cache materializes a bucket's
+    /// canonical representative profile on the serving hot path.
+    pub fn refit_mapped(&mut self, src: &DensityProfile, mut f: impl FnMut(usize) -> usize) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.block_rows = src.block_rows;
+        self.block_cols = src.block_cols;
+        self.grid_rows = src.grid_rows;
+        self.grid_cols = src.grid_cols;
+        self.block_nnz.clear();
+        self.block_nnz.extend(src.block_nnz.iter().map(|&n| f(n)));
+    }
+
     /// Density of the block at grid position `(gr, gc)`, relative to the full
     /// (padded) block area — the on-chip buffers always hold a full block.
     pub fn block_density(&self, gr: usize, gc: usize) -> f64 {

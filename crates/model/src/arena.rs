@@ -10,9 +10,10 @@
 //!   kernel — the same signal the paper's Analyzer profiles — and routes the
 //!   host execution to the blocked dense GEMM, the sparse-dense CSR kernel
 //!   or the Gustavson sparse-sparse kernel.  The decision comes from a
-//!   [`CostModel`]: by default the measured host calibration
-//!   ([`CalibratedPolicy`] — argmin over predicted milliseconds of each
-//!   primitive), with the closed-form Table IV regions ([`RegionPolicy`] /
+//!   [`CostModel`](dynasparse_matrix::CostModel): by default the measured
+//!   host calibration ([`CalibratedPolicy`](dynasparse_matrix::CalibratedPolicy)
+//!   — argmin over predicted milliseconds of each primitive), with the
+//!   closed-form Table IV regions ([`RegionPolicy`](dynasparse_matrix::RegionPolicy) /
 //!   [`DispatchPolicy`]) retained as the accelerator-side oracle and
 //!   fallback.  Sparse-sparse outputs stay in CSR form while their density
 //!   is below the dispatch threshold.

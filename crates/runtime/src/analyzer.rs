@@ -335,6 +335,63 @@ mod tests {
     }
 
     #[test]
+    fn empty_kernel_analyzes_to_nothing() {
+        // A kernel with zero tasks (possible for degenerate subgraph
+        // instantiations) must produce an empty, zero-cost analysis instead
+        // of panicking — the pricing cache stores such analyses verbatim.
+        let fix = fixture(0.0);
+        let mut kernel = fix.program.kernels[0].clone();
+        kernel.tasks.clear();
+        let profiles = OperandProfiles {
+            adjacency: &fix.program.static_sparsity.adjacency,
+            weights: &fix.program.static_sparsity.weights,
+            features: &fix.features_subfiber,
+        };
+        for strategy in MappingStrategy::paper_strategies() {
+            let a = Analyzer::new(core(), strategy).analyze_kernel(&kernel, &profiles);
+            assert!(a.task_cycles.is_empty());
+            assert_eq!(a.total_cycles, 0);
+            assert_eq!(a.critical_task_cycles(), 0);
+            assert_eq!(a.decisions, 0);
+            assert_eq!(a.mix.total(), 0);
+        }
+    }
+
+    #[test]
+    fn all_empty_features_skip_every_product_under_dynamic() {
+        // With a completely empty feature operand, Dynamic must skip every
+        // block product of an Update kernel (each pair has an empty X
+        // partition) while still recording one decision per product.
+        let fix = fixture(0.0);
+        let (rows, cols) = fix.features_subfiber.shape();
+        let (br, bc) = fix.features_subfiber.block_shape();
+        let (gr, gc) = fix.features_subfiber.grid_shape();
+        let grid = dynasparse_matrix::partition::BlockGrid::new(rows, cols, br, bc);
+        let zero = DensityProfile::from_block_nnz(rows, cols, &grid, vec![0; gr * gc]);
+        let kernel = &fix.program.kernels[0];
+        assert_eq!(kernel.ir.kind, dynasparse_compiler::KernelKind::Update);
+        let profiles = OperandProfiles {
+            adjacency: &fix.program.static_sparsity.adjacency,
+            weights: &fix.program.static_sparsity.weights,
+            features: &zero,
+        };
+        let a = Analyzer::new(core(), MappingStrategy::Dynamic).analyze_kernel(kernel, &profiles);
+        assert!(a.mix.total() > 0);
+        assert_eq!(a.mix.skipped, a.mix.total(), "every product must skip");
+        assert_eq!(a.mix.gemm + a.mix.spdmm + a.mix.spmm, 0);
+        assert_eq!(a.decisions, a.mix.total());
+        // Skipped products execute nothing, so the priced cost must be far
+        // below the same kernel's cost on the real (non-empty) features.
+        let real = analyze(&fix, 0, MappingStrategy::Dynamic);
+        assert!(
+            a.total_cycles < real.total_cycles / 10,
+            "all-skip kernel priced {} vs real {}",
+            a.total_cycles,
+            real.total_cycles
+        );
+    }
+
+    #[test]
     fn empty_feature_partitions_are_skipped_only_by_dynamic() {
         let fix = fixture(0.0);
         let dynamic = analyze(&fix, 0, MappingStrategy::Dynamic);

@@ -22,10 +22,14 @@
 
 pub mod analyzer;
 pub mod overhead;
+pub mod pricing;
 pub mod scheduler;
 pub mod strategy;
 
 pub use analyzer::{Analyzer, KernelAnalysis, OperandProfiles, PrimitiveMix};
 pub use overhead::RuntimeOverhead;
+pub use pricing::{
+    PricingCache, PricingCacheMode, PricingKey, SharedPricingTier, PRICING_CACHE_ENV,
+};
 pub use scheduler::{KernelSchedule, Scheduler};
 pub use strategy::{MappingStrategy, PairDecision};

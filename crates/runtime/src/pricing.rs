@@ -1,0 +1,702 @@
+//! Profile-keyed pricing cache.
+//!
+//! Since the block-granular executor landed, the cycle-level
+//! [`Analyzer`](crate::Analyzer) —
+//! not the kernels — dominates Dynamic-priced serving.  The fix mirrors the
+//! paper's insight in reverse: sparsity profiles that quantize into the same
+//! density bucket lead to the same kernel-to-primitive mapping, so their
+//! pricing can be *shared* rather than recomputed.
+//!
+//! The module provides three pieces:
+//!
+//! * [`PricingKey`] — a 128-bit content hash over everything that feeds a
+//!   pricing decision: the calibration fingerprint, the static-operand
+//!   fingerprint (adjacency + weight profiles), the kernel's execution
+//!   index, the cache mode, the feature profile's shape/grid, the per-block
+//!   densities (bucketed on a half-octave log2 grid, or exact nnz in
+//!   [`PricingCacheMode::Exact`]), and the mapping strategy.
+//! * [`PricingCache`] — a fixed-capacity, open-addressed per-session cache
+//!   with zero-allocation steady state (like `KernelArena`): hits clone an
+//!   `Arc`, misses evict in place.
+//! * [`SharedPricingTier`] — a read-mostly `RwLock` tier shared by serve
+//!   workers over one plan/template, so a profile priced by one worker is a
+//!   hit for every other.
+//!
+//! **Determinism invariant**: a cached [`KernelAnalysis`] must be a pure
+//! function of its key.  In bucketed mode the analysis is therefore computed
+//! from the bucket's canonical *representative* profile (every block's nnz
+//! snapped to its bucket's representative density), never from the
+//! first-seen exact profile — so pricing is independent of request order,
+//! worker count and cache state, and every cross-path bit-identity
+//! guarantee (serial vs. multi-worker, fused vs. loop) holds by
+//! construction.
+
+use crate::analyzer::KernelAnalysis;
+use crate::strategy::MappingStrategy;
+use dynasparse_matrix::{DensityProfile, HostCalibration};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::sync::RwLock;
+
+/// Environment variable overriding the pricing-cache mode at session build:
+/// `off` disables the cache, `exact` keys on exact per-block nnz (always
+/// bit-identical to uncached pricing), anything else keeps the configured
+/// mode (bucketed by default).
+pub const PRICING_CACHE_ENV: &str = "DYNASPARSE_PRICING_CACHE";
+
+/// How `Session::infer` caches Analyzer results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PricingCacheMode {
+    /// No caching: every kernel is priced from its exact profile on every
+    /// request (pre-cache behavior).
+    Off,
+    /// Cache keyed on exact per-block nnz.  Bit-identical to [`Off`]
+    /// pricing; only amortizes requests whose profiles repeat exactly.
+    ///
+    /// [`Off`]: PricingCacheMode::Off
+    Exact,
+    /// Cache keyed on half-octave density buckets; a miss prices the
+    /// bucket's canonical representative profile, so nearby densities share
+    /// one Analyzer pass (bounded pricing distortion, see
+    /// [`BUCKET_MAX_RATIO`]).
+    #[default]
+    Bucketed,
+}
+
+impl PricingCacheMode {
+    /// Applies the [`PRICING_CACHE_ENV`] override to a configured mode.
+    pub fn resolve(configured: PricingCacheMode) -> PricingCacheMode {
+        match std::env::var(PRICING_CACHE_ENV).ok().as_deref() {
+            Some("off") | Some("0") | Some("false") => PricingCacheMode::Off,
+            Some("exact") => PricingCacheMode::Exact,
+            Some("on") | Some("bucket") | Some("bucketed") => PricingCacheMode::Bucketed,
+            _ => configured,
+        }
+    }
+}
+
+/// Bucket index reserved for empty blocks.  Exact zeros are preserved by
+/// quantization, so Skip decisions are never distorted by the cache.
+pub const SKIP_BUCKET: u8 = 0;
+
+/// Buckets per factor-of-two in density (a half-octave grid).
+const BUCKETS_PER_OCTAVE: f64 = 2.0;
+
+/// Worst-case multiplicative distortion of a block's density under
+/// half-octave bucketing: a true density is at most a quarter octave from
+/// its bucket's representative, i.e. a factor of `2^0.25 ≈ 1.19`.
+pub const BUCKET_MAX_RATIO: f64 = 1.189207115002721; // 2^(1/4)
+
+/// Quantizes a block occupancy to its density bucket.  Empty blocks (and
+/// degenerate zero-area blocks, whose density would be NaN) map to
+/// [`SKIP_BUCKET`]; everything else to `1 + round(-2·log2(density))`,
+/// clamped so the index always fits a byte.
+pub fn density_bucket(nnz: usize, block_area: usize) -> u8 {
+    if nnz == 0 || block_area == 0 {
+        return SKIP_BUCKET;
+    }
+    let density = nnz as f64 / block_area as f64;
+    if !density.is_finite() || density <= 0.0 {
+        return SKIP_BUCKET;
+    }
+    let idx = (-BUCKETS_PER_OCTAVE * density.min(1.0).log2()).round();
+    idx.clamp(0.0, 253.0) as u8 + 1
+}
+
+/// The canonical occupancy a bucket prices at: the representative density
+/// `2^-((bucket-1)/2)` times the block area, clamped to `[1, area]` so a
+/// non-empty block never quantizes to empty (which would turn a priced
+/// product into a skipped one).
+pub fn bucket_nnz(bucket: u8, block_area: usize) -> usize {
+    if bucket == SKIP_BUCKET || block_area == 0 {
+        return 0;
+    }
+    let density = 2f64.powf(-f64::from(bucket - 1) / BUCKETS_PER_OCTAVE);
+    ((density * block_area as f64).round() as usize).clamp(1, block_area)
+}
+
+/// Snaps every block of a profile to its bucket's representative occupancy,
+/// in place over `dst`'s reusable counter allocation.  In exact mode this
+/// is the identity and the caller should skip it.
+pub fn quantize_profile_into(src: &DensityProfile, dst: &mut DensityProfile) {
+    let (br, bc) = src.block_shape();
+    let area = br * bc;
+    dst.refit_mapped(src, |nnz| bucket_nnz(density_bucket(nnz, area), area));
+}
+
+// Two independent FNV-1a 64-bit streams; the pair gives an effectively
+// 128-bit key, so accidental collisions across a serve lifetime are not a
+// practical concern (and a collision only ever swaps in the pricing of a
+// *different* profile — embeddings are never affected).
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[derive(Clone, Copy)]
+struct Fnv2 {
+    a: u64,
+    b: u64,
+}
+
+impl Fnv2 {
+    fn new() -> Self {
+        Fnv2 {
+            a: FNV_OFFSET_A,
+            b: FNV_OFFSET_B,
+        }
+    }
+
+    #[inline]
+    fn byte(&mut self, v: u8) {
+        self.a = (self.a ^ u64::from(v)).wrapping_mul(FNV_PRIME);
+        self.b = (self.b ^ u64::from(v ^ 0xa5)).wrapping_mul(FNV_PRIME);
+    }
+
+    #[inline]
+    fn u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.byte(byte);
+        }
+    }
+
+    #[inline]
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+}
+
+/// Content hash identifying one kernel-pricing problem.  Equal keys imply
+/// (by construction) that the Analyzer would be run with identical inputs,
+/// so the cached [`KernelAnalysis`] can be reused verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PricingKey {
+    hi: u64,
+    lo: u64,
+}
+
+impl PricingKey {
+    /// Builds the strategy-independent part of a kernel's key: calibration
+    /// and static-operand fingerprints, kernel execution index, cache mode,
+    /// and the feature profile's shape, grid and per-block occupancies
+    /// (bucketed or exact depending on `mode`).  Fold the strategy in with
+    /// [`PricingKey::with_strategy`] — the profile is hashed once per
+    /// kernel, not once per strategy.
+    pub fn base(
+        calibration_fingerprint: u64,
+        statics_fingerprint: u64,
+        kernel_index: usize,
+        mode: PricingCacheMode,
+        features: &DensityProfile,
+    ) -> PricingKey {
+        let mut h = Fnv2::new();
+        h.u64(calibration_fingerprint);
+        h.u64(statics_fingerprint);
+        h.usize(kernel_index);
+        h.byte(match mode {
+            PricingCacheMode::Off => 0,
+            PricingCacheMode::Exact => 1,
+            PricingCacheMode::Bucketed => 2,
+        });
+        hash_profile(&mut h, features, mode);
+        PricingKey { hi: h.a, lo: h.b }
+    }
+
+    /// Folds a mapping strategy into a base key.
+    pub fn with_strategy(self, strategy: MappingStrategy) -> PricingKey {
+        let tag = match strategy {
+            MappingStrategy::Dynamic => 0x9e37_79b9_7f4a_7c15u64,
+            MappingStrategy::Static1 => 0xbf58_476d_1ce4_e5b9,
+            MappingStrategy::Static2 => 0x94d0_49bb_1331_11eb,
+            MappingStrategy::Oracle => 0xd6e8_feb8_6659_fd93,
+        };
+        PricingKey {
+            hi: (self.hi ^ tag).wrapping_mul(FNV_PRIME),
+            lo: (self.lo ^ tag.rotate_left(17)).wrapping_mul(FNV_PRIME),
+        }
+    }
+}
+
+fn hash_profile(h: &mut Fnv2, profile: &DensityProfile, mode: PricingCacheMode) {
+    let (rows, cols) = profile.shape();
+    let (br, bc) = profile.block_shape();
+    let (gr, gc) = profile.grid_shape();
+    h.usize(rows);
+    h.usize(cols);
+    h.usize(br);
+    h.usize(bc);
+    h.usize(gr);
+    h.usize(gc);
+    let area = br * bc;
+    match mode {
+        PricingCacheMode::Bucketed => {
+            for &nnz in profile.block_counts() {
+                h.byte(density_bucket(nnz, area));
+            }
+        }
+        _ => {
+            for &nnz in profile.block_counts() {
+                h.usize(nnz);
+            }
+        }
+    }
+}
+
+/// Content fingerprint of a calibration: the nine fit coefficients plus the
+/// version, hashed bit-exactly.  `None` (region cost model) fingerprints to
+/// a fixed constant.  Recalibration swaps the fit, which changes the
+/// fingerprint — every key minted under the old fit becomes unreachable,
+/// which is how drift-triggered recalibration invalidates shared tiers
+/// without a flush.
+pub fn calibration_fingerprint(calibration: Option<&HostCalibration>) -> u64 {
+    let Some(c) = calibration else {
+        return 0x7f4a_7c15_9e37_79b9;
+    };
+    let mut h = Fnv2::new();
+    h.u64(u64::from(c.version));
+    for fit in [&c.gemm, &c.spdmm, &c.spmm] {
+        h.u64(fit.work.to_bits());
+        h.u64(fit.output.to_bits());
+        h.u64(fit.per_row.to_bits());
+    }
+    h.a
+}
+
+/// Content fingerprint of a plan's static operands (adjacency + weight
+/// profiles).  Content-addressed on exact per-block counts, so two template
+/// instances of the same subgraph class fingerprint identically and hit
+/// each other's pricing across rebinds.
+pub fn statics_fingerprint(adjacency: &DensityProfile, weights: &[DensityProfile]) -> u64 {
+    let mut h = Fnv2::new();
+    hash_profile(&mut h, adjacency, PricingCacheMode::Exact);
+    h.usize(weights.len());
+    for w in weights {
+        hash_profile(&mut h, w, PricingCacheMode::Exact);
+    }
+    h.b
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    key: PricingKey,
+    analysis: Arc<KernelAnalysis>,
+    stamp: u64,
+}
+
+/// How far an insert probes before evicting the least-recently-used slot in
+/// its window.
+const PROBE_WINDOW: usize = 8;
+
+/// Fixed-capacity, open-addressed pricing cache with zero-allocation steady
+/// state: `get` clones an `Arc`, `insert` either fills an empty slot or
+/// replaces the stalest slot of the key's probe window in place.
+#[derive(Debug)]
+pub struct PricingCache {
+    slots: Box<[Option<Slot>]>,
+    mask: usize,
+    tick: u64,
+}
+
+impl PricingCache {
+    /// Creates a cache with at least `capacity` slots (rounded up to a
+    /// power of two, minimum 8).
+    pub fn with_capacity(capacity: usize) -> PricingCache {
+        let cap = capacity.max(8).next_power_of_two();
+        PricingCache {
+            slots: vec![None; cap].into_boxed_slice(),
+            mask: cap - 1,
+            tick: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (capacity is kept).  Used on recalibration: the
+    /// fingerprint change already makes old keys unreachable, clearing just
+    /// returns the slots to the fresh-fit working set immediately.
+    pub fn clear(&mut self) {
+        for slot in self.slots.iter_mut() {
+            *slot = None;
+        }
+        self.tick = 0;
+    }
+
+    #[inline]
+    fn start(&self, key: &PricingKey) -> usize {
+        (key.hi ^ key.lo.rotate_left(32)) as usize & self.mask
+    }
+
+    /// Looks a key up; a hit refreshes the entry's recency stamp.
+    pub fn get(&mut self, key: &PricingKey) -> Option<Arc<KernelAnalysis>> {
+        let start = self.start(key);
+        self.tick += 1;
+        for i in 0..PROBE_WINDOW.min(self.slots.len()) {
+            let idx = (start + i) & self.mask;
+            match &mut self.slots[idx] {
+                Some(slot) if slot.key == *key => {
+                    slot.stamp = self.tick;
+                    return Some(Arc::clone(&slot.analysis));
+                }
+                Some(_) => continue,
+                None => return None,
+            }
+        }
+        None
+    }
+
+    /// Inserts (or refreshes) an entry.  Returns `true` when an unrelated
+    /// entry was evicted to make room.
+    pub fn insert(&mut self, key: PricingKey, analysis: Arc<KernelAnalysis>) -> bool {
+        let start = self.start(&key);
+        self.tick += 1;
+        let window = PROBE_WINDOW.min(self.slots.len());
+        let mut victim = start;
+        let mut victim_stamp = u64::MAX;
+        for i in 0..window {
+            let idx = (start + i) & self.mask;
+            match &mut self.slots[idx] {
+                Some(slot) if slot.key == key => {
+                    slot.analysis = analysis;
+                    slot.stamp = self.tick;
+                    return false;
+                }
+                Some(slot) => {
+                    if slot.stamp < victim_stamp {
+                        victim_stamp = slot.stamp;
+                        victim = idx;
+                    }
+                }
+                None => {
+                    self.slots[idx] = Some(Slot {
+                        key,
+                        analysis,
+                        stamp: self.tick,
+                    });
+                    return false;
+                }
+            }
+        }
+        self.slots[victim] = Some(Slot {
+            key,
+            analysis,
+            stamp: self.tick,
+        });
+        true
+    }
+}
+
+/// Read-mostly pricing tier shared by the serve workers of one runtime.
+///
+/// Safe to share without coordination because every value is a pure
+/// function of its key (see the module docs): whichever worker computes an
+/// entry first, every other worker would have computed bit-identical
+/// contents.  Recalibration needs no flush — a recalibrated worker's new
+/// fingerprint makes the stale keys unreachable for it, while workers still
+/// on the old fit keep hitting them until capacity aging retires them.
+#[derive(Debug)]
+pub struct SharedPricingTier {
+    inner: RwLock<TierInner>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct TierInner {
+    map: HashMap<PricingKey, Arc<KernelAnalysis>>,
+    order: VecDeque<PricingKey>,
+}
+
+impl SharedPricingTier {
+    /// Creates a tier bounded to `capacity` entries (minimum 8).
+    pub fn new(capacity: usize) -> SharedPricingTier {
+        SharedPricingTier {
+            inner: RwLock::new(TierInner::default()),
+            capacity: capacity.max(8),
+        }
+    }
+
+    /// Looks a key up under the read lock.
+    pub fn get(&self, key: &PricingKey) -> Option<Arc<KernelAnalysis>> {
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        inner.map.get(key).cloned()
+    }
+
+    /// Publishes a freshly priced entry.  First writer wins (identical
+    /// contents by the purity invariant).  Returns `true` when an older
+    /// entry was aged out to stay within capacity.
+    pub fn publish(&self, key: PricingKey, analysis: Arc<KernelAnalysis>) -> bool {
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        if inner.map.contains_key(&key) {
+            return false;
+        }
+        let mut evicted = false;
+        while inner.map.len() >= self.capacity {
+            match inner.order.pop_front() {
+                Some(old) => {
+                    inner.map.remove(&old);
+                    evicted = true;
+                }
+                None => break,
+            }
+        }
+        inner.map.insert(key, analysis);
+        inner.order.push_back(key);
+        evicted
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
+    }
+
+    /// True when the tier holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        inner.map.clear();
+        inner.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::PrimitiveMix;
+    use dynasparse_matrix::partition::BlockGrid;
+
+    fn analysis(total: u64) -> Arc<KernelAnalysis> {
+        Arc::new(KernelAnalysis {
+            task_cycles: vec![total],
+            decisions: 0,
+            mix: PrimitiveMix::default(),
+            total_cycles: total,
+        })
+    }
+
+    fn profile(counts: Vec<usize>) -> DensityProfile {
+        let grid = BlockGrid::new(8, 8, 4, 4);
+        DensityProfile::from_block_nnz(8, 8, &grid, counts)
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_skip_preserving() {
+        assert_eq!(density_bucket(0, 16), SKIP_BUCKET);
+        assert_eq!(density_bucket(5, 0), SKIP_BUCKET);
+        assert_eq!(density_bucket(16, 16), 1);
+        // Denser blocks never land in a higher (sparser) bucket.
+        let mut last = density_bucket(1, 4096);
+        for nnz in 2..=4096 {
+            let b = density_bucket(nnz, 4096);
+            assert!(b <= last, "bucket must not increase with density");
+            assert!(b != SKIP_BUCKET);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn bucket_representative_bounds_distortion() {
+        // Any occupancy's representative is within 2^(1/4) of the true
+        // density (plus integer rounding of the representative count).
+        for area in [16usize, 64, 256, 1024] {
+            for nnz in 1..=area {
+                let b = density_bucket(nnz, area);
+                let rep = bucket_nnz(b, area);
+                assert!(rep >= 1 && rep <= area);
+                let ratio = rep as f64 / nnz as f64;
+                let slack = 1.0 / nnz as f64; // integer rounding of rep
+                assert!(
+                    ratio <= BUCKET_MAX_RATIO + slack && ratio >= 1.0 / BUCKET_MAX_RATIO - slack,
+                    "area {area} nnz {nnz}: rep {rep} ratio {ratio}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn representatives_are_fixed_points_of_quantization() {
+        for area in [16usize, 256, 1024] {
+            for bucket in 1u8..40 {
+                let rep = bucket_nnz(bucket, area);
+                let again = bucket_nnz(density_bucket(rep, area), area);
+                assert_eq!(rep, again, "area {area} bucket {bucket}");
+            }
+        }
+    }
+
+    #[test]
+    fn keys_separate_the_pricing_inputs() {
+        let p = profile(vec![4, 0, 16, 2]);
+        let base = PricingKey::base(1, 2, 0, PricingCacheMode::Bucketed, &p);
+        assert_ne!(
+            base,
+            PricingKey::base(9, 2, 0, PricingCacheMode::Bucketed, &p),
+            "calibration fingerprint must be keyed"
+        );
+        assert_ne!(
+            base,
+            PricingKey::base(1, 9, 0, PricingCacheMode::Bucketed, &p),
+            "statics fingerprint must be keyed"
+        );
+        assert_ne!(
+            base,
+            PricingKey::base(1, 2, 1, PricingCacheMode::Bucketed, &p),
+            "kernel index must be keyed"
+        );
+        assert_ne!(
+            base,
+            PricingKey::base(1, 2, 0, PricingCacheMode::Exact, &p),
+            "cache mode must be keyed"
+        );
+        assert_ne!(
+            base.with_strategy(MappingStrategy::Dynamic),
+            base.with_strategy(MappingStrategy::Static1),
+            "strategy must be keyed"
+        );
+        // Same bucket, different exact counts: equal in bucketed mode,
+        // distinct in exact mode.
+        let q = profile(vec![4, 0, 15, 2]);
+        assert_eq!(
+            base,
+            PricingKey::base(1, 2, 0, PricingCacheMode::Bucketed, &q)
+        );
+        assert_ne!(
+            PricingKey::base(1, 2, 0, PricingCacheMode::Exact, &p),
+            PricingKey::base(1, 2, 0, PricingCacheMode::Exact, &q)
+        );
+    }
+
+    #[test]
+    fn cache_hits_and_evicts_within_capacity() {
+        let mut cache = PricingCache::with_capacity(8);
+        assert_eq!(cache.capacity(), 8);
+        let p = profile(vec![1, 2, 3, 4]);
+        let keys: Vec<PricingKey> = (0..64)
+            .map(|k| PricingKey::base(7, 7, k, PricingCacheMode::Exact, &p))
+            .collect();
+        assert!(cache.is_empty());
+        let mut evictions = 0usize;
+        for (i, key) in keys.iter().enumerate() {
+            assert!(cache.get(key).is_none(), "fresh key {i} must miss");
+            if cache.insert(*key, analysis(i as u64)) {
+                evictions += 1;
+            }
+            let hit = cache.get(key).expect("just-inserted key must hit");
+            assert_eq!(hit.total_cycles, i as u64);
+        }
+        assert!(
+            evictions >= keys.len() - cache.capacity(),
+            "64 inserts into 8 slots must evict, got {evictions}"
+        );
+        assert!(cache.len() <= cache.capacity());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.get(&keys[63]).is_none());
+    }
+
+    #[test]
+    fn shared_tier_first_writer_wins_and_ages_out() {
+        let tier = SharedPricingTier::new(8);
+        let p = profile(vec![0, 0, 0, 1]);
+        let key = PricingKey::base(1, 1, 0, PricingCacheMode::Bucketed, &p);
+        assert!(tier.get(&key).is_none());
+        assert!(!tier.publish(key, analysis(10)));
+        assert!(
+            !tier.publish(key, analysis(99)),
+            "second publish is a no-op"
+        );
+        assert_eq!(tier.get(&key).unwrap().total_cycles, 10);
+        let mut aged = false;
+        for k in 1..32usize {
+            let extra = PricingKey::base(1, 1, k, PricingCacheMode::Bucketed, &p);
+            aged |= tier.publish(extra, analysis(k as u64));
+        }
+        assert!(aged, "publishing past capacity must age entries out");
+        assert!(tier.len() <= 8);
+        tier.clear();
+        assert!(tier.is_empty());
+    }
+
+    #[test]
+    fn fingerprints_track_content_not_identity() {
+        let a = HostCalibration::reference();
+        let mut b = HostCalibration::reference();
+        assert_eq!(
+            calibration_fingerprint(Some(&a)),
+            calibration_fingerprint(Some(&b))
+        );
+        b.spmm.work *= 2.0;
+        assert_ne!(
+            calibration_fingerprint(Some(&a)),
+            calibration_fingerprint(Some(&b))
+        );
+        assert_ne!(
+            calibration_fingerprint(Some(&a)),
+            calibration_fingerprint(None)
+        );
+
+        let adj = profile(vec![1, 2, 3, 4]);
+        let w1 = profile(vec![4, 4, 4, 4]);
+        let w2 = profile(vec![4, 4, 4, 5]);
+        assert_eq!(
+            statics_fingerprint(&adj, std::slice::from_ref(&w1)),
+            statics_fingerprint(&adj.clone(), std::slice::from_ref(&w1))
+        );
+        assert_ne!(
+            statics_fingerprint(&adj, std::slice::from_ref(&w1)),
+            statics_fingerprint(&adj, &[w2])
+        );
+        assert_ne!(
+            statics_fingerprint(&adj, std::slice::from_ref(&w1)),
+            statics_fingerprint(&w1, &[adj])
+        );
+    }
+
+    #[test]
+    fn env_override_resolves_all_spellings() {
+        // Serialized through a lock-free convention: this test is the only
+        // writer of the var in this binary.
+        std::env::remove_var(PRICING_CACHE_ENV);
+        assert_eq!(
+            PricingCacheMode::resolve(PricingCacheMode::Bucketed),
+            PricingCacheMode::Bucketed
+        );
+        for (val, want) in [
+            ("off", PricingCacheMode::Off),
+            ("0", PricingCacheMode::Off),
+            ("false", PricingCacheMode::Off),
+            ("exact", PricingCacheMode::Exact),
+            ("on", PricingCacheMode::Bucketed),
+            ("bucketed", PricingCacheMode::Bucketed),
+            ("garbage", PricingCacheMode::Exact),
+        ] {
+            std::env::set_var(PRICING_CACHE_ENV, val);
+            assert_eq!(
+                PricingCacheMode::resolve(PricingCacheMode::Exact),
+                want,
+                "{val}"
+            );
+        }
+        std::env::remove_var(PRICING_CACHE_ENV);
+    }
+}

@@ -10,7 +10,7 @@
 //! plan serves any feature matrix of the planned shape, and per-request
 //! sparsity is measured at runtime, so feature *content* must not fragment
 //! the cache.  The byte-level digest writer is shared with
-//! [`ModelFingerprint`] through [`crate::digest`].
+//! [`ModelFingerprint`] through the private `digest` module.
 //!
 //! [`CompiledPlan`]: dynasparse::CompiledPlan
 

@@ -20,7 +20,9 @@
 use crate::error::ServeError;
 use crate::metrics::{MetricsCollector, ServeReport};
 use crate::queue::{BoundedQueue, PushError};
-use dynasparse::{CompiledPlan, InferenceReport, MappingStrategy, ModelTemplate, Session};
+use dynasparse::{
+    CompiledPlan, InferenceReport, MappingStrategy, ModelTemplate, Session, SharedPricingTier,
+};
 use dynasparse_graph::{FeatureMatrix, Graph};
 use dynasparse_matrix::MatrixError;
 use dynasparse_telemetry::{CounterId, GaugeId, HistogramId, Registry};
@@ -87,6 +89,16 @@ pub struct ServeConfig {
     /// retiring worker closes the queue and fails residual tickets with
     /// [`ServeError::Abandoned`] instead of hanging them.
     pub max_worker_respawns: usize,
+    /// Whether workers share a read-mostly pricing tier
+    /// ([`SharedPricingTier`]): a kernel analysis priced by one worker is
+    /// reused by every other worker serving the same plan/template, so a
+    /// repeated density profile is analyzed once per pool instead of once
+    /// per worker.  Cached entries are pure
+    /// functions of their key, so sharing never changes any report
+    /// (`tests/pricing_cache.rs`); disable to make workers price fully
+    /// independently.  The per-session `DYNASPARSE_PRICING_CACHE=off`
+    /// escape hatch also bypasses the tier.
+    pub pricing_tier: bool,
 }
 
 impl PartialEq for ServeConfig {
@@ -105,6 +117,7 @@ impl PartialEq for ServeConfig {
             && self.device_dwell == other.device_dwell
             && self.shed_watermarks == other.shed_watermarks
             && self.max_worker_respawns == other.max_worker_respawns
+            && self.pricing_tier == other.pricing_tier
     }
 }
 
@@ -120,6 +133,7 @@ impl Default for ServeConfig {
             telemetry: None,
             shed_watermarks: None,
             max_worker_respawns: 32,
+            pricing_tier: true,
         }
     }
 }
@@ -181,6 +195,12 @@ impl ServeConfig {
     /// rebuilds.
     pub fn max_worker_respawns(mut self, respawns: usize) -> Self {
         self.max_worker_respawns = respawns;
+        self
+    }
+
+    /// Enables or disables the pool-wide shared pricing tier.
+    pub fn pricing_tier(mut self, enabled: bool) -> Self {
+        self.pricing_tier = enabled;
         self
     }
 }
@@ -416,12 +436,18 @@ impl ServeRuntime {
         let supervisor = Arc::new(Supervisor {
             live_workers: AtomicUsize::new(config.workers.max(1)),
         });
+        // One read-mostly tier for the whole pool: workers publish priced
+        // analyses into it and reuse each other's work across requests.
+        let pricing_tier = config
+            .pricing_tier
+            .then(|| Arc::new(SharedPricingTier::new(PRICING_TIER_CAPACITY)));
         let workers = (0..config.workers.max(1))
             .map(|index| {
                 let queue = Arc::clone(&queue);
                 let metrics = Arc::clone(&metrics);
                 let telemetry = Arc::clone(&telemetry);
                 let supervisor = Arc::clone(&supervisor);
+                let pricing_tier = pricing_tier.clone();
                 let config = config.clone();
                 match &backend {
                     Backend::Plan(plan) => {
@@ -430,7 +456,14 @@ impl ServeRuntime {
                             .name(format!("dynasparse-serve-{index}"))
                             .spawn(move || {
                                 worker_loop(
-                                    index, plan, config, queue, metrics, telemetry, supervisor,
+                                    index,
+                                    plan,
+                                    config,
+                                    queue,
+                                    metrics,
+                                    telemetry,
+                                    supervisor,
+                                    pricing_tier,
                                 )
                             })
                             .expect("failed to spawn serve worker")
@@ -441,7 +474,14 @@ impl ServeRuntime {
                             .name(format!("dynasparse-serve-{index}"))
                             .spawn(move || {
                                 template_worker_loop(
-                                    index, template, config, queue, metrics, telemetry, supervisor,
+                                    index,
+                                    template,
+                                    config,
+                                    queue,
+                                    metrics,
+                                    telemetry,
+                                    supervisor,
+                                    pricing_tier,
                                 )
                             })
                             .expect("failed to spawn serve worker")
@@ -927,6 +967,12 @@ fn retire_worker(queue: &BoundedQueue<QueuedRequest>, supervisor: &Supervisor) {
     }
 }
 
+/// Entries the pool-wide [`SharedPricingTier`] retains before FIFO aging;
+/// sized for every (kernel, strategy, density-bucket) class a steady serving
+/// mix cycles through, while bounding worst-case memory under adversarial
+/// density churn.
+const PRICING_TIER_CAPACITY: usize = 4096;
+
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     index: usize,
@@ -936,12 +982,16 @@ fn worker_loop(
     metrics: Arc<MetricsCollector>,
     telemetry: Arc<Registry>,
     supervisor: Arc<Supervisor>,
+    pricing_tier: Option<Arc<SharedPricingTier>>,
 ) {
     let mut session: Session<'static> = Session::shared(plan, &config.strategies);
     // The session publishes into the runtime's registry through the worker's
     // own shard, so per-shard counter breakdowns read as per-worker ones.
     session.set_telemetry(Arc::clone(&telemetry));
     session.set_telemetry_shard(index);
+    // Workers memoize pricing across the pool; the tier survives post-panic
+    // rebuilds because `rebuild_after_panic` carries it like telemetry.
+    session.set_pricing_tier(pricing_tier);
     // Size the fused-batch arena for the worker's batch cap up front, so
     // `max_batch` buys kernel-level fusion (one kernel pass per layer per
     // micro-batch) without mid-serving buffer growth.
@@ -1154,6 +1204,7 @@ fn template_worker_loop(
     metrics: Arc<MetricsCollector>,
     telemetry: Arc<Registry>,
     supervisor: Arc<Supervisor>,
+    pricing_tier: Option<Arc<SharedPricingTier>>,
 ) {
     let mut session: Option<Session<'static>> = None;
     let mut respawns_left = config.max_worker_respawns;
@@ -1212,6 +1263,10 @@ fn template_worker_loop(
                                 let built = session.insert(plan.session_shared(&config.strategies));
                                 built.set_telemetry(Arc::clone(&telemetry));
                                 built.set_telemetry_shard(index);
+                                // Template keys are content-addressed, so
+                                // structurally identical subgraphs hit
+                                // across workers and across rebinds.
+                                built.set_pricing_tier(pricing_tier.clone());
                                 built
                             }
                         };

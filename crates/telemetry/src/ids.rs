@@ -53,11 +53,18 @@ pub enum CounterId {
     ServeWorkerRespawns,
     /// Online recalibrations triggered by drift leaving the accepted band.
     Recalibrations,
+    /// Pricing-cache lookups that reused a cached `KernelAnalysis`.
+    PricingHit,
+    /// Pricing-cache lookups that ran a fresh Analyzer pass.
+    PricingMiss,
+    /// Pricing-cache entries evicted to make room (session cache and shared
+    /// tier combined).
+    PricingEvict,
 }
 
 impl CounterId {
     /// Every counter, in exposition order.
-    pub const ALL: [CounterId; 22] = [
+    pub const ALL: [CounterId; 25] = [
         CounterId::SessionRequests,
         CounterId::KernelSpans,
         CounterId::DispatchGemm,
@@ -80,6 +87,9 @@ impl CounterId {
         CounterId::ServeWorkerPanics,
         CounterId::ServeWorkerRespawns,
         CounterId::Recalibrations,
+        CounterId::PricingHit,
+        CounterId::PricingMiss,
+        CounterId::PricingEvict,
     ];
 
     /// The slot index backing this counter.
@@ -112,6 +122,9 @@ impl CounterId {
             CounterId::ServeWorkerPanics => "dynasparse_serve_worker_panics_total",
             CounterId::ServeWorkerRespawns => "dynasparse_serve_worker_respawns_total",
             CounterId::Recalibrations => "dynasparse_recalibrations_total",
+            CounterId::PricingHit => "dynasparse_pricing_hit_total",
+            CounterId::PricingMiss => "dynasparse_pricing_miss_total",
+            CounterId::PricingEvict => "dynasparse_pricing_evict_total",
         }
     }
 
@@ -144,6 +157,9 @@ impl CounterId {
             CounterId::Recalibrations => {
                 "Online recalibrations triggered by drift leaving the accepted band"
             }
+            CounterId::PricingHit => "Pricing-cache lookups that reused a cached analysis",
+            CounterId::PricingMiss => "Pricing-cache lookups that ran a fresh Analyzer pass",
+            CounterId::PricingEvict => "Pricing-cache entries evicted to make room",
         }
     }
 }
@@ -229,17 +245,24 @@ pub enum HistogramId {
     QueueWaitMicros,
     /// Micro-batch sizes drained by serve workers.
     BatchSize,
+    /// Per-request pricing time spent on cache hits, microseconds.
+    PricingHitMicros,
+    /// Per-request pricing time spent on cache misses (fresh Analyzer
+    /// passes), microseconds.
+    PricingMissMicros,
 }
 
 impl HistogramId {
     /// Every histogram, in exposition order.
-    pub const ALL: [HistogramId; 6] = [
+    pub const ALL: [HistogramId; 8] = [
         HistogramId::KernelMicros,
         HistogramId::ProfileMicros,
         HistogramId::PricingMicros,
         HistogramId::ServiceMicros,
         HistogramId::QueueWaitMicros,
         HistogramId::BatchSize,
+        HistogramId::PricingHitMicros,
+        HistogramId::PricingMissMicros,
     ];
 
     /// The slot index backing this histogram.
@@ -256,6 +279,8 @@ impl HistogramId {
             HistogramId::ServiceMicros => "dynasparse_serve_service_micros",
             HistogramId::QueueWaitMicros => "dynasparse_serve_queue_wait_micros",
             HistogramId::BatchSize => "dynasparse_serve_batch_size",
+            HistogramId::PricingHitMicros => "dynasparse_pricing_hit_micros",
+            HistogramId::PricingMissMicros => "dynasparse_pricing_miss_micros",
         }
     }
 
@@ -268,6 +293,8 @@ impl HistogramId {
             HistogramId::ServiceMicros => "Per-request serve service time (us)",
             HistogramId::QueueWaitMicros => "Per-request serve queue wait (us)",
             HistogramId::BatchSize => "Micro-batch sizes drained by serve workers",
+            HistogramId::PricingHitMicros => "Per-request pricing time on cache hits (us)",
+            HistogramId::PricingMissMicros => "Per-request pricing time on cache misses (us)",
         }
     }
 }

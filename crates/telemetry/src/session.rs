@@ -229,6 +229,37 @@ impl SessionTelemetry {
         self.registry
             .observe(self.shard, HistogramId::PricingMicros, pricing_ns / 1_000);
     }
+
+    /// Records one request's pricing-cache activity: lookup outcomes,
+    /// evictions (session cache plus shared tier), and the pricing time
+    /// split by outcome, in nanoseconds.
+    pub fn record_pricing_cache(
+        &self,
+        hits: u64,
+        misses: u64,
+        evictions: u64,
+        hit_ns: u64,
+        miss_ns: u64,
+    ) {
+        if !self.level.enabled() {
+            return;
+        }
+        if hits > 0 {
+            self.registry.add(self.shard, CounterId::PricingHit, hits);
+            self.registry
+                .observe(self.shard, HistogramId::PricingHitMicros, hit_ns / 1_000);
+        }
+        if misses > 0 {
+            self.registry
+                .add(self.shard, CounterId::PricingMiss, misses);
+            self.registry
+                .observe(self.shard, HistogramId::PricingMissMicros, miss_ns / 1_000);
+        }
+        if evictions > 0 {
+            self.registry
+                .add(self.shard, CounterId::PricingEvict, evictions);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -397,4 +397,102 @@ fn steady_state_kernel_hot_path_is_allocation_free() {
         a < 2_000,
         "steady-state infer spent {a} allocations; the kernel hot path is leaking into the heap"
     );
+
+    // --- Pricing-cache regimes: hits and misses both reach a steady state. ---
+    //
+    // The budget above already serves with the default bucketed cache (every
+    // measured request is a pure hit).  Two things remain: the hit regime
+    // must be steady for *every* model kind, and the miss/evict regime — a
+    // thrashing 8-slot cache where every request re-prices and evicts — must
+    // also settle to a constant per-cycle count (the Analyzer pass and the
+    // in-place eviction may allocate, but only the same bounded bookkeeping
+    // every time).
+    for kind in GnnModelKind::all() {
+        let model = GnnModel::standard(
+            kind,
+            dataset.features.dim(),
+            16,
+            dataset.spec.num_classes,
+            3,
+        );
+        let plan = Planner::new(
+            EngineOptions::builder()
+                .host(HostExecutionOptions {
+                    recalibrate: false,
+                    ..Default::default()
+                })
+                .build(),
+        )
+        .plan(&model, &dataset)
+        .unwrap();
+        let mut session = plan.session(&strategies);
+        for _ in 0..2 {
+            session.infer(&features).unwrap();
+        }
+        let a = run(&mut session);
+        let b = run(&mut session);
+        let c = run(&mut session);
+        assert_eq!(
+            a, b,
+            "{kind:?}: cache-hit steady state must allocate a constant count"
+        );
+        assert_eq!(
+            b, c,
+            "{kind:?}: cache-hit steady state must allocate a constant count"
+        );
+    }
+
+    let model = GnnModel::standard(
+        GnnModelKind::Gcn,
+        dataset.features.dim(),
+        16,
+        dataset.spec.num_classes,
+        3,
+    );
+    let plan = Planner::new(
+        EngineOptions::builder()
+            .host(HostExecutionOptions {
+                recalibrate: false,
+                ..Default::default()
+            })
+            .build(),
+    )
+    .plan(&model, &dataset)
+    .unwrap();
+    let mut session = plan.session(&strategies);
+    // 8 slots against 5 request classes x several kernels: every request
+    // misses and evicts, forever.
+    session.set_pricing_capacity(8);
+    let classes: Vec<FeatureMatrix> = [0.02f64, 0.1, 0.3, 0.6, 0.9]
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            dense_features(
+                dataset.graph.num_vertices(),
+                dataset.features.dim(),
+                *d,
+                40 + i as u64,
+            )
+        })
+        .collect();
+    let cycle = |session: &mut dynasparse::Session<'_>| {
+        count_allocs(|| {
+            for request in &classes {
+                session.infer(request).unwrap();
+            }
+        })
+    };
+    cycle(&mut session); // warm arenas and per-class report scratch
+    cycle(&mut session);
+    let x = cycle(&mut session);
+    let y = cycle(&mut session);
+    let z = cycle(&mut session);
+    assert_eq!(
+        x, y,
+        "cache-miss/evict steady state must allocate a constant count per cycle"
+    );
+    assert_eq!(
+        y, z,
+        "cache-miss/evict steady state must allocate a constant count per cycle"
+    );
 }

@@ -1,0 +1,431 @@
+//! Pricing-equivalence harness for the profile-keyed pricing cache.
+//!
+//! The cache memoizes `KernelAnalysis` values keyed on quantized sparsity
+//! profiles, so its correctness contract has three parts, each proven here:
+//!
+//! 1. **Embeddings are never touched.**  The cache sits on the strategy
+//!    pricing pass only; functional outputs are bit-identical across
+//!    `Off`/`Exact`/`Bucketed` for any request stream.
+//! 2. **Exact mode is bit-identical pricing.**  A hit replays precisely the
+//!    analysis an uncached session would recompute.
+//! 3. **Bucketed mode is deterministic and bounded.**  Cached pricing is a
+//!    pure function of the request (independent of cache state and request
+//!    order — the property that keeps serial vs. multi-worker serving
+//!    bit-identical), and the bucket grid's quarter-octave density
+//!    distortion translates into a bounded predicted-cost ratio against
+//!    uncached pricing.
+//!
+//! Invalidation (rebind across topologies, content-addressed re-hits) and
+//! batch amortization ride on the same counters.  Drift-recalibration
+//! invalidation lives in `tests/pricing_invalidation.rs` (own binary — it
+//! pins `DYNASPARSE_CALIBRATION`).
+
+use dynasparse::{
+    EngineOptions, HostExecutionOptions, InferenceReport, MappingStrategy, ModelTemplate, Planner,
+    PricingCacheMode, Registry, TelemetryLevel,
+};
+use dynasparse_graph::generators::dense_features;
+use dynasparse_graph::{Dataset, FeatureMatrix, NeighborSampler};
+use dynasparse_model::{GnnModel, GnnModelKind};
+use dynasparse_telemetry::CounterId;
+use std::sync::Arc;
+
+/// Engine options with the given cache mode and online recalibration pinned
+/// off (a drift-triggered flush would make hit/miss counts timing-dependent).
+fn options(mode: PricingCacheMode) -> EngineOptions {
+    EngineOptions::builder()
+        .host(HostExecutionOptions {
+            recalibrate: false,
+            pricing_cache: mode,
+            ..Default::default()
+        })
+        .build()
+}
+
+/// Asserts two reports priced the request identically: same strategies, same
+/// accelerator cycles, same decisions and primitive mixes, same densities.
+/// (Wall-clock overhead fields are measured host time and excluded.)
+fn assert_same_pricing(a: &InferenceReport, b: &InferenceReport, context: &str) {
+    assert_eq!(a.runs.len(), b.runs.len(), "{context}: run count");
+    for (ra, rb) in a.runs.iter().zip(&b.runs) {
+        assert_eq!(ra.strategy, rb.strategy, "{context}");
+        assert_eq!(
+            ra.total_cycles, rb.total_cycles,
+            "{context}: {:?} total cycles",
+            ra.strategy
+        );
+        assert_eq!(
+            ra.latency_ms.to_bits(),
+            rb.latency_ms.to_bits(),
+            "{context}: {:?} latency",
+            ra.strategy
+        );
+        assert_eq!(
+            ra.average_utilization.to_bits(),
+            rb.average_utilization.to_bits(),
+            "{context}: {:?} utilization",
+            ra.strategy
+        );
+        assert_eq!(ra.kernels.len(), rb.kernels.len(), "{context}");
+        for (ka, kb) in ra.kernels.iter().zip(&rb.kernels) {
+            assert_eq!(ka.kernel_id, kb.kernel_id, "{context}");
+            assert_eq!(ka.cycles, kb.cycles, "{context}: kernel {}", ka.kernel_id);
+            assert_eq!(
+                ka.decisions, kb.decisions,
+                "{context}: kernel {}",
+                ka.kernel_id
+            );
+            assert_eq!(ka.mix, kb.mix, "{context}: kernel {}", ka.kernel_id);
+            assert_eq!(
+                ka.input_density.to_bits(),
+                kb.input_density.to_bits(),
+                "{context}: kernel {}",
+                ka.kernel_id
+            );
+            assert_eq!(
+                ka.output_density.to_bits(),
+                kb.output_density.to_bits(),
+                "{context}: kernel {}",
+                ka.kernel_id
+            );
+        }
+    }
+}
+
+/// (hit, miss, evict) counter snapshot.
+fn cache_counters(registry: &Registry) -> (u64, u64, u64) {
+    (
+        registry.counter(CounterId::PricingHit),
+        registry.counter(CounterId::PricingMiss),
+        registry.counter(CounterId::PricingEvict),
+    )
+}
+
+#[test]
+fn embeddings_are_bit_identical_across_cache_modes() {
+    let ds = Dataset::Cora.spec().generate_scaled(5, 0.2);
+    let model = GnnModel::standard(
+        GnnModelKind::Gcn,
+        ds.features.dim(),
+        16,
+        ds.spec.num_classes,
+        3,
+    );
+    let (v, f) = (ds.features.num_vertices(), ds.features.dim());
+    // A density sweep, served twice so the second pass replays cache hits.
+    let mut requests = vec![
+        ds.features.clone(),
+        dense_features(v, f, 0.05, 1),
+        dense_features(v, f, 0.4, 2),
+        dense_features(v, f, 0.95, 3),
+    ];
+    requests.extend(requests.clone());
+
+    let strategies = MappingStrategy::paper_strategies();
+    let mut reports: Vec<Vec<InferenceReport>> = Vec::new();
+    for mode in [
+        PricingCacheMode::Off,
+        PricingCacheMode::Exact,
+        PricingCacheMode::Bucketed,
+    ] {
+        let plan = Planner::new(options(mode)).plan(&model, &ds).unwrap();
+        let mut session = plan.session(&strategies);
+        assert_eq!(session.pricing_mode(), mode);
+        reports.push(requests.iter().map(|r| session.infer(r).unwrap()).collect());
+    }
+    let (off, rest) = reports.split_first().unwrap();
+    for (mode_idx, cached) in rest.iter().enumerate() {
+        for (i, (o, c)) in off.iter().zip(cached).enumerate() {
+            assert_eq!(
+                o.output_embeddings, c.output_embeddings,
+                "request {i} embeddings must not depend on cache mode {mode_idx}"
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_mode_hits_replay_bit_identical_pricing() {
+    let ds = Dataset::Cora.spec().generate_scaled(7, 0.2);
+    let model = GnnModel::standard(
+        GnnModelKind::Gcn,
+        ds.features.dim(),
+        16,
+        ds.spec.num_classes,
+        3,
+    );
+    let strategies = MappingStrategy::paper_strategies();
+
+    let off_plan = Planner::new(options(PricingCacheMode::Off))
+        .plan(&model, &ds)
+        .unwrap();
+    let mut off_session = off_plan.session(&strategies);
+    let fresh = off_session.infer(&ds.features).unwrap();
+
+    let registry = Arc::new(Registry::new(TelemetryLevel::Counters));
+    let exact_plan = Planner::new(options(PricingCacheMode::Exact))
+        .plan(&model, &ds)
+        .unwrap();
+    let mut session = exact_plan.session(&strategies);
+    session.set_telemetry(Arc::clone(&registry));
+
+    let cold = session.infer(&ds.features).unwrap();
+    let (h1, m1, _) = cache_counters(&registry);
+    assert_eq!(h1, 0, "a cold cache cannot hit");
+    assert!(m1 > 0, "a cold request must record misses");
+
+    let warm = session.infer(&ds.features).unwrap();
+    let (h2, m2, _) = cache_counters(&registry);
+    assert_eq!(m2, m1, "an exact repeat must add no misses");
+    assert_eq!(
+        h2, m1,
+        "every kernel-strategy lookup must hit on the repeat"
+    );
+
+    // Off-mode, cold exact-mode and warm (all-hit) exact-mode pricing must
+    // agree to the bit.
+    assert_same_pricing(&fresh, &cold, "off vs exact-cold");
+    assert_same_pricing(&fresh, &warm, "off vs exact-warm");
+    assert_eq!(fresh.output_embeddings, warm.output_embeddings);
+}
+
+#[test]
+fn bucketed_pricing_is_independent_of_cache_state() {
+    // The determinism invariant behind multi-worker bit-identity: what a
+    // bucketed session reports for a request must not depend on what it
+    // served before (which keys happen to be resident, in which order).
+    let ds = Dataset::Cora.spec().generate_scaled(9, 0.2);
+    let model = GnnModel::standard(
+        GnnModelKind::Gcn,
+        ds.features.dim(),
+        16,
+        ds.spec.num_classes,
+        3,
+    );
+    let (v, f) = (ds.features.num_vertices(), ds.features.dim());
+    let probe = dense_features(v, f, 0.3, 42);
+    let strategies = [MappingStrategy::Dynamic, MappingStrategy::Static1];
+    let plan = Planner::new(options(PricingCacheMode::Bucketed))
+        .plan(&model, &ds)
+        .unwrap();
+
+    // Session A serves the probe cold; session B first wanders through a
+    // density sweep (warming unrelated and *nearby* buckets), then serves
+    // the same probe from a populated cache.
+    let mut cold = plan.session(&strategies);
+    let cold_report = cold.infer(&probe).unwrap();
+
+    let mut warmed = plan.session(&strategies);
+    for (i, d) in [0.02, 0.28, 0.31, 0.6, 0.97].iter().enumerate() {
+        warmed.infer(&dense_features(v, f, *d, i as u64)).unwrap();
+    }
+    let warm_report = warmed.infer(&probe).unwrap();
+
+    assert_same_pricing(&cold_report, &warm_report, "cold vs warmed cache");
+    assert_eq!(cold_report.output_embeddings, warm_report.output_embeddings);
+
+    // And repeats inside one session replay identically too.
+    let again = warmed.infer(&probe).unwrap();
+    assert_same_pricing(&warm_report, &again, "warm vs repeat");
+}
+
+#[test]
+fn bucketed_cost_distortion_is_bounded_at_bucket_edges() {
+    // A bucketed hit prices the bucket's representative profile, whose
+    // per-block density is within 2^(1/4) ≈ 1.19x of the true one.  The
+    // priced accelerator cycles must stay within a generous multiple of
+    // uncached pricing across the density range — including awkward
+    // densities that land right at bucket edges.
+    const BOUND: f64 = 1.6;
+    let ds = Dataset::Cora.spec().generate_scaled(11, 0.2);
+    let model = GnnModel::standard(
+        GnnModelKind::Gcn,
+        ds.features.dim(),
+        16,
+        ds.spec.num_classes,
+        3,
+    );
+    let (v, f) = (ds.features.num_vertices(), ds.features.dim());
+    let strategies = [MappingStrategy::Dynamic, MappingStrategy::Static2];
+
+    let off_plan = Planner::new(options(PricingCacheMode::Off))
+        .plan(&model, &ds)
+        .unwrap();
+    let bucketed_plan = Planner::new(options(PricingCacheMode::Bucketed))
+        .plan(&model, &ds)
+        .unwrap();
+    let mut off = off_plan.session(&strategies);
+    let mut bucketed = bucketed_plan.session(&strategies);
+
+    for (i, d) in [0.01, 0.07, 0.21, 0.35, 0.5, 0.71, 0.84, 1.0]
+        .iter()
+        .enumerate()
+    {
+        let request = dense_features(v, f, *d, 100 + i as u64);
+        let fresh = off.infer(&request).unwrap();
+        let cached = bucketed.infer(&request).unwrap();
+        assert_eq!(fresh.output_embeddings, cached.output_embeddings);
+        for (rf, rc) in fresh.runs.iter().zip(&cached.runs) {
+            let ratio = rc.total_cycles as f64 / rf.total_cycles.max(1) as f64;
+            assert!(
+                (1.0 / BOUND..=BOUND).contains(&ratio),
+                "density {d} {:?}: bucketed {} vs fresh {} cycles (ratio {ratio:.3})",
+                rf.strategy,
+                rc.total_cycles,
+                rf.total_cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn rebind_across_topologies_separates_and_content_rehits() {
+    // One rebinding session over a template: pricing keys are
+    // content-addressed on the instantiated plan's static operands, so a
+    // different subgraph can never hit stale entries, while re-instantiating
+    // an identical subgraph hits the warm ones again — across the rebind.
+    let full = Dataset::Cora.spec().generate_scaled(13, 0.15);
+    let model = GnnModel::gcn(full.features.dim(), 8, full.spec.num_classes, 2);
+    let template =
+        ModelTemplate::compile_shared(&model, options(PricingCacheMode::Bucketed)).unwrap();
+
+    let sample = |roots: &[u32]| {
+        let sub = NeighborSampler::new([8, 4], 5).sample(&full.graph, roots);
+        let features = sub.extract_features(&full.features);
+        (sub.into_graph(), features)
+    };
+    let (graph_a, features_a) = sample(&[1]);
+    let (graph_b, features_b) = sample(&[2, 3]);
+
+    let registry = Arc::new(Registry::new(TelemetryLevel::Counters));
+    let plan_a = template
+        .instantiate(&graph_a, &features_a)
+        .unwrap()
+        .into_plan();
+    let mut session = plan_a.session_shared(&[MappingStrategy::Dynamic]);
+    session.set_telemetry(Arc::clone(&registry));
+
+    session.infer(&features_a).unwrap();
+    session.infer(&features_a).unwrap();
+    let (h1, m1, _) = cache_counters(&registry);
+    assert!(h1 > 0 && m1 > 0, "repeat over one instance must hit");
+
+    // Different topology: every lookup must miss (no false sharing).
+    let plan_b = template
+        .instantiate(&graph_b, &features_b)
+        .unwrap()
+        .into_plan();
+    session.rebind(plan_b);
+    session.infer(&features_b).unwrap();
+    let (h2, m2, _) = cache_counters(&registry);
+    assert_eq!(
+        h2, h1,
+        "a different subgraph must not hit the previous topology's pricing"
+    );
+    assert!(m2 > m1);
+
+    // Same topology re-instantiated (new Arc, equal content): hits again.
+    let plan_a2 = template
+        .instantiate(&graph_a, &features_a)
+        .unwrap()
+        .into_plan();
+    session.rebind(plan_a2);
+    session.infer(&features_a).unwrap();
+    let (h3, m3, _) = cache_counters(&registry);
+    assert!(
+        h3 > h2,
+        "an identical re-instantiated subgraph must re-hit the warm entries"
+    );
+    assert_eq!(
+        m3, m2,
+        "content-addressed keys must add no misses on an identical topology"
+    );
+}
+
+#[test]
+fn tiny_capacity_evicts_and_still_prices_correctly() {
+    let ds = Dataset::Cora.spec().generate_scaled(17, 0.2);
+    let model = GnnModel::standard(
+        GnnModelKind::Gcn,
+        ds.features.dim(),
+        16,
+        ds.spec.num_classes,
+        3,
+    );
+    let (v, f) = (ds.features.num_vertices(), ds.features.dim());
+    let registry = Arc::new(Registry::new(TelemetryLevel::Counters));
+    let plan = Planner::new(options(PricingCacheMode::Bucketed))
+        .plan(&model, &ds)
+        .unwrap();
+    let mut session = plan.session(&[MappingStrategy::Dynamic]);
+    session.set_telemetry(Arc::clone(&registry));
+    // 8 slots against ~6 kernels x 5 request classes: steady thrash.
+    session.set_pricing_capacity(8);
+
+    let off_plan = Planner::new(options(PricingCacheMode::Off))
+        .plan(&model, &ds)
+        .unwrap();
+    let mut off = off_plan.session(&[MappingStrategy::Dynamic]);
+
+    let classes: Vec<FeatureMatrix> = [0.02f64, 0.1, 0.3, 0.6, 0.9]
+        .iter()
+        .enumerate()
+        .map(|(i, d)| dense_features(v, f, *d, 200 + i as u64))
+        .collect();
+    for _ in 0..3 {
+        for request in &classes {
+            let cached = session.infer(request).unwrap();
+            let fresh = off.infer(request).unwrap();
+            assert_eq!(cached.output_embeddings, fresh.output_embeddings);
+        }
+    }
+    let (_, _, evictions) = cache_counters(&registry);
+    assert!(
+        evictions > 0,
+        "cycling distinct request classes through 8 slots must evict"
+    );
+}
+
+#[test]
+fn fused_batches_amortize_pricing_across_same_key_requests() {
+    let ds = Dataset::Cora.spec().generate_scaled(19, 0.2);
+    let model = GnnModel::standard(
+        GnnModelKind::Gcn,
+        ds.features.dim(),
+        16,
+        ds.spec.num_classes,
+        3,
+    );
+    let registry = Arc::new(Registry::new(TelemetryLevel::Counters));
+    let plan = Planner::new(options(PricingCacheMode::Bucketed))
+        .plan(&model, &ds)
+        .unwrap();
+    let mut session = plan.session(&[MappingStrategy::Dynamic]);
+    session.set_telemetry(Arc::clone(&registry));
+    session.reserve_batch(4);
+
+    let batch: Vec<FeatureMatrix> = (0..4).map(|_| ds.features.clone()).collect();
+    let reports = session.infer_batch(&batch).unwrap();
+    assert_eq!(reports.len(), 4);
+    let (hits, misses, _) = cache_counters(&registry);
+    assert!(
+        misses > 0,
+        "the batch's first record prices each kernel once"
+    );
+    assert_eq!(
+        hits,
+        3 * misses,
+        "the 3 equal sibling requests must reuse the first record's pass"
+    );
+    // Amortized pricing must not leak into the reports: every sibling's runs
+    // are identical, and identical to a per-request serve.
+    for r in &reports[1..] {
+        assert_same_pricing(&reports[0], r, "batch siblings");
+    }
+    let solo = plan
+        .session(&[MappingStrategy::Dynamic])
+        .infer(&ds.features)
+        .unwrap();
+    assert_same_pricing(&solo, &reports[0], "solo vs fused batch");
+    assert_eq!(solo.output_embeddings, reports[0].output_embeddings);
+}
